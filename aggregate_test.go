@@ -1,0 +1,92 @@
+package sampleunion
+
+import (
+	"math"
+	"testing"
+)
+
+func TestApproxCount(t *testing.T) {
+	u := demoUnion(t)
+	// Truth: customers 0..44, 2 orders each; custkey < 15 → 30 tuples.
+	res, err := u.ApproxCount(Cmp{Attr: "custkey", Op: LT, Val: 15}, 20000,
+		Options{Warmup: WarmupExact, Method: MethodEW, Oracle: true, Seed: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Value-30) > 3*res.HalfWidth+1 {
+		t.Fatalf("COUNT = %v, truth 30", res)
+	}
+}
+
+func TestApproxSum(t *testing.T) {
+	u := demoUnion(t)
+	// SUM(custkey) over the union: each customer 0..44 contributes its
+	// key twice (two orders).
+	truth := 0.0
+	for k := 0; k < 45; k++ {
+		truth += float64(2 * k)
+	}
+	res, err := u.ApproxSum("custkey", True{}, 20000,
+		Options{Warmup: WarmupExact, Method: MethodEW, Oracle: true, Seed: 41})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Value-truth) > 3*res.HalfWidth+1 {
+		t.Fatalf("SUM = %v, truth %.0f", res, truth)
+	}
+}
+
+func TestApproxAvg(t *testing.T) {
+	u := demoUnion(t)
+	res, err := u.ApproxAvg("custkey", True{}, 20000,
+		Options{Warmup: WarmupExact, Method: MethodEW, Oracle: true, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Value-22) > 3*res.HalfWidth+0.5 {
+		t.Fatalf("AVG = %v, truth 22", res)
+	}
+}
+
+func TestApproxWithRandomWalkWarmup(t *testing.T) {
+	u := demoUnion(t)
+	res, err := u.ApproxCount(True{}, 5000,
+		Options{Warmup: WarmupRandomWalk, WarmupWalks: 2000, Seed: 43})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// COUNT(*) ≈ |U| = 90; random-walk |U| estimate adds its own error.
+	if math.Abs(res.Value-90) > 15 {
+		t.Fatalf("COUNT(*) = %v, truth 90", res)
+	}
+}
+
+func TestApproxGroupCount(t *testing.T) {
+	u := demoUnion(t)
+	groups, err := u.ApproxGroupCount("nationkey", 20000,
+		Options{Warmup: WarmupExact, Method: MethodEW, Oracle: true, Seed: 45})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(groups) != 5 { // nationkey = custkey % 5
+		t.Fatalf("groups = %d, want 5", len(groups))
+	}
+	total := 0.0
+	for _, g := range groups {
+		total += g.Count.Value
+	}
+	if math.Abs(total-90) > 2 {
+		t.Errorf("group totals sum to %.1f, want ~90", total)
+	}
+}
+
+func TestApproxOnline(t *testing.T) {
+	u := demoUnion(t)
+	res, err := u.ApproxCount(True{}, 3000, Options{Online: true, WarmupWalks: 500, Seed: 44})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Value <= 0 {
+		t.Fatalf("online COUNT = %v", res)
+	}
+}

@@ -1,0 +1,151 @@
+// Command sampler draws uniform samples from the set union of either a
+// built-in workload (UQ1, UQ2, UQ3) or a user-provided union spec over
+// CSV relations (see internal/spec for the format), writing them as
+// CSV.
+//
+// Usage:
+//
+//	sampler -workload UQ1 -n 1000 -warmup random-walk -method EW
+//	sampler -spec union.spec -data ./data -n 1000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+
+	"sampleunion/internal/core"
+	"sampleunion/internal/histest"
+	"sampleunion/internal/join"
+	"sampleunion/internal/relation"
+	"sampleunion/internal/rng"
+	"sampleunion/internal/spec"
+	"sampleunion/internal/tpch"
+	"sampleunion/internal/walkest"
+)
+
+func main() {
+	workload := flag.String("workload", "UQ1", "built-in workload: UQ1, UQ2, or UQ3")
+	specPath := flag.String("spec", "", "union spec file (overrides -workload)")
+	dataDir := flag.String("data", "", "data directory for -spec CSV files (default: spec's directory)")
+	n := flag.Int("n", 1000, "number of samples")
+	sf := flag.Float64("sf", 1, "scale factor (built-in workloads)")
+	ov := flag.Float64("overlap", 0.2, "overlap scale (built-in workloads)")
+	seed := flag.Int64("seed", 1, "random seed")
+	warmup := flag.String("warmup", "random-walk", "warm-up: histogram, random-walk, or exact")
+	method := flag.String("method", "EW", "join subroutine: EW or EO")
+	online := flag.Bool("online", false, "use the online sampler (Algorithm 2)")
+	showStats := flag.Bool("stats", true, "print run statistics to stderr")
+	flag.Parse()
+
+	joins, err := loadJoins(*specPath, *dataDir, *workload, *sf, *ov, *seed)
+	if err == nil {
+		err = run(joins, *n, *seed, *warmup, *method, *online, *showStats)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+func loadJoins(specPath, dataDir, workload string, sf, ov float64, seed int64) ([]*join.Join, error) {
+	if specPath != "" {
+		u, err := spec.ParseFile(specPath, dataDir)
+		if err != nil {
+			return nil, err
+		}
+		return u.Joins, nil
+	}
+	ws, err := tpch.Workloads(tpch.Config{SF: sf, Overlap: ov, Seed: seed})
+	if err != nil {
+		return nil, err
+	}
+	w, ok := ws[workload]
+	if !ok {
+		return nil, fmt.Errorf("unknown workload %q (UQ1, UQ2, UQ3)", workload)
+	}
+	return w.Joins, nil
+}
+
+func run(joins []*join.Join, n int, seed int64, warmup, method string, online, showStats bool) error {
+	jm := core.MethodEW
+	if method == "EO" {
+		jm = core.MethodEO
+	}
+	g := rng.New(seed)
+
+	var out [][]int64
+	var stats *core.Stats
+	schema := joins[0].OutputSchema()
+	if online {
+		s, err := core.NewOnlineSampler(joins, core.OnlineConfig{WarmupWalks: 1000})
+		if err != nil {
+			return err
+		}
+		tuples, err := s.Sample(n, g)
+		if err != nil {
+			return err
+		}
+		for _, t := range tuples {
+			out = append(out, toInts(t))
+		}
+		stats = s.Stats()
+	} else {
+		var est core.Estimator
+		switch warmup {
+		case "histogram":
+			sizes := histest.SizeEO
+			if jm == core.MethodEW {
+				sizes = histest.SizeEW
+			}
+			est = &core.HistogramEstimator{Joins: joins, Opts: histest.Options{Sizes: sizes}}
+		case "exact":
+			est = &core.ExactEstimator{Joins: joins}
+		default:
+			est = &core.RandomWalkEstimator{Joins: joins, Opts: walkest.Options{MaxWalks: 1000}}
+		}
+		s, err := core.NewCoverSampler(joins, core.CoverConfig{Method: jm, Estimator: est})
+		if err != nil {
+			return err
+		}
+		tuples, err := s.Sample(n, g)
+		if err != nil {
+			return err
+		}
+		for _, t := range tuples {
+			out = append(out, toInts(t))
+		}
+		stats = s.Stats()
+	}
+
+	// Header then rows as CSV.
+	for i := 0; i < schema.Len(); i++ {
+		if i > 0 {
+			fmt.Print(",")
+		}
+		fmt.Print(schema.Attr(i))
+	}
+	fmt.Println()
+	for _, row := range out {
+		for i, v := range row {
+			if i > 0 {
+				fmt.Print(",")
+			}
+			fmt.Print(strconv.FormatInt(v, 10))
+		}
+		fmt.Println()
+	}
+	if showStats {
+		fmt.Fprintln(os.Stderr, stats)
+	}
+	return nil
+}
+
+func toInts(t relation.Tuple) []int64 {
+	out := make([]int64, len(t))
+	for i, v := range t {
+		out[i] = int64(v)
+	}
+	return out
+}

@@ -1,0 +1,82 @@
+// Online demonstrates Algorithm 2: online union sampling with sample
+// reuse and backtracking. Parameters start from cheap histogram
+// estimates, wander-join draws refine them on the fly, warm-up samples
+// are recycled into the result (with the acceptance correction that
+// keeps uniformity), and previously returned tuples are backtracked
+// when the estimates shift.
+//
+//	go run ./examples/online
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"sampleunion"
+)
+
+func main() {
+	u := buildUnion()
+
+	fmt.Println("== online sampling with reuse (WarmupWalks = 800) ==")
+	run(u, sampleunion.Options{Online: true, WarmupWalks: 800, Seed: 5})
+
+	fmt.Println()
+	fmt.Println("== online sampling without warm-up (pure on-the-fly refinement) ==")
+	run(u, sampleunion.Options{Online: true, WarmupWalks: -1, Seed: 5})
+}
+
+func run(u *sampleunion.Union, o sampleunion.Options) {
+	tuples, stats, err := u.Sample(3000, o)
+	if err != nil {
+		log.Fatal(err)
+	}
+	reuse := stats.ReuseAccepted
+	regular := stats.Accepted - reuse
+	fmt.Printf("samples: %d (reuse phase %d, regular phase %d)\n", len(tuples), reuse, regular)
+	fmt.Printf("parameter updates (backtracks): %d, tuples dropped by backtracking: %d\n",
+		stats.Backtracks, stats.BacktrackDropped)
+	if reuse > 0 {
+		fmt.Printf("time per accepted sample: reuse %v, regular %v\n",
+			stats.PerAcceptedReuse(), stats.PerAcceptedRegular())
+	}
+	fmt.Printf("warm-up %v, accepted %v, rejected %v\n",
+		stats.WarmupTime, stats.AcceptTime, stats.RejectTime)
+}
+
+// buildUnion makes three overlapping store ⋈ sales joins with skewed
+// fanout, the regime where online refinement pays off.
+func buildUnion() *sampleunion.Union {
+	mk := func(name string, lo, hi int) *sampleunion.Join {
+		stores := sampleunion.NewRelation("stores_"+name,
+			sampleunion.NewSchema("storekey", "city"))
+		sales := sampleunion.NewRelation("sales_"+name,
+			sampleunion.NewSchema("salekey", "storekey", "amount"))
+		for s := lo; s < hi; s++ {
+			stores.AppendValues(sampleunion.Value(s), sampleunion.Value(s%9))
+			n := 1 + s%4 // skewed sales per store
+			for k := 0; k < n; k++ {
+				sales.AppendValues(
+					sampleunion.Value(s*10+k),
+					sampleunion.Value(s),
+					sampleunion.Value(10+(s*k)%90),
+				)
+			}
+		}
+		j, err := sampleunion.Chain(name,
+			[]*sampleunion.Relation{stores, sales}, []string{"storekey"})
+		if err != nil {
+			log.Fatal(err)
+		}
+		return j
+	}
+	u, err := sampleunion.NewUnion(
+		mk("north", 0, 300),
+		mk("center", 150, 450),
+		mk("south", 300, 600),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return u
+}

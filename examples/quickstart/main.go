@@ -1,0 +1,74 @@
+// Quickstart: sample uniformly from the set union of two joins without
+// executing either join or the union.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"sampleunion"
+)
+
+func main() {
+	// Two regional databases, each normalized into customers and
+	// orders. The regions overlap: customers 50..99 exist in both.
+	east := buildRegion("east", 0, 100)
+	west := buildRegion("west", 50, 150)
+
+	u, err := sampleunion.NewUnion(east, west)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// How big is the union? Estimate without running the joins, then
+	// verify against the exact (expensive) answer.
+	est, err := u.EstimateUnionSize(sampleunion.Options{
+		Warmup: sampleunion.WarmupRandomWalk,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	exact, err := u.ExactUnionSize()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("union size: estimated %.0f, exact %d\n", est, exact)
+
+	// Draw 10 uniform samples from the set union.
+	tuples, stats, err := u.Sample(10, sampleunion.Options{Seed: 42})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("schema:", u.OutputSchema())
+	for _, t := range tuples {
+		fmt.Println(" ", t)
+	}
+	fmt.Println("stats:", stats)
+}
+
+// buildRegion creates a customers ⋈ orders chain join for one region.
+func buildRegion(name string, lo, hi int) *sampleunion.Join {
+	customers := sampleunion.NewRelation(
+		"customers_"+name,
+		sampleunion.NewSchema("custkey", "segment"),
+	)
+	orders := sampleunion.NewRelation(
+		"orders_"+name,
+		sampleunion.NewSchema("orderkey", "custkey", "total"),
+	)
+	for k := lo; k < hi; k++ {
+		customers.AppendValues(sampleunion.Value(k), sampleunion.Value(k%4))
+		// Two orders per customer; identical in both regions so the
+		// shared customers yield genuinely overlapping join results.
+		orders.AppendValues(sampleunion.Value(2*k), sampleunion.Value(k), sampleunion.Value(100+k))
+		orders.AppendValues(sampleunion.Value(2*k+1), sampleunion.Value(k), sampleunion.Value(200+k))
+	}
+	j, err := sampleunion.Chain(name,
+		[]*sampleunion.Relation{customers, orders}, []string{"custkey"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	return j
+}

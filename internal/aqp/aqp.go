@@ -1,0 +1,121 @@
+// Package aqp implements approximate query answering over union
+// samples — the application that motivates the paper (§1: "learning
+// and approximate query answering do not require the full results and
+// an i.i.d sample can achieve a bounded error"). Given uniform samples
+// from the set union and an estimate of |U|, it answers COUNT, SUM,
+// and AVG aggregates with central-limit confidence intervals.
+package aqp
+
+import (
+	"fmt"
+	"math"
+
+	"sampleunion/internal/relation"
+)
+
+// Result is an aggregate estimate with its confidence half-width at
+// the requested z (e.g. 1.96 for 95%).
+type Result struct {
+	Value     float64
+	HalfWidth float64
+	N         int // samples used
+}
+
+// Interval renders the estimate as [lo, hi].
+func (r Result) Interval() (lo, hi float64) {
+	return r.Value - r.HalfWidth, r.Value + r.HalfWidth
+}
+
+func (r Result) String() string {
+	lo, hi := r.Interval()
+	return fmt.Sprintf("%.4g ± %.4g [%.4g, %.4g] (n=%d)", r.Value, r.HalfWidth, lo, hi, r.N)
+}
+
+// Count estimates COUNT(*) WHERE pred over the union: |U| times the
+// satisfying fraction of the samples. unionSize is the (estimated)
+// set-union size; z the confidence multiplier.
+func Count(samples []relation.Tuple, schema *relation.Schema, pred relation.Predicate, unionSize, z float64) (Result, error) {
+	n := len(samples)
+	if n == 0 {
+		return Result{}, fmt.Errorf("aqp: no samples")
+	}
+	hits := 0
+	for _, t := range samples {
+		if pred.Eval(t, schema) {
+			hits++
+		}
+	}
+	p := float64(hits) / float64(n)
+	// Binomial proportion: se = sqrt(p(1-p)/n), scaled by |U|.
+	se := math.Sqrt(p * (1 - p) / float64(n))
+	return Result{
+		Value:     unionSize * p,
+		HalfWidth: unionSize * z * se,
+		N:         n,
+	}, nil
+}
+
+// Sum estimates SUM(attr) WHERE pred over the union: |U| times the
+// mean of attr·[pred] over the samples.
+func Sum(samples []relation.Tuple, schema *relation.Schema, attr string, pred relation.Predicate, unionSize, z float64) (Result, error) {
+	pos := schema.Index(attr)
+	if pos < 0 {
+		return Result{}, fmt.Errorf("aqp: attribute %q not in schema %v", attr, schema)
+	}
+	n := len(samples)
+	if n == 0 {
+		return Result{}, fmt.Errorf("aqp: no samples")
+	}
+	mean, m2 := 0.0, 0.0
+	for i, t := range samples {
+		v := 0.0
+		if pred.Eval(t, schema) {
+			v = float64(t[pos])
+		}
+		d := v - mean
+		mean += d / float64(i+1)
+		m2 += d * (v - mean)
+	}
+	variance := 0.0
+	if n > 1 {
+		variance = m2 / float64(n-1)
+	}
+	se := math.Sqrt(variance / float64(n))
+	return Result{
+		Value:     unionSize * mean,
+		HalfWidth: unionSize * z * se,
+		N:         n,
+	}, nil
+}
+
+// Avg estimates AVG(attr) WHERE pred over the union: the ratio of the
+// Sum and Count estimators over the satisfying samples, with the
+// conditional-mean standard error. It fails when no sample satisfies
+// the predicate.
+func Avg(samples []relation.Tuple, schema *relation.Schema, attr string, pred relation.Predicate, z float64) (Result, error) {
+	pos := schema.Index(attr)
+	if pos < 0 {
+		return Result{}, fmt.Errorf("aqp: attribute %q not in schema %v", attr, schema)
+	}
+	mean, m2 := 0.0, 0.0
+	k := 0
+	for _, t := range samples {
+		if !pred.Eval(t, schema) {
+			continue
+		}
+		k++
+		v := float64(t[pos])
+		d := v - mean
+		mean += d / float64(k)
+		m2 += d * (v - mean)
+	}
+	if k == 0 {
+		return Result{}, fmt.Errorf("aqp: no sample satisfies %s", pred)
+	}
+	variance := 0.0
+	if k > 1 {
+		variance = m2 / float64(k-1)
+	}
+	se := math.Sqrt(variance / float64(k))
+	return Result{Value: mean, HalfWidth: z * se, N: k}, nil
+}

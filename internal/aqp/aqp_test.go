@@ -1,0 +1,136 @@
+package aqp
+
+import (
+	"math"
+	"testing"
+
+	"sampleunion/internal/relation"
+	"sampleunion/internal/rng"
+)
+
+// population builds a synthetic "union": values 0..999 with attribute
+// v = i and flag = i%2.
+func population() ([]relation.Tuple, *relation.Schema) {
+	s := relation.NewSchema("v", "flag")
+	pop := make([]relation.Tuple, 1000)
+	for i := range pop {
+		pop[i] = relation.Tuple{relation.Value(i), relation.Value(i % 2)}
+	}
+	return pop, s
+}
+
+// draw samples uniformly with replacement from the population.
+func draw(pop []relation.Tuple, n int, seed int64) []relation.Tuple {
+	g := rng.New(seed)
+	out := make([]relation.Tuple, n)
+	for i := range out {
+		out[i] = pop[g.Intn(len(pop))]
+	}
+	return out
+}
+
+func TestCountAccuracy(t *testing.T) {
+	pop, s := population()
+	samples := draw(pop, 20000, 1)
+	pred := relation.Cmp{Attr: "flag", Op: relation.EQ, Val: 1}
+	res, err := Count(samples, s, pred, float64(len(pop)), 1.96)
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth := 500.0
+	if math.Abs(res.Value-truth) > 3*res.HalfWidth+1e-9 {
+		t.Fatalf("COUNT = %v, truth %.0f", res, truth)
+	}
+	lo, hi := res.Interval()
+	if !(lo < truth && truth < hi) && math.Abs(res.Value-truth) > res.HalfWidth {
+		t.Logf("interval missed (expected ~5%% of the time): %v", res)
+	}
+	if res.N != 20000 {
+		t.Errorf("N = %d", res.N)
+	}
+}
+
+func TestSumAccuracy(t *testing.T) {
+	pop, s := population()
+	samples := draw(pop, 20000, 2)
+	res, err := Sum(samples, s, "v", relation.True{}, float64(len(pop)), 1.96)
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth := 999.0 * 1000 / 2 // Σ 0..999
+	if math.Abs(res.Value-truth) > 3*res.HalfWidth {
+		t.Fatalf("SUM = %v, truth %.0f", res, truth)
+	}
+}
+
+func TestSumWithPredicate(t *testing.T) {
+	pop, s := population()
+	samples := draw(pop, 30000, 3)
+	pred := relation.Cmp{Attr: "v", Op: relation.LT, Val: 100}
+	res, err := Sum(samples, s, "v", pred, float64(len(pop)), 1.96)
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth := 99.0 * 100 / 2
+	if math.Abs(res.Value-truth) > 4*res.HalfWidth {
+		t.Fatalf("conditional SUM = %v, truth %.0f", res, truth)
+	}
+}
+
+func TestAvgAccuracy(t *testing.T) {
+	pop, s := population()
+	samples := draw(pop, 20000, 4)
+	pred := relation.Cmp{Attr: "flag", Op: relation.EQ, Val: 0}
+	res, err := Avg(samples, s, "v", pred, 1.96)
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth := 499.0 // mean of even numbers 0..998
+	if math.Abs(res.Value-truth) > 3*res.HalfWidth {
+		t.Fatalf("AVG = %v, truth %.0f", res, truth)
+	}
+	if res.N >= 20000 || res.N == 0 {
+		t.Errorf("conditional N = %d", res.N)
+	}
+}
+
+func TestHalfWidthShrinksWithN(t *testing.T) {
+	pop, s := population()
+	small, _ := Sum(draw(pop, 500, 5), s, "v", relation.True{}, 1000, 1.96)
+	big, _ := Sum(draw(pop, 50000, 5), s, "v", relation.True{}, 1000, 1.96)
+	if !(big.HalfWidth < small.HalfWidth) {
+		t.Fatalf("half width did not shrink: %f -> %f", small.HalfWidth, big.HalfWidth)
+	}
+}
+
+func TestErrorCases(t *testing.T) {
+	_, s := population()
+	if _, err := Count(nil, s, relation.True{}, 10, 1.96); err == nil {
+		t.Error("empty Count accepted")
+	}
+	if _, err := Sum(nil, s, "v", relation.True{}, 10, 1.96); err == nil {
+		t.Error("empty Sum accepted")
+	}
+	samples := []relation.Tuple{{1, 0}}
+	if _, err := Sum(samples, s, "bogus", relation.True{}, 10, 1.96); err == nil {
+		t.Error("unknown attribute accepted in Sum")
+	}
+	if _, err := Avg(samples, s, "bogus", relation.True{}, 1.96); err == nil {
+		t.Error("unknown attribute accepted in Avg")
+	}
+	never := relation.Cmp{Attr: "v", Op: relation.GT, Val: 10}
+	if _, err := Avg(samples, s, "v", never, 1.96); err == nil {
+		t.Error("Avg over empty support accepted")
+	}
+}
+
+func TestResultString(t *testing.T) {
+	r := Result{Value: 10, HalfWidth: 2, N: 5}
+	if r.String() == "" {
+		t.Error("empty render")
+	}
+	lo, hi := r.Interval()
+	if lo != 8 || hi != 12 {
+		t.Errorf("interval = [%f, %f]", lo, hi)
+	}
+}

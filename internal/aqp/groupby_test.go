@@ -1,0 +1,68 @@
+package aqp
+
+import (
+	"math"
+	"testing"
+
+	"sampleunion/internal/relation"
+)
+
+func TestGroupCount(t *testing.T) {
+	pop, s := population()
+	samples := draw(pop, 30000, 9)
+	groups, err := GroupCount(samples, s, "flag", float64(len(pop)), 1.96)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(groups) != 2 {
+		t.Fatalf("groups = %d, want 2", len(groups))
+	}
+	for _, g := range groups {
+		if math.Abs(g.Count.Value-500) > 3*g.Count.HalfWidth {
+			t.Errorf("group %d = %v, truth 500", g.Key, g.Count)
+		}
+	}
+	// Descending order by estimate.
+	if groups[0].Count.Value < groups[1].Count.Value {
+		t.Error("groups not sorted descending")
+	}
+}
+
+func TestGroupCountSkewed(t *testing.T) {
+	s := relation.NewSchema("g")
+	var pop []relation.Tuple
+	// group 0: 900 members, group 1: 90, group 2: 10.
+	for i := 0; i < 900; i++ {
+		pop = append(pop, relation.Tuple{0})
+	}
+	for i := 0; i < 90; i++ {
+		pop = append(pop, relation.Tuple{1})
+	}
+	for i := 0; i < 10; i++ {
+		pop = append(pop, relation.Tuple{2})
+	}
+	samples := draw(pop, 50000, 10)
+	groups, err := GroupCount(samples, s, "g", float64(len(pop)), 1.96)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(groups) != 3 {
+		t.Fatalf("groups = %d", len(groups))
+	}
+	want := []float64{900, 90, 10}
+	for i, g := range groups {
+		if math.Abs(g.Count.Value-want[i]) > 4*g.Count.HalfWidth+1 {
+			t.Errorf("group %d = %v, want ~%.0f", g.Key, g.Count, want[i])
+		}
+	}
+}
+
+func TestGroupCountErrors(t *testing.T) {
+	_, s := population()
+	if _, err := GroupCount(nil, s, "flag", 10, 1.96); err == nil {
+		t.Error("empty samples accepted")
+	}
+	if _, err := GroupCount([]relation.Tuple{{1, 0}}, s, "bogus", 10, 1.96); err == nil {
+		t.Error("unknown attribute accepted")
+	}
+}

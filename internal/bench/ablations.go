@@ -1,0 +1,240 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"sampleunion/internal/core"
+	"sampleunion/internal/histest"
+	"sampleunion/internal/overlap"
+	"sampleunion/internal/relation"
+	"sampleunion/internal/rng"
+	"sampleunion/internal/tpch"
+)
+
+// This file holds ablation experiments beyond the paper's figures: each
+// isolates one design choice of the framework (splitting vs direct
+// profiles, template scoring, the dynamic record vs exact membership,
+// Bernoulli vs non-Bernoulli join selection).
+
+// AblationSplit compares §5.1's direct equi-length-chain estimation
+// against forcing the §5.2 splitting method on the same (aligned) UQ1
+// joins: the splitting detour may only loosen the overlap bound, and
+// this quantifies by how much.
+func AblationSplit(o Options) (*Result, error) {
+	o = o.withDefaults()
+	res := &Result{
+		Name:   "splitting method vs direct chain estimation (UQ1)",
+		Figure: "ablation-split",
+		Header: []string{"overlap_scale", "exact_overlap", "direct_bound", "split_bound", "direct_ms", "split_ms"},
+	}
+	for _, p := range overlapSweep(o) {
+		w, err := tpch.UQ1N(tpch.Config{SF: o.SF, Overlap: p, Seed: o.Seed}, 2)
+		if err != nil {
+			return nil, err
+		}
+		exact, _, err := overlap.Exact(w.Joins)
+		if err != nil {
+			return nil, err
+		}
+		pair := uint(0b11)
+		run := func(force bool) (float64, time.Duration, error) {
+			start := time.Now()
+			est, err := histest.New(w.Joins, histest.Options{Sizes: histest.SizeEO, ForceSplit: force})
+			if err != nil {
+				return 0, 0, err
+			}
+			tab, err := est.Estimate()
+			if err != nil {
+				return 0, 0, err
+			}
+			return tab.Get(pair), time.Since(start), nil
+		}
+		direct, dTime, err := run(false)
+		if err != nil {
+			return nil, err
+		}
+		split, sTime, err := run(true)
+		if err != nil {
+			return nil, err
+		}
+		res.Add(f(p), fmt.Sprintf("%.0f", exact.Get(pair)),
+			fmt.Sprintf("%.0f", direct), fmt.Sprintf("%.0f", split),
+			ms(dTime), ms(sTime))
+	}
+	return res, nil
+}
+
+// AblationZeroScore sweeps the §8.1.2 alternating-score hyper-parameter
+// on UQ3: the weight substituted for co-located attribute pairs during
+// template search, which trades template fidelity against bound
+// tightness.
+func AblationZeroScore(o Options) (*Result, error) {
+	o = o.withDefaults()
+	w, err := tpch.UQ3(tpch.Config{SF: o.SF, Overlap: o.Overlap, Seed: o.Seed})
+	if err != nil {
+		return nil, err
+	}
+	exact, _, err := overlap.Exact(w.Joins)
+	if err != nil {
+		return nil, err
+	}
+	truth := core.ParamsFromTable(exact)
+	res := &Result{
+		Name:   "template zero-score hyper-parameter on UQ3",
+		Figure: "ablation-zeroscore",
+		Header: []string{"zero_score", "union_estimate", "exact_union", "mean_ratio_err"},
+	}
+	scores := []float64{0, 0.25, 0.5, 1}
+	if o.Quick {
+		scores = []float64{0, 0.5}
+	}
+	for _, z := range scores {
+		est, err := histest.New(w.Joins, histest.Options{Sizes: histest.SizeEO, ZeroScore: z})
+		if err != nil {
+			return nil, err
+		}
+		tab, err := est.Estimate()
+		if err != nil {
+			return nil, err
+		}
+		p := core.ParamsFromTable(tab)
+		meanErr := 0.0
+		for j := range w.Joins {
+			meanErr += p.RatioError(j, truth)
+		}
+		meanErr /= float64(len(w.Joins))
+		res.Add(f(z), fmt.Sprintf("%.0f", p.UnionSize),
+			fmt.Sprintf("%.0f", truth.UnionSize), f(meanErr))
+	}
+	return res, nil
+}
+
+// AblationOracle compares the paper's dynamic orig_join record against
+// exact membership tests: revisions performed, result tuples torn up,
+// and the total-variation distance of the output from uniform.
+func AblationOracle(o Options) (*Result, error) {
+	o = o.withDefaults()
+	// Keep the union small relative to the sample count: the TVD metric
+	// needs many samples per distinct union tuple, or sampling noise
+	// swamps the record-vs-oracle difference.
+	sf := o.SF / 4
+	w, err := tpch.UQ1N(tpch.Config{SF: sf, Overlap: 0.5, Seed: o.Seed}, 3)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{
+		Name:   "dynamic record vs membership oracle (UQ1, overlap 0.5)",
+		Figure: "ablation-oracle",
+		Note:   "tvd_from_uniform includes multinomial sampling noise; compare rows, not absolute values",
+		Header: []string{"assignment", "revised", "torn_up", "dup_rejects", "tvd_from_uniform"},
+	}
+	n := o.Samples * 20
+	for _, oracle := range []bool{false, true} {
+		s, err := core.NewCoverSampler(w.Joins, core.CoverConfig{
+			Method:    core.MethodEW,
+			Estimator: &core.ExactEstimator{Joins: w.Joins},
+			Oracle:    oracle,
+		})
+		if err != nil {
+			return nil, err
+		}
+		out, err := s.Sample(n, rng.New(o.Seed))
+		if err != nil {
+			return nil, err
+		}
+		tvd, err := tvdFromUniform(w, out)
+		if err != nil {
+			return nil, err
+		}
+		name := "record"
+		if oracle {
+			name = "oracle"
+		}
+		st := s.Stats()
+		res.Add(name, fmt.Sprintf("%d", st.Revised), fmt.Sprintf("%d", st.RevisedRemoved),
+			fmt.Sprintf("%d", st.RejectedDup), f(tvd))
+	}
+	return res, nil
+}
+
+// tvdFromUniform estimates the total-variation distance between the
+// empirical sample distribution and the uniform distribution over the
+// exact set union.
+func tvdFromUniform(w *tpch.Workload, out []relation.Tuple) (float64, error) {
+	ref := w.Joins[0].OutputSchema()
+	universe := make(map[string]struct{})
+	for _, j := range w.Joins {
+		perm, err := overlap.AlignPerm(ref, j.OutputSchema())
+		if err != nil {
+			return 0, err
+		}
+		buf := make(relation.Tuple, ref.Len())
+		j.Enumerate(func(tu relation.Tuple) bool {
+			for i, p := range perm {
+				buf[i] = tu[p]
+			}
+			universe[relation.TupleKey(buf)] = struct{}{}
+			return true
+		})
+	}
+	counts := make(map[string]int)
+	for _, tu := range out {
+		counts[relation.TupleKey(tu)]++
+	}
+	u := 1 / float64(len(universe))
+	n := float64(len(out))
+	tvd := 0.0
+	for k := range universe {
+		p := float64(counts[k]) / n
+		d := p - u
+		if d < 0 {
+			d = -d
+		}
+		tvd += d
+	}
+	return tvd / 2, nil
+}
+
+// AblationBernoulli compares the §3 Bernoulli union-trick sampler with
+// Algorithm 1's non-Bernoulli cover selection: subroutine draws per
+// accepted sample as overlap grows — the efficiency argument for the
+// cover (§3.1), which the paper asserts but does not measure.
+func AblationBernoulli(o Options) (*Result, error) {
+	o = o.withDefaults()
+	res := &Result{
+		Name:   "Bernoulli union trick vs non-Bernoulli cover selection (UQ1)",
+		Figure: "ablation-bernoulli",
+		Header: []string{"overlap_scale", "bernoulli_draws_per_sample", "cover_draws_per_sample"},
+	}
+	for _, p := range overlapSweep(o) {
+		w, err := tpch.UQ1N(tpch.Config{SF: o.SF, Overlap: p, Seed: o.Seed}, 3)
+		if err != nil {
+			return nil, err
+		}
+		bs, err := core.NewBernoulliSampler(w.Joins, core.BernoulliConfig{
+			Method:    core.MethodEW,
+			Estimator: &core.ExactEstimator{Joins: w.Joins},
+		})
+		if err != nil {
+			return nil, err
+		}
+		if _, err := bs.Sample(o.Samples, rng.New(o.Seed)); err != nil {
+			return nil, err
+		}
+		cs, err := core.NewCoverSampler(w.Joins, core.CoverConfig{
+			Method:    core.MethodEW,
+			Estimator: &core.ExactEstimator{Joins: w.Joins},
+		})
+		if err != nil {
+			return nil, err
+		}
+		if _, err := cs.Sample(o.Samples, rng.New(o.Seed)); err != nil {
+			return nil, err
+		}
+		bd := float64(bs.Stats().TotalDraws) / float64(bs.Stats().Accepted)
+		cd := float64(cs.Stats().TotalDraws) / float64(cs.Stats().Accepted)
+		res.Add(f(p), f(bd), f(cd))
+	}
+	return res, nil
+}

@@ -1,0 +1,72 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func quick() Options { return Options{Quick: true, Seed: 1} }
+
+func TestAllExperimentsRunQuick(t *testing.T) {
+	for _, e := range Experiments() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			res, err := e.Run(quick())
+			if err != nil {
+				t.Fatalf("%s: %v", e.ID, err)
+			}
+			if len(res.Rows) == 0 {
+				t.Fatalf("%s produced no rows", e.ID)
+			}
+			for _, row := range res.Rows {
+				if len(row) != len(res.Header) {
+					t.Fatalf("%s row width %d != header %d", e.ID, len(row), len(res.Header))
+				}
+			}
+			var buf bytes.Buffer
+			if err := res.Fprint(&buf); err != nil {
+				t.Fatal(err)
+			}
+			if !strings.Contains(buf.String(), res.Figure) {
+				t.Errorf("%s print lacks figure tag", e.ID)
+			}
+		})
+	}
+}
+
+func TestLookup(t *testing.T) {
+	if _, ok := Lookup("fig4a"); !ok {
+		t.Error("fig4a missing")
+	}
+	if _, ok := Lookup("nope"); ok {
+		t.Error("bogus id found")
+	}
+}
+
+func TestOptionsDefaults(t *testing.T) {
+	o := Options{}.withDefaults()
+	if o.SF != 1 || o.Overlap != 0.2 || o.Samples != 2000 || o.Seed != 1 {
+		t.Errorf("defaults = %+v", o)
+	}
+	q := Options{Quick: true, SF: 5, Samples: 99999}.withDefaults()
+	if q.SF > 0.4 || q.Samples > 300 {
+		t.Errorf("quick did not shrink: %+v", q)
+	}
+}
+
+func TestResultFormatting(t *testing.T) {
+	r := &Result{Name: "n", Figure: "FigX", Note: "note", Header: []string{"a", "bb"}}
+	r.Add("1", "2")
+	r.Add("333", "4")
+	var buf bytes.Buffer
+	if err := r.Fprint(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"FigX", "note", "333"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output lacks %q:\n%s", want, out)
+		}
+	}
+}

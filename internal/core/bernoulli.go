@@ -1,0 +1,184 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"sampleunion/internal/join"
+	"sampleunion/internal/relation"
+	"sampleunion/internal/rng"
+)
+
+// DisjointSampler implements Definition 1: sampling the disjoint union
+// J_1 ⊎ ... ⊎ J_n. A join is selected proportionally to its size
+// instantiation and one tuple is drawn from it; under EW the selection
+// weights are exact sizes, under EO they are Olken bounds whose
+// rejection rates re-normalize exactly (an accepted draw lands on any
+// particular result with probability 1/Σ_j bound_j regardless of join).
+type DisjointSampler struct {
+	base  *unionBase
+	alias *rng.Alias
+	stats Stats
+}
+
+// NewDisjointSampler builds a disjoint-union sampler.
+func NewDisjointSampler(joins []*join.Join, method JoinMethod) (*DisjointSampler, error) {
+	base, err := newUnionBase(joins, method)
+	if err != nil {
+		return nil, err
+	}
+	weights := make([]float64, len(joins))
+	for i, s := range base.samplers {
+		weights[i] = s.SizeEstimate()
+	}
+	alias := rng.NewAlias(weights)
+	if alias == nil {
+		return nil, fmt.Errorf("core: all joins are empty")
+	}
+	return &DisjointSampler{base: base, alias: alias}, nil
+}
+
+// Stats returns the run's instrumentation.
+func (s *DisjointSampler) Stats() *Stats { return &s.stats }
+
+// Sample returns n independent tuples, each with probability
+// 1/(|J_1| + ... + |J_n|), in the first join's output schema order.
+func (s *DisjointSampler) Sample(n int, g *rng.RNG) ([]relation.Tuple, error) {
+	out := make([]relation.Tuple, 0, n)
+	for len(out) < n {
+		start := time.Now()
+		s.stats.TotalDraws++
+		j := s.alias.Draw(g)
+		t, ok := s.base.samplers[j].Sample(g)
+		if !ok {
+			s.stats.JoinRejects++
+			s.stats.RejectTime += time.Since(start)
+			continue
+		}
+		out = append(out, s.base.aligned(j, t).Clone())
+		s.stats.Accepted++
+		d := time.Since(start)
+		s.stats.AcceptTime += d
+		s.stats.RegularTime += d
+	}
+	return out, nil
+}
+
+// BernoulliConfig configures the §3 union-trick sampler.
+type BernoulliConfig struct {
+	Method    JoinMethod
+	Estimator Estimator
+	// Oracle: as in CoverConfig, exact membership instead of the
+	// dynamic first-observed-join record.
+	Oracle bool
+}
+
+// BernoulliSampler implements the straightforward set-union sampler of
+// §3 (the "union trick"): at each iteration every join J_j is selected
+// independently with probability |J_j|/|U|; a tuple drawn from J_j is
+// kept only when its value is assigned to J_j (the first join it was
+// observed in — or, under Oracle, the first join containing it). Each
+// value u is therefore returned with probability
+// |J_{f(u)}|/|U| · 1/|J_{f(u)}| = 1/|U| per iteration.
+//
+// Compared to Algorithm 1 the rejection ratio is high for heavily
+// overlapping joins — the motivation for the non-Bernoulli cover
+// selection (§3.1); the evaluation skips it for that reason, but it is
+// implemented here as the framework's base case.
+type BernoulliSampler struct {
+	base   *unionBase
+	cfg    BernoulliConfig
+	params *Params
+	record map[string]int
+	stats  Stats
+	warmed bool
+}
+
+// NewBernoulliSampler builds a union-trick sampler.
+func NewBernoulliSampler(joins []*join.Join, cfg BernoulliConfig) (*BernoulliSampler, error) {
+	if cfg.Estimator == nil {
+		return nil, fmt.Errorf("core: BernoulliConfig.Estimator is required")
+	}
+	base, err := newUnionBase(joins, cfg.Method)
+	if err != nil {
+		return nil, err
+	}
+	return &BernoulliSampler{base: base, cfg: cfg, record: make(map[string]int)}, nil
+}
+
+// Warmup runs the estimator; idempotent.
+func (s *BernoulliSampler) Warmup(g *rng.RNG) error {
+	if s.warmed {
+		return nil
+	}
+	start := time.Now()
+	p, err := s.cfg.Estimator.Params(g)
+	if err != nil {
+		return err
+	}
+	s.params = p
+	s.stats.WarmupTime += time.Since(start)
+	if p.UnionSize <= 0 {
+		return fmt.Errorf("core: estimated union size is zero")
+	}
+	s.warmed = true
+	return nil
+}
+
+// Params returns the warm-up parameters (nil before Warmup).
+func (s *BernoulliSampler) Params() *Params { return s.params }
+
+// Stats returns the run's instrumentation.
+func (s *BernoulliSampler) Stats() *Stats { return &s.stats }
+
+// Sample returns n tuples, each value with probability 1/|U| per
+// iteration, in the first join's output schema order.
+func (s *BernoulliSampler) Sample(n int, g *rng.RNG) ([]relation.Tuple, error) {
+	if err := s.Warmup(g); err != nil {
+		return nil, err
+	}
+	out := make([]relation.Tuple, 0, n)
+	for len(out) < n {
+		for j := range s.base.joins {
+			if len(out) >= n {
+				break
+			}
+			p := s.params.JoinSizes[j] / s.params.UnionSize
+			if !g.Bernoulli(p) {
+				continue
+			}
+			start := time.Now()
+			s.stats.TotalDraws++
+			t, ok := s.base.samplers[j].Sample(g)
+			if !ok {
+				s.stats.JoinRejects++
+				s.stats.RejectTime += time.Since(start)
+				continue
+			}
+			if s.accept(j, t) {
+				out = append(out, s.base.aligned(j, t).Clone())
+				s.stats.Accepted++
+				d := time.Since(start)
+				s.stats.AcceptTime += d
+				s.stats.RegularTime += d
+			} else {
+				s.stats.RejectedDup++
+				s.stats.RejectTime += time.Since(start)
+			}
+		}
+	}
+	return out, nil
+}
+
+func (s *BernoulliSampler) accept(j int, t relation.Tuple) bool {
+	k := s.base.key(j, t)
+	if s.cfg.Oracle {
+		return s.base.minContaining(j, t) == j
+	}
+	assigned, seen := s.record[k]
+	if !seen {
+		s.record[k] = j
+		return true
+	}
+	return assigned == j
+}

@@ -1,0 +1,376 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"sampleunion/internal/join"
+	"sampleunion/internal/overlap"
+	"sampleunion/internal/relation"
+	"sampleunion/internal/rng"
+)
+
+// fixtureJoins builds three overlapping 2-relation chain joins. Keys
+// 0..39 / 20..59 / 40..79 with every third key fanning out, so joins
+// overlap pairwise and all sizes differ.
+func fixtureJoins(t testing.TB) []*join.Join {
+	t.Helper()
+	sa := relation.NewSchema("K", "X")
+	sb := relation.NewSchema("K", "Y")
+	mk := func(name string, lo, hi int) *join.Join {
+		a := relation.New(name+"_a", sa)
+		b := relation.New(name+"_b", sb)
+		for k := lo; k < hi; k++ {
+			a.AppendValues(relation.Value(k), relation.Value(k*10))
+			b.AppendValues(relation.Value(k), relation.Value(k*100))
+			if k%3 == 0 {
+				b.AppendValues(relation.Value(k), relation.Value(k*100+1))
+			}
+		}
+		j, err := join.NewChain(name, []*relation.Relation{a, b}, []string{"K"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return j
+	}
+	return []*join.Join{mk("J1", 0, 40), mk("J2", 20, 60), mk("J3", 40, 80)}
+}
+
+// unionIndex returns key -> index over the exact set union, aligned to
+// the first join's schema.
+func unionIndex(t testing.TB, joins []*join.Join) map[string]int {
+	t.Helper()
+	ref := joins[0].OutputSchema()
+	idx := make(map[string]int)
+	for _, j := range joins {
+		perm, err := overlap.AlignPerm(ref, j.OutputSchema())
+		if err != nil {
+			t.Fatal(err)
+		}
+		buf := make(relation.Tuple, ref.Len())
+		j.Enumerate(func(tu relation.Tuple) bool {
+			for i, p := range perm {
+				buf[i] = tu[p]
+			}
+			k := relation.TupleKey(buf)
+			if _, ok := idx[k]; !ok {
+				idx[k] = len(idx)
+			}
+			return true
+		})
+	}
+	return idx
+}
+
+// chiSquare computes the statistic of counts against a uniform
+// expectation.
+func chiSquare(counts []int, total int) float64 {
+	expected := float64(total) / float64(len(counts))
+	chi := 0.0
+	for _, c := range counts {
+		d := float64(c) - expected
+		chi += d * d / expected
+	}
+	return chi
+}
+
+// checkUniformUnion draws n samples via sample and checks uniformity
+// over the exact set union. slack scales the chi-square limit: 1 for
+// exact-parameter samplers, larger for estimated parameters.
+func checkUniformUnion(t *testing.T, joins []*join.Join, n int, slack float64, sample func(int, *rng.RNG) ([]relation.Tuple, error), g *rng.RNG) {
+	t.Helper()
+	idx := unionIndex(t, joins)
+	out, err := sample(n, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != n {
+		t.Fatalf("got %d samples, want %d", len(out), n)
+	}
+	counts := make([]int, len(idx))
+	for _, tu := range out {
+		i, ok := idx[relation.TupleKey(tu)]
+		if !ok {
+			t.Fatalf("sample %v is not in the union", tu)
+		}
+		counts[i]++
+	}
+	dof := float64(len(counts) - 1)
+	limit := slack * (dof + 6*math.Sqrt(2*dof) + 6)
+	if chi := chiSquare(counts, n); chi > limit {
+		t.Errorf("chi2 = %.1f over %.0f dof exceeds limit %.1f", chi, dof, limit)
+	}
+}
+
+func TestCoverSamplerUniformExactOracle(t *testing.T) {
+	joins := fixtureJoins(t)
+	s, err := NewCoverSampler(joins, CoverConfig{
+		Method:    MethodEW,
+		Estimator: &ExactEstimator{Joins: joins},
+		Oracle:    true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkUniformUnion(t, joins, 60000, 1, s.Sample, rng.New(1))
+}
+
+func TestCoverSamplerUniformExactRecord(t *testing.T) {
+	joins := fixtureJoins(t)
+	s, err := NewCoverSampler(joins, CoverConfig{
+		Method:    MethodEW,
+		Estimator: &ExactEstimator{Joins: joins},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The dynamic record mis-assigns values until they are re-drawn from
+	// an earlier join; allow extra slack for those transients.
+	checkUniformUnion(t, joins, 60000, 3, s.Sample, rng.New(2))
+}
+
+func TestCoverSamplerUniformEO(t *testing.T) {
+	joins := fixtureJoins(t)
+	s, err := NewCoverSampler(joins, CoverConfig{
+		Method:    MethodEO,
+		Estimator: &ExactEstimator{Joins: joins},
+		Oracle:    true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkUniformUnion(t, joins, 60000, 1, s.Sample, rng.New(3))
+}
+
+func TestCoverSamplerRandomWalkParams(t *testing.T) {
+	joins := fixtureJoins(t)
+	s, err := NewCoverSampler(joins, CoverConfig{
+		Method:    MethodEW,
+		Estimator: &RandomWalkEstimator{Joins: joins},
+		Oracle:    true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Estimated covers deviate from truth, so the output deviates from
+	// uniform proportionally (this is exactly the ratio error the
+	// paper's Fig 4/5a measures); allow generous slack.
+	checkUniformUnion(t, joins, 40000, 8, s.Sample, rng.New(4))
+	if s.Stats().Accepted < 40000 {
+		t.Errorf("accepted = %d", s.Stats().Accepted)
+	}
+}
+
+func TestCoverSamplerHistogramParamsProducesValidSamples(t *testing.T) {
+	joins := fixtureJoins(t)
+	s, err := NewCoverSampler(joins, CoverConfig{
+		Method:    MethodEO,
+		Estimator: &HistogramEstimator{Joins: joins},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx := unionIndex(t, joins)
+	out, err := s.Sample(5000, rng.New(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := make(map[string]bool)
+	for _, tu := range out {
+		k := relation.TupleKey(tu)
+		if _, ok := idx[k]; !ok {
+			t.Fatalf("histogram-parameterized sample %v not in union", tu)
+		}
+		seen[k] = true
+	}
+	// Sanity: a decent share of the union shows up.
+	if len(seen) < len(idx)/2 {
+		t.Errorf("only %d of %d union values sampled", len(seen), len(idx))
+	}
+}
+
+func TestCoverSamplerCostBound(t *testing.T) {
+	// V2 (Theorem 2): total subroutine draws stay within a constant
+	// factor of N + N log N for exact parameters.
+	joins := fixtureJoins(t)
+	s, err := NewCoverSampler(joins, CoverConfig{
+		Method:    MethodEW,
+		Estimator: &ExactEstimator{Joins: joins},
+		Oracle:    true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 20000
+	if _, err := s.Sample(n, rng.New(6)); err != nil {
+		t.Fatal(err)
+	}
+	bound := 4 * (float64(n) + float64(n)*math.Log(float64(n)))
+	if draws := float64(s.Stats().TotalDraws); draws > bound {
+		t.Errorf("total draws %.0f exceed 4(N + N log N) = %.0f", draws, bound)
+	}
+}
+
+func TestCoverSamplerRevisionsHappen(t *testing.T) {
+	joins := fixtureJoins(t)
+	s, err := NewCoverSampler(joins, CoverConfig{
+		Method:    MethodEW,
+		Estimator: &ExactEstimator{Joins: joins},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Sample(30000, rng.New(7)); err != nil {
+		t.Fatal(err)
+	}
+	st := s.Stats()
+	if st.Revised == 0 {
+		t.Error("no revisions on overlapping joins; record logic suspect")
+	}
+	if st.RejectedDup == 0 {
+		t.Error("no duplicate rejections on overlapping joins")
+	}
+	if st.WarmupTime <= 0 || st.AcceptTime <= 0 {
+		t.Errorf("time breakdown not recorded: %+v", st)
+	}
+}
+
+func TestBernoulliSamplerUniform(t *testing.T) {
+	joins := fixtureJoins(t)
+	s, err := NewBernoulliSampler(joins, BernoulliConfig{
+		Method:    MethodEW,
+		Estimator: &ExactEstimator{Joins: joins},
+		Oracle:    true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkUniformUnion(t, joins, 60000, 1, s.Sample, rng.New(8))
+	if s.Stats().RejectedDup == 0 {
+		t.Error("Bernoulli sampler never rejected a duplicate on overlapping joins")
+	}
+}
+
+func TestDisjointSamplerUniform(t *testing.T) {
+	joins := fixtureJoins(t)
+	// Disjoint union: a value appearing in k joins must be sampled with
+	// probability k/Σ|J_j|.
+	ref := joins[0].OutputSchema()
+	mult := make(map[string]int)
+	var total int
+	for _, j := range joins {
+		perm, err := overlap.AlignPerm(ref, j.OutputSchema())
+		if err != nil {
+			t.Fatal(err)
+		}
+		buf := make(relation.Tuple, ref.Len())
+		j.Enumerate(func(tu relation.Tuple) bool {
+			for i, p := range perm {
+				buf[i] = tu[p]
+			}
+			mult[relation.TupleKey(buf)]++
+			total++
+			return true
+		})
+	}
+	for _, method := range []JoinMethod{MethodEW, MethodEO} {
+		s, err := NewDisjointSampler(joins, method)
+		if err != nil {
+			t.Fatal(err)
+		}
+		const n = 60000
+		out, err := s.Sample(n, rng.New(9))
+		if err != nil {
+			t.Fatal(err)
+		}
+		counts := make(map[string]int)
+		for _, tu := range out {
+			k := relation.TupleKey(tu)
+			if mult[k] == 0 {
+				t.Fatalf("%s: sample outside the disjoint union", method)
+			}
+			counts[k]++
+		}
+		chi := 0.0
+		cells := 0
+		for k, m := range mult {
+			expected := float64(n) * float64(m) / float64(total)
+			d := float64(counts[k]) - expected
+			chi += d * d / expected
+			cells++
+		}
+		dof := float64(cells - 1)
+		if limit := dof + 6*math.Sqrt(2*dof) + 6; chi > limit {
+			t.Errorf("%s: disjoint chi2 = %.1f over %.0f dof (limit %.1f)", method, chi, dof, limit)
+		}
+	}
+}
+
+func TestValidateUnionErrors(t *testing.T) {
+	joins := fixtureJoins(t)
+	if err := validateUnion(nil); err == nil {
+		t.Error("empty union accepted")
+	}
+	bad := relation.MustFromTuples("B", relation.NewSchema("Z"), []relation.Tuple{{1}})
+	jb, err := join.NewChain("JB", []*relation.Relation{bad}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := validateUnion([]*join.Join{joins[0], jb}); err == nil {
+		t.Error("mismatched output schemas accepted")
+	}
+	if _, err := NewCoverSampler(joins, CoverConfig{}); err == nil {
+		t.Error("missing estimator accepted")
+	}
+	if _, err := NewBernoulliSampler(joins, BernoulliConfig{}); err == nil {
+		t.Error("missing estimator accepted")
+	}
+}
+
+func TestDisjointSamplerEmptyUnion(t *testing.T) {
+	e := relation.New("E", relation.NewSchema("K"))
+	je, err := join.NewChain("JE", []*relation.Relation{e}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewDisjointSampler([]*join.Join{je}, MethodEW); err == nil {
+		t.Error("empty union accepted by disjoint sampler")
+	}
+}
+
+func TestParamsFromExactTable(t *testing.T) {
+	joins := fixtureJoins(t)
+	tab, exactUnion, err := overlap.Exact(joins)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := ParamsFromTable(tab)
+	if math.Abs(p.UnionSize-float64(exactUnion)) > 1e-6 {
+		t.Errorf("UnionSize = %f, want %d", p.UnionSize, exactUnion)
+	}
+	sum := 0.0
+	for _, c := range p.Cover {
+		sum += c
+	}
+	if math.Abs(sum-p.UnionSize) > 1e-6 {
+		t.Errorf("cover sum %f != union %f", sum, p.UnionSize)
+	}
+	for j := range joins {
+		if p.RatioError(j, p) != 0 {
+			t.Errorf("self ratio error nonzero for join %d", j)
+		}
+	}
+}
+
+func TestEstimatorNames(t *testing.T) {
+	joins := fixtureJoins(t)
+	if (&HistogramEstimator{Joins: joins}).Name() != "histogram" {
+		t.Error("histogram name")
+	}
+	if (&RandomWalkEstimator{Joins: joins}).Name() != "random-walk" {
+		t.Error("random-walk name")
+	}
+	if (&ExactEstimator{Joins: joins}).Name() != "exact" {
+		t.Error("exact name")
+	}
+}

@@ -1,0 +1,205 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"sampleunion/internal/join"
+	"sampleunion/internal/relation"
+	"sampleunion/internal/rng"
+)
+
+// CoverConfig configures the non-Bernoulli cover sampler (Algorithm 1).
+type CoverConfig struct {
+	// Method is the single-join subroutine (EW or EO).
+	Method JoinMethod
+	// Estimator supplies warm-up parameters; required. Its join-size
+	// instantiation should match Method (EW sizes with MethodEW, EO
+	// bounds with MethodEO) so that join-selection weights and the
+	// subroutine's per-attempt normalization cancel; the public API's
+	// Options wiring guarantees this pairing.
+	Estimator Estimator
+	// Oracle switches the value-to-join assignment from the dynamic
+	// orig_join record (the paper's Algorithm 1, lines 8-13) to exact
+	// membership tests f(u) = min{i : u ∈ J_i}. The oracle needs data
+	// access but makes uniformity exact from the first sample; the
+	// record converges to it as values are re-drawn.
+	Oracle bool
+	// MaxDrawsPerSelection caps subroutine draws per join selection
+	// before reselecting a join (guards against a join whose cover
+	// region is empty but whose estimated cover size is positive).
+	// Values <= 0 default to 256.
+	MaxDrawsPerSelection int
+}
+
+type resultEntry struct {
+	key   string
+	tuple relation.Tuple
+}
+
+// CoverSampler implements Algorithm 1: join selection proportional to
+// cover sizes |J'_j|/|U|, uniform sampling inside the selected join
+// with redraws until the draw lands in the join's cover region, and
+// revision when a value turns out to belong to an earlier join.
+//
+// On the redraw semantics: Theorem 1's proof takes the probability of a
+// value u given its cover join as 1/|J'_j|; redrawing within the
+// selected join until acceptance is what realizes that conditional, so
+// this implementation redraws within the join (counting every draw in
+// Stats.TotalDraws, the Theorem 2 cost unit).
+type CoverSampler struct {
+	base    *unionBase
+	cfg     CoverConfig
+	params  *Params
+	alias   *rng.Alias
+	record  map[string]int
+	result  []resultEntry
+	stats   Stats
+	warmed  bool
+	maxDraw int
+}
+
+// NewCoverSampler builds an Algorithm 1 sampler over the joins.
+func NewCoverSampler(joins []*join.Join, cfg CoverConfig) (*CoverSampler, error) {
+	if cfg.Estimator == nil {
+		return nil, fmt.Errorf("core: CoverConfig.Estimator is required")
+	}
+	base, err := newUnionBase(joins, cfg.Method)
+	if err != nil {
+		return nil, err
+	}
+	maxDraw := cfg.MaxDrawsPerSelection
+	if maxDraw <= 0 {
+		maxDraw = 256
+	}
+	return &CoverSampler{
+		base:    base,
+		cfg:     cfg,
+		record:  make(map[string]int),
+		maxDraw: maxDraw,
+	}, nil
+}
+
+// Warmup runs the estimator and prepares the join-selection
+// distribution (line 1-2 of Algorithm 1). It is idempotent.
+func (s *CoverSampler) Warmup(g *rng.RNG) error {
+	if s.warmed {
+		return nil
+	}
+	start := time.Now()
+	p, err := s.cfg.Estimator.Params(g)
+	if err != nil {
+		return err
+	}
+	s.params = p
+	s.alias = rng.NewAlias(p.Cover)
+	s.stats.WarmupTime += time.Since(start)
+	if s.alias == nil {
+		return fmt.Errorf("core: estimated cover is all-zero; union appears empty")
+	}
+	s.warmed = true
+	return nil
+}
+
+// Params returns the warm-up parameters (nil before Warmup).
+func (s *CoverSampler) Params() *Params { return s.params }
+
+// Stats returns the run's instrumentation.
+func (s *CoverSampler) Stats() *Stats { return &s.stats }
+
+// Sample returns n tuples drawn with replacement from the set union,
+// each with probability 1/|U| (Theorem 1). Tuples are in the first
+// join's output schema order. Consecutive calls continue the stream:
+// returned tuples are final (a later revision only affects tuples not
+// yet returned), so Sample can be called repeatedly for more data.
+func (s *CoverSampler) Sample(n int, g *rng.RNG) ([]relation.Tuple, error) {
+	if err := s.Warmup(g); err != nil {
+		return nil, err
+	}
+	for len(s.result) < n {
+		if err := s.drawOne(g); err != nil {
+			return nil, err
+		}
+	}
+	out := make([]relation.Tuple, n)
+	for i := 0; i < n; i++ {
+		out[i] = s.result[i].tuple
+	}
+	s.result = append(s.result[:0], s.result[n:]...)
+	return out, nil
+}
+
+// drawOne runs join selection and the accept/reject/revise logic until
+// one tuple is appended to the result.
+func (s *CoverSampler) drawOne(g *rng.RNG) error {
+	for selections := 0; ; selections++ {
+		if selections > 64 {
+			return fmt.Errorf("core: cover sampler made no progress after %d join selections", selections)
+		}
+		j := s.alias.Draw(g)
+		for attempt := 0; attempt < s.maxDraw; attempt++ {
+			start := time.Now()
+			s.stats.TotalDraws++
+			t, ok := s.base.samplers[j].Sample(g)
+			if !ok {
+				s.stats.JoinRejects++
+				s.stats.RejectTime += time.Since(start)
+				continue
+			}
+			if s.acceptDraw(j, t) {
+				s.stats.Accepted++
+				d := time.Since(start)
+				s.stats.AcceptTime += d
+				s.stats.RegularTime += d
+				return nil
+			}
+			s.stats.RejectTime += time.Since(start)
+		}
+	}
+}
+
+// acceptDraw applies lines 8-14 of Algorithm 1 to a tuple drawn from
+// join j; it reports whether the tuple entered the result.
+func (s *CoverSampler) acceptDraw(j int, t relation.Tuple) bool {
+	k := s.base.key(j, t)
+	assigned, seen := s.record[k]
+	if s.cfg.Oracle {
+		f := s.base.minContaining(j, t)
+		s.record[k] = f
+		if f < j {
+			s.stats.RejectedDup++
+			return false
+		}
+	} else {
+		if seen && assigned < j {
+			s.stats.RejectedDup++ // line 8: covered by an earlier join
+			return false
+		}
+		if seen && assigned > j {
+			// Revision (lines 10-12): the value belongs to this earlier
+			// join; drop the copies credited to the later one.
+			s.record[k] = j
+			s.stats.Revised++
+			s.removeKey(k)
+		}
+		if !seen {
+			s.record[k] = j
+		}
+	}
+	aligned := s.base.aligned(j, t).Clone()
+	s.result = append(s.result, resultEntry{key: k, tuple: aligned})
+	return true
+}
+
+// removeKey drops every result tuple with the given key.
+func (s *CoverSampler) removeKey(k string) {
+	kept := s.result[:0]
+	for _, e := range s.result {
+		if e.key == k {
+			s.stats.RevisedRemoved++
+			continue
+		}
+		kept = append(kept, e)
+	}
+	s.result = kept
+}

@@ -1,0 +1,216 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"sampleunion/internal/histest"
+	"sampleunion/internal/join"
+	"sampleunion/internal/relation"
+	"sampleunion/internal/rng"
+)
+
+// TestBernoulliRecordMode exercises the dynamic first-observed-join
+// record of the union trick (non-oracle path).
+func TestBernoulliRecordMode(t *testing.T) {
+	joins := fixtureJoins(t)
+	s, err := NewBernoulliSampler(joins, BernoulliConfig{
+		Method:    MethodEW,
+		Estimator: &ExactEstimator{Joins: joins},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx := unionIndex(t, joins)
+	out, err := s.Sample(5000, rng.New(31))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tu := range out {
+		if _, ok := idx[relation.TupleKey(tu)]; !ok {
+			t.Fatalf("record-mode Bernoulli produced non-union tuple %v", tu)
+		}
+	}
+	if s.Stats().RejectedDup == 0 {
+		t.Error("record never rejected on overlapping joins")
+	}
+	if s.Params() == nil {
+		t.Error("Params nil after sampling")
+	}
+}
+
+// TestBernoulliEOProbabilitiesClamped: under EO bounds the selection
+// probability uses bound/|U| with |U| >= max bound, so it stays a
+// probability; the run must terminate and stay inside the union.
+func TestBernoulliEOSampler(t *testing.T) {
+	joins := fixtureJoins(t)
+	s, err := NewBernoulliSampler(joins, BernoulliConfig{
+		Method:    MethodEO,
+		Estimator: &HistogramEstimator{Joins: joins, Opts: histest.Options{Sizes: histest.SizeEO}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Warmup(rng.New(32)); err != nil {
+		t.Fatal(err)
+	}
+	p := s.Params()
+	for j := range joins {
+		if p.JoinSizes[j] > p.UnionSize+1e-9 {
+			t.Fatalf("selection probability %f > 1", p.JoinSizes[j]/p.UnionSize)
+		}
+	}
+	idx := unionIndex(t, joins)
+	out, err := s.Sample(1000, rng.New(33))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tu := range out {
+		if _, ok := idx[relation.TupleKey(tu)]; !ok {
+			t.Fatalf("EO Bernoulli produced non-union tuple %v", tu)
+		}
+	}
+}
+
+// TestCoverSamplerNoProgress: a join whose estimated cover is positive
+// but whose data is empty must fail with a clear error instead of
+// spinning.
+func TestCoverSamplerNoProgress(t *testing.T) {
+	empty := relation.New("E", relation.NewSchema("K", "X"))
+	je, err := join.NewChain("JE", []*relation.Relation{empty}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewCoverSampler([]*join.Join{je}, CoverConfig{
+		Method:               MethodEW,
+		Estimator:            &fakeEstimator{sizes: []float64{100}},
+		MaxDrawsPerSelection: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = s.Sample(1, rng.New(34))
+	if err == nil {
+		t.Fatal("no-progress sampling succeeded")
+	}
+	if !strings.Contains(err.Error(), "no progress") {
+		t.Errorf("unexpected error: %v", err)
+	}
+}
+
+// fakeEstimator reports fabricated parameters, for failure-injection
+// tests.
+type fakeEstimator struct{ sizes []float64 }
+
+func (f *fakeEstimator) Name() string { return "fake" }
+
+func (f *fakeEstimator) Params(*rng.RNG) (*Params, error) {
+	n := len(f.sizes)
+	p := &Params{JoinSizes: f.sizes, Cover: f.sizes}
+	for _, s := range f.sizes {
+		p.UnionSize += s
+	}
+	_ = n
+	return p, nil
+}
+
+// TestCoverSamplerZeroCoverFails: an all-zero cover is reported at
+// warm-up.
+func TestCoverSamplerZeroCoverFails(t *testing.T) {
+	joins := fixtureJoins(t)
+	s, err := NewCoverSampler(joins, CoverConfig{
+		Method:    MethodEW,
+		Estimator: &fakeEstimator{sizes: []float64{0, 0, 0}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Warmup(rng.New(35)); err == nil {
+		t.Fatal("zero cover accepted")
+	}
+}
+
+// TestDisjointVsSetUnionSizes: disjoint sampling treats duplicates as
+// distinct — the expected frequency of an overlap value is double its
+// set-union frequency (two-join fixture regions).
+func TestDisjointSamplerStats(t *testing.T) {
+	joins := fixtureJoins(t)
+	s, err := NewDisjointSampler(joins, MethodEW)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Sample(500, rng.New(36)); err != nil {
+		t.Fatal(err)
+	}
+	st := s.Stats()
+	if st.Accepted != 500 {
+		t.Errorf("accepted = %d", st.Accepted)
+	}
+	if st.RejectedDup != 0 {
+		t.Errorf("disjoint sampler rejected duplicates: %d", st.RejectedDup)
+	}
+	if st.TotalDraws < 500 {
+		t.Errorf("draws = %d", st.TotalDraws)
+	}
+}
+
+// TestOnlineGammaStopsBacktracking: once confidence reaches Gamma, no
+// further parameter updates run.
+func TestOnlineGammaStopsBacktracking(t *testing.T) {
+	joins := fixtureJoins(t)
+	s, err := NewOnlineSampler(joins, OnlineConfig{
+		WarmupWalks: 0,
+		Phi:         10,
+		Gamma:       0.01, // trivially reached after the first update
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Sample(2000, rng.New(37)); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Stats().Backtracks; got != 1 {
+		t.Errorf("backtracks = %d, want exactly 1 (gamma reached immediately)", got)
+	}
+}
+
+// TestRandomWalkEstimatorRetainsWalker: the estimator must expose its
+// walker so the online path can reuse pools.
+func TestRandomWalkEstimatorRetainsWalker(t *testing.T) {
+	joins := fixtureJoins(t)
+	est := &RandomWalkEstimator{Joins: joins}
+	if _, err := est.Params(rng.New(38)); err != nil {
+		t.Fatal(err)
+	}
+	if est.Walker == nil {
+		t.Fatal("walker not retained")
+	}
+	pools := 0
+	for _, je := range est.Walker.JoinEstimates() {
+		pools += len(je.Samples())
+	}
+	if pools == 0 {
+		t.Error("no reuse pool retained after warm-up")
+	}
+}
+
+// TestCoverSamplerWJMethod: the Wander Join subroutine produces uniform
+// union samples like EW/EO.
+func TestCoverSamplerWJMethod(t *testing.T) {
+	joins := fixtureJoins(t)
+	s, err := NewCoverSampler(joins, CoverConfig{
+		Method:    MethodWJ,
+		Estimator: &ExactEstimator{Joins: joins},
+		Oracle:    true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkUniformUnion(t, joins, 40000, 1.5, s.Sample, rng.New(63))
+}
+
+func TestJoinMethodNames(t *testing.T) {
+	if MethodEW.String() != "EW" || MethodEO.String() != "EO" || MethodWJ.String() != "WJ" {
+		t.Error("method names wrong")
+	}
+}

@@ -1,0 +1,375 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"sampleunion/internal/histest"
+	"sampleunion/internal/join"
+	"sampleunion/internal/relation"
+	"sampleunion/internal/rng"
+	"sampleunion/internal/walkest"
+)
+
+// OnlineConfig configures the online union sampler (Algorithm 2).
+type OnlineConfig struct {
+	// WarmupWalks > 0 runs that many wander-join walks per join before
+	// sampling, filling the reuse pool and replacing the histogram
+	// initialization with random-walk estimates (the paper's
+	// "random-walk with reuse"). 0 starts from histogram parameters
+	// alone and lets estimates refine purely online (the no-warm-up
+	// variant of §4's closing remark).
+	WarmupWalks int
+	// HistOpts configure the histogram initialization (line 1).
+	HistOpts histest.Options
+	// WalkOpts tune confidence parameters (Z defaulting per walkest).
+	WalkOpts walkest.Options
+	// Phi is the backtrack period: a parameter update and backtracking
+	// pass runs every Phi recorded probabilities (line 18). Values <= 0
+	// default to 64.
+	Phi int
+	// Gamma is the target confidence level; once reached, parameter
+	// updates stop (line 18). Values <= 0 default to 0.9.
+	Gamma float64
+	// Oracle uses exact membership instead of the dynamic record.
+	Oracle bool
+	// MaxDrawsPerSelection caps attempts per join selection; <= 0
+	// defaults to 256.
+	MaxDrawsPerSelection int
+}
+
+type onlineEntry struct {
+	key   string
+	tuple relation.Tuple
+	join  int
+	prob  float64 // inclusion probability the tuple was accepted under
+}
+
+// OnlineSampler implements Algorithm 2: it initializes parameters with
+// the cheap histogram method, samples joins with wander-join walks
+// whose draws double as Horvitz–Thompson observations, reuses warm-up
+// samples with the l/(p(t)·|J_j|) acceptance correction (line 8), and
+// every Phi recorded probabilities re-estimates parameters and
+// backtracks previously accepted tuples to the new distribution (§7).
+type OnlineSampler struct {
+	base     *unionBase
+	cfg      OnlineConfig
+	walks    *walkest.Estimator
+	params   *Params
+	alias    *rng.Alias
+	record   map[string]int
+	result   []onlineEntry
+	stats    Stats
+	warmed   bool
+	recorded int
+	conf     float64
+}
+
+// NewOnlineSampler builds an Algorithm 2 sampler over the joins.
+func NewOnlineSampler(joins []*join.Join, cfg OnlineConfig) (*OnlineSampler, error) {
+	base, err := newUnionBase(joins, MethodEO)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Phi <= 0 {
+		cfg.Phi = 64
+	}
+	if cfg.Gamma <= 0 {
+		cfg.Gamma = 0.9
+	}
+	if cfg.MaxDrawsPerSelection <= 0 {
+		cfg.MaxDrawsPerSelection = 256
+	}
+	walks, err := walkest.New(joins, cfg.WalkOpts)
+	if err != nil {
+		return nil, err
+	}
+	return &OnlineSampler{
+		base:   base,
+		cfg:    cfg,
+		walks:  walks,
+		record: make(map[string]int),
+	}, nil
+}
+
+// Warmup initializes parameters: histogram first (cheap), then the
+// configured number of warm-up walks whose samples seed the reuse pool.
+// Idempotent.
+func (s *OnlineSampler) Warmup(g *rng.RNG) error {
+	if s.warmed {
+		return nil
+	}
+	start := time.Now()
+	hist := &HistogramEstimator{Joins: s.base.joins, Opts: s.cfg.HistOpts}
+	p, err := hist.Params(g)
+	if err != nil {
+		return err
+	}
+	s.params = p
+	if s.cfg.WarmupWalks > 0 {
+		for j, je := range s.walks.JoinEstimates() {
+			for je.Walks() < s.cfg.WarmupWalks {
+				s.walks.StepJoin(j, g)
+			}
+		}
+		if err := s.refreshParams(); err != nil {
+			return err
+		}
+	}
+	s.alias = rng.NewAlias(s.params.Cover)
+	s.stats.WarmupTime += time.Since(start)
+	if s.alias == nil {
+		return fmt.Errorf("core: estimated cover is all-zero; union appears empty")
+	}
+	s.warmed = true
+	return nil
+}
+
+// refreshParams rebuilds Params from the walk estimator when it has
+// observations, keeping histogram values otherwise.
+func (s *OnlineSampler) refreshParams() error {
+	for _, je := range s.walks.JoinEstimates() {
+		if je.Walks() == 0 {
+			return nil // keep histogram params until walks exist everywhere
+		}
+	}
+	t, err := s.walks.Table()
+	if err != nil {
+		return err
+	}
+	s.params = ParamsFromTable(t)
+	s.alias = rng.NewAlias(s.params.Cover)
+	if s.alias == nil {
+		return fmt.Errorf("core: refreshed cover is all-zero")
+	}
+	return nil
+}
+
+// Params returns the current parameters (nil before Warmup).
+func (s *OnlineSampler) Params() *Params { return s.params }
+
+// Stats returns the run's instrumentation.
+func (s *OnlineSampler) Stats() *Stats { return &s.stats }
+
+// Confidence returns the walk estimator's current confidence level.
+func (s *OnlineSampler) Confidence() float64 { return s.conf }
+
+// Sample returns n tuples from the set union in the first join's
+// output schema order. Consecutive calls continue the stream: returned
+// tuples are final (later revisions and backtracking only affect
+// buffered, not-yet-returned tuples).
+func (s *OnlineSampler) Sample(n int, g *rng.RNG) ([]relation.Tuple, error) {
+	if err := s.Warmup(g); err != nil {
+		return nil, err
+	}
+	for len(s.result) < n {
+		if err := s.drawOne(g); err != nil {
+			return nil, err
+		}
+		if err := s.maybeBacktrack(g); err != nil {
+			return nil, err
+		}
+	}
+	out := make([]relation.Tuple, n)
+	for i := 0; i < n; i++ {
+		out[i] = s.result[i].tuple
+	}
+	s.result = append(s.result[:0], s.result[n:]...)
+	return out, nil
+}
+
+// drawOne selects a join by cover weight and retries within it until
+// at least one instance of a tuple is accepted.
+func (s *OnlineSampler) drawOne(g *rng.RNG) error {
+	for selections := 0; ; selections++ {
+		if selections > 64 {
+			return fmt.Errorf("core: online sampler made no progress after %d selections", selections)
+		}
+		j := s.alias.Draw(g)
+		for attempt := 0; attempt < s.cfg.MaxDrawsPerSelection; attempt++ {
+			start := time.Now()
+			t, mult, reuse, ok := s.candidate(j, g)
+			if !ok {
+				s.phaseReject(time.Since(start), reuse)
+				continue
+			}
+			if s.acceptValue(j, t) {
+				s.commit(j, t, mult)
+				d := time.Since(start)
+				s.stats.AcceptTime += d
+				if reuse {
+					s.stats.ReuseAccepted++
+					s.stats.ReuseTime += d
+				} else {
+					s.stats.RegularTime += d
+				}
+				return nil
+			}
+			s.stats.RejectedDup++
+			s.phaseReject(time.Since(start), reuse)
+		}
+	}
+}
+
+// phaseReject books a rejected attempt's time both globally and into
+// its phase, so per-phase totals divided by per-phase accepted counts
+// reproduce the paper's Fig 6b metric ("ratio of total time spent on
+// sampling and the number of successfully sampled tuples per phase").
+func (s *OnlineSampler) phaseReject(d time.Duration, reuse bool) {
+	s.stats.RejectTime += d
+	if reuse {
+		s.stats.ReuseTime += d
+	} else {
+		s.stats.RegularTime += d
+	}
+}
+
+// candidate produces one tuple of join j with a multiplicity, first
+// from the reuse pool (line 8), then by a fresh wander-join walk whose
+// probability feeds the running estimates. Both paths apply the
+// p(t)-correction so that each value of J_j is produced with equal
+// expected multiplicity — uniform within the join.
+func (s *OnlineSampler) candidate(j int, g *rng.RNG) (relation.Tuple, int, bool, bool) {
+	je := s.walks.JoinEstimates()[j]
+	size := s.params.JoinSizes[j]
+	if pool := je.Samples(); len(pool) > 0 {
+		sm := je.TakeSample(g.Intn(len(pool))) // without replacement (line 8)
+		// Acceptance ratio: the pool's composition is proportional to
+		// p(t) and the acceptance proportional to 1/p(t), so any
+		// constant scale preserves per-value uniformity; 1/(p·|J|)
+		// keeps the ratio near one (the paper's l·/(p·|J|) scale
+		// inflates the multiplicity of every accepted tuple by the
+		// pool size — see DESIGN.md, Deviations).
+		mult := s.instances(1/(sm.P*size), g)
+		if mult > 0 {
+			return sm.Tuple, mult, true, true
+		}
+		s.stats.ReuseRejected++
+		return nil, 0, true, false
+	}
+	s.stats.TotalDraws++
+	sm, ok := s.walks.StepJoin(j, g) // fresh walk; updates the estimates
+	s.recorded++
+	if !ok {
+		s.stats.JoinRejects++
+		return nil, 0, false, false
+	}
+	// The walk enters the pool inside Step; consume it immediately so
+	// the fresh draw is not double-counted as reusable.
+	je.TakeSample(len(je.Samples()) - 1)
+	mult := s.instances(1/(sm.P*size), g)
+	if mult == 0 {
+		s.stats.JoinRejects++
+		return nil, 0, false, false
+	}
+	return sm.Tuple, mult, false, true
+}
+
+// instances converts an acceptance ratio (which may exceed 1, §7's
+// multi-instance system) into an instance count with expectation R.
+func (s *OnlineSampler) instances(r float64, g *rng.RNG) int {
+	if r <= 0 || math.IsInf(r, 1) || math.IsNaN(r) {
+		return 0
+	}
+	k := int(r)
+	if g.Bernoulli(r - float64(k)) {
+		k++
+	}
+	return k
+}
+
+// acceptValue applies the cover record / revision logic of Algorithm 1
+// to a candidate value of join j.
+func (s *OnlineSampler) acceptValue(j int, t relation.Tuple) bool {
+	k := s.base.key(j, t)
+	if s.cfg.Oracle {
+		f := s.base.minContaining(j, t)
+		s.record[k] = f
+		return f == j
+	}
+	assigned, seen := s.record[k]
+	if seen && assigned < j {
+		return false
+	}
+	if seen && assigned > j {
+		s.record[k] = j
+		s.stats.Revised++
+		s.removeKey(k)
+	}
+	if !seen {
+		s.record[k] = j
+	}
+	return true
+}
+
+func (s *OnlineSampler) removeKey(k string) {
+	kept := s.result[:0]
+	for _, e := range s.result {
+		if e.key == k {
+			s.stats.RevisedRemoved++
+			continue
+		}
+		kept = append(kept, e)
+	}
+	s.result = kept
+}
+
+// commit appends mult instances of the accepted tuple, recording the
+// inclusion probability they were accepted under for backtracking.
+func (s *OnlineSampler) commit(j int, t relation.Tuple, mult int) {
+	k := s.base.key(j, t)
+	aligned := s.base.aligned(j, t).Clone()
+	prob := s.inclusionProb(j)
+	for i := 0; i < mult; i++ {
+		s.result = append(s.result, onlineEntry{key: k, tuple: aligned, join: j, prob: prob})
+	}
+	s.stats.Accepted += mult
+}
+
+// inclusionProb is the per-draw probability a value of join j enters
+// the result under the current parameters: (|J'_j|/|U|) · (1/|J_j|).
+func (s *OnlineSampler) inclusionProb(j int) float64 {
+	if s.params.UnionSize <= 0 || s.params.JoinSizes[j] <= 0 {
+		return 0
+	}
+	return s.params.Cover[j] / s.params.UnionSize / s.params.JoinSizes[j]
+}
+
+// maybeBacktrack runs the §7 parameter update and backtracking pass
+// every Phi recorded probabilities while confidence is below Gamma.
+func (s *OnlineSampler) maybeBacktrack(g *rng.RNG) error {
+	if s.recorded < s.cfg.Phi || s.conf >= s.cfg.Gamma {
+		return nil
+	}
+	s.recorded = 0
+	s.stats.Backtracks++
+	if err := s.refreshParams(); err != nil {
+		return err
+	}
+	z := s.cfg.WalkOpts.Z
+	if z <= 0 {
+		z = 1.645
+	}
+	s.conf = s.walks.Confidence(z)
+	// Backtrack: thin every previously accepted tuple to the new
+	// inclusion probability (keep with min(1, new/old)).
+	kept := s.result[:0]
+	for _, e := range s.result {
+		newProb := s.inclusionProb(e.join)
+		keep := 1.0
+		if e.prob > 0 && newProb < e.prob {
+			keep = newProb / e.prob
+		}
+		if g.Bernoulli(keep) {
+			if newProb < e.prob {
+				e.prob = newProb
+			}
+			kept = append(kept, e)
+		} else {
+			s.stats.BacktrackDropped++
+		}
+	}
+	s.result = kept
+	return nil
+}

@@ -1,0 +1,158 @@
+// Package core implements the paper's primary contribution: the union
+// sampling framework of §3 and §7. It contains the disjoint-union
+// sampler (Definition 1), the Bernoulli set-union sampler (the union
+// trick of §3), the non-Bernoulli cover sampler (Algorithm 1), and the
+// online union sampler with sample reuse and backtracking (Algorithm 2).
+// Warm-up parameters come from pluggable estimators: histogram-based
+// (§5), random-walk (§6), or exact full-join ground truth (§9's
+// FullJoinUnion baseline).
+package core
+
+import (
+	"fmt"
+
+	"sampleunion/internal/histest"
+	"sampleunion/internal/join"
+	"sampleunion/internal/overlap"
+	"sampleunion/internal/rng"
+	"sampleunion/internal/walkest"
+)
+
+// Params are the framework parameters the warm-up phase produces: the
+// overlap table and everything Algorithm 1 derives from it.
+type Params struct {
+	Table     *overlap.Table
+	JoinSizes []float64 // |J_j| (or its instantiation-specific bound)
+	Cover     []float64 // |J'_j| per §3.1's cover
+	UnionSize float64   // |U| per Eq. 1
+}
+
+// ParamsFromTable derives cover sizes and the union size from an
+// overlap table.
+func ParamsFromTable(t *overlap.Table) *Params {
+	p := &Params{Table: t}
+	p.JoinSizes = make([]float64, t.N())
+	for j := 0; j < t.N(); j++ {
+		p.JoinSizes[j] = t.JoinSize(j)
+	}
+	p.Cover = t.CoverSizes()
+	p.UnionSize = t.UnionSize()
+	return p
+}
+
+// RatioError reports |est/|U|_est - truth/|U|_truth| for join j — the
+// error metric of Fig 4a/4b and Fig 5a (the framework's probability
+// distributions depend on this ratio, §9.1.1).
+func (p *Params) RatioError(j int, truth *Params) float64 {
+	if p.UnionSize == 0 || truth.UnionSize == 0 {
+		return 1
+	}
+	est := p.JoinSizes[j] / p.UnionSize
+	tru := truth.JoinSizes[j] / truth.UnionSize
+	d := est - tru
+	if d < 0 {
+		d = -d
+	}
+	return d
+}
+
+// Estimator is the pluggable warm-up: anything that can produce Params
+// for a union of joins.
+type Estimator interface {
+	// Name identifies the instantiation ("histogram", "random-walk",
+	// "exact").
+	Name() string
+	// Params runs the warm-up and returns framework parameters.
+	Params(g *rng.RNG) (*Params, error)
+}
+
+// HistogramEstimator adapts histest (§5) to the framework: statistics
+// only, no data access, near-zero setup cost.
+type HistogramEstimator struct {
+	Joins []*join.Join
+	Opts  histest.Options
+}
+
+// Name implements Estimator.
+func (h *HistogramEstimator) Name() string { return "histogram" }
+
+// Params implements Estimator.
+func (h *HistogramEstimator) Params(*rng.RNG) (*Params, error) {
+	est, err := histest.New(h.Joins, h.Opts)
+	if err != nil {
+		return nil, err
+	}
+	t, err := est.Estimate()
+	if err != nil {
+		return nil, err
+	}
+	return ParamsFromTable(t), nil
+}
+
+// RandomWalkEstimator adapts walkest (§6): warm-up walks buy accurate
+// parameters and seed the reuse pool of Algorithm 2.
+type RandomWalkEstimator struct {
+	Joins []*join.Join
+	Opts  walkest.Options
+
+	// Walker is populated by Params and retained so the online sampler
+	// can reuse warm-up samples and keep refining estimates.
+	Walker *walkest.Estimator
+}
+
+// Name implements Estimator.
+func (r *RandomWalkEstimator) Name() string { return "random-walk" }
+
+// Params implements Estimator.
+func (r *RandomWalkEstimator) Params(g *rng.RNG) (*Params, error) {
+	est, err := walkest.New(r.Joins, r.Opts)
+	if err != nil {
+		return nil, err
+	}
+	est.Warmup(g)
+	r.Walker = est
+	t, err := est.Table()
+	if err != nil {
+		return nil, err
+	}
+	return ParamsFromTable(t), nil
+}
+
+// ExactEstimator computes exact parameters by executing every join —
+// the FullJoinUnion ground truth (§9). Exponentially expensive; only
+// for validation and small scales.
+type ExactEstimator struct {
+	Joins []*join.Join
+}
+
+// Name implements Estimator.
+func (e *ExactEstimator) Name() string { return "exact" }
+
+// Params implements Estimator.
+func (e *ExactEstimator) Params(*rng.RNG) (*Params, error) {
+	t, _, err := overlap.Exact(e.Joins)
+	if err != nil {
+		return nil, err
+	}
+	return ParamsFromTable(t), nil
+}
+
+// validateUnion checks the joins form a well-defined union query.
+func validateUnion(joins []*join.Join) error {
+	if len(joins) == 0 {
+		return fmt.Errorf("core: no joins")
+	}
+	ref := joins[0].OutputSchema()
+	for _, j := range joins[1:] {
+		s := j.OutputSchema()
+		if s.Len() != ref.Len() {
+			return fmt.Errorf("core: join %s output arity %d, want %d", j.Name(), s.Len(), ref.Len())
+		}
+		for i := 0; i < ref.Len(); i++ {
+			if !s.Has(ref.Attr(i)) {
+				return fmt.Errorf("core: join %s lacks output attribute %q", j.Name(), ref.Attr(i))
+			}
+		}
+	}
+	return nil
+}

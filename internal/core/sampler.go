@@ -1,0 +1,129 @@
+package core
+
+import (
+	"fmt"
+
+	"sampleunion/internal/join"
+	"sampleunion/internal/joinsample"
+	"sampleunion/internal/relation"
+)
+
+// JoinMethod selects the single-join sampling subroutine (§3.2).
+type JoinMethod int
+
+const (
+	// MethodEW uses Exact Weight sampling: zero rejection, setup cost
+	// linear in the data.
+	MethodEW JoinMethod = iota
+	// MethodEO uses Extended Olken sampling: cheap setup, rejection
+	// rate grows with skew.
+	MethodEO
+	// MethodWJ uses Wander Join walks thinned against the Olken bound:
+	// index-only setup like EO, same acceptance rate, but the walk
+	// finds heavy results proportionally to fan-in and corrects
+	// analytically (§3.2's third weight instantiation).
+	MethodWJ
+)
+
+func (m JoinMethod) String() string {
+	switch m {
+	case MethodEW:
+		return "EW"
+	case MethodWJ:
+		return "WJ"
+	}
+	return "EO"
+}
+
+// newJoinSampler builds the subroutine sampler for one join.
+func newJoinSampler(j *join.Join, m JoinMethod) joinsample.Sampler {
+	switch m {
+	case MethodEW:
+		return joinsample.NewEW(j)
+	case MethodWJ:
+		return joinsample.NewWJ(j)
+	}
+	return joinsample.NewEO(j)
+}
+
+// unionBase holds what every union sampler shares: the joins, their
+// subroutine samplers, and tuple-key alignment to the reference output
+// schema (the first join's), so one value has one key across joins.
+type unionBase struct {
+	joins    []*join.Join
+	samplers []joinsample.Sampler
+	ref      *relation.Schema
+	perms    [][]int // nil when the join's schema already matches ref
+}
+
+func newUnionBase(joins []*join.Join, m JoinMethod) (*unionBase, error) {
+	if err := validateUnion(joins); err != nil {
+		return nil, err
+	}
+	b := &unionBase{
+		joins:    joins,
+		samplers: make([]joinsample.Sampler, len(joins)),
+		ref:      joins[0].OutputSchema(),
+		perms:    make([][]int, len(joins)),
+	}
+	for i, j := range joins {
+		b.samplers[i] = newJoinSampler(j, m)
+		if !j.OutputSchema().Equal(b.ref) {
+			perm, err := alignPerm(b.ref, j)
+			if err != nil {
+				return nil, err
+			}
+			b.perms[i] = perm
+		}
+	}
+	return b, nil
+}
+
+func alignPerm(ref *relation.Schema, j *join.Join) ([]int, error) {
+	s := j.OutputSchema()
+	perm := make([]int, ref.Len())
+	for i := 0; i < ref.Len(); i++ {
+		p := s.Index(ref.Attr(i))
+		if p < 0 {
+			return nil, fmt.Errorf("core: join %s lacks attribute %q", j.Name(), ref.Attr(i))
+		}
+		perm[i] = p
+	}
+	return perm, nil
+}
+
+// aligned returns t (a tuple in join i's schema order) expressed in the
+// reference schema order. The result aliases t when no permutation is
+// needed.
+func (b *unionBase) aligned(i int, t relation.Tuple) relation.Tuple {
+	perm := b.perms[i]
+	if perm == nil {
+		return t
+	}
+	out := make(relation.Tuple, len(perm))
+	for k, p := range perm {
+		out[k] = t[p]
+	}
+	return out
+}
+
+// key returns the union-wide identity key of a tuple drawn from join i.
+func (b *unionBase) key(i int, t relation.Tuple) string {
+	return relation.TupleKey(b.aligned(i, t))
+}
+
+// minContaining returns f(t): the smallest join index whose result
+// contains the tuple (drawn from join i, so f(t) <= i always holds).
+// This is the membership oracle used by the provably uniform variants.
+func (b *unionBase) minContaining(i int, t relation.Tuple) int {
+	at := b.aligned(i, t)
+	for k := range b.joins {
+		if k == i {
+			return i
+		}
+		if b.joins[k].ContainsAligned(at, b.ref) {
+			return k
+		}
+	}
+	return i
+}

@@ -1,0 +1,74 @@
+package core
+
+import (
+	"fmt"
+	"time"
+)
+
+// Stats instruments a sampling run: the counters and time breakdown
+// behind Fig 5f–5h (estimation vs accepted vs rejected time) and
+// Fig 6b (per-sample cost of the reuse phase vs the regular phase).
+type Stats struct {
+	// Accepted counts tuples added to the result.
+	Accepted int
+	// RejectedDup counts set-union rejections: the tuple's value was
+	// assigned to an earlier join (line 8 of Algorithm 1).
+	RejectedDup int
+	// Revised counts revisions: a value reassigned to an earlier join,
+	// its copies removed from the result (lines 10-12 of Algorithm 1).
+	Revised int
+	// RevisedRemoved counts result tuples dropped by revisions.
+	RevisedRemoved int
+	// JoinRejects counts join-subroutine rejections (EO accept/reject,
+	// dangling walks).
+	JoinRejects int
+	// ReuseAccepted / ReuseRejected count reuse-pool draws (Algorithm 2).
+	ReuseAccepted int
+	ReuseRejected int
+	// Backtracks counts parameter-update rounds; BacktrackDropped the
+	// result tuples removed by backtracking (§7).
+	Backtracks       int
+	BacktrackDropped int
+	// TotalDraws counts every call into a join subroutine — the cost
+	// unit of Theorem 2.
+	TotalDraws int
+
+	// WarmupTime is spent estimating parameters; AcceptTime is spent on
+	// draws that ended accepted; RejectTime on draws that ended
+	// rejected. ReuseTime/RegularTime hold the total time (accepted and
+	// rejected attempts) of the reuse and regular phases of the online
+	// sampler, so PerAcceptedReuse/PerAcceptedRegular reproduce the
+	// paper's Fig 6b per-phase cost metric.
+	WarmupTime  time.Duration
+	AcceptTime  time.Duration
+	RejectTime  time.Duration
+	ReuseTime   time.Duration
+	RegularTime time.Duration
+}
+
+// PerAcceptedReuse returns the average time to produce one accepted
+// sample in the reuse phase (Fig 6b); zero when the phase was unused.
+func (s *Stats) PerAcceptedReuse() time.Duration {
+	if s.ReuseAccepted == 0 {
+		return 0
+	}
+	return s.ReuseTime / time.Duration(s.ReuseAccepted)
+}
+
+// PerAcceptedRegular returns the average time per accepted sample in
+// the regular phase (Fig 6b).
+func (s *Stats) PerAcceptedRegular() time.Duration {
+	regular := s.Accepted - s.ReuseAccepted
+	if regular <= 0 {
+		return 0
+	}
+	return s.RegularTime / time.Duration(regular)
+}
+
+func (s *Stats) String() string {
+	return fmt.Sprintf(
+		"accepted=%d dupRejected=%d revised=%d joinRejects=%d reuse=%d/%d backtracks=%d draws=%d warmup=%v accept=%v reject=%v",
+		s.Accepted, s.RejectedDup, s.Revised, s.JoinRejects,
+		s.ReuseAccepted, s.ReuseAccepted+s.ReuseRejected,
+		s.Backtracks, s.TotalDraws, s.WarmupTime, s.AcceptTime, s.RejectTime)
+}

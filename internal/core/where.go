@@ -1,0 +1,59 @@
+package core
+
+import (
+	"fmt"
+
+	"sampleunion/internal/relation"
+	"sampleunion/internal/rng"
+)
+
+// UnionSampler is any of the package's set-union samplers: it draws n
+// tuples (with replacement) in a fixed output schema order.
+type UnionSampler interface {
+	Sample(n int, g *rng.RNG) ([]relation.Tuple, error)
+	Stats() *Stats
+}
+
+// SampleWhere implements the second alternative of §8.3: enforce a
+// selection predicate during sampling by rejecting non-matching
+// samples. Conditioning a uniform stream on the predicate leaves it
+// uniform over the satisfying subset, so no parameter adjustment is
+// needed — at the cost of an extra rejection factor of
+// |σ(U)|/|U|, which is why the paper recommends this path only for
+// predicates that are not very selective (push selective ones down to
+// the relations instead, join.PushDown).
+//
+// maxDraws caps the total draws (0 means 1000·n) so that a predicate
+// with empty support fails cleanly instead of looping forever.
+func SampleWhere(s UnionSampler, schema *relation.Schema, pred relation.Predicate, n int, g *rng.RNG, maxDraws int) ([]relation.Tuple, error) {
+	if maxDraws <= 0 {
+		maxDraws = 1000 * n
+	}
+	out := make([]relation.Tuple, 0, n)
+	drawn := 0
+	const batch = 64
+	for len(out) < n {
+		if drawn >= maxDraws {
+			return nil, fmt.Errorf("core: predicate %s matched %d of %d samples; selectivity too low for sampling-time enforcement (push the predicate down instead)",
+				pred, len(out), drawn)
+		}
+		want := batch
+		if remaining := maxDraws - drawn; want > remaining {
+			want = remaining
+		}
+		tuples, err := s.Sample(want, g)
+		if err != nil {
+			return nil, err
+		}
+		drawn += len(tuples)
+		for _, t := range tuples {
+			if pred.Eval(t, schema) {
+				out = append(out, t)
+				if len(out) == n {
+					break
+				}
+			}
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,188 @@
+package histest
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// maxDPAttrs caps the exact Held–Karp search; larger schemas fall back
+// to a greedy nearest-neighbor construction.
+const maxDPAttrs = 16
+
+// Template chooses the standard template (§8.1): an ordering of the
+// output attributes such that the total pairwise-distance score of
+// consecutive attributes is minimized. score(A, A') = Σ_j Dist_j(A, A'),
+// where Dist_j is the join-graph distance between the relations of J_j
+// holding A and A' (§8.1.1). zeroScore is the §8.1.2 alternating-score
+// hyper-parameter substituted when Dist_j = 0 (attributes co-located);
+// 0 reproduces the paper's base scoring.
+//
+// The minimum-score ordering is a minimum-cost Hamiltonian path over
+// the attributes; output schemas are small, so it is solved exactly
+// with Held–Karp DP up to 16 attributes and greedily beyond.
+func Template(pres []*Precomputed, attrs []string, zeroScore float64) ([]string, error) {
+	if len(pres) == 0 {
+		return nil, fmt.Errorf("histest: no joins for template search")
+	}
+	m := len(attrs)
+	if m < 2 {
+		return nil, fmt.Errorf("histest: template needs at least 2 attributes, got %d", m)
+	}
+	score := make([][]float64, m)
+	for i := range score {
+		score[i] = make([]float64, m)
+	}
+	for i := 0; i < m; i++ {
+		for k := i + 1; k < m; k++ {
+			s := 0.0
+			for _, pre := range pres {
+				d := pre.Dist(attrs[i], attrs[k])
+				if d < 0 {
+					return nil, fmt.Errorf("histest: attribute %q or %q missing from a join", attrs[i], attrs[k])
+				}
+				if d == 0 {
+					s += zeroScore
+				} else {
+					s += float64(d)
+				}
+			}
+			score[i][k], score[k][i] = s, s
+		}
+	}
+	var order []int
+	if m <= maxDPAttrs {
+		order = heldKarpPath(score)
+	} else {
+		order = greedyPath(score)
+	}
+	out := make([]string, m)
+	for i, a := range order {
+		out[i] = attrs[a]
+	}
+	return out, nil
+}
+
+// heldKarpPath solves the minimum-cost Hamiltonian path exactly:
+// dp[mask][last] = cheapest path visiting mask ending at last.
+func heldKarpPath(score [][]float64) []int {
+	m := len(score)
+	size := 1 << uint(m)
+	dp := make([][]float64, size)
+	parent := make([][]int8, size)
+	for mask := range dp {
+		dp[mask] = make([]float64, m)
+		parent[mask] = make([]int8, m)
+		for i := range dp[mask] {
+			dp[mask][i] = math.Inf(1)
+			parent[mask][i] = -1
+		}
+	}
+	for i := 0; i < m; i++ {
+		dp[1<<uint(i)][i] = 0
+	}
+	for mask := 1; mask < size; mask++ {
+		for last := 0; last < m; last++ {
+			cur := dp[mask][last]
+			if math.IsInf(cur, 1) || mask&(1<<uint(last)) == 0 {
+				continue
+			}
+			for next := 0; next < m; next++ {
+				b := 1 << uint(next)
+				if mask&b != 0 {
+					continue
+				}
+				cand := cur + score[last][next]
+				if cand < dp[mask|b][next] {
+					dp[mask|b][next] = cand
+					parent[mask|b][next] = int8(last)
+				}
+			}
+		}
+	}
+	full := size - 1
+	best, bestCost := 0, math.Inf(1)
+	for i := 0; i < m; i++ {
+		if dp[full][i] < bestCost {
+			best, bestCost = i, dp[full][i]
+		}
+	}
+	order := make([]int, 0, m)
+	mask, last := full, best
+	for last >= 0 {
+		order = append(order, last)
+		p := parent[mask][last]
+		mask &^= 1 << uint(last)
+		last = int(p)
+	}
+	// Reverse into path order.
+	for i, j := 0, len(order)-1; i < j; i, j = i+1, j-1 {
+		order[i], order[j] = order[j], order[i]
+	}
+	return order
+}
+
+// greedyPath starts from the cheapest edge and extends the path at
+// whichever end has the cheaper continuation.
+func greedyPath(score [][]float64) []int {
+	m := len(score)
+	bi, bk, best := 0, 1, math.Inf(1)
+	for i := 0; i < m; i++ {
+		for k := i + 1; k < m; k++ {
+			if score[i][k] < best {
+				bi, bk, best = i, k, score[i][k]
+			}
+		}
+	}
+	used := make([]bool, m)
+	used[bi], used[bk] = true, true
+	path := []int{bi, bk}
+	for len(path) < m {
+		head, tail := path[0], path[len(path)-1]
+		hi, hc := -1, math.Inf(1)
+		ti, tc := -1, math.Inf(1)
+		for i := 0; i < m; i++ {
+			if used[i] {
+				continue
+			}
+			if score[head][i] < hc {
+				hi, hc = i, score[head][i]
+			}
+			if score[tail][i] < tc {
+				ti, tc = i, score[tail][i]
+			}
+		}
+		if hc < tc {
+			path = append([]int{hi}, path...)
+			used[hi] = true
+		} else {
+			path = append(path, ti)
+			used[ti] = true
+		}
+	}
+	return path
+}
+
+// CanonicalAttrs returns the sorted attribute names of the joins'
+// shared output schema, validating that every join exposes the same
+// attribute set (§2's same-output-schema requirement).
+func CanonicalAttrs(pres []*Precomputed) ([]string, error) {
+	if len(pres) == 0 {
+		return nil, fmt.Errorf("histest: no joins")
+	}
+	ref := pres[0].j.OutputSchema()
+	attrs := ref.Attrs()
+	sort.Strings(attrs)
+	for _, pre := range pres[1:] {
+		s := pre.j.OutputSchema()
+		if s.Len() != len(attrs) {
+			return nil, fmt.Errorf("histest: join %s output arity %d, want %d", pre.j.Name(), s.Len(), len(attrs))
+		}
+		for _, a := range attrs {
+			if !s.Has(a) {
+				return nil, fmt.Errorf("histest: join %s lacks output attribute %q", pre.j.Name(), a)
+			}
+		}
+	}
+	return attrs, nil
+}

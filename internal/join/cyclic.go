@@ -1,0 +1,354 @@
+package join
+
+import (
+	"fmt"
+	"sort"
+
+	"sampleunion/internal/relation"
+)
+
+// Edge is an equi-join condition between two relations on a shared
+// attribute name, used to describe (possibly cyclic) join graphs.
+type Edge struct {
+	A, B int    // relation indexes
+	Attr string // shared attribute name
+}
+
+// Residual is the removed part of a cyclic join (§8.2): the relations
+// taken out to make the remainder (the skeleton) acyclic, materialized
+// into a single relation. It joins back to the skeleton on every
+// attribute shared with skeleton relations (the link attributes).
+type Residual struct {
+	Rel       *relation.Relation // materialized residual join
+	LinkAttrs []string           // attributes shared with the skeleton
+	linkPos   []int              // positions of LinkAttrs in Rel's schema
+	index     map[string][]int   // composite link key -> residual row ids
+	maxDeg    int                // M(S_R): max rows per link key
+
+	emit    [][2]int // (rel attr pos, output pos) for new output columns
+	proj    []int    // output position of each residual attribute
+	linkOut []int    // output positions of LinkAttrs
+}
+
+// MaxDegree returns M(S_R), the maximum number of residual rows sharing
+// one combination of link-attribute values (§8.2).
+func (r *Residual) MaxDegree() int { return r.maxDeg }
+
+// Match returns the residual row ids consistent with the partial output
+// tuple out (which must already have all link attributes filled).
+func (r *Residual) Match(out relation.Tuple) []int {
+	key := make(relation.Tuple, len(r.linkOut))
+	for i, p := range r.linkOut {
+		key[i] = out[p]
+	}
+	return r.index[relation.TupleKey(key)]
+}
+
+// NewCyclic builds a join from a general (possibly cyclic) join graph.
+// rels and edges describe the graph; residualSet optionally names the
+// relation indexes to remove (nil means choose automatically: the
+// smallest set whose removal leaves a connected, acyclic skeleton).
+// The residual relations are materialized by joining them (§8.2).
+func NewCyclic(name string, rels []*relation.Relation, edges []Edge, residualSet []int) (*Join, error) {
+	if len(rels) == 0 {
+		return nil, fmt.Errorf("join %s: no relations", name)
+	}
+	for _, e := range edges {
+		if e.A < 0 || e.A >= len(rels) || e.B < 0 || e.B >= len(rels) || e.A == e.B {
+			return nil, fmt.Errorf("join %s: bad edge %+v", name, e)
+		}
+		if !rels[e.A].Schema().Has(e.Attr) || !rels[e.B].Schema().Has(e.Attr) {
+			return nil, fmt.Errorf("join %s: edge on %q not shared by %s and %s",
+				name, e.Attr, rels[e.A].Name(), rels[e.B].Name())
+		}
+	}
+	if isTree(len(rels), edges, nil) {
+		return treeFromGraph(name, rels, edges, nil, nil)
+	}
+	var residual []int
+	if residualSet != nil {
+		residual = append([]int(nil), residualSet...)
+		sort.Ints(residual)
+		if !isTree(len(rels), edges, residual) {
+			return nil, fmt.Errorf("join %s: removing %v does not leave a connected acyclic skeleton", name, residual)
+		}
+	} else {
+		residual = chooseResidual(len(rels), edges)
+		if residual == nil {
+			return nil, fmt.Errorf("join %s: no residual set yields a connected acyclic skeleton", name)
+		}
+	}
+	if len(residual) == len(rels) {
+		return nil, fmt.Errorf("join %s: residual would consume every relation", name)
+	}
+	res, err := materializeResidual(name, rels, edges, residual)
+	if err != nil {
+		return nil, err
+	}
+	return treeFromGraph(name, rels, edges, residual, res)
+}
+
+// isTree reports whether the graph over n relations minus the removed
+// set is connected and acyclic (considering only edges between kept
+// relations). A single kept relation counts as a tree.
+func isTree(n int, edges []Edge, removed []int) bool {
+	gone := make(map[int]bool, len(removed))
+	for _, r := range removed {
+		gone[r] = true
+	}
+	kept := 0
+	for i := 0; i < n; i++ {
+		if !gone[i] {
+			kept++
+		}
+	}
+	if kept == 0 {
+		return false
+	}
+	parent := make([]int, n)
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	keptEdges := 0
+	for _, e := range edges {
+		if gone[e.A] || gone[e.B] {
+			continue
+		}
+		ra, rb := find(e.A), find(e.B)
+		if ra == rb {
+			return false // cycle among kept relations
+		}
+		parent[ra] = rb
+		keptEdges++
+	}
+	return keptEdges == kept-1 // connected iff tree edge count matches
+}
+
+// chooseResidual returns the smallest relation subset whose removal
+// leaves a connected acyclic skeleton, breaking ties by the smallest
+// total residual row count (cheaper to materialize). Exhaustive search:
+// join graphs are small.
+func chooseResidual(n int, edges []Edge) []int {
+	for size := 1; size < n; size++ {
+		best := []int(nil)
+		subset := make([]int, size)
+		var rec func(start, k int)
+		rec = func(start, k int) {
+			if k == size {
+				if isTree(n, edges, subset) {
+					if best == nil {
+						best = append([]int(nil), subset...)
+					}
+				}
+				return
+			}
+			for i := start; i < n; i++ {
+				subset[k] = i
+				rec(i+1, k+1)
+			}
+		}
+		rec(0, 0)
+		if best != nil {
+			return best
+		}
+	}
+	return nil
+}
+
+// materializeResidual joins the residual relations into one relation.
+// Residual relations are joined on their mutual edges plus natural
+// equality of any shared attribute names.
+func materializeResidual(name string, rels []*relation.Relation, edges []Edge, residual []int) (*Residual, error) {
+	inRes := make(map[int]bool, len(residual))
+	for _, r := range residual {
+		inRes[r] = true
+	}
+	// Combined schema: union of residual relation attributes.
+	var attrs []string
+	pos := make(map[string]int)
+	for _, ri := range residual {
+		for _, a := range rels[ri].Schema().Attrs() {
+			if _, ok := pos[a]; !ok {
+				pos[a] = len(attrs)
+				attrs = append(attrs, a)
+			}
+		}
+	}
+	out := relation.New(name+"_residual", relation.NewSchema(attrs...))
+	// Backtracking natural join over the residual relations.
+	partial := make(relation.Tuple, len(attrs))
+	setCount := make([]int, len(attrs))
+	var rec func(k int)
+	rec = func(k int) {
+		if k == len(residual) {
+			out.Append(partial)
+			return
+		}
+		rel := rels[residual[k]]
+		n := rel.Len()
+	rows:
+		for i := 0; i < n; i++ {
+			row := rel.Row(i)
+			touched := make([]int, 0, rel.Arity())
+			for a := 0; a < rel.Arity(); a++ {
+				p := pos[rel.Schema().Attr(a)]
+				if setCount[p] > 0 {
+					if partial[p] != row[a] {
+						for _, tp := range touched {
+							setCount[tp]--
+						}
+						continue rows
+					}
+				} else {
+					partial[p] = row[a]
+				}
+				setCount[p]++
+				touched = append(touched, p)
+			}
+			rec(k + 1)
+			for _, tp := range touched {
+				setCount[tp]--
+			}
+		}
+	}
+	rec(0)
+
+	// Link attributes: shared between the residual schema and any kept
+	// (skeleton) relation.
+	linkSet := make(map[string]bool)
+	for i, r := range rels {
+		if inRes[i] {
+			continue
+		}
+		for _, a := range r.Schema().Attrs() {
+			if _, ok := pos[a]; ok {
+				linkSet[a] = true
+			}
+		}
+	}
+	if len(linkSet) == 0 {
+		return nil, fmt.Errorf("join %s: residual shares no attribute with the skeleton", name)
+	}
+	links := make([]string, 0, len(linkSet))
+	for a := range linkSet {
+		links = append(links, a)
+	}
+	sort.Strings(links)
+	res := &Residual{Rel: out, LinkAttrs: links}
+	res.linkPos = make([]int, len(links))
+	for i, a := range links {
+		res.linkPos[i] = out.Schema().Index(a)
+	}
+	res.index = make(map[string][]int)
+	key := make(relation.Tuple, len(links))
+	for i := 0; i < out.Len(); i++ {
+		row := out.Row(i)
+		for k, p := range res.linkPos {
+			key[k] = row[p]
+		}
+		ks := relation.TupleKey(key)
+		res.index[ks] = append(res.index[ks], i)
+	}
+	for _, rows := range res.index {
+		if len(rows) > res.maxDeg {
+			res.maxDeg = len(rows)
+		}
+	}
+	return res, nil
+}
+
+// treeFromGraph roots the skeleton (kept relations) at the smallest
+// kept index and emits a topologically ordered Join.
+func treeFromGraph(name string, rels []*relation.Relation, edges []Edge, residual []int, res *Residual) (*Join, error) {
+	gone := make(map[int]bool, len(residual))
+	for _, r := range residual {
+		gone[r] = true
+	}
+	adj := make(map[int][]Edge)
+	for _, e := range edges {
+		if gone[e.A] || gone[e.B] {
+			continue
+		}
+		adj[e.A] = append(adj[e.A], e)
+		adj[e.B] = append(adj[e.B], Edge{A: e.B, B: e.A, Attr: e.Attr})
+	}
+	root := -1
+	for i := range rels {
+		if !gone[i] {
+			root = i
+			break
+		}
+	}
+	// BFS order from root, recording parent and edge attribute.
+	order := []int{root}
+	parentOf := map[int]int{root: -1}
+	attrOf := map[int]string{root: ""}
+	for qi := 0; qi < len(order); qi++ {
+		u := order[qi]
+		for _, e := range adj[u] {
+			v := e.B
+			if _, seen := parentOf[v]; seen {
+				continue
+			}
+			parentOf[v] = u
+			attrOf[v] = e.Attr
+			order = append(order, v)
+		}
+	}
+	kept := 0
+	for i := range rels {
+		if !gone[i] {
+			kept++
+		}
+	}
+	if len(order) != kept {
+		return nil, fmt.Errorf("join %s: skeleton is disconnected", name)
+	}
+	treeRels := make([]*relation.Relation, len(order))
+	treeParent := make([]int, len(order))
+	treeAttrs := make([]string, len(order))
+	newIdx := make(map[int]int, len(order))
+	for i, orig := range order {
+		newIdx[orig] = i
+	}
+	for i, orig := range order {
+		treeRels[i] = rels[orig]
+		if p := parentOf[orig]; p < 0 {
+			treeParent[i] = -1
+		} else {
+			treeParent[i] = newIdx[p]
+		}
+		treeAttrs[i] = attrOf[orig]
+	}
+	j, err := NewTree(name, treeRels, treeParent, treeAttrs)
+	if err != nil {
+		return nil, err
+	}
+	if res != nil {
+		j.res = res
+		if err := j.buildOutput(); err != nil { // rebuild with residual columns
+			return nil, err
+		}
+		// Link attributes must be produced by the skeleton so probes can
+		// read them from the partial output.
+		for _, a := range res.LinkAttrs {
+			if j.out.Index(a) < 0 {
+				return nil, fmt.Errorf("join %s: link attribute %q missing from output", name, a)
+			}
+		}
+		res.linkOut = make([]int, len(res.LinkAttrs))
+		for i, a := range res.LinkAttrs {
+			res.linkOut[i] = j.out.Index(a)
+		}
+		j.membership = nil
+	}
+	return j, nil
+}

@@ -1,0 +1,175 @@
+package join
+
+import (
+	"sampleunion/internal/relation"
+)
+
+// Enumerate streams every join result tuple to yield; enumeration stops
+// early when yield returns false. This is the FullJoin brute force the
+// paper uses as ground truth (§9); tuples passed to yield are reused
+// between calls, so clone them to retain.
+func (j *Join) Enumerate(yield func(relation.Tuple) bool) {
+	out := make(relation.Tuple, j.out.Len())
+	j.enumerate(0, out, yield)
+}
+
+// enumerate extends the partial output with node k's rows; when all
+// skeleton nodes are assigned it applies the residual probe (if any)
+// and emits.
+func (j *Join) enumerate(k int, out relation.Tuple, yield func(relation.Tuple) bool) bool {
+	if k == len(j.nodes) {
+		if j.res == nil {
+			return yield(out)
+		}
+		for _, ri := range j.res.Match(out) {
+			row := j.res.Rel.Row(ri)
+			for _, e := range j.res.emit {
+				out[e[1]] = row[e[0]]
+			}
+			if !yield(out) {
+				return false
+			}
+		}
+		return true
+	}
+	n := &j.nodes[k]
+	if k == 0 {
+		rows := n.Rel.Len()
+		for i := 0; i < rows; i++ {
+			row := n.Rel.Row(i)
+			for _, e := range n.emit {
+				out[e[1]] = row[e[0]]
+			}
+			if !j.enumerate(k+1, out, yield) {
+				return false
+			}
+		}
+		return true
+	}
+	parentVal := out[j.nodes[n.Parent].proj[n.ParentAttrPos]]
+	for _, i := range n.Rel.Matches(n.AttrPos, parentVal) {
+		row := n.Rel.Row(i)
+		for _, e := range n.emit {
+			out[e[1]] = row[e[0]]
+		}
+		if !j.enumerate(k+1, out, yield) {
+			return false
+		}
+	}
+	return true
+}
+
+// Execute materializes the full join result. Use only when the result
+// fits in memory; prefer Enumerate otherwise.
+func (j *Join) Execute() []relation.Tuple {
+	var out []relation.Tuple
+	j.Enumerate(func(t relation.Tuple) bool {
+		out = append(out, t.Clone())
+		return true
+	})
+	return out
+}
+
+// Count returns the exact join result size. For tree joins it uses the
+// bottom-up weight recurrence (each tuple's exact extension count, the
+// EW statistic of Zhao et al.), which runs in time linear in the input
+// rather than the output; cyclic joins fall back to counting skeleton
+// results times matching residual rows.
+func (j *Join) Count() int64 {
+	w := j.ExactWeights()
+	if j.res == nil {
+		root := j.nodes[0].Rel
+		var total int64
+		for i := 0; i < root.Len(); i++ {
+			total += w[0][i]
+		}
+		return total
+	}
+	var total int64
+	out := make(relation.Tuple, j.out.Len())
+	j.countResidual(0, out, &total)
+	return total
+}
+
+func (j *Join) countResidual(k int, out relation.Tuple, total *int64) {
+	if k == len(j.nodes) {
+		*total += int64(len(j.res.Match(out)))
+		return
+	}
+	n := &j.nodes[k]
+	if k == 0 {
+		rows := n.Rel.Len()
+		for i := 0; i < rows; i++ {
+			row := n.Rel.Row(i)
+			for _, e := range n.emit {
+				out[e[1]] = row[e[0]]
+			}
+			j.countResidual(k+1, out, total)
+		}
+		return
+	}
+	parentVal := out[j.nodes[n.Parent].proj[n.ParentAttrPos]]
+	for _, i := range n.Rel.Matches(n.AttrPos, parentVal) {
+		row := n.Rel.Row(i)
+		for _, e := range n.emit {
+			out[e[1]] = row[e[0]]
+		}
+		j.countResidual(k+1, out, total)
+	}
+}
+
+// ExactWeights computes, for every node and every row, the exact number
+// of join results of the subtree rooted at that node that the row
+// participates in — the Exact Weight (EW) statistic of Zhao et al.
+// (§3.2). weights[n][i] is the weight of row i of node n's relation.
+// Dangling rows get weight 0, implementing the paper's relaxation of
+// key–foreign-key joins. The residual (cyclic case) is not included;
+// samplers handle it by rejection.
+func (j *Join) ExactWeights() [][]int64 {
+	w := make([][]int64, len(j.nodes))
+	// Process nodes in reverse topological order (children first).
+	for k := len(j.nodes) - 1; k >= 0; k-- {
+		n := &j.nodes[k]
+		rows := n.Rel.Len()
+		w[k] = make([]int64, rows)
+		// childSum[c][v] = sum of weights of child c's rows with join value v.
+		childSums := make([]map[relation.Value]int64, len(n.Children))
+		for ci, c := range n.Children {
+			cn := &j.nodes[c]
+			sums := make(map[relation.Value]int64)
+			for i := 0; i < cn.Rel.Len(); i++ {
+				sums[cn.Rel.Value(i, cn.AttrPos)] += w[c][i]
+			}
+			childSums[ci] = sums
+		}
+		for i := 0; i < rows; i++ {
+			prod := int64(1)
+			for ci, c := range n.Children {
+				cn := &j.nodes[c]
+				s := childSums[ci][n.Rel.Value(i, cn.ParentAttrPos)]
+				if s == 0 {
+					prod = 0
+					break
+				}
+				prod *= s
+			}
+			w[k][i] = prod
+		}
+	}
+	return w
+}
+
+// OlkenBound returns the extended Olken upper bound on the join size:
+// |R_root| · Π over non-root nodes of M_attr(R) (§3.2), times M(S_R)
+// for cyclic joins. It is 0 when any relation is empty.
+func (j *Join) OlkenBound() float64 {
+	bound := float64(j.nodes[0].Rel.Len())
+	for k := 1; k < len(j.nodes); k++ {
+		n := &j.nodes[k]
+		bound *= float64(n.Rel.MaxDegree(n.AttrPos))
+	}
+	if j.res != nil {
+		bound *= float64(j.res.maxDeg)
+	}
+	return bound
+}

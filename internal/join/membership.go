@@ -1,0 +1,89 @@
+package join
+
+import (
+	"sampleunion/internal/relation"
+)
+
+// Contains reports whether output tuple t (in this join's output schema
+// order) is a result of the join — without executing the join. Every
+// relation must hold a row matching t's projection onto its attributes;
+// join-attribute consistency is automatic because join attributes share
+// names and therefore output positions (see DESIGN.md). This is the
+// membership primitive the random-walk overlap estimator relies on
+// (§6.2): "we already have the index for each J_i".
+//
+// Contains builds its per-relation projection indexes on first use; it
+// is not safe for concurrent first use.
+func (j *Join) Contains(t relation.Tuple) bool {
+	j.ensureMembership()
+	for k := range j.nodes {
+		if !j.nodeHas(k, t) {
+			return false
+		}
+	}
+	if j.res != nil {
+		key := j.projKey(j.res.proj, t)
+		if j.membership[len(j.nodes)][key] == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// ContainsAligned is Contains for a tuple expressed in another join's
+// output schema: attributes are aligned by name, so joins whose output
+// schemas hold the same attributes in different orders remain
+// comparable (§2's unionability assumption).
+func (j *Join) ContainsAligned(t relation.Tuple, schema *relation.Schema) bool {
+	if schema.Equal(j.out) {
+		return j.Contains(t)
+	}
+	mapped := make(relation.Tuple, j.out.Len())
+	for i := 0; i < j.out.Len(); i++ {
+		p := schema.Index(j.out.Attr(i))
+		if p < 0 {
+			return false
+		}
+		mapped[i] = t[p]
+	}
+	return j.Contains(mapped)
+}
+
+func (j *Join) nodeHas(k int, t relation.Tuple) bool {
+	key := j.projKey(j.nodes[k].proj, t)
+	return j.membership[k][key] > 0
+}
+
+func (j *Join) projKey(proj []int, t relation.Tuple) string {
+	buf := make(relation.Tuple, len(proj))
+	for i, p := range proj {
+		buf[i] = t[p]
+	}
+	return relation.TupleKey(buf)
+}
+
+func (j *Join) ensureMembership() {
+	if j.membership != nil {
+		return
+	}
+	total := len(j.nodes)
+	if j.res != nil {
+		total++
+	}
+	j.membership = make([]map[string]int, total)
+	for k := range j.nodes {
+		n := &j.nodes[k]
+		m := make(map[string]int, n.Rel.Len())
+		for i := 0; i < n.Rel.Len(); i++ {
+			m[relation.TupleKey(n.Rel.Row(i))]++
+		}
+		j.membership[k] = m
+	}
+	if j.res != nil {
+		m := make(map[string]int, j.res.Rel.Len())
+		for i := 0; i < j.res.Rel.Len(); i++ {
+			m[relation.TupleKey(j.res.Rel.Row(i))]++
+		}
+		j.membership[len(j.nodes)] = m
+	}
+}

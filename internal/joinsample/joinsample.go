@@ -1,0 +1,194 @@
+// Package joinsample implements random sampling over a single join —
+// the subroutine of the union-sampling framework (§3.2). It follows the
+// framework of Zhao et al. (SIGMOD'18) with the paper's adaptations:
+//
+//   - Exact Weight (EW): exact per-tuple result counts computed bottom-up
+//     over the join tree; zero rejection, uniform samples.
+//   - Extended Olken (EO): max-degree upper-bound weights with
+//     accept/reject; uniform samples with a rejection rate that grows
+//     with skew. Dangling tuples have acceptance probability zero, which
+//     is the paper's relaxation of the key–foreign-key assumption.
+//   - Wander Join (WJ, Li et al. SIGMOD'16): random walks returning a
+//     result tuple together with its exact sampling probability p(t),
+//     the ingredient of Horvitz–Thompson size estimation (§6.1) and of
+//     the online sampler's reuse pool (§7).
+//
+// Cyclic joins sample their skeleton tree and then accept/reject against
+// the materialized residual with probability d/M(S_R), preserving
+// uniformity (§8.2).
+package joinsample
+
+import (
+	"fmt"
+	"sort"
+
+	"sampleunion/internal/join"
+	"sampleunion/internal/relation"
+	"sampleunion/internal/rng"
+)
+
+// Sampler draws uniform, independent samples from one join.
+type Sampler interface {
+	// Sample attempts one draw. ok is false when the attempt was
+	// rejected (the caller retries) — EW never rejects on non-empty
+	// joins.
+	Sample(g *rng.RNG) (relation.Tuple, bool)
+	// Method names the weight instantiation ("EW", "EO", "WJ").
+	Method() string
+	// SizeEstimate returns the sampler's knowledge of |J|: exact for EW
+	// on tree joins, the Olken upper bound for EO.
+	SizeEstimate() float64
+	// Join returns the underlying join.
+	Join() *join.Join
+}
+
+// MustSample retries s.Sample until a draw is accepted, up to maxTries;
+// it reports failure only for empty joins or pathological rejection.
+func MustSample(s Sampler, g *rng.RNG, maxTries int) (relation.Tuple, int, error) {
+	for i := 1; i <= maxTries; i++ {
+		if t, ok := s.Sample(g); ok {
+			return t, i, nil
+		}
+	}
+	return nil, maxTries, fmt.Errorf("joinsample: %s sampler on %s: no accepted sample in %d tries",
+		s.Method(), s.Join().Name(), maxTries)
+}
+
+// weightedRows supports O(log n) weighted row selection via prefix sums.
+type weightedRows struct {
+	rows []int   // row ids
+	cum  []int64 // cumulative weights, cum[i] = sum of w(rows[0..i])
+}
+
+func (wr *weightedRows) total() int64 {
+	if len(wr.cum) == 0 {
+		return 0
+	}
+	return wr.cum[len(wr.cum)-1]
+}
+
+// draw picks a row id proportional to weight.
+func (wr *weightedRows) draw(g *rng.RNG) int {
+	x := int64(g.Float64() * float64(wr.total()))
+	if x >= wr.total() {
+		x = wr.total() - 1
+	}
+	i := sort.Search(len(wr.cum), func(i int) bool { return wr.cum[i] > x })
+	return wr.rows[i]
+}
+
+func buildWeighted(rows []int, w []int64) *weightedRows {
+	wr := &weightedRows{}
+	var cum int64
+	for _, r := range rows {
+		if w[r] <= 0 {
+			continue
+		}
+		cum += w[r]
+		wr.rows = append(wr.rows, r)
+		wr.cum = append(wr.cum, cum)
+	}
+	return wr
+}
+
+// EW is the Exact Weight sampler: uniform with zero rejection on tree
+// joins (cyclic joins keep a residual rejection step).
+type EW struct {
+	j       *join.Join
+	weights [][]int64
+	root    *weightedRows
+	// byValue[node][join value] = weighted matching rows of that node.
+	byValue []map[relation.Value]*weightedRows
+	exact   int64 // skeleton result count (== |J| for tree joins)
+}
+
+// NewEW precomputes exact weights for j.
+func NewEW(j *join.Join) *EW {
+	nodes := j.Nodes()
+	w := j.ExactWeights()
+	e := &EW{j: j, weights: w, byValue: make([]map[relation.Value]*weightedRows, len(nodes))}
+	rootRows := make([]int, nodes[0].Rel.Len())
+	for i := range rootRows {
+		rootRows[i] = i
+	}
+	e.root = buildWeighted(rootRows, w[0])
+	e.exact = e.root.total()
+	for k := 1; k < len(nodes); k++ {
+		n := &nodes[k]
+		idx := n.Rel.Index(n.AttrPos)
+		m := make(map[relation.Value]*weightedRows, len(idx))
+		for v, rows := range idx {
+			wr := buildWeighted(rows, w[k])
+			if wr.total() > 0 {
+				m[v] = wr
+			}
+		}
+		e.byValue[k] = m
+	}
+	return e
+}
+
+// Method implements Sampler.
+func (e *EW) Method() string { return "EW" }
+
+// Join implements Sampler.
+func (e *EW) Join() *join.Join { return e.j }
+
+// ExactCount returns the exact skeleton result count. For tree joins
+// this is |J|.
+func (e *EW) ExactCount() int64 { return e.exact }
+
+// SizeEstimate implements Sampler: exact |J| for tree joins, and the
+// skeleton count times the residual max degree (an upper bound) for
+// cyclic joins.
+func (e *EW) SizeEstimate() float64 {
+	if res := e.j.ResidualPart(); res != nil {
+		return float64(e.exact) * float64(res.MaxDegree())
+	}
+	return float64(e.exact)
+}
+
+// Sample implements Sampler. On tree joins it always succeeds when the
+// join is non-empty.
+func (e *EW) Sample(g *rng.RNG) (relation.Tuple, bool) {
+	if e.exact == 0 {
+		return nil, false
+	}
+	nodes := e.j.Nodes()
+	out := make(relation.Tuple, e.j.OutputSchema().Len())
+	rowOf := make([]int, len(nodes))
+	rowOf[0] = e.root.draw(g)
+	e.j.FillOutput(0, rowOf[0], out)
+	for k := 1; k < len(nodes); k++ {
+		n := &nodes[k]
+		v := e.j.ParentValue(k, rowOf[n.Parent])
+		wr := e.byValue[k][v]
+		if wr == nil || wr.total() == 0 {
+			// Impossible after a positive-weight parent draw; defensive.
+			return nil, false
+		}
+		rowOf[k] = wr.draw(g)
+		e.j.FillOutput(k, rowOf[k], out)
+	}
+	return finishResidual(e.j, out, g)
+}
+
+// finishResidual applies the residual accept/reject step for cyclic
+// joins: accept with probability d/M(S_R) and pick uniformly among the
+// d matching residual rows, keeping the overall draw uniform.
+func finishResidual(j *join.Join, out relation.Tuple, g *rng.RNG) (relation.Tuple, bool) {
+	res := j.ResidualPart()
+	if res == nil {
+		return out, true
+	}
+	matches := res.Match(out)
+	d := len(matches)
+	if d == 0 {
+		return nil, false
+	}
+	if !g.Bernoulli(float64(d) / float64(res.MaxDegree())) {
+		return nil, false
+	}
+	j.FillResidual(matches[g.Intn(d)], out)
+	return out, true
+}

@@ -1,0 +1,166 @@
+package joinsample
+
+import (
+	"sampleunion/internal/join"
+	"sampleunion/internal/relation"
+	"sampleunion/internal/rng"
+)
+
+// EO is the Extended Olken sampler: uniform samples via accept/reject
+// against max-degree upper bounds. Cheap to set up (only max degrees),
+// but the rejection rate grows with skew — the trade-off the paper's
+// evaluation quantifies (Fig 5).
+type EO struct {
+	j *join.Join
+	// maxDeg[k] is M_attr(R_k) for non-root node k.
+	maxDeg []int
+	bound  float64
+}
+
+// NewEO prepares an Extended Olken sampler for j.
+func NewEO(j *join.Join) *EO {
+	nodes := j.Nodes()
+	e := &EO{j: j, maxDeg: make([]int, len(nodes))}
+	for k := 1; k < len(nodes); k++ {
+		n := &nodes[k]
+		e.maxDeg[k] = n.Rel.MaxDegree(n.AttrPos)
+	}
+	e.bound = j.OlkenBound()
+	return e
+}
+
+// Method implements Sampler.
+func (e *EO) Method() string { return "EO" }
+
+// Join implements Sampler.
+func (e *EO) Join() *join.Join { return e.j }
+
+// SizeEstimate implements Sampler: the extended Olken upper bound on
+// |J| (§3.2), which is what the histogram-based instantiation plugs
+// into the framework.
+func (e *EO) SizeEstimate() float64 { return e.bound }
+
+// Sample implements Sampler. Every accepted walk is a uniform draw from
+// the join result: the probability of a particular result is
+// 1/(|R_root| · Π M) regardless of the path taken.
+func (e *EO) Sample(g *rng.RNG) (relation.Tuple, bool) {
+	nodes := e.j.Nodes()
+	root := nodes[0].Rel
+	if root.Len() == 0 {
+		return nil, false
+	}
+	out := make(relation.Tuple, e.j.OutputSchema().Len())
+	rowOf := make([]int, len(nodes))
+	rowOf[0] = g.Intn(root.Len())
+	e.j.FillOutput(0, rowOf[0], out)
+	for k := 1; k < len(nodes); k++ {
+		n := &nodes[k]
+		v := e.j.ParentValue(k, rowOf[n.Parent])
+		matches := n.Rel.Matches(n.AttrPos, v)
+		d := len(matches)
+		if d == 0 {
+			return nil, false // dangling tuple: zero weight (§3.2)
+		}
+		if !g.Bernoulli(float64(d) / float64(e.maxDeg[k])) {
+			return nil, false
+		}
+		rowOf[k] = matches[g.Intn(d)]
+		e.j.FillOutput(k, rowOf[k], out)
+	}
+	return finishResidual(e.j, out, g)
+}
+
+// WJ is the Wander Join weight instantiation of §3.2 as a *uniform*
+// sampler: a random walk returns (t, p(t)), and the draw is accepted
+// with probability 1/(p(t)·B) where B is the extended Olken bound.
+// Since p(t) = 1/(|R_root|·Π d_i) ≥ 1/B, the ratio is a probability,
+// and every accepted result has unconditional probability
+// p(t)·1/(p(t)·B) = 1/B — uniform. Setup is index-only like EO; the
+// acceptance rate is |J|/B, also like EO, but heavy results are found
+// proportionally to their fan-in and thinned analytically instead of
+// hop-by-hop.
+type WJ struct {
+	j      *join.Join
+	walker *Walker
+	bound  float64
+}
+
+// NewWJ prepares a Wander Join uniform sampler for j.
+func NewWJ(j *join.Join) *WJ {
+	return &WJ{j: j, walker: NewWalker(j), bound: j.OlkenBound()}
+}
+
+// Method implements Sampler.
+func (w *WJ) Method() string { return "WJ" }
+
+// Join implements Sampler.
+func (w *WJ) Join() *join.Join { return w.j }
+
+// SizeEstimate implements Sampler: the Olken bound, the sampler's
+// normalization constant.
+func (w *WJ) SizeEstimate() float64 { return w.bound }
+
+// Sample implements Sampler.
+func (w *WJ) Sample(g *rng.RNG) (relation.Tuple, bool) {
+	t, p, ok := w.walker.Walk(g)
+	if !ok {
+		return nil, false
+	}
+	if !g.Bernoulli(1 / (p * w.bound)) {
+		return nil, false
+	}
+	return t, true
+}
+
+// Walker performs Wander Join random walks over the join data graph
+// (§6.1): each successful walk returns a result tuple together with its
+// exact sampling probability p(t) = 1/|R_root| · Π 1/d_i. Walks are
+// not uniform; they feed the Horvitz–Thompson estimators of §6 and the
+// reuse pool of §7.
+type Walker struct {
+	j *join.Join
+}
+
+// NewWalker prepares a Wander Join walker for j.
+func NewWalker(j *join.Join) *Walker { return &Walker{j: j} }
+
+// Join returns the underlying join.
+func (w *Walker) Join() *join.Join { return w.j }
+
+// Walk performs one random walk. ok is false when the walk dies on a
+// dangling tuple (p(t) = 0 in the paper's backtracking bookkeeping).
+// The returned tuple is freshly allocated and safe to retain.
+func (w *Walker) Walk(g *rng.RNG) (relation.Tuple, float64, bool) {
+	nodes := w.j.Nodes()
+	root := nodes[0].Rel
+	if root.Len() == 0 {
+		return nil, 0, false
+	}
+	out := make(relation.Tuple, w.j.OutputSchema().Len())
+	rowOf := make([]int, len(nodes))
+	rowOf[0] = g.Intn(root.Len())
+	w.j.FillOutput(0, rowOf[0], out)
+	p := 1.0 / float64(root.Len())
+	for k := 1; k < len(nodes); k++ {
+		n := &nodes[k]
+		v := w.j.ParentValue(k, rowOf[n.Parent])
+		matches := n.Rel.Matches(n.AttrPos, v)
+		d := len(matches)
+		if d == 0 {
+			return nil, 0, false
+		}
+		rowOf[k] = matches[g.Intn(d)]
+		w.j.FillOutput(k, rowOf[k], out)
+		p /= float64(d)
+	}
+	if res := w.j.ResidualPart(); res != nil {
+		matches := res.Match(out)
+		d := len(matches)
+		if d == 0 {
+			return nil, 0, false
+		}
+		w.j.FillResidual(matches[g.Intn(d)], out)
+		p /= float64(d)
+	}
+	return out, p, true
+}

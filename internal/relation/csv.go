@@ -1,0 +1,64 @@
+package relation
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// WriteCSV writes the relation with a header row of attribute names and
+// one record per tuple, values rendered as base-10 integers.
+func WriteCSV(w io.Writer, r *Relation) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(r.Schema().Attrs()); err != nil {
+		return err
+	}
+	rec := make([]string, r.Arity())
+	n := r.Len()
+	for i := 0; i < n; i++ {
+		row := r.Row(i)
+		for j, v := range row {
+			rec[j] = strconv.FormatInt(int64(v), 10)
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV reads a relation written by WriteCSV: the first record is the
+// schema, subsequent records are tuples of integers.
+func ReadCSV(rd io.Reader, name string) (*Relation, error) {
+	cr := csv.NewReader(rd)
+	cr.FieldsPerRecord = -1
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("relation: reading CSV header: %w", err)
+	}
+	r := New(name, NewSchema(header...))
+	for line := 2; ; line++ {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("relation: reading CSV line %d: %w", line, err)
+		}
+		if len(rec) != len(header) {
+			return nil, fmt.Errorf("relation: CSV line %d has %d fields, want %d", line, len(rec), len(header))
+		}
+		t := make(Tuple, len(rec))
+		for j, f := range rec {
+			v, err := strconv.ParseInt(f, 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("relation: CSV line %d field %d: %w", line, j+1, err)
+			}
+			t[j] = Value(v)
+		}
+		r.Append(t)
+	}
+	return r, nil
+}

@@ -1,0 +1,233 @@
+package relation
+
+import (
+	"fmt"
+)
+
+// Relation is an in-memory table: a schema plus rows stored row-major in
+// one flat slice (stride = arity). Hash indexes over single attributes
+// are built lazily and cached; they serve the joinability lookups that
+// the paper implements with hash tables (§3.2).
+type Relation struct {
+	name   string
+	schema *Schema
+	data   []Value // row-major, len = rows*arity
+
+	// indexes[attr position] maps a value to the row ids holding it.
+	indexes map[int]map[Value][]int
+}
+
+// New returns an empty relation with the given name and schema.
+func New(name string, schema *Schema) *Relation {
+	return &Relation{
+		name:    name,
+		schema:  schema,
+		indexes: make(map[int]map[Value][]int),
+	}
+}
+
+// FromTuples builds a relation from explicit rows, validating arity.
+func FromTuples(name string, schema *Schema, rows []Tuple) (*Relation, error) {
+	r := New(name, schema)
+	for i, t := range rows {
+		if len(t) != schema.Len() {
+			return nil, fmt.Errorf("relation %s: row %d has arity %d, want %d", name, i, len(t), schema.Len())
+		}
+		r.data = append(r.data, t...)
+	}
+	return r, nil
+}
+
+// MustFromTuples is FromTuples for programmer-constructed fixtures; it
+// panics on arity mismatch.
+func MustFromTuples(name string, schema *Schema, rows []Tuple) *Relation {
+	r, err := FromTuples(name, schema, rows)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+// Name returns the relation's name.
+func (r *Relation) Name() string { return r.name }
+
+// Schema returns the relation's schema.
+func (r *Relation) Schema() *Schema { return r.schema }
+
+// Len reports the number of rows.
+func (r *Relation) Len() int {
+	if r.schema.Len() == 0 {
+		return 0
+	}
+	return len(r.data) / r.schema.Len()
+}
+
+// Arity reports the number of attributes.
+func (r *Relation) Arity() int { return r.schema.Len() }
+
+// Row returns row i as a Tuple sharing the relation's backing array.
+// Callers must not mutate it; use Row(i).Clone() to keep a copy.
+func (r *Relation) Row(i int) Tuple {
+	k := r.schema.Len()
+	return Tuple(r.data[i*k : (i+1)*k : (i+1)*k])
+}
+
+// Append adds a row. It invalidates any lazily built indexes, so load
+// all data before sampling.
+func (r *Relation) Append(t Tuple) {
+	if len(t) != r.schema.Len() {
+		panic(fmt.Sprintf("relation %s: append arity %d, want %d", r.name, len(t), r.schema.Len()))
+	}
+	r.data = append(r.data, t...)
+	if len(r.indexes) > 0 {
+		r.indexes = make(map[int]map[Value][]int)
+	}
+}
+
+// AppendValues adds a row given as individual values.
+func (r *Relation) AppendValues(vs ...Value) { r.Append(Tuple(vs)) }
+
+// Value returns the value of attribute position a in row i.
+func (r *Relation) Value(i, a int) Value {
+	return r.data[i*r.schema.Len()+a]
+}
+
+// Index returns (building if needed) the hash index over the attribute
+// at position a: value -> sorted slice of row ids.
+func (r *Relation) Index(a int) map[Value][]int {
+	if idx, ok := r.indexes[a]; ok {
+		return idx
+	}
+	idx := make(map[Value][]int)
+	n := r.Len()
+	for i := 0; i < n; i++ {
+		v := r.Value(i, a)
+		idx[v] = append(idx[v], i)
+	}
+	r.indexes[a] = idx
+	return idx
+}
+
+// IndexByName is Index keyed by attribute name.
+func (r *Relation) IndexByName(attr string) (map[Value][]int, error) {
+	a := r.schema.Index(attr)
+	if a < 0 {
+		return nil, fmt.Errorf("relation %s: no attribute %q", r.name, attr)
+	}
+	return r.Index(a), nil
+}
+
+// Matches returns the row ids whose attribute at position a equals v.
+// The returned slice is shared with the index; do not mutate it.
+func (r *Relation) Matches(a int, v Value) []int {
+	return r.Index(a)[v]
+}
+
+// Degree returns the number of rows whose attribute at position a
+// equals v — the d_A(v, R) of the paper.
+func (r *Relation) Degree(a int, v Value) int {
+	return len(r.Index(a)[v])
+}
+
+// MaxDegree returns the maximum value frequency in attribute position a
+// — the M_A(R) of Olken's bound. It is 0 for an empty relation.
+func (r *Relation) MaxDegree(a int) int {
+	max := 0
+	for _, rows := range r.Index(a) {
+		if len(rows) > max {
+			max = len(rows)
+		}
+	}
+	return max
+}
+
+// DistinctCount returns the number of distinct values in attribute
+// position a.
+func (r *Relation) DistinctCount(a int) int {
+	return len(r.Index(a))
+}
+
+// Tuples returns a copy of all rows.
+func (r *Relation) Tuples() []Tuple {
+	n := r.Len()
+	out := make([]Tuple, n)
+	for i := 0; i < n; i++ {
+		out[i] = r.Row(i).Clone()
+	}
+	return out
+}
+
+// Filter returns a new relation keeping only rows for which pred is
+// true. The result shares no storage with r.
+func (r *Relation) Filter(name string, pred Predicate) *Relation {
+	out := New(name, r.schema)
+	n := r.Len()
+	for i := 0; i < n; i++ {
+		row := r.Row(i)
+		if pred.Eval(row, r.schema) {
+			out.data = append(out.data, row...)
+		}
+	}
+	return out
+}
+
+// Project returns a new relation with only the named attributes, in the
+// given order. Duplicate rows are retained.
+func (r *Relation) Project(name string, attrs []string) (*Relation, error) {
+	idx, err := r.schema.Project(attrs)
+	if err != nil {
+		return nil, err
+	}
+	out := New(name, NewSchema(attrs...))
+	n := r.Len()
+	for i := 0; i < n; i++ {
+		row := r.Row(i)
+		for _, j := range idx {
+			out.data = append(out.data, row[j])
+		}
+	}
+	return out, nil
+}
+
+// DistinctProject is Project with duplicate elimination.
+func (r *Relation) DistinctProject(name string, attrs []string) (*Relation, error) {
+	p, err := r.Project(name, attrs)
+	if err != nil {
+		return nil, err
+	}
+	out := New(name, p.schema)
+	seen := make(map[string]struct{}, p.Len())
+	var keyBuf []byte
+	n := p.Len()
+	for i := 0; i < n; i++ {
+		row := p.Row(i)
+		keyBuf = appendTupleKey(keyBuf[:0], row)
+		if _, ok := seen[string(keyBuf)]; ok {
+			continue
+		}
+		seen[string(keyBuf)] = struct{}{}
+		out.data = append(out.data, row...)
+	}
+	return out, nil
+}
+
+// appendTupleKey encodes a tuple as a fixed-width byte key.
+func appendTupleKey(dst []byte, t Tuple) []byte {
+	for _, v := range t {
+		u := uint64(v)
+		dst = append(dst,
+			byte(u>>56), byte(u>>48), byte(u>>40), byte(u>>32),
+			byte(u>>24), byte(u>>16), byte(u>>8), byte(u))
+	}
+	return dst
+}
+
+// TupleKey returns a string key uniquely identifying t's values; two
+// tuples of the same arity have equal keys iff they are Equal.
+func TupleKey(t Tuple) string {
+	return string(appendTupleKey(nil, t))
+}
+
+func (r *Relation) String() string {
+	return fmt.Sprintf("%s%s[%d rows]", r.name, r.schema, r.Len())
+}

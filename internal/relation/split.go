@@ -1,0 +1,113 @@
+package relation
+
+import "fmt"
+
+// This file implements the relation-splitting utilities used by UQ3 and
+// by the splitting method of §5.2: vertical splits (projections that
+// share a linking attribute) and horizontal splits (row partitions).
+
+// VerticalSplit cuts r into two relations: left keeps leftAttrs and
+// right keeps rightAttrs. The two attribute lists must cover the schema
+// and share at least one attribute (the rejoining key), so that
+// left ⋈ right losslessly reconstructs r when the shared attributes form
+// a key. Duplicate rows in each half are eliminated.
+func VerticalSplit(r *Relation, leftName string, leftAttrs []string, rightName string, rightAttrs []string) (*Relation, *Relation, error) {
+	shared := false
+	seen := make(map[string]bool, len(leftAttrs)+len(rightAttrs))
+	for _, a := range leftAttrs {
+		seen[a] = true
+	}
+	for _, a := range rightAttrs {
+		if seen[a] {
+			shared = true
+		}
+		seen[a] = true
+	}
+	if !shared {
+		return nil, nil, fmt.Errorf("relation: vertical split of %s shares no attribute", r.Name())
+	}
+	for _, a := range r.Schema().Attrs() {
+		if !seen[a] {
+			return nil, nil, fmt.Errorf("relation: vertical split of %s drops attribute %q", r.Name(), a)
+		}
+	}
+	left, err := r.DistinctProject(leftName, leftAttrs)
+	if err != nil {
+		return nil, nil, err
+	}
+	right, err := r.DistinctProject(rightName, rightAttrs)
+	if err != nil {
+		return nil, nil, err
+	}
+	return left, right, nil
+}
+
+// HorizontalSplit partitions r's rows by predicate: the first result
+// holds rows satisfying pred, the second the rest.
+func HorizontalSplit(r *Relation, trueName, falseName string, pred Predicate) (*Relation, *Relation) {
+	yes := New(trueName, r.Schema())
+	no := New(falseName, r.Schema())
+	n := r.Len()
+	for i := 0; i < n; i++ {
+		row := r.Row(i)
+		if pred.Eval(row, r.Schema()) {
+			yes.data = append(yes.data, row...)
+		} else {
+			no.data = append(no.data, row...)
+		}
+	}
+	return yes, no
+}
+
+// SplitPair is a two-attribute sub-relation produced by the splitting
+// method (§5.2). It records the original relation's size, which the
+// estimation steps need ("split relations keep a record of their
+// original sizes").
+type SplitPair struct {
+	Rel      *Relation // two-attribute sub-relation, duplicates removed
+	Original *Relation // relation it was split from
+	FakeNext bool      // true when the join to the next pair in the
+	// template is a "fake join": both pairs were split from the same
+	// original relation, so the join reconstructs it rather than
+	// combining distinct relations (degree factor 1 in Theorem 4).
+}
+
+// SplitByTemplate decomposes the relations of a join into two-attribute
+// sub-relations following template, an ordering of output attributes:
+// pair i holds (template[i], template[i+1]). Each pair is taken from a
+// relation in rels containing both attributes when one exists (a real
+// split); otherwise the pair must be derivable by pre-joining, which the
+// caller handles (histest does) — here we return an error so the caller
+// can fall back.
+func SplitByTemplate(rels []*Relation, template []string) ([]SplitPair, error) {
+	if len(template) < 2 {
+		return nil, fmt.Errorf("relation: template needs >= 2 attributes, got %d", len(template))
+	}
+	pairs := make([]SplitPair, 0, len(template)-1)
+	for i := 0; i+1 < len(template); i++ {
+		a, b := template[i], template[i+1]
+		src := findRelationWith(rels, a, b)
+		if src == nil {
+			return nil, fmt.Errorf("relation: no relation contains both %q and %q", a, b)
+		}
+		sub, err := src.DistinctProject(fmt.Sprintf("%s[%s,%s]", src.Name(), a, b), []string{a, b})
+		if err != nil {
+			return nil, err
+		}
+		pairs = append(pairs, SplitPair{Rel: sub, Original: src})
+	}
+	// Mark fake joins: consecutive pairs split from the same original.
+	for i := 0; i+1 < len(pairs); i++ {
+		pairs[i].FakeNext = pairs[i].Original == pairs[i+1].Original
+	}
+	return pairs, nil
+}
+
+func findRelationWith(rels []*Relation, a, b string) *Relation {
+	for _, r := range rels {
+		if r.Schema().Has(a) && r.Schema().Has(b) {
+			return r
+		}
+	}
+	return nil
+}

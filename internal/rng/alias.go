@@ -1,0 +1,77 @@
+package rng
+
+// Alias is a Walker alias table: after O(n) construction it draws from a
+// fixed categorical distribution in O(1) per sample. The union sampler
+// uses one to select joins proportionally to cover sizes |J'_j|/|U|.
+type Alias struct {
+	prob  []float64
+	alias []int
+}
+
+// NewAlias builds an alias table over weights. Negative weights are
+// treated as zero. It returns nil when all weights are zero.
+func NewAlias(weights []float64) *Alias {
+	n := len(weights)
+	total := 0.0
+	for _, w := range weights {
+		if w > 0 {
+			total += w
+		}
+	}
+	if n == 0 || total <= 0 {
+		return nil
+	}
+	a := &Alias{
+		prob:  make([]float64, n),
+		alias: make([]int, n),
+	}
+	scaled := make([]float64, n)
+	small := make([]int, 0, n)
+	large := make([]int, 0, n)
+	for i, w := range weights {
+		if w < 0 {
+			w = 0
+		}
+		scaled[i] = w * float64(n) / total
+		if scaled[i] < 1 {
+			small = append(small, i)
+		} else {
+			large = append(large, i)
+		}
+	}
+	for len(small) > 0 && len(large) > 0 {
+		s := small[len(small)-1]
+		small = small[:len(small)-1]
+		l := large[len(large)-1]
+		large = large[:len(large)-1]
+		a.prob[s] = scaled[s]
+		a.alias[s] = l
+		scaled[l] -= 1 - scaled[s]
+		if scaled[l] < 1 {
+			small = append(small, l)
+		} else {
+			large = append(large, l)
+		}
+	}
+	for _, i := range large {
+		a.prob[i] = 1
+		a.alias[i] = i
+	}
+	for _, i := range small {
+		a.prob[i] = 1
+		a.alias[i] = i
+	}
+	return a
+}
+
+// Draw samples an index from the table's distribution.
+func (a *Alias) Draw(g *RNG) int {
+	i := g.Intn(len(a.prob))
+	if g.Float64() < a.prob[i] {
+		return i
+	}
+	return a.alias[i]
+}
+
+// Len reports the number of categories.
+func (a *Alias) Len() int { return len(a.prob) }

@@ -1,0 +1,82 @@
+// Package rng provides the deterministic random-number utilities shared
+// by the samplers: a splittable 64-bit generator, categorical sampling,
+// and Walker alias tables for O(1) weighted selection. Everything here
+// is reproducible from a seed, which the experiments rely on.
+package rng
+
+import "math/rand"
+
+// RNG is a seeded source of randomness. It wraps math/rand so every
+// sampler draws from an explicit, reproducible stream rather than the
+// global source.
+type RNG struct {
+	r *rand.Rand
+}
+
+// New returns a generator seeded with seed.
+func New(seed int64) *RNG {
+	return &RNG{r: rand.New(rand.NewSource(seed))}
+}
+
+// Split derives an independent generator from the current stream. Use it
+// to hand each subsystem its own stream so that interleaving does not
+// perturb reproducibility.
+func (g *RNG) Split() *RNG {
+	return New(g.r.Int63())
+}
+
+// Intn returns a uniform int in [0, n). It panics if n <= 0, matching
+// math/rand.
+func (g *RNG) Intn(n int) int { return g.r.Intn(n) }
+
+// Int63 returns a uniform non-negative int64.
+func (g *RNG) Int63() int64 { return g.r.Int63() }
+
+// Float64 returns a uniform float64 in [0, 1).
+func (g *RNG) Float64() float64 { return g.r.Float64() }
+
+// Bernoulli returns true with probability p (clamped to [0,1]).
+func (g *RNG) Bernoulli(p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	if p >= 1 {
+		return true
+	}
+	return g.r.Float64() < p
+}
+
+// Perm returns a random permutation of [0, n).
+func (g *RNG) Perm(n int) []int { return g.r.Perm(n) }
+
+// Categorical samples an index proportionally to weights. Negative
+// weights are treated as zero. It returns -1 when all weights are zero.
+// For repeated draws from fixed weights prefer NewAlias.
+func (g *RNG) Categorical(weights []float64) int {
+	total := 0.0
+	for _, w := range weights {
+		if w > 0 {
+			total += w
+		}
+	}
+	if total <= 0 {
+		return -1
+	}
+	x := g.r.Float64() * total
+	for i, w := range weights {
+		if w <= 0 {
+			continue
+		}
+		x -= w
+		if x < 0 {
+			return i
+		}
+	}
+	// Floating-point slack: return the last positive weight.
+	for i := len(weights) - 1; i >= 0; i-- {
+		if weights[i] > 0 {
+			return i
+		}
+	}
+	return -1
+}

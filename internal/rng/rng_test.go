@@ -1,0 +1,148 @@
+package rng
+
+import (
+	"math"
+	"testing"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 100; i++ {
+		if a.Int63() != b.Int63() {
+			t.Fatal("same seed diverged")
+		}
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	g := New(7)
+	c1 := g.Split()
+	c2 := g.Split()
+	same := 0
+	for i := 0; i < 64; i++ {
+		if c1.Int63() == c2.Int63() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Errorf("split streams collide %d/64 times", same)
+	}
+}
+
+func TestBernoulliEdges(t *testing.T) {
+	g := New(1)
+	for i := 0; i < 20; i++ {
+		if g.Bernoulli(0) {
+			t.Fatal("Bernoulli(0) returned true")
+		}
+		if !g.Bernoulli(1) {
+			t.Fatal("Bernoulli(1) returned false")
+		}
+		if g.Bernoulli(-0.5) || !g.Bernoulli(1.5) {
+			t.Fatal("out-of-range p mishandled")
+		}
+	}
+}
+
+func TestBernoulliFrequency(t *testing.T) {
+	g := New(3)
+	const n = 200000
+	hits := 0
+	for i := 0; i < n; i++ {
+		if g.Bernoulli(0.3) {
+			hits++
+		}
+	}
+	p := float64(hits) / n
+	if math.Abs(p-0.3) > 0.01 {
+		t.Errorf("Bernoulli(0.3) frequency = %.4f", p)
+	}
+}
+
+func TestCategoricalDistribution(t *testing.T) {
+	g := New(11)
+	w := []float64{1, 0, 3, 6}
+	counts := make([]int, len(w))
+	const n = 300000
+	for i := 0; i < n; i++ {
+		counts[g.Categorical(w)]++
+	}
+	if counts[1] != 0 {
+		t.Errorf("zero-weight category drawn %d times", counts[1])
+	}
+	for i, want := range []float64{0.1, 0, 0.3, 0.6} {
+		got := float64(counts[i]) / n
+		if math.Abs(got-want) > 0.01 {
+			t.Errorf("category %d frequency = %.4f, want %.2f", i, got, want)
+		}
+	}
+}
+
+func TestCategoricalDegenerate(t *testing.T) {
+	g := New(5)
+	if got := g.Categorical(nil); got != -1 {
+		t.Errorf("Categorical(nil) = %d", got)
+	}
+	if got := g.Categorical([]float64{0, 0}); got != -1 {
+		t.Errorf("Categorical(zeros) = %d", got)
+	}
+	if got := g.Categorical([]float64{-1, 2}); got != 1 {
+		t.Errorf("Categorical(neg,pos) = %d", got)
+	}
+}
+
+func TestAliasMatchesWeights(t *testing.T) {
+	g := New(13)
+	w := []float64{2, 5, 0, 1, 2}
+	a := NewAlias(w)
+	if a == nil {
+		t.Fatal("NewAlias returned nil")
+	}
+	if a.Len() != len(w) {
+		t.Fatalf("Len = %d", a.Len())
+	}
+	counts := make([]int, len(w))
+	const n = 500000
+	for i := 0; i < n; i++ {
+		counts[a.Draw(g)]++
+	}
+	if counts[2] != 0 {
+		t.Errorf("zero-weight drawn %d times", counts[2])
+	}
+	total := 10.0
+	for i, wi := range w {
+		got := float64(counts[i]) / n
+		want := wi / total
+		if math.Abs(got-want) > 0.01 {
+			t.Errorf("alias index %d frequency = %.4f, want %.2f", i, got, want)
+		}
+	}
+}
+
+func TestAliasDegenerate(t *testing.T) {
+	if NewAlias(nil) != nil {
+		t.Error("NewAlias(nil) non-nil")
+	}
+	if NewAlias([]float64{0, 0}) != nil {
+		t.Error("NewAlias(zeros) non-nil")
+	}
+	a := NewAlias([]float64{0, 0, 4})
+	g := New(17)
+	for i := 0; i < 100; i++ {
+		if a.Draw(g) != 2 {
+			t.Fatal("single-mass alias drew wrong index")
+		}
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	g := New(19)
+	p := g.Perm(10)
+	seen := make([]bool, 10)
+	for _, v := range p {
+		if v < 0 || v >= 10 || seen[v] {
+			t.Fatalf("bad permutation %v", p)
+		}
+		seen[v] = true
+	}
+}

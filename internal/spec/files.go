@@ -1,0 +1,41 @@
+package spec
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"sampleunion/internal/relation"
+)
+
+// DirLoader returns a Loader reading CSV files relative to dir,
+// rejecting paths that escape it.
+func DirLoader(dir string) Loader {
+	return func(name, file string) (*relation.Relation, error) {
+		clean := filepath.Clean(file)
+		if filepath.IsAbs(clean) || strings.HasPrefix(clean, "..") {
+			return nil, fmt.Errorf("file %q escapes data directory", file)
+		}
+		f, err := os.Open(filepath.Join(dir, clean))
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return relation.ReadCSV(f, name)
+	}
+}
+
+// ParseFile parses a spec file with relations loaded from the file's
+// directory (or dataDir when non-empty).
+func ParseFile(path, dataDir string) (*Union, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	if dataDir == "" {
+		dataDir = filepath.Dir(path)
+	}
+	return Parse(f, DirLoader(dataDir))
+}

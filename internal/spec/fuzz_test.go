@@ -1,0 +1,50 @@
+package spec
+
+import (
+	"strings"
+	"testing"
+
+	"sampleunion/internal/relation"
+)
+
+// FuzzParse checks the parser never panics and either errors or yields
+// a well-formed union on arbitrary input.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"rel A a.csv\nrel B b.csv\nchain J1 A K B\n",
+		"rel A a.csv\nfilter A K >= 2\nchain J1 A\n",
+		"rel A a.csv\nrel B b.csv\nrel C c.csv\ntree J1 B ; A B K ; C B Y\n",
+		"rel B b.csv\nrel C c.csv\nrel T t.csv\ncyclic J1 B C T ; B C Y ; C T Z ; T B K\n",
+		"# only a comment\n",
+		"rel A a.csv\nchain J1 A K\n",
+		";;;;",
+		"tree J1 ;",
+		"cyclic J1 ; ;",
+		"filter",
+		"rel \x00 a.csv",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	fix := fixtures()
+	f.Fuzz(func(t *testing.T, src string) {
+		u, err := Parse(strings.NewReader(src), memLoader(fix))
+		if err != nil {
+			return
+		}
+		if len(u.Joins) == 0 {
+			t.Fatal("nil-error parse with no joins")
+		}
+		for _, j := range u.Joins {
+			if j.OutputSchema().Len() == 0 {
+				t.Fatalf("join %s has empty output schema", j.Name())
+			}
+			// The join must be executable without panicking.
+			var n int
+			j.Enumerate(func(relation.Tuple) bool {
+				n++
+				return n < 100
+			})
+		}
+	})
+}

@@ -1,0 +1,200 @@
+package spec
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"sampleunion/internal/relation"
+)
+
+// memLoader serves fixed relations regardless of file name.
+func memLoader(rels map[string]*relation.Relation) Loader {
+	return func(name, file string) (*relation.Relation, error) {
+		r, ok := rels[file]
+		if !ok {
+			return nil, fmt.Errorf("no fixture %q", file)
+		}
+		return r, nil
+	}
+}
+
+func fixtures() map[string]*relation.Relation {
+	return map[string]*relation.Relation{
+		"a.csv": relation.MustFromTuples("", relation.NewSchema("K", "X"), []relation.Tuple{
+			{1, 10}, {2, 20}, {3, 30},
+		}),
+		"b.csv": relation.MustFromTuples("", relation.NewSchema("K", "Y"), []relation.Tuple{
+			{1, 7}, {2, 8}, {2, 9},
+		}),
+		"c.csv": relation.MustFromTuples("", relation.NewSchema("Y", "Z"), []relation.Tuple{
+			{7, 70}, {8, 80},
+		}),
+		"t.csv": relation.MustFromTuples("", relation.NewSchema("Z", "K"), []relation.Tuple{
+			{70, 1}, {80, 2},
+		}),
+	}
+}
+
+func TestParseChain(t *testing.T) {
+	src := `
+# a two-relation chain
+rel A a.csv
+rel B b.csv
+chain J1 A K B
+`
+	u, err := Parse(strings.NewReader(src), memLoader(fixtures()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(u.Joins) != 1 {
+		t.Fatalf("joins = %d", len(u.Joins))
+	}
+	if got := u.Joins[0].Count(); got != 3 {
+		t.Fatalf("J1 count = %d, want 3", got)
+	}
+}
+
+func TestParseFilter(t *testing.T) {
+	src := `
+rel A a.csv
+rel B b.csv
+filter B Y >= 8
+chain J1 A K B
+`
+	u, err := Parse(strings.NewReader(src), memLoader(fixtures()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := u.Joins[0].Count(); got != 2 { // (2,20,8) and (2,20,9)
+		t.Fatalf("filtered count = %d, want 2", got)
+	}
+}
+
+func TestParseTree(t *testing.T) {
+	src := `
+rel A a.csv
+rel B b.csv
+rel C c.csv
+tree J1 B ; A B K ; C B Y
+`
+	u, err := Parse(strings.NewReader(src), memLoader(fixtures()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	j := u.Joins[0]
+	if j.IsChain() {
+		// B has two children: not a chain.
+		t.Error("tree parsed as chain")
+	}
+	// Rows of B: (1,7): A(1) x C(7) = 1; (2,8): A(2) x C(8) = 1; (2,9): no C.
+	if got := j.Count(); got != 2 {
+		t.Fatalf("tree count = %d, want 2", got)
+	}
+}
+
+func TestParseCyclic(t *testing.T) {
+	src := `
+rel B b.csv
+rel C c.csv
+rel T t.csv
+cyclic J1 B C T ; B C Y ; C T Z ; T B K
+`
+	u, err := Parse(strings.NewReader(src), memLoader(fixtures()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	j := u.Joins[0]
+	if !j.IsCyclic() {
+		t.Error("cyclic join has no residual")
+	}
+	// Triangles: (K=1,Y=7,Z=70) and (K=2,Y=8,Z=80).
+	if got := j.Count(); got != 2 {
+		t.Fatalf("cyclic count = %d, want 2", got)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		"bogus X",                                         // unknown statement
+		"rel A",                                           // rel arity
+		"rel A a.csv\nrel A a.csv",                        // duplicate relation
+		"rel A missing.csv",                               // loader failure
+		"rel A a.csv\nfilter A K ~ 1",                     // bad operator
+		"rel A a.csv\nfilter A K = x",                     // bad value
+		"rel A a.csv\nfilter Z K = 1",                     // unknown relation in filter
+		"rel A a.csv\nfilter A Q = 1",                     // unknown attribute
+		"rel A a.csv\nchain J1 A K",                       // chain arity
+		"rel A a.csv\nchain J1 A K Z",                     // unknown relation in chain
+		"rel A a.csv\ntree J1 A",                          // tree with no edges
+		"rel A a.csv\nrel B b.csv\ntree J1 A ; B Z K",     // unknown parent
+		"rel B b.csv\ncyclic J1 B ; B B Y",                // self edge rejected by join
+		"rel A a.csv",                                     // no joins
+		"rel A a.csv\nrel B b.csv\nchain J1 A Q B",        // join attr missing
+		"rel A a.csv\nrel B b.csv\ntree J1 A ; B A",       // short edge group
+		"rel B b.csv\nrel C c.csv\ncyclic J1 B C ; B Z Y", // edge names unknown relation
+	}
+	for _, src := range cases {
+		if _, err := Parse(strings.NewReader(src), memLoader(fixtures())); err == nil {
+			t.Errorf("spec accepted:\n%s", src)
+		}
+	}
+}
+
+func TestCommentsAndWhitespace(t *testing.T) {
+	src := "\n\n# comment only\nrel A a.csv # trailing\nrel B b.csv\n\nchain J1 A K B\n"
+	u, err := Parse(strings.NewReader(src), memLoader(fixtures()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(u.Joins) != 1 {
+		t.Fatalf("joins = %d", len(u.Joins))
+	}
+}
+
+func TestSplitGroups(t *testing.T) {
+	got := splitGroups([]string{"a", "b;", "c", ";", "d;e"})
+	want := [][]string{{"a", "b"}, {"c"}, {"d"}, {"e"}}
+	if len(got) != len(want) {
+		t.Fatalf("groups = %v", got)
+	}
+	for i := range want {
+		if len(got[i]) != len(want[i]) {
+			t.Fatalf("group %d = %v, want %v", i, got[i], want[i])
+		}
+		for k := range want[i] {
+			if got[i][k] != want[i][k] {
+				t.Fatalf("group %d = %v, want %v", i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestParseFileWithDirLoader(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name, content string) {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write("a.csv", "K,X\n1,10\n2,20\n")
+	write("b.csv", "K,Y\n1,7\n2,8\n")
+	write("union.spec", "rel A a.csv\nrel B b.csv\nchain J1 A K B\n")
+	u, err := ParseFile(filepath.Join(dir, "union.spec"), "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := u.Joins[0].Count(); got != 2 {
+		t.Fatalf("count = %d, want 2", got)
+	}
+	// Escaping paths are rejected.
+	write("evil.spec", "rel A ../a.csv\nchain J1 A\n")
+	if _, err := ParseFile(filepath.Join(dir, "evil.spec"), ""); err == nil {
+		t.Error("path escape accepted")
+	}
+	if _, err := ParseFile(filepath.Join(dir, "nope.spec"), ""); err == nil {
+		t.Error("missing spec accepted")
+	}
+}

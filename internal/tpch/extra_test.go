@@ -1,0 +1,132 @@
+package tpch
+
+import (
+	"testing"
+
+	"sampleunion/internal/core"
+	"sampleunion/internal/histest"
+	"sampleunion/internal/relation"
+	"sampleunion/internal/rng"
+)
+
+func TestUQ1NValidation(t *testing.T) {
+	if _, err := UQ1N(Config{SF: 0.2}, 0); err == nil {
+		t.Error("zero variants accepted")
+	}
+	w, err := UQ1N(Config{SF: 0.2, Seed: 1}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(w.Joins) != 2 {
+		t.Fatalf("joins = %d", len(w.Joins))
+	}
+}
+
+// TestUQ1AlignedChainsFastPath: UQ1's joins are equi-length chains with
+// identical schemas, so the histogram estimator must skip the template
+// machinery (§5.1 base case).
+func TestUQ1AlignedChainsFastPath(t *testing.T) {
+	w, err := UQ1N(Config{SF: 0.2, Seed: 1}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !histest.AlignedChains(w.Joins) {
+		t.Fatal("UQ1 variants not detected as aligned chains")
+	}
+	est, err := histest.New(w.Joins, histest.Options{Sizes: histest.SizeEO})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.TemplateUsed() != nil {
+		t.Error("UQ1 took the splitting path")
+	}
+}
+
+// TestUQ3RequiresTemplate: UQ3 joins have different schemas, so the
+// estimator must go through the splitting method.
+func TestUQ3RequiresTemplate(t *testing.T) {
+	w, err := UQ3(Config{SF: 0.3, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if histest.AlignedChains(w.Joins) {
+		t.Fatal("UQ3 misdetected as aligned chains")
+	}
+	est, err := histest.New(w.Joins, histest.Options{Sizes: histest.SizeEO})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.TemplateUsed() == nil {
+		t.Error("UQ3 skipped the template path")
+	}
+	if _, err := est.Estimate(); err != nil {
+		t.Fatalf("UQ3 estimation: %v", err)
+	}
+}
+
+// TestWorkloadsSampleable is the workload-level smoke test: every
+// workload supports every sampler configuration end to end.
+func TestWorkloadsSampleable(t *testing.T) {
+	ws, err := Workloads(Config{SF: 0.2, Overlap: 0.3, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, w := range ws {
+		for _, m := range []core.JoinMethod{core.MethodEW, core.MethodEO} {
+			s, err := core.NewCoverSampler(w.Joins, core.CoverConfig{
+				Method:    m,
+				Estimator: &core.HistogramEstimator{Joins: w.Joins},
+			})
+			if err != nil {
+				t.Fatalf("%s/%s: %v", name, m, err)
+			}
+			out, err := s.Sample(100, rng.New(3))
+			if err != nil {
+				t.Fatalf("%s/%s: %v", name, m, err)
+			}
+			ref := w.Joins[0].OutputSchema()
+			for _, tu := range out {
+				found := false
+				for _, j := range w.Joins {
+					if j.ContainsAligned(tu, ref) {
+						found = true
+						break
+					}
+				}
+				if !found {
+					t.Fatalf("%s/%s: sample %v outside union", name, m, tu)
+				}
+			}
+		}
+	}
+}
+
+// TestUQ2PredicatesActuallyFilter verifies the three UQ2 variants are
+// genuinely different relations, not aliases.
+func TestUQ2PredicatesActuallyFilter(t *testing.T) {
+	w, err := UQ2(Config{SF: 0.5, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sizes := map[int64]bool{}
+	for _, j := range w.Joins {
+		sizes[j.Count()] = true
+	}
+	if len(sizes) < 2 {
+		t.Error("UQ2 variants have identical sizes; predicates may be inert")
+	}
+	// Filtered relations are smaller than their sources.
+	g := NewGenerator(Config{SF: 0.5, Seed: 1})
+	fullPart := g.Part(0).Len()
+	qp := w.Joins[1] // the part-filtered variant
+	var partLen int
+	for _, n := range qp.Nodes() {
+		if n.Rel.Schema().Has("p_size") {
+			partLen = n.Rel.Len()
+		}
+	}
+	if partLen == 0 || partLen >= fullPart {
+		t.Errorf("part filter inert: %d of %d rows", partLen, fullPart)
+	}
+	_ = relation.True{}
+}

@@ -1,0 +1,149 @@
+package walkest
+
+import (
+	"math"
+	"testing"
+
+	"sampleunion/internal/join"
+	"sampleunion/internal/overlap"
+	"sampleunion/internal/relation"
+	"sampleunion/internal/rng"
+)
+
+// threeWayJoins builds three single-relation joins with a known
+// overlap structure over tuple values 0..99:
+//
+//	J0: 0..59, J1: 30..89, J2: 50..99
+//
+// so every subset's overlap is a simple interval intersection.
+func threeWayJoins(t *testing.T) []*join.Join {
+	t.Helper()
+	s := relation.NewSchema("V", "W")
+	mk := func(name string, lo, hi int) *join.Join {
+		r := relation.New(name+"_rel", s)
+		for v := lo; v < hi; v++ {
+			r.AppendValues(relation.Value(v), relation.Value(v*3))
+		}
+		j, err := join.NewChain(name, []*relation.Relation{r}, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return j
+	}
+	return []*join.Join{mk("J0", 0, 60), mk("J1", 30, 90), mk("J2", 50, 100)}
+}
+
+func TestStepJoinMasks(t *testing.T) {
+	joins := threeWayJoins(t)
+	e, err := New(joins, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := rng.New(51)
+	for i := 0; i < 4000; i++ {
+		e.StepJoin(0, g)
+	}
+	// Every observed mask must include bit 0 and match the interval
+	// structure: values < 30 -> 001; 30..49 -> 011; 50..59 -> 111.
+	for mask, w := range e.wByMask[0] {
+		if mask&1 == 0 {
+			t.Fatalf("anchor bit missing from mask %b", mask)
+		}
+		if w <= 0 {
+			t.Fatalf("non-positive weight for mask %b", mask)
+		}
+		switch mask {
+		case 0b001, 0b011, 0b111:
+		default:
+			t.Fatalf("impossible membership mask %b for the fixture", mask)
+		}
+	}
+	// Overlap estimates approximate interval sizes: |J0∩J1| = 30,
+	// |J0∩J2| = 10, |J0∩J1∩J2| = 10.
+	cases := []struct {
+		mask uint
+		want float64
+	}{
+		{0b011, 30}, {0b101, 10}, {0b111, 10},
+	}
+	for _, c := range cases {
+		got := e.OverlapEstimate(c.mask)
+		if math.Abs(got-c.want)/c.want > 0.2 {
+			t.Errorf("overlap(%b) = %.1f, want ~%.0f", c.mask, got, c.want)
+		}
+	}
+}
+
+func TestOverlapEstimateAnchorsOnSmallest(t *testing.T) {
+	joins := threeWayJoins(t)
+	e, err := New(joins, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Only join 1 has walks: a mask {1,2} anchored at join 1 works, a
+	// mask {0,1} anchored at join 0 has no observations yet.
+	g := rng.New(52)
+	for i := 0; i < 2000; i++ {
+		e.StepJoin(1, g)
+	}
+	if got := e.OverlapEstimate(0b110); got <= 0 {
+		t.Errorf("anchored-at-1 estimate = %f", got)
+	}
+	if got := e.OverlapEstimate(0b011); got != 0 {
+		t.Errorf("estimate without anchor walks = %f, want 0", got)
+	}
+	if got := e.OverlapEstimate(0); got != 0 {
+		t.Errorf("empty mask estimate = %f", got)
+	}
+}
+
+func TestTableAgainstExactOnThreeWay(t *testing.T) {
+	joins := threeWayJoins(t)
+	// Single-relation walks have zero size variance, so the confidence
+	// early-stop would fire at MinWalks; force the full budget so the
+	// overlap fractions converge too.
+	e, err := New(joins, Options{MaxWalks: 6000, TargetRel: 0.01, MinWalks: 6000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Warmup(rng.New(53))
+	tab, err := e.Table()
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact, exactUnion, err := overlap.Exact(joins)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exactUnion != 100 {
+		t.Fatalf("fixture union = %d", exactUnion)
+	}
+	full := uint(0b111)
+	for mask := uint(1); mask <= full; mask++ {
+		want := exact.Get(mask)
+		got := tab.Get(mask)
+		if want == 0 {
+			if got > 3 {
+				t.Errorf("overlap(%b) = %.1f, want ~0", mask, got)
+			}
+			continue
+		}
+		if math.Abs(got-want)/want > 0.2 {
+			t.Errorf("overlap(%b) = %.1f, want ~%.0f", mask, got, want)
+		}
+	}
+	if u := tab.UnionSize(); math.Abs(u-100) > 8 {
+		t.Errorf("union size = %.1f, want ~100", u)
+	}
+}
+
+func TestOptionsDefaults(t *testing.T) {
+	o := Options{}.withDefaults()
+	if o.MaxWalks != 1000 || o.Z != 1.645 || o.TargetRel != 0.1 || o.MinWalks != 64 {
+		t.Errorf("defaults = %+v", o)
+	}
+	o2 := Options{MaxWalks: 5, Z: 2, TargetRel: 0.5, MinWalks: 2}.withDefaults()
+	if o2.MaxWalks != 5 || o2.Z != 2 || o2.TargetRel != 0.5 || o2.MinWalks != 2 {
+		t.Errorf("explicit options overridden: %+v", o2)
+	}
+}

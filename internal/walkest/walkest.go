@@ -1,0 +1,310 @@
+// Package walkest implements the random-walk instantiation of the
+// union-sampling framework (§6): join sizes by Horvitz–Thompson
+// estimation over Wander-Join walks (§6.1), join overlaps from the
+// weighted fraction of one join's walk samples contained in the others
+// (§6.2), confidence intervals for both, and the retained sample pool
+// that the online sampler of §7 reuses.
+package walkest
+
+import (
+	"fmt"
+	"math"
+
+	"sampleunion/internal/join"
+	"sampleunion/internal/joinsample"
+	"sampleunion/internal/overlap"
+	"sampleunion/internal/relation"
+	"sampleunion/internal/rng"
+)
+
+// Sample is one successful walk retained for overlap estimation and
+// sample reuse: the result tuple and its walk probability p(t).
+type Sample struct {
+	Tuple relation.Tuple
+	P     float64
+}
+
+// JoinEstimate maintains the running Horvitz–Thompson estimate of one
+// join's size: over n walks (failed walks contributing 0), the mean of
+// 1/p(t) is an unbiased estimator of |J| (§6.1). Mean and variance are
+// tracked with Welford's algorithm so the estimate updates in O(1) per
+// walk, matching the paper's real-time update rule.
+type JoinEstimate struct {
+	J       *join.Join
+	walker  *joinsample.Walker
+	n       int
+	mean    float64
+	m2      float64
+	samples []Sample
+}
+
+// NewJoinEstimate prepares an empty estimate for j.
+func NewJoinEstimate(j *join.Join) *JoinEstimate {
+	return &JoinEstimate{J: j, walker: joinsample.NewWalker(j)}
+}
+
+// Step performs one wander-join walk and folds it into the estimate.
+// It returns the walk's sample when successful.
+func (e *JoinEstimate) Step(g *rng.RNG) (Sample, bool) {
+	t, p, ok := e.walker.Walk(g)
+	if !ok {
+		e.Observe(0)
+		return Sample{}, false
+	}
+	s := Sample{Tuple: t, P: p}
+	e.samples = append(e.samples, s)
+	e.Observe(1 / p)
+	return s, true
+}
+
+// Observe folds one Horvitz–Thompson observation (1/p for a successful
+// walk, 0 for a failed one) into the running mean and variance. The
+// online sampler calls it directly when it reuses its own draws to
+// refine parameters (§7).
+func (e *JoinEstimate) Observe(invP float64) {
+	e.n++
+	d := invP - e.mean
+	e.mean += d / float64(e.n)
+	e.m2 += d * (invP - e.mean)
+}
+
+// Walks reports the number of observations folded in so far.
+func (e *JoinEstimate) Walks() int { return e.n }
+
+// Size returns the current |J| estimate (0 before any walk).
+func (e *JoinEstimate) Size() float64 { return e.mean }
+
+// Variance returns the sample variance of the HT observations — the
+// T_{n,2} term of §6.2's variance expression.
+func (e *JoinEstimate) Variance() float64 {
+	if e.n < 2 {
+		return 0
+	}
+	return e.m2 / float64(e.n-1)
+}
+
+// HalfWidth returns the z·σ/√n confidence half-width of the size
+// estimate (§6.1).
+func (e *JoinEstimate) HalfWidth(z float64) float64 {
+	if e.n == 0 {
+		return math.Inf(1)
+	}
+	return z * math.Sqrt(e.Variance()) / math.Sqrt(float64(e.n))
+}
+
+// Samples returns the retained successful walks. The slice is shared:
+// the online sampler consumes it as the reuse pool.
+func (e *JoinEstimate) Samples() []Sample { return e.samples }
+
+// TakeSample removes and returns the sample at index i (order is not
+// preserved): sample reuse is without replacement (§7).
+func (e *JoinEstimate) TakeSample(i int) Sample {
+	s := e.samples[i]
+	last := len(e.samples) - 1
+	e.samples[i] = e.samples[last]
+	e.samples = e.samples[:last]
+	return s
+}
+
+// Options tune the warm-up phase.
+type Options struct {
+	// MaxWalks caps walks per join (paper: 1,000). Values <= 0 default
+	// to 1000.
+	MaxWalks int
+	// Z is the confidence multiplier (paper's 90% level: 1.645). Values
+	// <= 0 default to 1.645.
+	Z float64
+	// TargetRel stops walking a join early once the confidence
+	// half-width falls below TargetRel × size estimate. Values <= 0
+	// default to 0.1.
+	TargetRel float64
+	// MinWalks floors the walk count before the early-stop test.
+	// Values <= 0 default to 64.
+	MinWalks int
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxWalks <= 0 {
+		o.MaxWalks = 1000
+	}
+	if o.Z <= 0 {
+		o.Z = 1.645
+	}
+	if o.TargetRel <= 0 {
+		o.TargetRel = 0.1
+	}
+	if o.MinWalks <= 0 {
+		o.MinWalks = 64
+	}
+	return o
+}
+
+// Estimator runs the warm-up phase for a union of joins and produces
+// the overlap table. Overlap statistics are accumulated incrementally
+// as walks happen (a per-join map from membership bitmask to summed
+// 1/p weight), so they survive the online sampler consuming the reuse
+// pool.
+type Estimator struct {
+	joins   []*join.Join
+	ests    []*JoinEstimate
+	opts    Options
+	wByMask []map[uint]float64 // per join: membership mask -> Σ 1/p
+	wAll    []float64          // per join: Σ 1/p over successful walks
+}
+
+// New prepares a random-walk estimator over the joins.
+func New(joins []*join.Join, opts Options) (*Estimator, error) {
+	if len(joins) == 0 {
+		return nil, fmt.Errorf("walkest: no joins")
+	}
+	e := &Estimator{joins: joins, opts: opts.withDefaults()}
+	for _, j := range joins {
+		e.ests = append(e.ests, NewJoinEstimate(j))
+		e.wByMask = append(e.wByMask, make(map[uint]float64))
+		e.wAll = append(e.wAll, 0)
+	}
+	return e, nil
+}
+
+// JoinEstimates exposes the per-join estimates (for sample reuse and
+// for the online sampler's refinement loop).
+func (e *Estimator) JoinEstimates() []*JoinEstimate { return e.ests }
+
+// StepJoin performs one walk of join j, folding the result into both
+// the size estimate and the overlap counters (§6.2's containment check
+// against every other join's index).
+func (e *Estimator) StepJoin(j int, g *rng.RNG) (Sample, bool) {
+	s, ok := e.ests[j].Step(g)
+	if !ok {
+		return Sample{}, false
+	}
+	mask := uint(1) << uint(j)
+	schema := e.joins[j].OutputSchema()
+	for i := range e.joins {
+		if i == j {
+			continue
+		}
+		if e.joins[i].ContainsAligned(s.Tuple, schema) {
+			mask |= 1 << uint(i)
+		}
+	}
+	w := 1 / s.P
+	e.wByMask[j][mask] += w
+	e.wAll[j] += w
+	return s, true
+}
+
+// Warmup walks every join until its size confidence target is met or
+// the walk budget runs out (§6.1's termination rule).
+func (e *Estimator) Warmup(g *rng.RNG) {
+	for j, je := range e.ests {
+		for je.Walks() < e.opts.MaxWalks {
+			e.StepJoin(j, g)
+			if je.Walks() >= e.opts.MinWalks &&
+				je.Size() > 0 &&
+				je.HalfWidth(e.opts.Z) < e.opts.TargetRel*je.Size() {
+				break
+			}
+		}
+	}
+}
+
+// Table assembles the overlap table from the warm-up state: singleton
+// sizes from the HT estimates, each subset Δ from the §6.2 rule
+// |O_Δ| = |J_j| · (Σ_{t ∈ S_j ∩ all} 1/p(t)) / (Σ_{t ∈ S_j} 1/p(t))
+// anchored at the subset's smallest join index.
+func (e *Estimator) Table() (*overlap.Table, error) {
+	t, err := overlap.NewTable(len(e.joins))
+	if err != nil {
+		return nil, err
+	}
+	for i, je := range e.ests {
+		t.Set(1<<uint(i), je.Size())
+	}
+	full := uint(1)<<uint(len(e.joins)) - 1
+	for mask := uint(3); mask <= full; mask++ {
+		if mask&(mask-1) == 0 {
+			continue // singleton
+		}
+		t.Set(mask, e.OverlapEstimate(mask))
+	}
+	t.Normalize()
+	return t, nil
+}
+
+// OverlapEstimate computes the §6.2 overlap estimate for the subset
+// mask, anchoring on the smallest join index in the subset: the
+// weighted fraction of the anchor's walk samples contained in every
+// other join of the subset, scaled by the anchor's size estimate.
+func (e *Estimator) OverlapEstimate(mask uint) float64 {
+	anchor := -1
+	for i := range e.joins {
+		if mask&(1<<uint(i)) != 0 {
+			anchor = i
+			break
+		}
+	}
+	if anchor < 0 || e.wAll[anchor] == 0 {
+		return 0
+	}
+	var wIn float64
+	for m, w := range e.wByMask[anchor] {
+		if m&mask == mask {
+			wIn += w
+		}
+	}
+	return e.ests[anchor].Size() * wIn / e.wAll[anchor]
+}
+
+// OverlapHalfWidth evaluates the Eq. 3 confidence half-width for the
+// overlap of the subset mask: it combines the variance of the anchor's
+// size estimate (T_{n,2}) with the binomial variance of the contained
+// fraction p̂(1-p̂), assuming independence as the paper does.
+func (e *Estimator) OverlapHalfWidth(mask uint, z float64) float64 {
+	anchor := -1
+	for i := range e.joins {
+		if mask&(1<<uint(i)) != 0 {
+			anchor = i
+			break
+		}
+	}
+	if anchor < 0 {
+		return math.Inf(1)
+	}
+	je := e.ests[anchor]
+	if je.n == 0 || je.Size() == 0 {
+		return math.Inf(1)
+	}
+	est := e.OverlapEstimate(mask)
+	pHat := est / je.Size()
+	if pHat < 0 {
+		pHat = 0
+	}
+	if pHat > 1 {
+		pHat = 1
+	}
+	t2 := je.Variance()
+	tn := je.Size()
+	variance := t2*pHat*(1-pHat) + t2*pHat + tn*pHat*(1-pHat)
+	return z * math.Sqrt(variance/float64(je.n))
+}
+
+// Confidence reports the smallest relative confidence achieved across
+// the joins' size estimates: 1 - halfWidth/size, clamped to [0, 1]. The
+// online sampler uses it as the γ of Algorithm 2.
+func (e *Estimator) Confidence(z float64) float64 {
+	worst := 1.0
+	for _, je := range e.ests {
+		if je.Size() <= 0 {
+			return 0
+		}
+		c := 1 - je.HalfWidth(z)/je.Size()
+		if c < 0 {
+			c = 0
+		}
+		if c < worst {
+			worst = c
+		}
+	}
+	return worst
+}

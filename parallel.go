@@ -1,0 +1,138 @@
+package sampleunion
+
+import (
+	"fmt"
+	"sync"
+
+	"sampleunion/internal/core"
+	"sampleunion/internal/rng"
+)
+
+// Estimate is the warm-up parameter report: what the framework knows
+// about the union before sampling.
+type Estimate struct {
+	// JoinSizes are the per-join size estimates |J_j| (exact under
+	// WarmupExact, Horvitz–Thompson under WarmupRandomWalk, upper
+	// bounds under WarmupHistogram+MethodEO).
+	JoinSizes []float64
+	// CoverSizes are the |J'_j| of §3.1: the share of each join not
+	// covered by earlier joins. They sum to UnionSize.
+	CoverSizes []float64
+	// UnionSize is the estimated |J_1 ∪ ... ∪ J_n| (Eq. 1).
+	UnionSize float64
+}
+
+// Estimate runs the selected warm-up and reports the framework
+// parameters without sampling.
+func (u *Union) Estimate(o Options) (*Estimate, error) {
+	o = o.withDefaults()
+	p, err := u.estimator(o).Params(rng.New(o.Seed))
+	if err != nil {
+		return nil, err
+	}
+	return &Estimate{
+		JoinSizes:  append([]float64(nil), p.JoinSizes...),
+		CoverSizes: append([]float64(nil), p.Cover...),
+		UnionSize:  p.UnionSize,
+	}, nil
+}
+
+// SampleParallel draws n tuples using the given number of worker
+// goroutines. Samplers are not concurrency-safe, so each worker builds
+// its own sampler seeded from Options.Seed plus its index; every worker
+// stream is uniform and independent, hence so is their concatenation.
+// Warm-up runs once per worker — prefer WarmupHistogram or modest
+// WarmupWalks when workers are many.
+func (u *Union) SampleParallel(n, workers int, o Options) ([]Tuple, error) {
+	if workers <= 0 {
+		return nil, fmt.Errorf("sampleunion: workers must be positive, got %d", workers)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		out, _, err := u.Sample(n, o)
+		return out, err
+	}
+	o = o.withDefaults()
+	u.prewarm()
+	per := n / workers
+	parts := make([][]Tuple, workers)
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		w := w
+		count := per
+		if w == workers-1 {
+			count = n - per*(workers-1)
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			opts := o
+			opts.Seed = o.Seed + int64(w)*1_000_003
+			out, _, err := u.sampleOne(count, opts)
+			parts[w], errs[w] = out, err
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	out := make([]Tuple, 0, n)
+	for _, p := range parts {
+		out = append(out, p...)
+	}
+	return out, nil
+}
+
+// prewarm forces every lazily built shared structure — per-attribute
+// hash indexes and membership maps — so concurrent workers only read
+// them. Relations and joins cache these without locks by design; the
+// warm-up here is what makes the read-only sharing safe.
+func (u *Union) prewarm() {
+	for _, j := range u.joins {
+		probe := make(Tuple, u.OutputSchema().Len())
+		j.ContainsAligned(probe, u.OutputSchema())
+		for _, n := range j.Nodes() {
+			for a := 0; a < n.Rel.Arity(); a++ {
+				n.Rel.Index(a)
+			}
+		}
+	}
+}
+
+// sampleOne is Sample without re-applying defaults (used by the
+// parallel driver, which already derived per-worker seeds).
+func (u *Union) sampleOne(n int, o Options) ([]Tuple, *Stats, error) {
+	g := rng.New(o.Seed)
+	if o.Online {
+		s, err := core.NewOnlineSampler(u.joins, core.OnlineConfig{
+			WarmupWalks: o.WarmupWalks,
+			Oracle:      o.Oracle,
+		})
+		if err != nil {
+			return nil, nil, err
+		}
+		out, err := s.Sample(n, g)
+		if err != nil {
+			return nil, nil, err
+		}
+		return out, s.Stats(), nil
+	}
+	s, err := core.NewCoverSampler(u.joins, core.CoverConfig{
+		Method:    core.JoinMethod(o.Method),
+		Estimator: u.estimator(o),
+		Oracle:    o.Oracle,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	out, err := s.Sample(n, g)
+	if err != nil {
+		return nil, nil, err
+	}
+	return out, s.Stats(), nil
+}

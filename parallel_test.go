@@ -1,0 +1,86 @@
+package sampleunion
+
+import (
+	"testing"
+)
+
+func TestEstimateReport(t *testing.T) {
+	u := demoUnion(t)
+	est, err := u.Estimate(Options{Warmup: WarmupExact})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(est.JoinSizes) != 2 || len(est.CoverSizes) != 2 {
+		t.Fatalf("report shapes: %+v", est)
+	}
+	if est.UnionSize != 90 {
+		t.Fatalf("UnionSize = %f, want 90", est.UnionSize)
+	}
+	sum := est.CoverSizes[0] + est.CoverSizes[1]
+	if sum != est.UnionSize {
+		t.Errorf("cover sum %f != union %f", sum, est.UnionSize)
+	}
+}
+
+func TestSampleParallel(t *testing.T) {
+	u := demoUnion(t)
+	out, err := u.SampleParallel(1000, 4, Options{
+		Warmup: WarmupExact, Method: MethodEW, Oracle: true, Seed: 10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 1000 {
+		t.Fatalf("got %d samples", len(out))
+	}
+	for _, tu := range out {
+		if !u.Contains(tu) {
+			t.Fatalf("parallel sample %v outside union", tu)
+		}
+	}
+}
+
+func TestSampleParallelRace(t *testing.T) {
+	// Exercised under -race in CI: many workers over shared joins with
+	// the oracle (membership maps) and EO (max-degree indexes).
+	u := demoUnion(t)
+	out, err := u.SampleParallel(400, 8, Options{
+		Warmup: WarmupHistogram, Method: MethodEO, Oracle: true, Seed: 11,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 400 {
+		t.Fatalf("got %d", len(out))
+	}
+	// Random-walk warm-up per worker plus the online sampler.
+	out, err = u.SampleParallel(400, 8, Options{
+		Warmup: WarmupRandomWalk, WarmupWalks: 100, Seed: 12,
+	})
+	if err != nil || len(out) != 400 {
+		t.Fatalf("random-walk parallel: %v, %d", err, len(out))
+	}
+	out, err = u.SampleParallel(400, 8, Options{Online: true, WarmupWalks: 100, Seed: 13})
+	if err != nil || len(out) != 400 {
+		t.Fatalf("online parallel: %v, %d", err, len(out))
+	}
+}
+
+func TestSampleParallelEdgeCases(t *testing.T) {
+	u := demoUnion(t)
+	if _, err := u.SampleParallel(10, 0, Options{}); err == nil {
+		t.Error("workers=0 accepted")
+	}
+	// workers > n clamps; workers == 1 falls back to Sample.
+	out, err := u.SampleParallel(3, 10, Options{Warmup: WarmupExact, Seed: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 3 {
+		t.Fatalf("got %d", len(out))
+	}
+	out, err = u.SampleParallel(5, 1, Options{Warmup: WarmupExact, Seed: 13})
+	if err != nil || len(out) != 5 {
+		t.Fatalf("workers=1: %v, %d", err, len(out))
+	}
+}

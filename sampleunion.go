@@ -1,0 +1,354 @@
+// Package sampleunion is the public API of the union-of-joins sampler:
+// a from-scratch Go implementation of "Sampling over Union of Joins"
+// (Liu, Xu, Nargesian; PVLDB 2023).
+//
+// Given a set of joins J_1 ... J_n with a common output schema, the
+// package draws independent random samples from their set union (each
+// distinct result tuple with probability 1/|J_1 ∪ ... ∪ J_n|) or their
+// disjoint union — without executing the joins or the union.
+//
+// Quick start:
+//
+//	customers := sampleunion.NewRelation("customers", sampleunion.NewSchema("custkey", "nationkey"))
+//	orders := sampleunion.NewRelation("orders", sampleunion.NewSchema("orderkey", "custkey"))
+//	// ... load tuples ...
+//	j1, _ := sampleunion.Chain("east", []*sampleunion.Relation{customers, orders}, []string{"custkey"})
+//	u, _ := sampleunion.NewUnion(j1, j2, j3)
+//	tuples, stats, _ := u.Sample(1000, sampleunion.Options{Seed: 42})
+//
+// The warm-up estimation method, the single-join sampling subroutine,
+// and the online (sample reuse + backtracking) mode are selected
+// through Options; see the examples/ directory for end-to-end
+// programs.
+package sampleunion
+
+import (
+	"fmt"
+
+	"sampleunion/internal/core"
+	"sampleunion/internal/histest"
+	"sampleunion/internal/join"
+	"sampleunion/internal/overlap"
+	"sampleunion/internal/relation"
+	"sampleunion/internal/rng"
+	"sampleunion/internal/walkest"
+)
+
+// Core data types, re-exported from the relational engine.
+type (
+	// Relation is an in-memory table with lazily built hash indexes.
+	Relation = relation.Relation
+	// Schema is an ordered list of attribute names.
+	Schema = relation.Schema
+	// Tuple is one row of values in schema order.
+	Tuple = relation.Tuple
+	// Value is the engine's scalar type; strings are interned through
+	// a Dictionary.
+	Value = relation.Value
+	// Dictionary interns strings to Values.
+	Dictionary = relation.Dictionary
+	// Predicate is a selection condition (see Cmp, And, Or, Not, In).
+	Predicate = relation.Predicate
+	// Join is an executable join query over base relations.
+	Join = join.Join
+	// Edge declares an equi-join between two relations for Cyclic.
+	Edge = join.Edge
+	// Stats instruments a sampling run (accept/reject counts, time
+	// breakdown).
+	Stats = core.Stats
+)
+
+// Predicate constructors, re-exported so selections (§8.3) are
+// expressible through the public API.
+type (
+	// Cmp compares an attribute against a constant.
+	Cmp = relation.Cmp
+	// And is a conjunction of predicates (empty = true).
+	And = relation.And
+	// Or is a disjunction of predicates (empty = false).
+	Or = relation.Or
+	// Not negates a predicate.
+	Not = relation.Not
+	// In tests membership of an attribute in a value set.
+	In = relation.In
+	// True always holds.
+	True = relation.True
+	// CmpOp is a comparison operator.
+	CmpOp = relation.CmpOp
+)
+
+// Comparison operators for Cmp.
+const (
+	EQ = relation.EQ
+	NE = relation.NE
+	LT = relation.LT
+	LE = relation.LE
+	GT = relation.GT
+	GE = relation.GE
+)
+
+// NewIn builds an In predicate over the given values.
+func NewIn(attr string, vals ...Value) In { return relation.NewIn(attr, vals...) }
+
+// NewSchema builds a schema from attribute names; see relation.NewSchema.
+func NewSchema(attrs ...string) *Schema { return relation.NewSchema(attrs...) }
+
+// NewRelation returns an empty relation with the given schema.
+func NewRelation(name string, schema *Schema) *Relation { return relation.New(name, schema) }
+
+// NewDictionary returns an empty string-interning dictionary.
+func NewDictionary() *Dictionary { return relation.NewDictionary() }
+
+// Chain builds the chain join rels[0] ⋈ rels[1] ⋈ ... where rels[i]
+// joins rels[i-1] on attrs[i-1].
+func Chain(name string, rels []*Relation, attrs []string) (*Join, error) {
+	return join.NewChain(name, rels, attrs)
+}
+
+// Tree builds an acyclic join from an explicit join tree: parent[i] is
+// the parent of rels[i] (-1 for the root at index 0) and attrs[i] the
+// shared join attribute.
+func Tree(name string, rels []*Relation, parent []int, attrs []string) (*Join, error) {
+	return join.NewTree(name, rels, parent, attrs)
+}
+
+// Cyclic builds a join from a general join graph, breaking cycles by
+// materializing a residual relation (§8.2 of the paper). residualSet
+// may be nil to choose the residual automatically.
+func Cyclic(name string, rels []*Relation, edges []Edge, residualSet []int) (*Join, error) {
+	return join.NewCyclic(name, rels, edges, residualSet)
+}
+
+// Warmup selects how the framework estimates join sizes, overlaps, and
+// the union size before sampling.
+type Warmup int
+
+const (
+	// WarmupHistogram uses column statistics only (§5): near-zero
+	// setup, upper-bound overlaps, suitable when data access is
+	// infeasible (data markets). Sampling efficiency suffers under
+	// skew.
+	WarmupHistogram Warmup = iota
+	// WarmupRandomWalk runs wander-join walks (§6): accurate unbiased
+	// estimates at the cost of warm-up walks; needs data access.
+	WarmupRandomWalk
+	// WarmupExact executes every join and computes exact parameters —
+	// the FullJoinUnion ground truth; exponential, for validation only.
+	WarmupExact
+)
+
+func (w Warmup) String() string {
+	switch w {
+	case WarmupRandomWalk:
+		return "random-walk"
+	case WarmupExact:
+		return "exact"
+	}
+	return "histogram"
+}
+
+// Method selects the single-join sampling subroutine (§3.2).
+type Method int
+
+const (
+	// MethodEW: exact weights, zero rejection, linear setup.
+	MethodEW Method = iota
+	// MethodEO: extended Olken bounds, cheap setup, rejection under skew.
+	MethodEO
+	// MethodWJ: wander-join walks thinned to uniform against the Olken
+	// bound; index-only setup, EO-like acceptance rate.
+	MethodWJ
+)
+
+// Options configure Union.Sample.
+type Options struct {
+	// Warmup selects the parameter estimation method (default
+	// WarmupRandomWalk).
+	Warmup Warmup
+	// Method selects the join subroutine (default MethodEW).
+	Method Method
+	// Online enables Algorithm 2: wander-join draws with sample reuse
+	// and backtracking parameter refinement.
+	Online bool
+	// WarmupWalks bounds warm-up walks per join for the random-walk
+	// and online modes. 0 means the default of 1000; a negative value
+	// disables warm-up walks entirely (online mode then starts from
+	// histogram parameters and refines purely on the fly).
+	WarmupWalks int
+	// Oracle uses exact membership tests for value-to-join assignment
+	// instead of the paper's dynamic record; exactly uniform from the
+	// first sample, but needs per-relation indexes.
+	Oracle bool
+	// Seed makes sampling reproducible (default 1).
+	Seed int64
+}
+
+func (o Options) withDefaults() Options {
+	if o.WarmupWalks == 0 {
+		o.WarmupWalks = 1000
+	}
+	if o.WarmupWalks < 0 {
+		o.WarmupWalks = 0
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	return o
+}
+
+// Union is a set of joins with a common output schema whose union is
+// sampled.
+type Union struct {
+	joins []*Join
+}
+
+// NewUnion validates that the joins share an output attribute set and
+// returns the union query.
+func NewUnion(joins ...*Join) (*Union, error) {
+	if len(joins) == 0 {
+		return nil, fmt.Errorf("sampleunion: no joins")
+	}
+	if len(joins) > overlap.MaxJoins {
+		return nil, fmt.Errorf("sampleunion: at most %d joins per union", overlap.MaxJoins)
+	}
+	ref := joins[0].OutputSchema()
+	for _, j := range joins[1:] {
+		s := j.OutputSchema()
+		if s.Len() != ref.Len() {
+			return nil, fmt.Errorf("sampleunion: join %s output arity %d, want %d", j.Name(), s.Len(), ref.Len())
+		}
+		for i := 0; i < ref.Len(); i++ {
+			if !s.Has(ref.Attr(i)) {
+				return nil, fmt.Errorf("sampleunion: join %s lacks output attribute %q", j.Name(), ref.Attr(i))
+			}
+		}
+	}
+	return &Union{joins: joins}, nil
+}
+
+// Joins returns the union's joins.
+func (u *Union) Joins() []*Join { return u.joins }
+
+// OutputSchema returns the schema sampled tuples use (the first join's
+// output schema; other joins are aligned to it by attribute name).
+func (u *Union) OutputSchema() *Schema { return u.joins[0].OutputSchema() }
+
+// estimator builds the core.Estimator for the options.
+func (u *Union) estimator(o Options) core.Estimator {
+	switch o.Warmup {
+	case WarmupRandomWalk:
+		return &core.RandomWalkEstimator{Joins: u.joins, Opts: walkest.Options{MaxWalks: o.WarmupWalks}}
+	case WarmupExact:
+		return &core.ExactEstimator{Joins: u.joins}
+	default:
+		sizes := histest.SizeEO
+		if o.Method == MethodEW {
+			sizes = histest.SizeEW
+		}
+		return &core.HistogramEstimator{Joins: u.joins, Opts: histest.Options{Sizes: sizes}}
+	}
+}
+
+// Sample draws n independent tuples (with replacement) from the set
+// union of the joins, each distinct result tuple with probability
+// 1/|U| under exact parameters (Theorem 1). It returns the samples in
+// OutputSchema order together with run statistics.
+func (u *Union) Sample(n int, o Options) ([]Tuple, *Stats, error) {
+	return u.sampleOne(n, o.withDefaults())
+}
+
+// SampleDisjoint draws n tuples from the disjoint union (Definition 1):
+// each result tuple with probability 1/(|J_1| + ... + |J_n|), counting
+// duplicates across joins separately.
+func (u *Union) SampleDisjoint(n int, o Options) ([]Tuple, *Stats, error) {
+	o = o.withDefaults()
+	s, err := core.NewDisjointSampler(u.joins, core.JoinMethod(o.Method))
+	if err != nil {
+		return nil, nil, err
+	}
+	out, err := s.Sample(n, rng.New(o.Seed))
+	if err != nil {
+		return nil, nil, err
+	}
+	return out, s.Stats(), nil
+}
+
+// EstimateUnionSize runs the selected warm-up and returns the
+// estimated |J_1 ∪ ... ∪ J_n| without executing the joins.
+func (u *Union) EstimateUnionSize(o Options) (float64, error) {
+	o = o.withDefaults()
+	p, err := u.estimator(o).Params(rng.New(o.Seed))
+	if err != nil {
+		return 0, err
+	}
+	return p.UnionSize, nil
+}
+
+// ExactUnionSize executes every join and returns the exact set-union
+// size — the expensive ground truth.
+func (u *Union) ExactUnionSize() (int, error) {
+	_, n, err := overlap.Exact(u.joins)
+	return n, err
+}
+
+// SampleWhere draws n samples satisfying the predicate, uniform over
+// the satisfying subset of the union — §8.3's sampling-time predicate
+// enforcement. Rejection adds a cost factor of |σ(U)|/|U|, so highly
+// selective predicates should be pushed down with PushDown instead.
+func (u *Union) SampleWhere(n int, pred Predicate, o Options) ([]Tuple, *Stats, error) {
+	o = o.withDefaults()
+	g := rng.New(o.Seed)
+	var s core.UnionSampler
+	if o.Online {
+		os, err := core.NewOnlineSampler(u.joins, core.OnlineConfig{
+			WarmupWalks: o.WarmupWalks,
+			Oracle:      o.Oracle,
+		})
+		if err != nil {
+			return nil, nil, err
+		}
+		s = os
+	} else {
+		cs, err := core.NewCoverSampler(u.joins, core.CoverConfig{
+			Method:    core.JoinMethod(o.Method),
+			Estimator: u.estimator(o),
+			Oracle:    o.Oracle,
+		})
+		if err != nil {
+			return nil, nil, err
+		}
+		s = cs
+	}
+	out, err := core.SampleWhere(s, u.OutputSchema(), pred, n, g, 0)
+	if err != nil {
+		return nil, nil, err
+	}
+	return out, s.Stats(), nil
+}
+
+// PushDown returns a new Union whose joins are filtered by the given
+// predicates pushed down to base relations — §8.3's preprocessing
+// alternative, the right choice for selective predicates.
+func (u *Union) PushDown(preds ...Predicate) (*Union, error) {
+	filtered := make([]*Join, len(u.joins))
+	for i, j := range u.joins {
+		fj, err := join.PushDown(j, preds...)
+		if err != nil {
+			return nil, err
+		}
+		filtered[i] = fj
+	}
+	return NewUnion(filtered...)
+}
+
+// Contains reports whether the tuple (in OutputSchema order) is a
+// result of at least one of the union's joins.
+func (u *Union) Contains(t Tuple) bool {
+	ref := u.OutputSchema()
+	for _, j := range u.joins {
+		if j.ContainsAligned(t, ref) {
+			return true
+		}
+	}
+	return false
+}

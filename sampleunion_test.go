@@ -1,0 +1,158 @@
+package sampleunion
+
+import (
+	"testing"
+)
+
+// demoUnion builds two small overlapping chain joins through the public
+// API only.
+func demoUnion(t *testing.T) *Union {
+	t.Helper()
+	mk := func(suffix string, lo, hi int) *Join {
+		a := NewRelation("cust_"+suffix, NewSchema("custkey", "nationkey"))
+		b := NewRelation("ord_"+suffix, NewSchema("orderkey", "custkey"))
+		for k := lo; k < hi; k++ {
+			a.AppendValues(Value(k), Value(k%5))
+			b.AppendValues(Value(k*10), Value(k))
+			b.AppendValues(Value(k*10+1), Value(k))
+		}
+		j, err := Chain("J_"+suffix, []*Relation{a, b}, []string{"custkey"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return j
+	}
+	u, err := NewUnion(mk("east", 0, 30), mk("west", 15, 45))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return u
+}
+
+func TestUnionSampleModes(t *testing.T) {
+	u := demoUnion(t)
+	exact, err := u.ExactUnionSize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exact != 90 { // 30+30 customers, 2 orders each, 15 shared
+		t.Fatalf("exact union = %d, want 90", exact)
+	}
+	cases := []Options{
+		{Warmup: WarmupExact, Method: MethodEW, Oracle: true, Seed: 1},
+		{Warmup: WarmupRandomWalk, Method: MethodEW, Seed: 2},
+		{Warmup: WarmupHistogram, Method: MethodEO, Seed: 3},
+		{Online: true, WarmupWalks: 300, Seed: 4},
+	}
+	for _, o := range cases {
+		out, stats, err := u.Sample(500, o)
+		if err != nil {
+			t.Fatalf("%+v: %v", o, err)
+		}
+		if len(out) != 500 {
+			t.Fatalf("%+v: got %d samples", o, len(out))
+		}
+		if stats.Accepted < 500 {
+			t.Errorf("%+v: accepted = %d", o, stats.Accepted)
+		}
+		for _, tu := range out {
+			if !u.Contains(tu) {
+				t.Fatalf("%+v: sample %v outside union", o, tu)
+			}
+		}
+	}
+}
+
+func TestUnionSampleDisjoint(t *testing.T) {
+	u := demoUnion(t)
+	out, stats, err := u.SampleDisjoint(300, Options{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 300 || stats.Accepted != 300 {
+		t.Fatalf("disjoint: %d samples, %d accepted", len(out), stats.Accepted)
+	}
+}
+
+func TestUnionEstimateSize(t *testing.T) {
+	u := demoUnion(t)
+	exact, _ := u.ExactUnionSize()
+	est, err := u.EstimateUnionSize(Options{Warmup: WarmupRandomWalk, WarmupWalks: 3000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel := (est - float64(exact)) / float64(exact); rel > 0.1 || rel < -0.1 {
+		t.Errorf("random-walk union estimate %.1f vs exact %d", est, exact)
+	}
+	// Histogram estimate is bound-based: it must be positive and at
+	// least the largest join's lower bound behavior is covered by the
+	// internal packages; here just check it runs.
+	if _, err := u.EstimateUnionSize(Options{Warmup: WarmupHistogram}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNewUnionValidation(t *testing.T) {
+	if _, err := NewUnion(); err == nil {
+		t.Error("empty union accepted")
+	}
+	a := NewRelation("a", NewSchema("x"))
+	a.AppendValues(1)
+	b := NewRelation("b", NewSchema("y"))
+	b.AppendValues(1)
+	ja, _ := Chain("JA", []*Relation{a}, nil)
+	jb, _ := Chain("JB", []*Relation{b}, nil)
+	if _, err := NewUnion(ja, jb); err == nil {
+		t.Error("mismatched schemas accepted")
+	}
+}
+
+func TestWarmupStrings(t *testing.T) {
+	if WarmupHistogram.String() != "histogram" ||
+		WarmupRandomWalk.String() != "random-walk" ||
+		WarmupExact.String() != "exact" {
+		t.Error("warmup names wrong")
+	}
+}
+
+func TestCyclicThroughPublicAPI(t *testing.T) {
+	r := NewRelation("R", NewSchema("A", "B"))
+	s := NewRelation("S", NewSchema("B", "C"))
+	w := NewRelation("W", NewSchema("C", "A"))
+	for i := 0; i < 10; i++ {
+		r.AppendValues(Value(i), Value(i+100))
+		s.AppendValues(Value(i+100), Value(i+200))
+		w.AppendValues(Value(i+200), Value(i))
+	}
+	j, err := Cyclic("tri", []*Relation{r, s, w},
+		[]Edge{{A: 0, B: 1, Attr: "B"}, {A: 1, B: 2, Attr: "C"}, {A: 2, B: 0, Attr: "A"}}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u, err := NewUnion(j)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, _, err := u.Sample(50, Options{Warmup: WarmupExact, Oracle: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tu := range out {
+		if !u.Contains(tu) {
+			t.Fatalf("cyclic sample %v invalid", tu)
+		}
+	}
+}
+
+func TestMethodWJThroughAPI(t *testing.T) {
+	u := demoUnion(t)
+	out, _, err := u.Sample(300, Options{Warmup: WarmupRandomWalk, Method: MethodWJ, Seed: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tu := range out {
+		if !u.Contains(tu) {
+			t.Fatalf("WJ sample outside union")
+		}
+	}
+}
