@@ -2,8 +2,6 @@ package sampleunion
 
 import (
 	"sampleunion/internal/aqp"
-	"sampleunion/internal/core"
-	"sampleunion/internal/rng"
 )
 
 // AggResult is an approximate-aggregate estimate with its confidence
@@ -17,32 +15,33 @@ const DefaultZ = 1.96
 // ApproxCount estimates COUNT(*) WHERE pred over the set union from n
 // uniform samples — the approximate-query-answering use case of the
 // paper's introduction. One warm-up serves both the |U| estimate and
-// the sampling run.
+// the sampling run; to serve many aggregates from the same warm-up,
+// Prepare a Session and use its Approx* methods.
 func (u *Union) ApproxCount(pred Predicate, n int, o Options) (AggResult, error) {
-	samples, unionSize, err := u.sampleWithSize(n, o)
+	s, err := u.prepare(o, false)
 	if err != nil {
 		return AggResult{}, err
 	}
-	return aqp.Count(samples, u.OutputSchema(), pred, unionSize, DefaultZ)
+	return s.ApproxCount(pred, n)
 }
 
 // ApproxSum estimates SUM(attr) WHERE pred over the set union.
 func (u *Union) ApproxSum(attr string, pred Predicate, n int, o Options) (AggResult, error) {
-	samples, unionSize, err := u.sampleWithSize(n, o)
+	s, err := u.prepare(o, false)
 	if err != nil {
 		return AggResult{}, err
 	}
-	return aqp.Sum(samples, u.OutputSchema(), attr, pred, unionSize, DefaultZ)
+	return s.ApproxSum(attr, pred, n)
 }
 
 // ApproxAvg estimates AVG(attr) WHERE pred over the set union. AVG is
 // a ratio estimator, so |U| cancels and only the samples matter.
 func (u *Union) ApproxAvg(attr string, pred Predicate, n int, o Options) (AggResult, error) {
-	samples, _, err := u.Sample(n, o)
+	s, err := u.prepare(o, false)
 	if err != nil {
 		return AggResult{}, err
 	}
-	return aqp.Avg(samples, u.OutputSchema(), attr, pred, DefaultZ)
+	return s.ApproxAvg(attr, pred, n)
 }
 
 // GroupEstimate is one group of ApproxGroupCount.
@@ -52,43 +51,9 @@ type GroupEstimate = aqp.Group
 // union, descending by estimated group size. Groups rarer than about
 // |U|/n are expected to be missing from the result.
 func (u *Union) ApproxGroupCount(attr string, n int, o Options) ([]GroupEstimate, error) {
-	samples, unionSize, err := u.sampleWithSize(n, o)
+	s, err := u.prepare(o, false)
 	if err != nil {
 		return nil, err
 	}
-	return aqp.GroupCount(samples, u.OutputSchema(), attr, unionSize, DefaultZ)
-}
-
-// sampleWithSize draws n samples and returns them together with the
-// warm-up's |U| estimate, paying for one warm-up only.
-func (u *Union) sampleWithSize(n int, o Options) ([]Tuple, float64, error) {
-	o = o.withDefaults()
-	g := rng.New(o.Seed)
-	if o.Online {
-		s, err := core.NewOnlineSampler(u.joins, core.OnlineConfig{
-			WarmupWalks: o.WarmupWalks,
-			Oracle:      o.Oracle,
-		})
-		if err != nil {
-			return nil, 0, err
-		}
-		out, err := s.Sample(n, g)
-		if err != nil {
-			return nil, 0, err
-		}
-		return out, s.Params().UnionSize, nil
-	}
-	s, err := core.NewCoverSampler(u.joins, core.CoverConfig{
-		Method:    core.JoinMethod(o.Method),
-		Estimator: u.estimator(o),
-		Oracle:    o.Oracle,
-	})
-	if err != nil {
-		return nil, 0, err
-	}
-	out, err := s.Sample(n, g)
-	if err != nil {
-		return nil, 0, err
-	}
-	return out, s.Params().UnionSize, nil
+	return s.ApproxGroupCount(attr, n)
 }

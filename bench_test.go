@@ -11,6 +11,7 @@ package sampleunion
 // sub-second; the unionbench CLI runs full-scale sweeps.
 
 import (
+	"fmt"
 	"testing"
 
 	"sampleunion/internal/bench"
@@ -114,6 +115,73 @@ func BenchmarkDisjointSample(b *testing.B) {
 	}
 	if len(out) != b.N+1 {
 		b.Fatal("short sample")
+	}
+}
+
+// BenchmarkColdSample measures the pre-session shape: every query pays
+// the full warm-up (here random-walk estimation) before drawing its
+// samples. Compare with BenchmarkPreparedReuse.
+func BenchmarkColdSample(b *testing.B) {
+	u := benchUnion(b)
+	o := Options{Warmup: WarmupRandomWalk, WarmupWalks: 500, Method: MethodEW, Seed: 1}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out, _, err := u.Sample(100, o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(out) != 100 {
+			b.Fatal("short sample")
+		}
+	}
+}
+
+// BenchmarkPreparedReuse measures the session shape on the same
+// workload as BenchmarkColdSample: warm-up runs once at Prepare and
+// every iteration is one query at per-draw cost. The per-op gap to
+// BenchmarkColdSample is the amortized warm-up.
+func BenchmarkPreparedReuse(b *testing.B) {
+	u := benchUnion(b)
+	s, err := u.Prepare(Options{Warmup: WarmupRandomWalk, WarmupWalks: 500, Method: MethodEW, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out, _, err := s.Sample(100)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(out) != 100 {
+			b.Fatal("short sample")
+		}
+	}
+}
+
+// BenchmarkSessionParallel measures SampleParallel scaling over one
+// shared warm-up at 1/2/4/8 workers.
+func BenchmarkSessionParallel(b *testing.B) {
+	u := benchUnion(b)
+	s, err := u.Prepare(Options{Warmup: WarmupExact, Method: MethodEW, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				out, err := s.SampleParallel(800, workers)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(out) != 800 {
+					b.Fatal("short sample")
+				}
+			}
+		})
 	}
 }
 

@@ -3,10 +3,13 @@
 // CSV relations (see internal/spec for the format), writing them as
 // CSV.
 //
+// It prepares a sampling session once (one warm-up) and then draws; with
+// -workers > 1 the draw fans out over the shared session.
+//
 // Usage:
 //
 //	sampler -workload UQ1 -n 1000 -warmup random-walk -method EW
-//	sampler -spec union.spec -data ./data -n 1000
+//	sampler -spec union.spec -data ./data -n 1000 -workers 4
 package main
 
 import (
@@ -15,14 +18,9 @@ import (
 	"os"
 	"strconv"
 
-	"sampleunion/internal/core"
-	"sampleunion/internal/histest"
-	"sampleunion/internal/join"
-	"sampleunion/internal/relation"
-	"sampleunion/internal/rng"
+	"sampleunion"
 	"sampleunion/internal/spec"
 	"sampleunion/internal/tpch"
-	"sampleunion/internal/walkest"
 )
 
 func main() {
@@ -34,14 +32,15 @@ func main() {
 	ov := flag.Float64("overlap", 0.2, "overlap scale (built-in workloads)")
 	seed := flag.Int64("seed", 1, "random seed")
 	warmup := flag.String("warmup", "random-walk", "warm-up: histogram, random-walk, or exact")
-	method := flag.String("method", "EW", "join subroutine: EW or EO")
+	method := flag.String("method", "EW", "join subroutine: EW, EO, or WJ")
 	online := flag.Bool("online", false, "use the online sampler (Algorithm 2)")
+	workers := flag.Int("workers", 1, "parallel sampling workers sharing one warm-up")
 	showStats := flag.Bool("stats", true, "print run statistics to stderr")
 	flag.Parse()
 
-	joins, err := loadJoins(*specPath, *dataDir, *workload, *sf, *ov, *seed)
+	u, err := loadUnion(*specPath, *dataDir, *workload, *sf, *ov, *seed)
 	if err == nil {
-		err = run(joins, *n, *seed, *warmup, *method, *online, *showStats)
+		err = run(u, *n, *workers, options(*warmup, *method, *online, *seed), *showStats)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -49,13 +48,13 @@ func main() {
 	}
 }
 
-func loadJoins(specPath, dataDir, workload string, sf, ov float64, seed int64) ([]*join.Join, error) {
+func loadUnion(specPath, dataDir, workload string, sf, ov float64, seed int64) (*sampleunion.Union, error) {
 	if specPath != "" {
 		u, err := spec.ParseFile(specPath, dataDir)
 		if err != nil {
 			return nil, err
 		}
-		return u.Joins, nil
+		return sampleunion.NewUnion(u.Joins...)
 	}
 	ws, err := tpch.Workloads(tpch.Config{SF: sf, Overlap: ov, Seed: seed})
 	if err != nil {
@@ -65,61 +64,47 @@ func loadJoins(specPath, dataDir, workload string, sf, ov float64, seed int64) (
 	if !ok {
 		return nil, fmt.Errorf("unknown workload %q (UQ1, UQ2, UQ3)", workload)
 	}
-	return w.Joins, nil
+	return sampleunion.NewUnion(w.Joins...)
 }
 
-func run(joins []*join.Join, n int, seed int64, warmup, method string, online, showStats bool) error {
-	jm := core.MethodEW
-	if method == "EO" {
-		jm = core.MethodEO
+func options(warmup, method string, online bool, seed int64) sampleunion.Options {
+	o := sampleunion.Options{Online: online, Seed: seed}
+	switch warmup {
+	case "histogram":
+		o.Warmup = sampleunion.WarmupHistogram
+	case "exact":
+		o.Warmup = sampleunion.WarmupExact
+	default:
+		o.Warmup = sampleunion.WarmupRandomWalk
 	}
-	g := rng.New(seed)
+	switch method {
+	case "EO":
+		o.Method = sampleunion.MethodEO
+	case "WJ":
+		o.Method = sampleunion.MethodWJ
+	}
+	return o
+}
 
-	var out [][]int64
-	var stats *core.Stats
-	schema := joins[0].OutputSchema()
-	if online {
-		s, err := core.NewOnlineSampler(joins, core.OnlineConfig{WarmupWalks: 1000})
-		if err != nil {
-			return err
-		}
-		tuples, err := s.Sample(n, g)
-		if err != nil {
-			return err
-		}
-		for _, t := range tuples {
-			out = append(out, toInts(t))
-		}
-		stats = s.Stats()
+func run(u *sampleunion.Union, n, workers int, o sampleunion.Options, showStats bool) error {
+	s, err := u.Prepare(o)
+	if err != nil {
+		return err
+	}
+
+	var tuples []sampleunion.Tuple
+	var stats *sampleunion.Stats
+	if workers > 1 {
+		tuples, err = s.SampleParallel(n, workers)
 	} else {
-		var est core.Estimator
-		switch warmup {
-		case "histogram":
-			sizes := histest.SizeEO
-			if jm == core.MethodEW {
-				sizes = histest.SizeEW
-			}
-			est = &core.HistogramEstimator{Joins: joins, Opts: histest.Options{Sizes: sizes}}
-		case "exact":
-			est = &core.ExactEstimator{Joins: joins}
-		default:
-			est = &core.RandomWalkEstimator{Joins: joins, Opts: walkest.Options{MaxWalks: 1000}}
-		}
-		s, err := core.NewCoverSampler(joins, core.CoverConfig{Method: jm, Estimator: est})
-		if err != nil {
-			return err
-		}
-		tuples, err := s.Sample(n, g)
-		if err != nil {
-			return err
-		}
-		for _, t := range tuples {
-			out = append(out, toInts(t))
-		}
-		stats = s.Stats()
+		tuples, stats, err = s.Sample(n)
+	}
+	if err != nil {
+		return err
 	}
 
 	// Header then rows as CSV.
+	schema := s.OutputSchema()
 	for i := 0; i < schema.Len(); i++ {
 		if i > 0 {
 			fmt.Print(",")
@@ -127,25 +112,21 @@ func run(joins []*join.Join, n int, seed int64, warmup, method string, online, s
 		fmt.Print(schema.Attr(i))
 	}
 	fmt.Println()
-	for _, row := range out {
-		for i, v := range row {
+	for _, t := range tuples {
+		for i, v := range t {
 			if i > 0 {
 				fmt.Print(",")
 			}
-			fmt.Print(strconv.FormatInt(v, 10))
+			fmt.Print(strconv.FormatInt(int64(v), 10))
 		}
 		fmt.Println()
 	}
 	if showStats {
-		fmt.Fprintln(os.Stderr, stats)
+		fmt.Fprintf(os.Stderr, "warmup=%v |U|≈%.0f", s.WarmupTime(), s.UnionSize())
+		if stats != nil {
+			fmt.Fprintf(os.Stderr, " %v", stats)
+		}
+		fmt.Fprintln(os.Stderr)
 	}
 	return nil
-}
-
-func toInts(t relation.Tuple) []int64 {
-	out := make([]int64, len(t))
-	for i, v := range t {
-		out[i] = int64(v)
-	}
-	return out
 }

@@ -16,10 +16,17 @@ import (
 func main() {
 	u := buildUnion()
 
+	// One prepared session serves every sampling-time predicate below:
+	// the warm-up runs once, each SampleWhere call only pays draws.
+	s, err := u.Prepare(sampleunion.Options{Seed: 3})
+	if err != nil {
+		log.Fatal(err)
+	}
+
 	// A broad predicate: about half the union qualifies. Rejection at
 	// sampling time is cheap.
 	broad := sampleunion.Cmp{Attr: "price", Op: sampleunion.LT, Val: 500}
-	tuples, stats, err := u.SampleWhere(1000, broad, sampleunion.Options{Seed: 3})
+	tuples, stats, err := s.SampleWhere(1000, broad)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -45,8 +52,9 @@ func main() {
 		selective, size, len(tuples2), stats2.TotalDraws)
 
 	// The same selective predicate via rejection would need ~|U|/|σ(U)|
-	// draws per sample — run it with a small budget to show the cost.
-	_, stats3, err := u.SampleWhere(20, selective, sampleunion.Options{Seed: 5})
+	// draws per sample — run it on the shared session with a small
+	// budget to show the cost.
+	_, stats3, err := s.SampleWhere(20, selective)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -36,8 +36,15 @@ func main() {
 	}
 	fmt.Printf("union size: estimated %.0f, exact %d\n", est, exact)
 
+	// Prepare a session: the warm-up (parameter estimation, sampler
+	// setup) runs once here, and every draw afterwards is cheap.
+	s, err := u.Prepare(sampleunion.Options{Seed: 42})
+	if err != nil {
+		log.Fatal(err)
+	}
+
 	// Draw 10 uniform samples from the set union.
-	tuples, stats, err := u.Sample(10, sampleunion.Options{Seed: 42})
+	tuples, stats, err := s.Sample(10)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -46,6 +53,24 @@ func main() {
 		fmt.Println(" ", t)
 	}
 	fmt.Println("stats:", stats)
+
+	// The same session serves more queries without repaying the
+	// warm-up: another batch, a parallel draw, an aggregate.
+	more, _, err := s.Sample(5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	parallel, err := s.SampleParallel(1000, 4) // one warm-up total
+	if err != nil {
+		log.Fatal(err)
+	}
+	count, err := s.ApproxCount(
+		sampleunion.Cmp{Attr: "segment", Op: sampleunion.EQ, Val: 1}, 2000)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("same session: +%d samples, %d in parallel, COUNT(segment=1) ≈ %.0f ± %.0f (warm-up paid once: %v)\n",
+		len(more), len(parallel), count.Value, count.HalfWidth, s.WarmupTime())
 }
 
 // buildRegion creates a customers ⋈ orders chain join for one region.

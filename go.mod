@@ -1,0 +1,3 @@
+module sampleunion
+
+go 1.24

@@ -1,0 +1,129 @@
+package bench
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"sampleunion/internal/core"
+	"sampleunion/internal/tpch"
+	"sampleunion/internal/walkest"
+)
+
+// PreparedAmortization quantifies the prepared-session split: the same
+// query stream served by cold starts (one full warm-up per query — the
+// pre-session behavior of the public API) vs a single shared warm-up
+// with per-draw-cost runs, and parallel sampling with one warm-up per
+// worker vs one warm-up total. The speedup column is the refactor's
+// win on any workload issuing more than one query per union.
+func PreparedAmortization(o Options) (*Result, error) {
+	o = o.withDefaults()
+	res := &Result{
+		Name:   "prepared-session amortization: cold starts vs one shared warm-up",
+		Figure: "prepared",
+		Note:   "rows 1: q sequential queries; rows 2: parallel draw with per-worker vs shared warm-up",
+		Header: []string{"queries", "workers", "cold_ms", "prepared_ms", "speedup"},
+	}
+	w, err := tpch.UQ1(tpch.Config{SF: o.SF, Overlap: o.Overlap, Seed: o.Seed})
+	if err != nil {
+		return nil, err
+	}
+	cfg := core.CoverConfig{
+		Method: core.MethodEW,
+		Estimator: &core.RandomWalkEstimator{
+			Joins: w.Joins,
+			Opts:  walkest.Options{MaxWalks: 500},
+		},
+	}
+	coldOne := func(stream int64, n int) error {
+		p, err := core.PrepareCover(w.Joins, cfg, core.NewRunRNG(o.Seed, stream))
+		if err != nil {
+			return err
+		}
+		_, err = p.NewRun().Sample(n, core.NewRunRNG(o.Seed, stream+1))
+		return err
+	}
+
+	queries := []int{1, 4, 16}
+	if o.Quick {
+		queries = []int{1, 4}
+	}
+	for _, q := range queries {
+		start := time.Now()
+		for i := 0; i < q; i++ {
+			if err := coldOne(int64(2*i), o.Samples); err != nil {
+				return nil, err
+			}
+		}
+		cold := time.Since(start)
+
+		start = time.Now()
+		p, err := core.PrepareCover(w.Joins, cfg, core.NewRunRNG(o.Seed, 0))
+		if err != nil {
+			return nil, err
+		}
+		for i := 0; i < q; i++ {
+			if _, err := p.NewRun().Sample(o.Samples, core.NewRunRNG(o.Seed, int64(i+1))); err != nil {
+				return nil, err
+			}
+		}
+		prepared := time.Since(start)
+		res.Add(fmt.Sprintf("%d", q), "1", ms(cold), ms(prepared),
+			fmt.Sprintf("%.2f", float64(cold)/float64(prepared)))
+	}
+
+	workerSweep := []int{1, 2, 4, 8}
+	if o.Quick {
+		workerSweep = []int{1, 4}
+	}
+	for _, workers := range workerSweep {
+		// Pre-session behavior: every worker pays its own warm-up.
+		start := time.Now()
+		if err := inParallel(workers, func(i int) error {
+			return coldOne(int64(2*i), o.Samples/workers)
+		}); err != nil {
+			return nil, err
+		}
+		perWorker := time.Since(start)
+
+		// Session behavior: one warm-up, workers share the prepared state.
+		start = time.Now()
+		p, err := core.PrepareCover(w.Joins, cfg, core.NewRunRNG(o.Seed, 0))
+		if err != nil {
+			return nil, err
+		}
+		core.Prewarm(p)
+		if err := inParallel(workers, func(i int) error {
+			_, err := p.NewRun().Sample(o.Samples/workers, core.NewRunRNG(o.Seed, int64(i+1)))
+			return err
+		}); err != nil {
+			return nil, err
+		}
+		shared := time.Since(start)
+		res.Add(fmt.Sprintf("%d", o.Samples), fmt.Sprintf("%d", workers),
+			ms(perWorker), ms(shared),
+			fmt.Sprintf("%.2f", float64(perWorker)/float64(shared)))
+	}
+	return res, nil
+}
+
+// inParallel runs fn(0..workers-1) concurrently and returns the first
+// error.
+func inParallel(workers int, fn func(i int) error) error {
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			errs[i] = fn(i)
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -149,6 +149,7 @@ func Experiments() []struct {
 		{"ablation-oracle", AblationOracle},
 		{"ablation-bernoulli", AblationBernoulli},
 		{"scale-joins", ScaleJoins},
+		{"prepared", PreparedAmortization},
 	}
 }
 

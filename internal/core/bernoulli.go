@@ -9,25 +9,35 @@ import (
 	"sampleunion/internal/rng"
 )
 
-// DisjointSampler implements Definition 1: sampling the disjoint union
-// J_1 ⊎ ... ⊎ J_n. A join is selected proportionally to its size
-// instantiation and one tuple is drawn from it; under EW the selection
-// weights are exact sizes, under EO they are Olken bounds whose
-// rejection rates re-normalize exactly (an accepted draw lands on any
-// particular result with probability 1/Σ_j bound_j regardless of join).
-type DisjointSampler struct {
+// DisjointShared is the prepared state of Definition 1's disjoint-union
+// sampler: the per-join subroutine samplers and the size-proportional
+// selection table. It is immutable and safe to share between any number
+// of concurrent runs created with NewRun.
+type DisjointShared struct {
 	base  *unionBase
 	alias *rng.Alias
-	stats Stats
 }
 
-// NewDisjointSampler builds a disjoint-union sampler.
-func NewDisjointSampler(joins []*join.Join, method JoinMethod) (*DisjointSampler, error) {
+// PrepareDisjoint builds the shared state of a disjoint-union sampler.
+// Disjoint sampling needs no estimator warm-up: selection weights come
+// from the subroutine samplers' own size knowledge.
+func PrepareDisjoint(joins []*join.Join, method JoinMethod) (*DisjointShared, error) {
 	base, err := newUnionBase(joins, method)
 	if err != nil {
 		return nil, err
 	}
-	weights := make([]float64, len(joins))
+	return newDisjointShared(base)
+}
+
+// PrepareDisjointFrom builds a disjoint-union sampler over the joins
+// and subroutine samplers already prepared for a set-union sampler,
+// avoiding a second subroutine setup (EW weight tables, indexes).
+func PrepareDisjointFrom(p PreparedSampler) (*DisjointShared, error) {
+	return newDisjointShared(p.unionBase())
+}
+
+func newDisjointShared(base *unionBase) (*DisjointShared, error) {
+	weights := make([]float64, len(base.joins))
 	for i, s := range base.samplers {
 		weights[i] = s.SizeEstimate()
 	}
@@ -35,7 +45,33 @@ func NewDisjointSampler(joins []*join.Join, method JoinMethod) (*DisjointSampler
 	if alias == nil {
 		return nil, fmt.Errorf("core: all joins are empty")
 	}
-	return &DisjointSampler{base: base, alias: alias}, nil
+	return &DisjointShared{base: base, alias: alias}, nil
+}
+
+// NewRun returns a fresh sampling run (its own Stats) over the shared
+// prepared state.
+func (p *DisjointShared) NewRun() *DisjointSampler {
+	return &DisjointSampler{shared: p}
+}
+
+// DisjointSampler is one run of Definition 1's sampler: a join is
+// selected proportionally to its size instantiation and one tuple is
+// drawn from it; under EW the selection weights are exact sizes, under
+// EO they are Olken bounds whose rejection rates re-normalize exactly
+// (an accepted draw lands on any particular result with probability
+// 1/Σ_j bound_j regardless of join).
+type DisjointSampler struct {
+	shared *DisjointShared
+	stats  Stats
+}
+
+// NewDisjointSampler builds a disjoint-union sampler.
+func NewDisjointSampler(joins []*join.Join, method JoinMethod) (*DisjointSampler, error) {
+	shared, err := PrepareDisjoint(joins, method)
+	if err != nil {
+		return nil, err
+	}
+	return shared.NewRun(), nil
 }
 
 // Stats returns the run's instrumentation.
@@ -48,14 +84,14 @@ func (s *DisjointSampler) Sample(n int, g *rng.RNG) ([]relation.Tuple, error) {
 	for len(out) < n {
 		start := time.Now()
 		s.stats.TotalDraws++
-		j := s.alias.Draw(g)
-		t, ok := s.base.samplers[j].Sample(g)
+		j := s.shared.alias.Draw(g)
+		t, ok := s.shared.base.samplers[j].Sample(g)
 		if !ok {
 			s.stats.JoinRejects++
 			s.stats.RejectTime += time.Since(start)
 			continue
 		}
-		out = append(out, s.base.aligned(j, t).Clone())
+		out = append(out, s.shared.base.aligned(j, t).Clone())
 		s.stats.Accepted++
 		d := time.Since(start)
 		s.stats.AcceptTime += d

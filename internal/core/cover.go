@@ -37,30 +37,37 @@ type resultEntry struct {
 	tuple relation.Tuple
 }
 
-// CoverSampler implements Algorithm 1: join selection proportional to
-// cover sizes |J'_j|/|U|, uniform sampling inside the selected join
-// with redraws until the draw lands in the join's cover region, and
-// revision when a value turns out to belong to an earlier join.
-//
-// On the redraw semantics: Theorem 1's proof takes the probability of a
-// value u given its cover join as 1/|J'_j|; redrawing within the
-// selected join until acceptance is what realizes that conditional, so
-// this implementation redraws within the join (counting every draw in
-// Stats.TotalDraws, the Theorem 2 cost unit).
-type CoverSampler struct {
-	base    *unionBase
-	cfg     CoverConfig
-	params  *Params
-	alias   *rng.Alias
-	record  map[string]int
-	result  []resultEntry
-	stats   Stats
-	warmed  bool
-	maxDraw int
+// CoverShared is the prepared state of Algorithm 1: the per-join
+// subroutine samplers, the warm-up parameters, and the join-selection
+// alias table. After warm-up it is immutable and therefore safe to
+// share between any number of concurrent runs created with NewRun —
+// the split that lets one expensive warm-up serve many cheap draws.
+type CoverShared struct {
+	base       *unionBase
+	cfg        CoverConfig
+	params     *Params
+	alias      *rng.Alias
+	maxDraw    int
+	warmupTime time.Duration
+	warmed     bool
 }
 
-// NewCoverSampler builds an Algorithm 1 sampler over the joins.
-func NewCoverSampler(joins []*join.Join, cfg CoverConfig) (*CoverSampler, error) {
+// PrepareCover builds the shared state for Algorithm 1 and runs the
+// warm-up estimation exactly once, drawing warm-up randomness from g.
+// The result is read-only: hand each sampling run its own RNG via
+// NewRun.
+func PrepareCover(joins []*join.Join, cfg CoverConfig, g *rng.RNG) (*CoverShared, error) {
+	p, err := newCoverShared(joins, cfg)
+	if err != nil {
+		return nil, err
+	}
+	if err := p.warm(g); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+func newCoverShared(joins []*join.Join, cfg CoverConfig) (*CoverShared, error) {
 	if cfg.Estimator == nil {
 		return nil, fmt.Errorf("core: CoverConfig.Estimator is required")
 	}
@@ -72,37 +79,94 @@ func NewCoverSampler(joins []*join.Join, cfg CoverConfig) (*CoverSampler, error)
 	if maxDraw <= 0 {
 		maxDraw = 256
 	}
-	return &CoverSampler{
-		base:    base,
-		cfg:     cfg,
-		record:  make(map[string]int),
-		maxDraw: maxDraw,
-	}, nil
+	return &CoverShared{base: base, cfg: cfg, maxDraw: maxDraw}, nil
 }
 
-// Warmup runs the estimator and prepares the join-selection
-// distribution (line 1-2 of Algorithm 1). It is idempotent.
-func (s *CoverSampler) Warmup(g *rng.RNG) error {
-	if s.warmed {
+// warm runs the estimator and prepares the join-selection distribution
+// (lines 1-2 of Algorithm 1). Idempotent; not safe for concurrent use —
+// it runs before the shared state is published to runs.
+func (p *CoverShared) warm(g *rng.RNG) error {
+	if p.warmed {
 		return nil
 	}
 	start := time.Now()
-	p, err := s.cfg.Estimator.Params(g)
+	params, err := p.cfg.Estimator.Params(g)
 	if err != nil {
 		return err
 	}
-	s.params = p
-	s.alias = rng.NewAlias(p.Cover)
-	s.stats.WarmupTime += time.Since(start)
-	if s.alias == nil {
+	p.params = params
+	p.alias = rng.NewAlias(params.Cover)
+	p.warmupTime = time.Since(start)
+	if p.alias == nil {
 		return fmt.Errorf("core: estimated cover is all-zero; union appears empty")
 	}
-	s.warmed = true
+	p.warmed = true
+	return nil
+}
+
+// Params returns the warm-up parameters (nil before warm-up).
+func (p *CoverShared) Params() *Params { return p.params }
+
+// WarmupTime reports how long the one-time warm-up took.
+func (p *CoverShared) WarmupTime() time.Duration { return p.warmupTime }
+
+// NewRun returns a fresh sampling run over the shared prepared state:
+// its own value-to-join record, result buffer, and Stats. Runs are
+// independent; any number may sample concurrently as long as each uses
+// its own RNG.
+func (p *CoverShared) NewRun() Run {
+	return &CoverSampler{shared: p, record: make(map[string]int)}
+}
+
+func (p *CoverShared) unionBase() *unionBase { return p.base }
+
+// CoverSampler is one sampling run of Algorithm 1: join selection
+// proportional to cover sizes |J'_j|/|U|, uniform sampling inside the
+// selected join with redraws until the draw lands in the join's cover
+// region, and revision when a value turns out to belong to an earlier
+// join. All mutable state (record, result buffer, stats) is per-run;
+// the prepared state is shared and read-only.
+//
+// On the redraw semantics: Theorem 1's proof takes the probability of a
+// value u given its cover join as 1/|J'_j|; redrawing within the
+// selected join until acceptance is what realizes that conditional, so
+// this implementation redraws within the join (counting every draw in
+// Stats.TotalDraws, the Theorem 2 cost unit).
+type CoverSampler struct {
+	shared *CoverShared
+	record map[string]int
+	result []resultEntry
+	stats  Stats
+}
+
+// NewCoverSampler builds an Algorithm 1 sampler over the joins with its
+// own private prepared state, warmed lazily on first Sample. For the
+// one-warm-up/many-runs shape use PrepareCover + NewRun instead.
+func NewCoverSampler(joins []*join.Join, cfg CoverConfig) (*CoverSampler, error) {
+	shared, err := newCoverShared(joins, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &CoverSampler{shared: shared, record: make(map[string]int)}, nil
+}
+
+// Warmup runs the estimator and prepares the join-selection
+// distribution (line 1-2 of Algorithm 1). It is idempotent; when this
+// run triggered the warm-up (rather than inheriting a prepared one) the
+// cost is booked into its Stats.
+func (s *CoverSampler) Warmup(g *rng.RNG) error {
+	if s.shared.warmed {
+		return nil
+	}
+	if err := s.shared.warm(g); err != nil {
+		return err
+	}
+	s.stats.WarmupTime += s.shared.warmupTime
 	return nil
 }
 
 // Params returns the warm-up parameters (nil before Warmup).
-func (s *CoverSampler) Params() *Params { return s.params }
+func (s *CoverSampler) Params() *Params { return s.shared.params }
 
 // Stats returns the run's instrumentation.
 func (s *CoverSampler) Stats() *Stats { return &s.stats }
@@ -136,11 +200,11 @@ func (s *CoverSampler) drawOne(g *rng.RNG) error {
 		if selections > 64 {
 			return fmt.Errorf("core: cover sampler made no progress after %d join selections", selections)
 		}
-		j := s.alias.Draw(g)
-		for attempt := 0; attempt < s.maxDraw; attempt++ {
+		j := s.shared.alias.Draw(g)
+		for attempt := 0; attempt < s.shared.maxDraw; attempt++ {
 			start := time.Now()
 			s.stats.TotalDraws++
-			t, ok := s.base.samplers[j].Sample(g)
+			t, ok := s.shared.base.samplers[j].Sample(g)
 			if !ok {
 				s.stats.JoinRejects++
 				s.stats.RejectTime += time.Since(start)
@@ -161,10 +225,10 @@ func (s *CoverSampler) drawOne(g *rng.RNG) error {
 // acceptDraw applies lines 8-14 of Algorithm 1 to a tuple drawn from
 // join j; it reports whether the tuple entered the result.
 func (s *CoverSampler) acceptDraw(j int, t relation.Tuple) bool {
-	k := s.base.key(j, t)
+	k := s.shared.base.key(j, t)
 	assigned, seen := s.record[k]
-	if s.cfg.Oracle {
-		f := s.base.minContaining(j, t)
+	if s.shared.cfg.Oracle {
+		f := s.shared.base.minContaining(j, t)
 		s.record[k] = f
 		if f < j {
 			s.stats.RejectedDup++
@@ -186,7 +250,7 @@ func (s *CoverSampler) acceptDraw(j int, t relation.Tuple) bool {
 			s.record[k] = j
 		}
 	}
-	aligned := s.base.aligned(j, t).Clone()
+	aligned := s.shared.base.aligned(j, t).Clone()
 	s.result = append(s.result, resultEntry{key: k, tuple: aligned})
 	return true
 }

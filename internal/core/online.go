@@ -46,28 +46,40 @@ type onlineEntry struct {
 	prob  float64 // inclusion probability the tuple was accepted under
 }
 
-// OnlineSampler implements Algorithm 2: it initializes parameters with
-// the cheap histogram method, samples joins with wander-join walks
-// whose draws double as Horvitz–Thompson observations, reuses warm-up
-// samples with the l/(p(t)·|J_j|) acceptance correction (line 8), and
-// every Phi recorded probabilities re-estimates parameters and
-// backtracks previously accepted tuples to the new distribution (§7).
-type OnlineSampler struct {
-	base     *unionBase
-	cfg      OnlineConfig
-	walks    *walkest.Estimator
-	params   *Params
-	alias    *rng.Alias
-	record   map[string]int
-	result   []onlineEntry
-	stats    Stats
-	warmed   bool
-	recorded int
-	conf     float64
+// OnlineShared is the prepared state of Algorithm 2: the histogram
+// initialization plus warm-up walks, run exactly once. The master walk
+// estimator is frozen after warm-up; each run created with NewRun
+// receives its own clone of the Horvitz–Thompson and overlap state —
+// but not the warm-up sample pool: handing the same tuples to several
+// runs would correlate streams that must be independent, so prepared
+// runs start from the shared estimates and draw fresh walks. The §7
+// sample-reuse optimization remains available on the single-stream
+// path (NewOnlineSampler), where one run owns the pool.
+type OnlineShared struct {
+	base       *unionBase
+	cfg        OnlineConfig
+	walks      *walkest.Estimator
+	params     *Params
+	alias      *rng.Alias
+	warmupTime time.Duration
+	warmed     bool
 }
 
-// NewOnlineSampler builds an Algorithm 2 sampler over the joins.
-func NewOnlineSampler(joins []*join.Join, cfg OnlineConfig) (*OnlineSampler, error) {
+// PrepareOnline builds the shared state for Algorithm 2 and runs the
+// warm-up (histogram initialization + warm-up walks) exactly once,
+// drawing warm-up randomness from g.
+func PrepareOnline(joins []*join.Join, cfg OnlineConfig, g *rng.RNG) (*OnlineShared, error) {
+	p, err := newOnlineShared(joins, cfg)
+	if err != nil {
+		return nil, err
+	}
+	if err := p.warm(g); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+func newOnlineShared(joins []*join.Join, cfg OnlineConfig) (*OnlineShared, error) {
 	base, err := newUnionBase(joins, MethodEO)
 	if err != nil {
 		return nil, err
@@ -85,68 +97,166 @@ func NewOnlineSampler(joins []*join.Join, cfg OnlineConfig) (*OnlineSampler, err
 	if err != nil {
 		return nil, err
 	}
-	return &OnlineSampler{
-		base:   base,
-		cfg:    cfg,
-		walks:  walks,
-		record: make(map[string]int),
-	}, nil
+	return &OnlineShared{base: base, cfg: cfg, walks: walks}, nil
 }
 
-// Warmup initializes parameters: histogram first (cheap), then the
+// warm initializes parameters: histogram first (cheap), then the
 // configured number of warm-up walks whose samples seed the reuse pool.
-// Idempotent.
-func (s *OnlineSampler) Warmup(g *rng.RNG) error {
-	if s.warmed {
+// Idempotent; runs before the shared state is published to runs.
+func (p *OnlineShared) warm(g *rng.RNG) error {
+	if p.warmed {
 		return nil
 	}
 	start := time.Now()
-	hist := &HistogramEstimator{Joins: s.base.joins, Opts: s.cfg.HistOpts}
-	p, err := hist.Params(g)
+	hist := &HistogramEstimator{Joins: p.base.joins, Opts: p.cfg.HistOpts}
+	params, err := hist.Params(g)
 	if err != nil {
 		return err
 	}
-	s.params = p
-	if s.cfg.WarmupWalks > 0 {
-		for j, je := range s.walks.JoinEstimates() {
-			for je.Walks() < s.cfg.WarmupWalks {
-				s.walks.StepJoin(j, g)
+	p.params = params
+	if p.cfg.WarmupWalks > 0 {
+		for j, je := range p.walks.JoinEstimates() {
+			for je.Walks() < p.cfg.WarmupWalks {
+				p.walks.StepJoin(j, g)
 			}
 		}
-		if err := s.refreshParams(); err != nil {
+		if params, ok, err := paramsFromWalks(p.walks); err != nil {
 			return err
+		} else if ok {
+			p.params = params
 		}
 	}
-	s.alias = rng.NewAlias(s.params.Cover)
-	s.stats.WarmupTime += time.Since(start)
-	if s.alias == nil {
+	p.alias = rng.NewAlias(p.params.Cover)
+	p.warmupTime = time.Since(start)
+	if p.alias == nil {
 		return fmt.Errorf("core: estimated cover is all-zero; union appears empty")
 	}
-	s.warmed = true
+	p.warmed = true
 	return nil
 }
 
-// refreshParams rebuilds Params from the walk estimator when it has
-// observations, keeping histogram values otherwise.
-func (s *OnlineSampler) refreshParams() error {
-	for _, je := range s.walks.JoinEstimates() {
+// paramsFromWalks rebuilds Params from a walk estimator once every join
+// has observations; ok is false while any join is still unobserved (the
+// caller keeps its current parameters).
+func paramsFromWalks(walks *walkest.Estimator) (*Params, bool, error) {
+	for _, je := range walks.JoinEstimates() {
 		if je.Walks() == 0 {
-			return nil // keep histogram params until walks exist everywhere
+			return nil, false, nil
 		}
 	}
-	t, err := s.walks.Table()
+	t, err := walks.Table()
+	if err != nil {
+		return nil, false, err
+	}
+	return ParamsFromTable(t), true, nil
+}
+
+// Params returns the warm-up parameters (nil before warm-up).
+func (p *OnlineShared) Params() *Params { return p.params }
+
+// WarmupTime reports how long the one-time warm-up took.
+func (p *OnlineShared) WarmupTime() time.Duration { return p.warmupTime }
+
+// NewRun returns a fresh sampling run over the shared warm-up: its own
+// clone of the walk estimator's running estimates (pool excluded, see
+// the type comment), record, result buffer, and Stats. Runs are
+// independent and reproducible from their RNG; any number may sample
+// concurrently as long as each uses its own RNG.
+func (p *OnlineShared) NewRun() Run {
+	s := &OnlineSampler{shared: p, record: make(map[string]int)}
+	if p.warmed {
+		s.initFromShared(false)
+	}
+	return s
+}
+
+func (p *OnlineShared) unionBase() *unionBase { return p.base }
+
+// OnlineSampler is one run of Algorithm 2: it starts from the shared
+// warm-up parameters, samples joins with wander-join walks whose draws
+// double as Horvitz–Thompson observations, reuses warm-up samples with
+// the l/(p(t)·|J_j|) acceptance correction (line 8), and every Phi
+// recorded probabilities re-estimates parameters and backtracks
+// previously accepted tuples to the new distribution (§7). All mutable
+// state — the walk estimator clone, parameters under refinement, the
+// record, the result buffer, stats — is per-run.
+type OnlineSampler struct {
+	shared   *OnlineShared
+	walks    *walkest.Estimator
+	params   *Params
+	alias    *rng.Alias
+	record   map[string]int
+	result   []onlineEntry
+	stats    Stats
+	recorded int
+	conf     float64
+}
+
+// NewOnlineSampler builds an Algorithm 2 sampler over the joins with
+// its own private warm-up state, warmed lazily on first Sample. For the
+// one-warm-up/many-runs shape use PrepareOnline + NewRun instead.
+func NewOnlineSampler(joins []*join.Join, cfg OnlineConfig) (*OnlineSampler, error) {
+	shared, err := newOnlineShared(joins, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &OnlineSampler{shared: shared, record: make(map[string]int)}, nil
+}
+
+// initFromShared adopts the shared warm-up into this run: parameters
+// and alias by reference (replaced, never mutated, on refinement) and
+// the walk estimator by clone (its pool and running estimates mutate
+// with every draw). keepPool retains the warm-up sample pool — only
+// the single-stream path may do that; prepared runs drop it so streams
+// stay uncorrelated.
+func (s *OnlineSampler) initFromShared(keepPool bool) {
+	s.walks = s.shared.walks.Clone()
+	if !keepPool {
+		s.walks.DropSamples()
+	}
+	s.params = s.shared.params
+	s.alias = s.shared.alias
+}
+
+// Warmup ensures the shared warm-up ran and adopts it. Idempotent; when
+// this run triggered the warm-up (the single-stream path: it owns the
+// shared state, so it also keeps the reuse pool) the cost is booked
+// into its Stats.
+func (s *OnlineSampler) Warmup(g *rng.RNG) error {
+	if s.walks != nil {
+		return nil
+	}
+	if !s.shared.warmed {
+		if err := s.shared.warm(g); err != nil {
+			return err
+		}
+		s.stats.WarmupTime += s.shared.warmupTime
+		s.initFromShared(true)
+		return nil
+	}
+	s.initFromShared(false)
+	return nil
+}
+
+// refreshParams rebuilds Params from the run's walk estimator when it
+// has observations, keeping the current values otherwise.
+func (s *OnlineSampler) refreshParams() error {
+	params, ok, err := paramsFromWalks(s.walks)
 	if err != nil {
 		return err
 	}
-	s.params = ParamsFromTable(t)
-	s.alias = rng.NewAlias(s.params.Cover)
+	if !ok {
+		return nil // keep current params until walks exist everywhere
+	}
+	s.params = params
+	s.alias = rng.NewAlias(params.Cover)
 	if s.alias == nil {
 		return fmt.Errorf("core: refreshed cover is all-zero")
 	}
 	return nil
 }
 
-// Params returns the current parameters (nil before Warmup).
+// Params returns the run's current parameters (nil before Warmup).
 func (s *OnlineSampler) Params() *Params { return s.params }
 
 // Stats returns the run's instrumentation.
@@ -187,7 +297,7 @@ func (s *OnlineSampler) drawOne(g *rng.RNG) error {
 			return fmt.Errorf("core: online sampler made no progress after %d selections", selections)
 		}
 		j := s.alias.Draw(g)
-		for attempt := 0; attempt < s.cfg.MaxDrawsPerSelection; attempt++ {
+		for attempt := 0; attempt < s.shared.cfg.MaxDrawsPerSelection; attempt++ {
 			start := time.Now()
 			t, mult, reuse, ok := s.candidate(j, g)
 			if !ok {
@@ -282,9 +392,9 @@ func (s *OnlineSampler) instances(r float64, g *rng.RNG) int {
 // acceptValue applies the cover record / revision logic of Algorithm 1
 // to a candidate value of join j.
 func (s *OnlineSampler) acceptValue(j int, t relation.Tuple) bool {
-	k := s.base.key(j, t)
-	if s.cfg.Oracle {
-		f := s.base.minContaining(j, t)
+	k := s.shared.base.key(j, t)
+	if s.shared.cfg.Oracle {
+		f := s.shared.base.minContaining(j, t)
 		s.record[k] = f
 		return f == j
 	}
@@ -318,8 +428,8 @@ func (s *OnlineSampler) removeKey(k string) {
 // commit appends mult instances of the accepted tuple, recording the
 // inclusion probability they were accepted under for backtracking.
 func (s *OnlineSampler) commit(j int, t relation.Tuple, mult int) {
-	k := s.base.key(j, t)
-	aligned := s.base.aligned(j, t).Clone()
+	k := s.shared.base.key(j, t)
+	aligned := s.shared.base.aligned(j, t).Clone()
 	prob := s.inclusionProb(j)
 	for i := 0; i < mult; i++ {
 		s.result = append(s.result, onlineEntry{key: k, tuple: aligned, join: j, prob: prob})
@@ -339,7 +449,7 @@ func (s *OnlineSampler) inclusionProb(j int) float64 {
 // maybeBacktrack runs the §7 parameter update and backtracking pass
 // every Phi recorded probabilities while confidence is below Gamma.
 func (s *OnlineSampler) maybeBacktrack(g *rng.RNG) error {
-	if s.recorded < s.cfg.Phi || s.conf >= s.cfg.Gamma {
+	if s.recorded < s.shared.cfg.Phi || s.conf >= s.shared.cfg.Gamma {
 		return nil
 	}
 	s.recorded = 0
@@ -347,7 +457,7 @@ func (s *OnlineSampler) maybeBacktrack(g *rng.RNG) error {
 	if err := s.refreshParams(); err != nil {
 		return err
 	}
-	z := s.cfg.WalkOpts.Z
+	z := s.shared.cfg.WalkOpts.Z
 	if z <= 0 {
 		z = 1.645
 	}

@@ -1,0 +1,82 @@
+package core
+
+import (
+	"time"
+
+	"sampleunion/internal/relation"
+	"sampleunion/internal/rng"
+)
+
+// Run is one sampling run over a prepared set-union sampler. A run owns
+// all per-draw mutable state (RNG-driven stream position, value-to-join
+// record, result buffer, Stats, online refinement); the prepared state
+// behind it is shared and read-only. Runs from the same prepared
+// sampler may execute concurrently as long as each uses its own RNG.
+type Run interface {
+	UnionSampler
+	// Params returns the parameters the run currently samples under:
+	// the shared warm-up estimates, refined per-run in online mode.
+	Params() *Params
+}
+
+// PreparedSampler is the immutable product of a one-time warm-up: it
+// knows the estimated parameters and mints independent sampling runs.
+// CoverShared (Algorithm 1) and OnlineShared (Algorithm 2) implement it.
+type PreparedSampler interface {
+	// Params returns the warm-up parameter estimates.
+	Params() *Params
+	// WarmupTime reports how long the one-time warm-up took.
+	WarmupTime() time.Duration
+	// NewRun mints an independent sampling run over the shared state.
+	NewRun() Run
+
+	// unionBase exposes the shared join machinery so sibling samplers
+	// (PrepareDisjointFrom) can reuse it without a second setup.
+	unionBase() *unionBase
+}
+
+var (
+	_ PreparedSampler = (*CoverShared)(nil)
+	_ PreparedSampler = (*OnlineShared)(nil)
+	_ Run             = (*CoverSampler)(nil)
+	_ Run             = (*OnlineSampler)(nil)
+)
+
+// Prewarm forces every lazily built shared structure of the joins —
+// per-attribute hash indexes and membership maps — so that concurrent
+// runs only ever read them. Relations and joins cache these without
+// locks by design; forcing them during single-threaded preparation is
+// what makes the read-only sharing safe.
+func Prewarm(p PreparedSampler) {
+	base := p.unionBase()
+	for _, j := range base.joins {
+		probe := make(relation.Tuple, base.ref.Len())
+		j.ContainsAligned(probe, base.ref)
+		for _, n := range j.Nodes() {
+			for a := 0; a < n.Rel.Arity(); a++ {
+				n.Rel.Index(a)
+			}
+		}
+	}
+}
+
+// DeriveSeed maps a base seed and a stream index to a decorrelated RNG
+// seed using the SplitMix64 finalizer. Unlike additive schemes
+// (seed + i·constant), nearby base seeds and stream indexes can never
+// produce overlapping or collapsing streams: any change to either input
+// avalanches through the whole output.
+func DeriveSeed(base, stream int64) int64 {
+	z := uint64(base) + uint64(stream)*0x9E3779B97F4A7C15
+	z ^= z >> 30
+	z *= 0xBF58476D1CE4E5B9
+	z ^= z >> 27
+	z *= 0x94D049BB133111EB
+	z ^= z >> 31
+	return int64(z)
+}
+
+// NewRunRNG returns the RNG for stream index i of a prepared session
+// with the given base seed.
+func NewRunRNG(base, stream int64) *rng.RNG {
+	return rng.New(DeriveSeed(base, stream))
+}

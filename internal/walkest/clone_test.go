@@ -1,0 +1,65 @@
+package walkest
+
+import (
+	"testing"
+
+	"sampleunion/internal/rng"
+)
+
+// TestCloneIndependence: a clone starts from the warm-up's estimates
+// and pool, and diverges without touching the original — the property
+// the online sampler's one-warm-up/many-runs split relies on.
+func TestCloneIndependence(t *testing.T) {
+	joins := overlappingJoins(t)
+	e, err := New(joins, Options{MaxWalks: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Warmup(rng.New(1))
+
+	c := e.Clone()
+	for j, je := range e.ests {
+		if c.ests[j].Walks() != je.Walks() || c.ests[j].Size() != je.Size() {
+			t.Fatalf("join %d: clone estimate differs at birth", j)
+		}
+		if len(c.ests[j].Samples()) != len(je.Samples()) {
+			t.Fatalf("join %d: clone pool size %d, want %d",
+				j, len(c.ests[j].Samples()), len(je.Samples()))
+		}
+	}
+
+	// Drain the clone's pool and keep walking it; the original must not
+	// move.
+	wantWalks := e.ests[0].Walks()
+	wantPool := len(e.ests[0].Samples())
+	g := rng.New(2)
+	for len(c.ests[0].Samples()) > 0 {
+		c.ests[0].TakeSample(0)
+	}
+	for i := 0; i < 100; i++ {
+		c.StepJoin(0, g)
+	}
+	if e.ests[0].Walks() != wantWalks {
+		t.Fatalf("original walk count moved: %d -> %d", wantWalks, e.ests[0].Walks())
+	}
+	if len(e.ests[0].Samples()) != wantPool {
+		t.Fatalf("original pool drained by clone: %d -> %d", wantPool, len(e.ests[0].Samples()))
+	}
+	if c.ests[0].Walks() == wantWalks {
+		t.Fatal("clone did not accumulate its own walks")
+	}
+
+	// Overlap counters are independent too: the clone's extra walks must
+	// not perturb the original's table.
+	origTab, err := e.Table()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cloneTab, err := c.Table()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if origTab.UnionSize() == cloneTab.UnionSize() && c.wAll[0] == e.wAll[0] {
+		t.Fatal("clone shares overlap state with the original")
+	}
+}

@@ -170,6 +170,50 @@ func New(joins []*join.Join, opts Options) (*Estimator, error) {
 // for the online sampler's refinement loop).
 func (e *Estimator) JoinEstimates() []*JoinEstimate { return e.ests }
 
+// clone returns an independent copy of the estimate: the running
+// moments by value, the sample pool by slice copy (tuples themselves
+// are immutable and shared), and the stateless walker by reference.
+func (e *JoinEstimate) clone() *JoinEstimate {
+	c := *e
+	c.samples = append([]Sample(nil), e.samples...)
+	return &c
+}
+
+// DropSamples empties every reuse pool, keeping the size estimates and
+// overlap counters. Prepared sessions drop the pool from each run's
+// clone: sharing warm-up tuples across runs would correlate streams
+// that are documented as independent.
+func (e *Estimator) DropSamples() {
+	for _, je := range e.ests {
+		je.samples = nil
+	}
+}
+
+// Clone returns an independent deep copy of the estimator's mutable
+// state: per-join estimates, reuse pools, and overlap counters. The
+// online sampler clones a shared warm-up estimator per run, so
+// concurrent runs consume their own pools and refine their own
+// estimates without synchronization. Retained sample tuples are shared
+// read-only.
+func (e *Estimator) Clone() *Estimator {
+	c := &Estimator{
+		joins:   e.joins,
+		opts:    e.opts,
+		ests:    make([]*JoinEstimate, len(e.ests)),
+		wByMask: make([]map[uint]float64, len(e.wByMask)),
+		wAll:    append([]float64(nil), e.wAll...),
+	}
+	for i, je := range e.ests {
+		c.ests[i] = je.clone()
+		m := make(map[uint]float64, len(e.wByMask[i]))
+		for mask, w := range e.wByMask[i] {
+			m[mask] = w
+		}
+		c.wByMask[i] = m
+	}
+	return c
+}
+
 // StepJoin performs one walk of join j, folding the result into both
 // the size estimate and the overlap counters (§6.2's containment check
 // against every other join's index).

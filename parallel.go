@@ -1,10 +1,6 @@
 package sampleunion
 
 import (
-	"fmt"
-	"sync"
-
-	"sampleunion/internal/core"
 	"sampleunion/internal/rng"
 )
 
@@ -23,7 +19,8 @@ type Estimate struct {
 }
 
 // Estimate runs the selected warm-up and reports the framework
-// parameters without sampling.
+// parameters without sampling. A prepared Session caches this report;
+// Session.Estimate returns it without re-estimating.
 func (u *Union) Estimate(o Options) (*Estimate, error) {
 	o = o.withDefaults()
 	p, err := u.estimator(o).Params(rng.New(o.Seed))
@@ -38,101 +35,17 @@ func (u *Union) Estimate(o Options) (*Estimate, error) {
 }
 
 // SampleParallel draws n tuples using the given number of worker
-// goroutines. Samplers are not concurrency-safe, so each worker builds
-// its own sampler seeded from Options.Seed plus its index; every worker
-// stream is uniform and independent, hence so is their concatenation.
-// Warm-up runs once per worker — prefer WarmupHistogram or modest
-// WarmupWalks when workers are many.
+// goroutines. It prepares a Session (one warm-up total, shared by every
+// worker) and fans out over it: each worker samples its own
+// decorrelated stream of the prepared state, so worker streams are
+// uniform and independent, and hence so is their concatenation.
+//
+// SampleParallel is a prepare-then-call wrapper; callers issuing more
+// than one query should Prepare once and use Session.SampleParallel.
 func (u *Union) SampleParallel(n, workers int, o Options) ([]Tuple, error) {
-	if workers <= 0 {
-		return nil, fmt.Errorf("sampleunion: workers must be positive, got %d", workers)
-	}
-	if workers > n {
-		workers = n
-	}
-	if workers <= 1 {
-		out, _, err := u.Sample(n, o)
-		return out, err
-	}
-	o = o.withDefaults()
-	u.prewarm()
-	per := n / workers
-	parts := make([][]Tuple, workers)
-	errs := make([]error, workers)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		w := w
-		count := per
-		if w == workers-1 {
-			count = n - per*(workers-1)
-		}
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			opts := o
-			opts.Seed = o.Seed + int64(w)*1_000_003
-			out, _, err := u.sampleOne(count, opts)
-			parts[w], errs[w] = out, err
-		}()
-	}
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
-		}
-	}
-	out := make([]Tuple, 0, n)
-	for _, p := range parts {
-		out = append(out, p...)
-	}
-	return out, nil
-}
-
-// prewarm forces every lazily built shared structure — per-attribute
-// hash indexes and membership maps — so concurrent workers only read
-// them. Relations and joins cache these without locks by design; the
-// warm-up here is what makes the read-only sharing safe.
-func (u *Union) prewarm() {
-	for _, j := range u.joins {
-		probe := make(Tuple, u.OutputSchema().Len())
-		j.ContainsAligned(probe, u.OutputSchema())
-		for _, n := range j.Nodes() {
-			for a := 0; a < n.Rel.Arity(); a++ {
-				n.Rel.Index(a)
-			}
-		}
-	}
-}
-
-// sampleOne is Sample without re-applying defaults (used by the
-// parallel driver, which already derived per-worker seeds).
-func (u *Union) sampleOne(n int, o Options) ([]Tuple, *Stats, error) {
-	g := rng.New(o.Seed)
-	if o.Online {
-		s, err := core.NewOnlineSampler(u.joins, core.OnlineConfig{
-			WarmupWalks: o.WarmupWalks,
-			Oracle:      o.Oracle,
-		})
-		if err != nil {
-			return nil, nil, err
-		}
-		out, err := s.Sample(n, g)
-		if err != nil {
-			return nil, nil, err
-		}
-		return out, s.Stats(), nil
-	}
-	s, err := core.NewCoverSampler(u.joins, core.CoverConfig{
-		Method:    core.JoinMethod(o.Method),
-		Estimator: u.estimator(o),
-		Oracle:    o.Oracle,
-	})
+	s, err := u.Prepare(o)
 	if err != nil {
-		return nil, nil, err
+		return nil, err
 	}
-	out, err := s.Sample(n, g)
-	if err != nil {
-		return nil, nil, err
-	}
-	return out, s.Stats(), nil
+	return s.SampleParallel(n, workers)
 }

@@ -16,6 +16,20 @@
 //	u, _ := sampleunion.NewUnion(j1, j2, j3)
 //	tuples, stats, _ := u.Sample(1000, sampleunion.Options{Seed: 42})
 //
+// The paper splits the work into an expensive warm-up (join sizes,
+// covers, |U|) and cheap per-sample draws. To pay the warm-up once and
+// answer many queries, prepare a Session:
+//
+//	s, _ := u.Prepare(sampleunion.Options{Seed: 42})
+//	tuples, _, _ := s.Sample(1000)        // per-draw cost only
+//	count, _ := s.ApproxCount(pred, 5000) // same warm-up, new stream
+//
+// A Session is safe for concurrent use: the prepared state is shared
+// read-only and every call samples its own independent stream, so
+// Session.SampleParallel performs exactly one warm-up total no matter
+// how many workers it fans out to. The Union-level Sample/Approx*
+// methods remain as prepare-then-call wrappers for one-shot use.
+//
 // The warm-up estimation method, the single-join sampling subroutine,
 // and the online (sample reuse + backtracking) mode are selected
 // through Options; see the examples/ directory for end-to-end
@@ -179,8 +193,15 @@ type Options struct {
 	// instead of the paper's dynamic record; exactly uniform from the
 	// first sample, but needs per-relation indexes.
 	Oracle bool
-	// Seed makes sampling reproducible (default 1).
+	// Seed makes sampling reproducible (default 1). It seeds the
+	// warm-up, and a prepared Session derives a decorrelated per-call
+	// stream from it (see Session.SampleSeeded for explicit streams).
 	Seed int64
+
+	// testEstimator, when non-nil, overrides the Warmup selection with
+	// a caller-supplied estimator. Package tests use it to count
+	// estimator invocations; it is not part of the public API.
+	testEstimator core.Estimator
 }
 
 func (o Options) withDefaults() Options {
@@ -235,6 +256,9 @@ func (u *Union) OutputSchema() *Schema { return u.joins[0].OutputSchema() }
 
 // estimator builds the core.Estimator for the options.
 func (u *Union) estimator(o Options) core.Estimator {
+	if o.testEstimator != nil {
+		return o.testEstimator
+	}
 	switch o.Warmup {
 	case WarmupRandomWalk:
 		return &core.RandomWalkEstimator{Joins: u.joins, Opts: walkest.Options{MaxWalks: o.WarmupWalks}}
@@ -253,24 +277,41 @@ func (u *Union) estimator(o Options) core.Estimator {
 // union of the joins, each distinct result tuple with probability
 // 1/|U| under exact parameters (Theorem 1). It returns the samples in
 // OutputSchema order together with run statistics.
+//
+// Sample is a prepare-then-call wrapper: it pays the full warm-up on
+// every call. Callers issuing more than one query over the same union
+// should Prepare once and sample from the Session.
 func (u *Union) Sample(n int, o Options) ([]Tuple, *Stats, error) {
-	return u.sampleOne(n, o.withDefaults())
+	s, err := u.prepare(o, false)
+	if err != nil {
+		return nil, nil, err
+	}
+	out, stats, err := s.Sample(n)
+	if err != nil {
+		return nil, nil, err
+	}
+	stats.WarmupTime += s.WarmupTime()
+	return out, stats, nil
 }
 
 // SampleDisjoint draws n tuples from the disjoint union (Definition 1):
 // each result tuple with probability 1/(|J_1| + ... + |J_n|), counting
-// duplicates across joins separately.
+// duplicates across joins separately. Like Sample, it is a
+// prepare-then-call wrapper; prefer Session.SampleDisjoint when issuing
+// more than one query, since the disjoint sampler shares the session's
+// prepared subroutine samplers.
 func (u *Union) SampleDisjoint(n int, o Options) ([]Tuple, *Stats, error) {
 	o = o.withDefaults()
-	s, err := core.NewDisjointSampler(u.joins, core.JoinMethod(o.Method))
+	shared, err := core.PrepareDisjoint(u.joins, core.JoinMethod(o.Method))
 	if err != nil {
 		return nil, nil, err
 	}
-	out, err := s.Sample(n, rng.New(o.Seed))
+	run := shared.NewRun()
+	out, err := run.Sample(n, rng.New(core.DeriveSeed(o.Seed, 1)))
 	if err != nil {
 		return nil, nil, err
 	}
-	return out, s.Stats(), nil
+	return out, run.Stats(), nil
 }
 
 // EstimateUnionSize runs the selected warm-up and returns the
@@ -295,35 +336,20 @@ func (u *Union) ExactUnionSize() (int, error) {
 // the satisfying subset of the union — §8.3's sampling-time predicate
 // enforcement. Rejection adds a cost factor of |σ(U)|/|U|, so highly
 // selective predicates should be pushed down with PushDown instead.
+//
+// SampleWhere is a prepare-then-call wrapper; prefer Prepare +
+// Session.SampleWhere when issuing more than one query.
 func (u *Union) SampleWhere(n int, pred Predicate, o Options) ([]Tuple, *Stats, error) {
-	o = o.withDefaults()
-	g := rng.New(o.Seed)
-	var s core.UnionSampler
-	if o.Online {
-		os, err := core.NewOnlineSampler(u.joins, core.OnlineConfig{
-			WarmupWalks: o.WarmupWalks,
-			Oracle:      o.Oracle,
-		})
-		if err != nil {
-			return nil, nil, err
-		}
-		s = os
-	} else {
-		cs, err := core.NewCoverSampler(u.joins, core.CoverConfig{
-			Method:    core.JoinMethod(o.Method),
-			Estimator: u.estimator(o),
-			Oracle:    o.Oracle,
-		})
-		if err != nil {
-			return nil, nil, err
-		}
-		s = cs
-	}
-	out, err := core.SampleWhere(s, u.OutputSchema(), pred, n, g, 0)
+	s, err := u.prepare(o, false)
 	if err != nil {
 		return nil, nil, err
 	}
-	return out, s.Stats(), nil
+	out, stats, err := s.SampleWhere(n, pred)
+	if err != nil {
+		return nil, nil, err
+	}
+	stats.WarmupTime += s.WarmupTime()
+	return out, stats, nil
 }
 
 // PushDown returns a new Union whose joins are filtered by the given

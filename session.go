@@ -1,0 +1,302 @@
+package sampleunion
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"sampleunion/internal/aqp"
+	"sampleunion/internal/core"
+	"sampleunion/internal/rng"
+)
+
+// Session is a prepared sampler over a union of joins: the expensive
+// warm-up (parameter estimation, subroutine setup, index and membership
+// prewarming) has already run, exactly once, and every call afterwards
+// pays only per-draw cost. This is the preprocessing-then-answer-many-
+// queries shape: prepare once, then serve a stream of sampling and AQP
+// requests.
+//
+// A Session is safe for concurrent use. The prepared state is immutable;
+// each call mints its own sampling run with a private RNG stream, record,
+// and Stats. Auto-streamed methods (Sample, ApproxCount, ...) draw their
+// stream index from an atomic counter, so concurrent calls get distinct,
+// non-overlapping streams; use the *Seeded variants when a caller needs
+// a bit-reproducible stream regardless of call interleaving.
+type Session struct {
+	u        *Union
+	opts     Options
+	prepared core.PreparedSampler
+	est      Estimate
+	streams  atomic.Int64
+
+	// The disjoint-union sampler is built on first use: it needs no
+	// estimator, and most sessions never call SampleDisjoint.
+	disjointOnce sync.Once
+	disjoint     *core.DisjointShared
+	disjointErr  error
+}
+
+// Prepare runs the warm-up for the given options exactly once and
+// returns a Session that serves any number of sampling and AQP calls
+// at per-draw cost. It estimates the framework parameters (join sizes,
+// covers, |U|), builds the per-join subroutine samplers, and forces
+// every lazily built shared index and membership map so that concurrent
+// calls only read shared state.
+func (u *Union) Prepare(o Options) (*Session, error) {
+	return u.prepare(o, true)
+}
+
+// prepare runs the warm-up. prewarm additionally forces the joins'
+// lazily built indexes and membership maps — required before a session
+// is shared across goroutines, skipped by the one-shot wrappers whose
+// private session samples serially (lazy structures then build on
+// demand, as they always did).
+func (u *Union) prepare(o Options, prewarm bool) (*Session, error) {
+	o = o.withDefaults()
+	g := rng.New(o.Seed)
+	var prepared core.PreparedSampler
+	var err error
+	if o.Online {
+		prepared, err = core.PrepareOnline(u.joins, core.OnlineConfig{
+			WarmupWalks: o.WarmupWalks,
+			Oracle:      o.Oracle,
+		}, g)
+	} else {
+		prepared, err = core.PrepareCover(u.joins, core.CoverConfig{
+			Method:    core.JoinMethod(o.Method),
+			Estimator: u.estimator(o),
+			Oracle:    o.Oracle,
+		}, g)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if prewarm {
+		core.Prewarm(prepared)
+	}
+	p := prepared.Params()
+	return &Session{
+		u:        u,
+		opts:     o,
+		prepared: prepared,
+		est: Estimate{
+			JoinSizes:  append([]float64(nil), p.JoinSizes...),
+			CoverSizes: append([]float64(nil), p.Cover...),
+			UnionSize:  p.UnionSize,
+		},
+	}, nil
+}
+
+// disjointShared builds the disjoint-union sampler on first use. Cover
+// sessions reuse the prepared subroutine samplers (their method is the
+// session's Method); online sessions are prepared on EO internally, so
+// when the caller asked for a different Method the disjoint sampler is
+// built separately to honor it.
+func (s *Session) disjointShared() (*core.DisjointShared, error) {
+	s.disjointOnce.Do(func() {
+		if s.opts.Online && core.JoinMethod(s.opts.Method) != core.MethodEO {
+			s.disjoint, s.disjointErr = core.PrepareDisjoint(s.u.joins, core.JoinMethod(s.opts.Method))
+			return
+		}
+		s.disjoint, s.disjointErr = core.PrepareDisjointFrom(s.prepared)
+	})
+	return s.disjoint, s.disjointErr
+}
+
+// Union returns the union this session samples.
+func (s *Session) Union() *Union { return s.u }
+
+// Options returns the options the session was prepared with (defaults
+// applied).
+func (s *Session) Options() Options { return s.opts }
+
+// OutputSchema returns the schema sampled tuples use.
+func (s *Session) OutputSchema() *Schema { return s.u.OutputSchema() }
+
+// Estimate reports the cached warm-up parameters. No further estimation
+// runs; the call is free.
+func (s *Session) Estimate() *Estimate {
+	e := s.est
+	e.JoinSizes = append([]float64(nil), s.est.JoinSizes...)
+	e.CoverSizes = append([]float64(nil), s.est.CoverSizes...)
+	return &e
+}
+
+// UnionSize returns the warm-up's estimated |J_1 ∪ ... ∪ J_n|.
+func (s *Session) UnionSize() float64 { return s.est.UnionSize }
+
+// WarmupTime reports how long the one-time warm-up estimation took.
+func (s *Session) WarmupTime() time.Duration { return s.prepared.WarmupTime() }
+
+// nextStream reserves the next auto-stream index.
+func (s *Session) nextStream() int64 { return s.streams.Add(1) }
+
+// nextSeed derives the RNG seed for the next auto stream.
+func (s *Session) nextSeed() int64 {
+	return core.DeriveSeed(s.opts.Seed, s.nextStream())
+}
+
+// Sample draws n independent tuples (with replacement) from the set
+// union at per-draw cost, on the session's next auto stream. It returns
+// the samples in OutputSchema order together with this call's run
+// statistics (warm-up time excluded: it was paid once at Prepare).
+func (s *Session) Sample(n int) ([]Tuple, *Stats, error) {
+	return s.SampleSeeded(n, s.nextSeed())
+}
+
+// SampleSeeded is Sample on an explicit stream: the same seed always
+// reproduces the same tuples, bit for bit, regardless of what other
+// calls run concurrently.
+func (s *Session) SampleSeeded(n int, seed int64) ([]Tuple, *Stats, error) {
+	run := s.prepared.NewRun()
+	out, err := run.Sample(n, rng.New(seed))
+	if err != nil {
+		return nil, nil, err
+	}
+	return out, run.Stats(), nil
+}
+
+// SampleDisjoint draws n tuples from the disjoint union (Definition 1):
+// each result tuple with probability 1/(|J_1| + ... + |J_n|), counting
+// duplicates across joins separately. It reuses the session's prepared
+// subroutine samplers.
+func (s *Session) SampleDisjoint(n int) ([]Tuple, *Stats, error) {
+	return s.SampleDisjointSeeded(n, s.nextSeed())
+}
+
+// SampleDisjointSeeded is SampleDisjoint on an explicit stream.
+func (s *Session) SampleDisjointSeeded(n int, seed int64) ([]Tuple, *Stats, error) {
+	shared, err := s.disjointShared()
+	if err != nil {
+		return nil, nil, err
+	}
+	run := shared.NewRun()
+	out, err := run.Sample(n, rng.New(seed))
+	if err != nil {
+		return nil, nil, err
+	}
+	return out, run.Stats(), nil
+}
+
+// SampleWhere draws n samples satisfying the predicate, uniform over
+// the satisfying subset of the union — §8.3's sampling-time predicate
+// enforcement. Rejection adds a cost factor of |σ(U)|/|U|, so highly
+// selective predicates should be pushed down with Union.PushDown before
+// preparing instead.
+func (s *Session) SampleWhere(n int, pred Predicate) ([]Tuple, *Stats, error) {
+	return s.SampleWhereSeeded(n, pred, s.nextSeed())
+}
+
+// SampleWhereSeeded is SampleWhere on an explicit stream.
+func (s *Session) SampleWhereSeeded(n int, pred Predicate, seed int64) ([]Tuple, *Stats, error) {
+	run := s.prepared.NewRun()
+	out, err := core.SampleWhere(run, s.u.OutputSchema(), pred, n, rng.New(seed), 0)
+	if err != nil {
+		return nil, nil, err
+	}
+	return out, run.Stats(), nil
+}
+
+// SampleParallel draws n tuples using the given number of worker
+// goroutines over the session's single shared warm-up: workers share
+// the prepared read-only state and each samples its own decorrelated
+// stream, so the total warm-up cost stays one no matter how many
+// workers run. Every worker stream is uniform and independent, hence so
+// is their concatenation.
+func (s *Session) SampleParallel(n, workers int) ([]Tuple, error) {
+	if workers <= 0 {
+		return nil, fmt.Errorf("sampleunion: workers must be positive, got %d", workers)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		out, _, err := s.Sample(n)
+		return out, err
+	}
+	// Reserve a contiguous block of stream indexes so one SampleParallel
+	// call is deterministic in isolation.
+	first := s.streams.Add(int64(workers)) - int64(workers) + 1
+	per := n / workers
+	parts := make([][]Tuple, workers)
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		count := per
+		if w == workers-1 {
+			count = n - per*(workers-1)
+		}
+		wg.Add(1)
+		go func(w, count int, stream int64) {
+			defer wg.Done()
+			parts[w], _, errs[w] = s.SampleSeeded(count, core.DeriveSeed(s.opts.Seed, stream))
+		}(w, count, first+int64(w))
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	out := make([]Tuple, 0, n)
+	for _, p := range parts {
+		out = append(out, p...)
+	}
+	return out, nil
+}
+
+// ApproxCount estimates COUNT(*) WHERE pred over the set union from n
+// uniform samples — the approximate-query-answering use case of the
+// paper's introduction. The session's cached |U| estimate serves the
+// scale-up, so the call costs n draws and nothing more.
+func (s *Session) ApproxCount(pred Predicate, n int) (AggResult, error) {
+	samples, unionSize, err := s.sampleWithSize(n)
+	if err != nil {
+		return AggResult{}, err
+	}
+	return aqp.Count(samples, s.u.OutputSchema(), pred, unionSize, DefaultZ)
+}
+
+// ApproxSum estimates SUM(attr) WHERE pred over the set union.
+func (s *Session) ApproxSum(attr string, pred Predicate, n int) (AggResult, error) {
+	samples, unionSize, err := s.sampleWithSize(n)
+	if err != nil {
+		return AggResult{}, err
+	}
+	return aqp.Sum(samples, s.u.OutputSchema(), attr, pred, unionSize, DefaultZ)
+}
+
+// ApproxAvg estimates AVG(attr) WHERE pred over the set union. AVG is
+// a ratio estimator, so |U| cancels and only the samples matter.
+func (s *Session) ApproxAvg(attr string, pred Predicate, n int) (AggResult, error) {
+	samples, _, err := s.Sample(n)
+	if err != nil {
+		return AggResult{}, err
+	}
+	return aqp.Avg(samples, s.u.OutputSchema(), attr, pred, DefaultZ)
+}
+
+// ApproxGroupCount estimates COUNT(*) GROUP BY attr over the set
+// union, descending by estimated group size. Groups rarer than about
+// |U|/n are expected to be missing from the result.
+func (s *Session) ApproxGroupCount(attr string, n int) ([]GroupEstimate, error) {
+	samples, unionSize, err := s.sampleWithSize(n)
+	if err != nil {
+		return nil, err
+	}
+	return aqp.GroupCount(samples, s.u.OutputSchema(), attr, unionSize, DefaultZ)
+}
+
+// sampleWithSize draws n samples on the next auto stream and returns
+// them with the run's |U| estimate (the cached warm-up value, refined
+// by the run itself in online mode).
+func (s *Session) sampleWithSize(n int) ([]Tuple, float64, error) {
+	run := s.prepared.NewRun()
+	out, err := run.Sample(n, rng.New(s.nextSeed()))
+	if err != nil {
+		return nil, 0, err
+	}
+	return out, run.Params().UnionSize, nil
+}
