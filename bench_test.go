@@ -97,6 +97,7 @@ func BenchmarkThm2CostBound(b *testing.B) { runExperiment(b, "thm2") }
 // per-sample cost a library user sees.
 func BenchmarkUnionSample(b *testing.B) {
 	u := benchUnion(b)
+	b.ReportAllocs()
 	out, _, err := u.Sample(b.N+1, Options{Warmup: WarmupExact, Method: MethodEW, Seed: 1})
 	if err != nil {
 		b.Fatal(err)
@@ -109,6 +110,7 @@ func BenchmarkUnionSample(b *testing.B) {
 // BenchmarkDisjointSample measures disjoint-union sampling throughput.
 func BenchmarkDisjointSample(b *testing.B) {
 	u := benchUnion(b)
+	b.ReportAllocs()
 	out, _, err := u.SampleDisjoint(b.N+1, Options{Method: MethodEW, Seed: 1})
 	if err != nil {
 		b.Fatal(err)
@@ -182,6 +184,69 @@ func BenchmarkSessionParallel(b *testing.B) {
 				}
 			}
 		})
+	}
+}
+
+// BenchmarkDrawPath measures the per-draw hot path in isolation: one
+// prepared session, one run, b.N tuples drawn in a single stream. The
+// allocs/op column is allocations per returned tuple — the target of
+// the allocation-free draw path refactor.
+func BenchmarkDrawPath(b *testing.B) {
+	u := benchUnion(b)
+	s, err := u.Prepare(Options{Warmup: WarmupExact, Method: MethodEW, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	out, _, err := s.SampleSeeded(b.N, 7)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if len(out) != b.N {
+		b.Fatal("short sample")
+	}
+}
+
+// BenchmarkDrawPathOracle is BenchmarkDrawPath with exact membership
+// tests, which exercises Join.Contains projection probes on every draw.
+func BenchmarkDrawPathOracle(b *testing.B) {
+	u := benchUnion(b)
+	s, err := u.Prepare(Options{Warmup: WarmupExact, Method: MethodEW, Oracle: true, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	out, _, err := s.SampleSeeded(b.N, 7)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if len(out) != b.N {
+		b.Fatal("short sample")
+	}
+}
+
+// BenchmarkMembershipProbe measures a single Join.Contains probe on a
+// warm join — the §6.2 membership primitive behind the oracle mode and
+// the overlap estimator.
+func BenchmarkMembershipProbe(b *testing.B) {
+	u := benchUnion(b)
+	j := u.Joins()[0]
+	hit, _, err := u.Sample(1, Options{Warmup: WarmupExact, Method: MethodEW, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	probe := hit[0]
+	if !j.Contains(probe) {
+		b.Fatal("probe tuple not in join")
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !j.Contains(probe) {
+			b.Fatal("probe lost")
+		}
 	}
 }
 

@@ -28,15 +28,20 @@ func PreparedAmortization(o Options) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	cfg := core.CoverConfig{
-		Method: core.MethodEW,
-		Estimator: &core.RandomWalkEstimator{
-			Joins: w.Joins,
-			Opts:  walkest.Options{MaxWalks: 500},
-		},
+	// mkCfg builds a fresh config per preparation: Params writes the
+	// estimator's Walker field, so concurrent cold starts must not share
+	// one estimator instance.
+	mkCfg := func() core.CoverConfig {
+		return core.CoverConfig{
+			Method: core.MethodEW,
+			Estimator: &core.RandomWalkEstimator{
+				Joins: w.Joins,
+				Opts:  walkest.Options{MaxWalks: 500},
+			},
+		}
 	}
 	coldOne := func(stream int64, n int) error {
-		p, err := core.PrepareCover(w.Joins, cfg, core.NewRunRNG(o.Seed, stream))
+		p, err := core.PrepareCover(w.Joins, mkCfg(), core.NewRunRNG(o.Seed, stream))
 		if err != nil {
 			return err
 		}
@@ -58,7 +63,7 @@ func PreparedAmortization(o Options) (*Result, error) {
 		cold := time.Since(start)
 
 		start = time.Now()
-		p, err := core.PrepareCover(w.Joins, cfg, core.NewRunRNG(o.Seed, 0))
+		p, err := core.PrepareCover(w.Joins, mkCfg(), core.NewRunRNG(o.Seed, 0))
 		if err != nil {
 			return nil, err
 		}
@@ -88,7 +93,7 @@ func PreparedAmortization(o Options) (*Result, error) {
 
 		// Session behavior: one warm-up, workers share the prepared state.
 		start = time.Now()
-		p, err := core.PrepareCover(w.Joins, cfg, core.NewRunRNG(o.Seed, 0))
+		p, err := core.PrepareCover(w.Joins, mkCfg(), core.NewRunRNG(o.Seed, 0))
 		if err != nil {
 			return nil, err
 		}

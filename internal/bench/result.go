@@ -150,6 +150,7 @@ func Experiments() []struct {
 		{"ablation-bernoulli", AblationBernoulli},
 		{"scale-joins", ScaleJoins},
 		{"prepared", PreparedAmortization},
+		{"hotpath", Hotpath},
 	}
 }
 

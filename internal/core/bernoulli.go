@@ -9,34 +9,42 @@ import (
 	"sampleunion/internal/rng"
 )
 
+// DisjointConfig configures Definition 1's disjoint-union sampler.
+type DisjointConfig struct {
+	Method JoinMethod
+	// DetailedTiming wall-clocks every draw; see Stats.TimingSampled.
+	DetailedTiming bool
+}
+
 // DisjointShared is the prepared state of Definition 1's disjoint-union
 // sampler: the per-join subroutine samplers and the size-proportional
 // selection table. It is immutable and safe to share between any number
 // of concurrent runs created with NewRun.
 type DisjointShared struct {
-	base  *unionBase
-	alias *rng.Alias
+	base     *unionBase
+	alias    *rng.Alias
+	detailed bool
 }
 
 // PrepareDisjoint builds the shared state of a disjoint-union sampler.
 // Disjoint sampling needs no estimator warm-up: selection weights come
 // from the subroutine samplers' own size knowledge.
-func PrepareDisjoint(joins []*join.Join, method JoinMethod) (*DisjointShared, error) {
-	base, err := newUnionBase(joins, method)
+func PrepareDisjoint(joins []*join.Join, cfg DisjointConfig) (*DisjointShared, error) {
+	base, err := newUnionBase(joins, cfg.Method)
 	if err != nil {
 		return nil, err
 	}
-	return newDisjointShared(base)
+	return newDisjointShared(base, cfg.DetailedTiming)
 }
 
 // PrepareDisjointFrom builds a disjoint-union sampler over the joins
 // and subroutine samplers already prepared for a set-union sampler,
 // avoiding a second subroutine setup (EW weight tables, indexes).
-func PrepareDisjointFrom(p PreparedSampler) (*DisjointShared, error) {
-	return newDisjointShared(p.unionBase())
+func PrepareDisjointFrom(p PreparedSampler, detailedTiming bool) (*DisjointShared, error) {
+	return newDisjointShared(p.unionBase(), detailedTiming)
 }
 
-func newDisjointShared(base *unionBase) (*DisjointShared, error) {
+func newDisjointShared(base *unionBase, detailed bool) (*DisjointShared, error) {
 	weights := make([]float64, len(base.joins))
 	for i, s := range base.samplers {
 		weights[i] = s.SizeEstimate()
@@ -45,13 +53,15 @@ func newDisjointShared(base *unionBase) (*DisjointShared, error) {
 	if alias == nil {
 		return nil, fmt.Errorf("core: all joins are empty")
 	}
-	return &DisjointShared{base: base, alias: alias}, nil
+	return &DisjointShared{base: base, alias: alias, detailed: detailed}, nil
 }
 
-// NewRun returns a fresh sampling run (its own Stats) over the shared
-// prepared state.
+// NewRun returns a fresh sampling run (its own Stats and scratch) over
+// the shared prepared state.
 func (p *DisjointShared) NewRun() *DisjointSampler {
-	return &DisjointSampler{shared: p}
+	s := &DisjointSampler{shared: p, scratch: p.base.newScratch()}
+	s.stats.TimingSampled = !p.detailed
+	return s
 }
 
 // DisjointSampler is one run of Definition 1's sampler: a join is
@@ -61,13 +71,14 @@ func (p *DisjointShared) NewRun() *DisjointSampler {
 // (an accepted draw lands on any particular result with probability
 // 1/Σ_j bound_j regardless of join).
 type DisjointSampler struct {
-	shared *DisjointShared
-	stats  Stats
+	shared  *DisjointShared
+	scratch drawScratch
+	stats   Stats
 }
 
 // NewDisjointSampler builds a disjoint-union sampler.
 func NewDisjointSampler(joins []*join.Join, method JoinMethod) (*DisjointSampler, error) {
-	shared, err := PrepareDisjoint(joins, method)
+	shared, err := PrepareDisjoint(joins, DisjointConfig{Method: method})
 	if err != nil {
 		return nil, err
 	}
@@ -82,18 +93,18 @@ func (s *DisjointSampler) Stats() *Stats { return &s.stats }
 func (s *DisjointSampler) Sample(n int, g *rng.RNG) ([]relation.Tuple, error) {
 	out := make([]relation.Tuple, 0, n)
 	for len(out) < n {
-		start := time.Now()
+		start, w := s.stats.startDraw()
 		s.stats.TotalDraws++
 		j := s.shared.alias.Draw(g)
-		t, ok := s.shared.base.samplers[j].Sample(g)
+		ok := s.shared.base.samplers[j].SampleInto(s.scratch.out, s.scratch.rowOf, g)
 		if !ok {
 			s.stats.JoinRejects++
-			s.stats.RejectTime += time.Since(start)
+			s.stats.RejectTime += sinceDraw(start, w)
 			continue
 		}
-		out = append(out, s.shared.base.aligned(j, t).Clone())
+		out = append(out, s.shared.base.alignedClone(j, s.scratch.out))
 		s.stats.Accepted++
-		d := time.Since(start)
+		d := sinceDraw(start, w)
 		s.stats.AcceptTime += d
 		s.stats.RegularTime += d
 	}
@@ -107,6 +118,8 @@ type BernoulliConfig struct {
 	// Oracle: as in CoverConfig, exact membership instead of the
 	// dynamic first-observed-join record.
 	Oracle bool
+	// DetailedTiming wall-clocks every draw; see Stats.TimingSampled.
+	DetailedTiming bool
 }
 
 // BernoulliSampler implements the straightforward set-union sampler of
@@ -122,12 +135,13 @@ type BernoulliConfig struct {
 // selection (§3.1); the evaluation skips it for that reason, but it is
 // implemented here as the framework's base case.
 type BernoulliSampler struct {
-	base   *unionBase
-	cfg    BernoulliConfig
-	params *Params
-	record map[string]int
-	stats  Stats
-	warmed bool
+	base    *unionBase
+	cfg     BernoulliConfig
+	params  *Params
+	record  *relation.KeyCounter // value (ref order) -> first-observed join
+	scratch drawScratch
+	stats   Stats
+	warmed  bool
 }
 
 // NewBernoulliSampler builds a union-trick sampler.
@@ -139,7 +153,9 @@ func NewBernoulliSampler(joins []*join.Join, cfg BernoulliConfig) (*BernoulliSam
 	if err != nil {
 		return nil, err
 	}
-	return &BernoulliSampler{base: base, cfg: cfg, record: make(map[string]int)}, nil
+	s := &BernoulliSampler{base: base, cfg: cfg, record: base.recordKeys(), scratch: base.newScratch()}
+	s.stats.TimingSampled = !cfg.DetailedTiming
+	return s, nil
 }
 
 // Warmup runs the estimator; idempotent.
@@ -183,23 +199,23 @@ func (s *BernoulliSampler) Sample(n int, g *rng.RNG) ([]relation.Tuple, error) {
 			if !g.Bernoulli(p) {
 				continue
 			}
-			start := time.Now()
+			start, w := s.stats.startDraw()
 			s.stats.TotalDraws++
-			t, ok := s.base.samplers[j].Sample(g)
+			ok := s.base.samplers[j].SampleInto(s.scratch.out, s.scratch.rowOf, g)
 			if !ok {
 				s.stats.JoinRejects++
-				s.stats.RejectTime += time.Since(start)
+				s.stats.RejectTime += sinceDraw(start, w)
 				continue
 			}
-			if s.accept(j, t) {
-				out = append(out, s.base.aligned(j, t).Clone())
+			if s.accept(j, s.scratch.out) {
+				out = append(out, s.base.alignedClone(j, s.scratch.out))
 				s.stats.Accepted++
-				d := time.Since(start)
+				d := sinceDraw(start, w)
 				s.stats.AcceptTime += d
 				s.stats.RegularTime += d
 			} else {
 				s.stats.RejectedDup++
-				s.stats.RejectTime += time.Since(start)
+				s.stats.RejectTime += sinceDraw(start, w)
 			}
 		}
 	}
@@ -207,14 +223,14 @@ func (s *BernoulliSampler) Sample(n int, g *rng.RNG) ([]relation.Tuple, error) {
 }
 
 func (s *BernoulliSampler) accept(j int, t relation.Tuple) bool {
-	k := s.base.key(j, t)
 	if s.cfg.Oracle {
 		return s.base.minContaining(j, t) == j
 	}
-	assigned, seen := s.record[k]
+	proj := s.base.recordProj(j)
+	k, seen := s.record.Lookup(t, proj)
 	if !seen {
-		s.record[k] = j
+		s.record.PutNew(t, proj, j)
 		return true
 	}
-	return assigned == j
+	return s.record.At(k) == j
 }

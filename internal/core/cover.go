@@ -30,10 +30,16 @@ type CoverConfig struct {
 	// region is empty but whose estimated cover size is positive).
 	// Values <= 0 default to 256.
 	MaxDrawsPerSelection int
+	// DetailedTiming wall-clocks every draw instead of sampling every
+	// TimingStride-th one; see Stats.TimingSampled.
+	DetailedTiming bool
 }
 
+// resultEntry is one buffered sample: the tuple plus its value's dense
+// record handle (KeyCounter insertion rank), which identifies the
+// tuple's value for revision removal exactly as the old string key did.
 type resultEntry struct {
-	key   string
+	key   int
 	tuple relation.Tuple
 }
 
@@ -115,7 +121,17 @@ func (p *CoverShared) WarmupTime() time.Duration { return p.warmupTime }
 // independent; any number may sample concurrently as long as each uses
 // its own RNG.
 func (p *CoverShared) NewRun() Run {
-	return &CoverSampler{shared: p, record: make(map[string]int)}
+	return newCoverRun(p)
+}
+
+func newCoverRun(p *CoverShared) *CoverSampler {
+	s := &CoverSampler{
+		shared:  p,
+		record:  p.base.recordKeys(),
+		scratch: p.base.newScratch(),
+	}
+	s.stats.TimingSampled = !p.cfg.DetailedTiming
+	return s
 }
 
 func (p *CoverShared) unionBase() *unionBase { return p.base }
@@ -133,10 +149,11 @@ func (p *CoverShared) unionBase() *unionBase { return p.base }
 // this implementation redraws within the join (counting every draw in
 // Stats.TotalDraws, the Theorem 2 cost unit).
 type CoverSampler struct {
-	shared *CoverShared
-	record map[string]int
-	result []resultEntry
-	stats  Stats
+	shared  *CoverShared
+	record  *relation.KeyCounter // value (ref order) -> assigned join
+	scratch drawScratch
+	result  []resultEntry
+	stats   Stats
 }
 
 // NewCoverSampler builds an Algorithm 1 sampler over the joins with its
@@ -147,7 +164,7 @@ func NewCoverSampler(joins []*join.Join, cfg CoverConfig) (*CoverSampler, error)
 	if err != nil {
 		return nil, err
 	}
-	return &CoverSampler{shared: shared, record: make(map[string]int)}, nil
+	return newCoverRun(shared), nil
 }
 
 // Warmup runs the estimator and prepares the join-selection
@@ -194,7 +211,8 @@ func (s *CoverSampler) Sample(n int, g *rng.RNG) ([]relation.Tuple, error) {
 }
 
 // drawOne runs join selection and the accept/reject/revise logic until
-// one tuple is appended to the result.
+// one tuple is appended to the result. The subroutine draw lands in the
+// run's scratch buffers; only an accepted tuple is cloned.
 func (s *CoverSampler) drawOne(g *rng.RNG) error {
 	for selections := 0; ; selections++ {
 		if selections > 64 {
@@ -202,61 +220,67 @@ func (s *CoverSampler) drawOne(g *rng.RNG) error {
 		}
 		j := s.shared.alias.Draw(g)
 		for attempt := 0; attempt < s.shared.maxDraw; attempt++ {
-			start := time.Now()
+			start, w := s.stats.startDraw()
 			s.stats.TotalDraws++
-			t, ok := s.shared.base.samplers[j].Sample(g)
+			ok := s.shared.base.samplers[j].SampleInto(s.scratch.out, s.scratch.rowOf, g)
 			if !ok {
 				s.stats.JoinRejects++
-				s.stats.RejectTime += time.Since(start)
+				s.stats.RejectTime += sinceDraw(start, w)
 				continue
 			}
-			if s.acceptDraw(j, t) {
+			if s.acceptDraw(j, s.scratch.out) {
 				s.stats.Accepted++
-				d := time.Since(start)
+				d := sinceDraw(start, w)
 				s.stats.AcceptTime += d
 				s.stats.RegularTime += d
 				return nil
 			}
-			s.stats.RejectTime += time.Since(start)
+			s.stats.RejectTime += sinceDraw(start, w)
 		}
 	}
 }
 
 // acceptDraw applies lines 8-14 of Algorithm 1 to a tuple drawn from
-// join j; it reports whether the tuple entered the result.
+// join j (in join j's schema order); it reports whether the tuple
+// entered the result.
 func (s *CoverSampler) acceptDraw(j int, t relation.Tuple) bool {
-	k := s.shared.base.key(j, t)
-	assigned, seen := s.record[k]
+	proj := s.shared.base.recordProj(j)
+	k, seen := s.record.Lookup(t, proj)
 	if s.shared.cfg.Oracle {
 		f := s.shared.base.minContaining(j, t)
-		s.record[k] = f
+		if seen {
+			s.record.SetAt(k, f)
+		} else {
+			k = s.record.PutNew(t, proj, f)
+		}
 		if f < j {
 			s.stats.RejectedDup++
 			return false
 		}
 	} else {
-		if seen && assigned < j {
-			s.stats.RejectedDup++ // line 8: covered by an earlier join
-			return false
-		}
-		if seen && assigned > j {
-			// Revision (lines 10-12): the value belongs to this earlier
-			// join; drop the copies credited to the later one.
-			s.record[k] = j
-			s.stats.Revised++
-			s.removeKey(k)
-		}
-		if !seen {
-			s.record[k] = j
+		if seen {
+			assigned := s.record.At(k)
+			if assigned < j {
+				s.stats.RejectedDup++ // line 8: covered by an earlier join
+				return false
+			}
+			if assigned > j {
+				// Revision (lines 10-12): the value belongs to this earlier
+				// join; drop the copies credited to the later one.
+				s.record.SetAt(k, j)
+				s.stats.Revised++
+				s.removeKey(k)
+			}
+		} else {
+			k = s.record.PutNew(t, proj, j)
 		}
 	}
-	aligned := s.shared.base.aligned(j, t).Clone()
-	s.result = append(s.result, resultEntry{key: k, tuple: aligned})
+	s.result = append(s.result, resultEntry{key: k, tuple: s.shared.base.alignedClone(j, t)})
 	return true
 }
 
-// removeKey drops every result tuple with the given key.
-func (s *CoverSampler) removeKey(k string) {
+// removeKey drops every result tuple with the given record handle.
+func (s *CoverSampler) removeKey(k int) {
 	kept := s.result[:0]
 	for _, e := range s.result {
 		if e.key == k {

@@ -37,10 +37,13 @@ type OnlineConfig struct {
 	// MaxDrawsPerSelection caps attempts per join selection; <= 0
 	// defaults to 256.
 	MaxDrawsPerSelection int
+	// DetailedTiming wall-clocks every draw instead of sampling every
+	// TimingStride-th one; see Stats.TimingSampled.
+	DetailedTiming bool
 }
 
 type onlineEntry struct {
-	key   string
+	key   int // record handle of the tuple's value (see resultEntry)
 	tuple relation.Tuple
 	join  int
 	prob  float64 // inclusion probability the tuple was accepted under
@@ -163,10 +166,16 @@ func (p *OnlineShared) WarmupTime() time.Duration { return p.warmupTime }
 // independent and reproducible from their RNG; any number may sample
 // concurrently as long as each uses its own RNG.
 func (p *OnlineShared) NewRun() Run {
-	s := &OnlineSampler{shared: p, record: make(map[string]int)}
+	s := newOnlineRun(p)
 	if p.warmed {
 		s.initFromShared(false)
 	}
+	return s
+}
+
+func newOnlineRun(p *OnlineShared) *OnlineSampler {
+	s := &OnlineSampler{shared: p, record: p.base.recordKeys()}
+	s.stats.TimingSampled = !p.cfg.DetailedTiming
 	return s
 }
 
@@ -185,7 +194,7 @@ type OnlineSampler struct {
 	walks    *walkest.Estimator
 	params   *Params
 	alias    *rng.Alias
-	record   map[string]int
+	record   *relation.KeyCounter // value (ref order) -> assigned join
 	result   []onlineEntry
 	stats    Stats
 	recorded int
@@ -200,7 +209,7 @@ func NewOnlineSampler(joins []*join.Join, cfg OnlineConfig) (*OnlineSampler, err
 	if err != nil {
 		return nil, err
 	}
-	return &OnlineSampler{shared: shared, record: make(map[string]int)}, nil
+	return newOnlineRun(shared), nil
 }
 
 // initFromShared adopts the shared warm-up into this run: parameters
@@ -298,15 +307,15 @@ func (s *OnlineSampler) drawOne(g *rng.RNG) error {
 		}
 		j := s.alias.Draw(g)
 		for attempt := 0; attempt < s.shared.cfg.MaxDrawsPerSelection; attempt++ {
-			start := time.Now()
+			start, w := s.stats.startDraw()
 			t, mult, reuse, ok := s.candidate(j, g)
 			if !ok {
-				s.phaseReject(time.Since(start), reuse)
+				s.phaseReject(sinceDraw(start, w), reuse)
 				continue
 			}
-			if s.acceptValue(j, t) {
-				s.commit(j, t, mult)
-				d := time.Since(start)
+			if k, ok := s.acceptValue(j, t); ok {
+				s.commit(k, j, t, mult)
+				d := sinceDraw(start, w)
 				s.stats.AcceptTime += d
 				if reuse {
 					s.stats.ReuseAccepted++
@@ -317,7 +326,7 @@ func (s *OnlineSampler) drawOne(g *rng.RNG) error {
 				return nil
 			}
 			s.stats.RejectedDup++
-			s.phaseReject(time.Since(start), reuse)
+			s.phaseReject(sinceDraw(start, w), reuse)
 		}
 	}
 }
@@ -390,30 +399,37 @@ func (s *OnlineSampler) instances(r float64, g *rng.RNG) int {
 }
 
 // acceptValue applies the cover record / revision logic of Algorithm 1
-// to a candidate value of join j.
-func (s *OnlineSampler) acceptValue(j int, t relation.Tuple) bool {
-	k := s.shared.base.key(j, t)
+// to a candidate value of join j; on acceptance it returns the value's
+// record handle for commit.
+func (s *OnlineSampler) acceptValue(j int, t relation.Tuple) (int, bool) {
+	proj := s.shared.base.recordProj(j)
+	k, seen := s.record.Lookup(t, proj)
 	if s.shared.cfg.Oracle {
 		f := s.shared.base.minContaining(j, t)
-		s.record[k] = f
-		return f == j
+		if seen {
+			s.record.SetAt(k, f)
+		} else {
+			k = s.record.PutNew(t, proj, f)
+		}
+		return k, f == j
 	}
-	assigned, seen := s.record[k]
-	if seen && assigned < j {
-		return false
+	if seen {
+		assigned := s.record.At(k)
+		if assigned < j {
+			return k, false
+		}
+		if assigned > j {
+			s.record.SetAt(k, j)
+			s.stats.Revised++
+			s.removeKey(k)
+		}
+	} else {
+		k = s.record.PutNew(t, proj, j)
 	}
-	if seen && assigned > j {
-		s.record[k] = j
-		s.stats.Revised++
-		s.removeKey(k)
-	}
-	if !seen {
-		s.record[k] = j
-	}
-	return true
+	return k, true
 }
 
-func (s *OnlineSampler) removeKey(k string) {
+func (s *OnlineSampler) removeKey(k int) {
 	kept := s.result[:0]
 	for _, e := range s.result {
 		if e.key == k {
@@ -427,9 +443,8 @@ func (s *OnlineSampler) removeKey(k string) {
 
 // commit appends mult instances of the accepted tuple, recording the
 // inclusion probability they were accepted under for backtracking.
-func (s *OnlineSampler) commit(j int, t relation.Tuple, mult int) {
-	k := s.shared.base.key(j, t)
-	aligned := s.shared.base.aligned(j, t).Clone()
+func (s *OnlineSampler) commit(k, j int, t relation.Tuple, mult int) {
+	aligned := s.shared.base.alignedClone(j, t)
 	prob := s.inclusionProb(j)
 	for i := 0; i < mult; i++ {
 		s.result = append(s.result, onlineEntry{key: k, tuple: aligned, join: j, prob: prob})

@@ -3,7 +3,6 @@ package core
 import (
 	"time"
 
-	"sampleunion/internal/relation"
 	"sampleunion/internal/rng"
 )
 
@@ -43,15 +42,14 @@ var (
 )
 
 // Prewarm forces every lazily built shared structure of the joins —
-// per-attribute hash indexes and membership maps — so that concurrent
-// runs only ever read them. Relations and joins cache these without
-// locks by design; forcing them during single-threaded preparation is
-// what makes the read-only sharing safe.
+// per-attribute CSR indexes and membership tables — so that concurrent
+// runs pay no build cost and only ever read them. (First use is safe
+// without Prewarm too — both structures build exactly once behind an
+// atomic publish — but prewarming moves the cost into preparation.)
 func Prewarm(p PreparedSampler) {
 	base := p.unionBase()
 	for _, j := range base.joins {
-		probe := make(relation.Tuple, base.ref.Len())
-		j.ContainsAligned(probe, base.ref)
+		j.PrewarmMembership()
 		for _, n := range j.Nodes() {
 			for a := 0; a < n.Rel.Arity(); a++ {
 				n.Rel.Index(a)

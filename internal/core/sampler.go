@@ -47,13 +47,23 @@ func newJoinSampler(j *join.Join, m JoinMethod) joinsample.Sampler {
 }
 
 // unionBase holds what every union sampler shares: the joins, their
-// subroutine samplers, and tuple-key alignment to the reference output
-// schema (the first join's), so one value has one key across joins.
+// subroutine samplers, tuple-key alignment to the reference output
+// schema (the first join's) so one value has one key across joins, and
+// prepared membership probes for the oracle path. Everything here is
+// read-only after construction and shared between concurrent runs; all
+// per-draw scratch lives in the runs (drawScratch).
 type unionBase struct {
 	joins    []*join.Join
 	samplers []joinsample.Sampler
 	ref      *relation.Schema
-	perms    [][]int // nil when the join's schema already matches ref
+	perms    [][]int // perms[i][k] = position of ref attr k in join i's schema; nil when equal
+
+	// probes[i][k] tests membership of a tuple in join i's schema order
+	// against join k — the allocation-free path behind minContaining,
+	// which only ever scans k < i, so just the lower triangle is built.
+	probes [][]join.AlignedProbe
+
+	maxNodes int // scratch sizing: most tree nodes over all joins
 }
 
 func newUnionBase(joins []*join.Join, m JoinMethod) (*unionBase, error) {
@@ -65,8 +75,13 @@ func newUnionBase(joins []*join.Join, m JoinMethod) (*unionBase, error) {
 		samplers: make([]joinsample.Sampler, len(joins)),
 		ref:      joins[0].OutputSchema(),
 		perms:    make([][]int, len(joins)),
+		probes:   make([][]join.AlignedProbe, len(joins)),
 	}
 	for i, j := range joins {
+		// A cyclic join whose residual members were appended to since
+		// construction must re-materialize before samplers snapshot its
+		// degrees and link index.
+		j.FreshenResidual()
 		b.samplers[i] = newJoinSampler(j, m)
 		if !j.OutputSchema().Equal(b.ref) {
 			perm, err := alignPerm(b.ref, j)
@@ -74,6 +89,19 @@ func newUnionBase(joins []*join.Join, m JoinMethod) (*unionBase, error) {
 				return nil, err
 			}
 			b.perms[i] = perm
+		}
+		if n := len(j.Nodes()); n > b.maxNodes {
+			b.maxNodes = n
+		}
+	}
+	for i, ji := range joins {
+		b.probes[i] = make([]join.AlignedProbe, i)
+		for k := 0; k < i; k++ {
+			p, ok := joins[k].AlignProbe(ji.OutputSchema())
+			if !ok {
+				return nil, fmt.Errorf("core: join %s not alignable to %s", joins[k].Name(), ji.Name())
+			}
+			b.probes[i][k] = p
 		}
 	}
 	return b, nil
@@ -92,36 +120,57 @@ func alignPerm(ref *relation.Schema, j *join.Join) ([]int, error) {
 	return perm, nil
 }
 
-// aligned returns t (a tuple in join i's schema order) expressed in the
-// reference schema order. The result aliases t when no permutation is
-// needed.
-func (b *unionBase) aligned(i int, t relation.Tuple) relation.Tuple {
-	perm := b.perms[i]
-	if perm == nil {
-		return t
-	}
-	out := make(relation.Tuple, len(perm))
-	for k, p := range perm {
-		out[k] = t[p]
-	}
-	return out
+// drawScratch is the per-run buffer set behind the allocation-free draw
+// path: subroutine samplers fill out/rowOf in place, and only tuples
+// actually entering a result buffer are cloned. Each run owns its own
+// scratch, so shared samplers stay race-free.
+type drawScratch struct {
+	out   relation.Tuple
+	rowOf []int
 }
 
-// key returns the union-wide identity key of a tuple drawn from join i.
-func (b *unionBase) key(i int, t relation.Tuple) string {
-	return relation.TupleKey(b.aligned(i, t))
+func (b *unionBase) newScratch() drawScratch {
+	return drawScratch{
+		out:   make(relation.Tuple, b.ref.Len()),
+		rowOf: make([]int, b.maxNodes),
+	}
+}
+
+// recordKeys returns an empty tuple-keyed table for per-run records:
+// keys are tuples in reference schema order, inserted through the
+// join-specific alignment projection (recordProj).
+func (b *unionBase) recordKeys() *relation.KeyCounter {
+	return relation.NewKeyCounter(b.ref.Len(), 0)
+}
+
+// recordProj is the projection that maps a tuple in join i's schema
+// order onto the reference order for record lookups (nil = identity).
+func (b *unionBase) recordProj(i int) []int { return b.perms[i] }
+
+// alignedClone returns a fresh tuple in reference schema order holding
+// the values of t (a tuple in join i's schema order) — the single
+// allocation a returned sample costs.
+func (b *unionBase) alignedClone(i int, t relation.Tuple) relation.Tuple {
+	out := make(relation.Tuple, b.ref.Len())
+	perm := b.perms[i]
+	if perm == nil {
+		copy(out, t)
+	} else {
+		for k, p := range perm {
+			out[k] = t[p]
+		}
+	}
+	return out
 }
 
 // minContaining returns f(t): the smallest join index whose result
 // contains the tuple (drawn from join i, so f(t) <= i always holds).
 // This is the membership oracle used by the provably uniform variants.
+// The probes are prepared at construction, so the scan allocates
+// nothing.
 func (b *unionBase) minContaining(i int, t relation.Tuple) int {
-	at := b.aligned(i, t)
-	for k := range b.joins {
-		if k == i {
-			return i
-		}
-		if b.joins[k].ContainsAligned(at, b.ref) {
+	for k := range b.probes[i] {
+		if b.probes[i][k].Contains(t) {
 			return k
 		}
 	}

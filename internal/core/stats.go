@@ -44,6 +44,55 @@ type Stats struct {
 	RejectTime  time.Duration
 	ReuseTime   time.Duration
 	RegularTime time.Duration
+
+	// TimingSampled, when true (the default for prepared runs), reports
+	// that the time fields were collected by wall-clocking the first
+	// TimingStride draw attempts exactly and afterwards only every
+	// TimingStride-th one, scaled by the stride — keeping time.Now out
+	// of the steady-state inner loop while short runs stay exact.
+	// Counters are always exact; only the Duration fields are sampled
+	// estimates. Opt into timing every draw with DetailedTiming on the
+	// sampler config (Options.DetailedTiming in the public API).
+	TimingSampled bool
+
+	// ticks counts timing decisions (one per attempted draw, reuse
+	// included), driving the sampling stride.
+	ticks int
+}
+
+// TimingStride is the wall-clock sampling period of coarse-grained
+// timing: one timed draw per stride, scaled by the stride. A power of
+// two keeps the modulo a mask.
+const TimingStride = 64
+
+// startDraw begins timing one draw attempt. Under detailed timing it
+// always reads the clock with weight 1. Under sampled timing the first
+// TimingStride attempts are each timed exactly (so short runs report
+// real durations, not one cold attempt scaled by the stride); after
+// the ramp only every TimingStride-th attempt reads the clock, with
+// weight TimingStride, and the rest return weight 0 (caller skips both
+// time.Now calls).
+func (s *Stats) startDraw() (time.Time, time.Duration) {
+	if !s.TimingSampled {
+		return time.Now(), 1
+	}
+	s.ticks++
+	if s.ticks <= TimingStride {
+		return time.Now(), 1
+	}
+	if s.ticks&(TimingStride-1) == 1 {
+		return time.Now(), TimingStride
+	}
+	return time.Time{}, 0
+}
+
+// sinceDraw converts a startDraw mark into the duration to book: zero
+// for untimed attempts, scaled by the sampling weight otherwise.
+func sinceDraw(start time.Time, weight time.Duration) time.Duration {
+	if weight == 0 {
+		return 0
+	}
+	return time.Since(start) * weight
 }
 
 // PerAcceptedReuse returns the average time to produce one accepted

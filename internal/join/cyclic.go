@@ -19,15 +19,51 @@ type Edge struct {
 // into a single relation. It joins back to the skeleton on every
 // attribute shared with skeleton relations (the link attributes).
 type Residual struct {
-	Rel       *relation.Relation // materialized residual join
-	LinkAttrs []string           // attributes shared with the skeleton
-	linkPos   []int              // positions of LinkAttrs in Rel's schema
-	index     map[string][]int   // composite link key -> residual row ids
-	maxDeg    int                // M(S_R): max rows per link key
+	Rel       *relation.Relation   // materialized residual join
+	LinkAttrs []string             // attributes shared with the skeleton
+	linkPos   []int                // positions of LinkAttrs in Rel's schema
+	linkKeys  *relation.KeyCounter // composite link key -> dense group id
+	starts    []int32              // group g's rows at rows[starts[g]:starts[g+1]]
+	rows      []int                // residual row ids grouped by link key
+	maxDeg    int                  // M(S_R): max rows per link key
+
+	// src are the member base relations the residual was materialized
+	// from, with their versions at materialization; they detect appends
+	// that would otherwise leave the frozen materialization stale (nil
+	// when untracked, e.g. pushdown rebuilds over already-derived data).
+	src     []*relation.Relation
+	srcVers []uint64
 
 	emit    [][2]int // (rel attr pos, output pos) for new output columns
 	proj    []int    // output position of each residual attribute
 	linkOut []int    // output positions of LinkAttrs
+}
+
+// stale reports whether a tracked member base relation changed since
+// the residual was materialized. srcVers is rewritten by refresh, so
+// callers must hold the owning join's memMu (the lock-free Contains
+// fast path uses the membershipTables snapshot instead).
+func (r *Residual) stale() bool {
+	for i, s := range r.src {
+		if s.Version() != r.srcVers[i] {
+			return true
+		}
+	}
+	return false
+}
+
+// refresh re-materializes the residual from its member base relations
+// and rebuilds the link index. The combined schema is a deterministic
+// function of the member schemas, so linkPos/emit/proj/linkOut remain
+// valid. Callers must hold the owning join's memMu (or be
+// single-threaded); refresh is not safe concurrently with Match.
+func (r *Residual) refresh() {
+	r.Rel = materializeRows(r.Rel.Name(), r.src)
+	r.maxDeg = 0
+	r.buildLinkIndex()
+	for i, s := range r.src {
+		r.srcVers[i] = s.Version()
+	}
 }
 
 // MaxDegree returns M(S_R), the maximum number of residual rows sharing
@@ -35,13 +71,42 @@ type Residual struct {
 func (r *Residual) MaxDegree() int { return r.maxDeg }
 
 // Match returns the residual row ids consistent with the partial output
-// tuple out (which must already have all link attributes filled).
+// tuple out (which must already have all link attributes filled). The
+// link key is probed through a projection access path — no tuple is
+// materialized and nothing is allocated, so Match is safe and cheap on
+// the per-draw path.
 func (r *Residual) Match(out relation.Tuple) []int {
-	key := make(relation.Tuple, len(r.linkOut))
-	for i, p := range r.linkOut {
-		key[i] = out[p]
+	g, ok := r.linkKeys.Lookup(out, r.linkOut)
+	if !ok {
+		return nil
 	}
-	return r.index[relation.TupleKey(key)]
+	return r.rows[r.starts[g]:r.starts[g+1]]
+}
+
+// buildLinkIndex builds the CSR link index: pass 1 counts rows per
+// distinct link key (assigning dense group ids in first-appearance
+// order), pass 2 scatters row ids, keeping each group ascending.
+func (r *Residual) buildLinkIndex() {
+	n := r.Rel.Len()
+	r.linkKeys = relation.NewKeyCounter(len(r.linkPos), n)
+	for i := 0; i < n; i++ {
+		_, c := r.linkKeys.Add(r.Rel.Row(i), r.linkPos, 1)
+		if c > r.maxDeg {
+			r.maxDeg = c
+		}
+	}
+	groups := r.linkKeys.Len()
+	r.starts = make([]int32, groups+1)
+	for g := 0; g < groups; g++ {
+		r.starts[g+1] = r.starts[g] + int32(r.linkKeys.At(g))
+	}
+	r.rows = make([]int, n)
+	cursor := append([]int32(nil), r.starts[:groups]...)
+	for i := 0; i < n; i++ {
+		g, _ := r.linkKeys.Lookup(r.Rel.Row(i), r.linkPos)
+		r.rows[cursor[g]] = i
+		cursor[g]++
+	}
 }
 
 // NewCyclic builds a join from a general (possibly cyclic) join graph.
@@ -163,36 +228,31 @@ func chooseResidual(n int, edges []Edge) []int {
 	return nil
 }
 
-// materializeResidual joins the residual relations into one relation.
-// Residual relations are joined on their mutual edges plus natural
-// equality of any shared attribute names.
-func materializeResidual(name string, rels []*relation.Relation, edges []Edge, residual []int) (*Residual, error) {
-	inRes := make(map[int]bool, len(residual))
-	for _, r := range residual {
-		inRes[r] = true
-	}
-	// Combined schema: union of residual relation attributes.
+// materializeRows executes the backtracking natural join of the member
+// relations into one relation whose schema is the union of the member
+// attributes in first-appearance order (deterministic in the member
+// schemas, so re-materialization preserves attribute positions).
+func materializeRows(name string, members []*relation.Relation) *relation.Relation {
 	var attrs []string
 	pos := make(map[string]int)
-	for _, ri := range residual {
-		for _, a := range rels[ri].Schema().Attrs() {
+	for _, m := range members {
+		for _, a := range m.Schema().Attrs() {
 			if _, ok := pos[a]; !ok {
 				pos[a] = len(attrs)
 				attrs = append(attrs, a)
 			}
 		}
 	}
-	out := relation.New(name+"_residual", relation.NewSchema(attrs...))
-	// Backtracking natural join over the residual relations.
+	out := relation.New(name, relation.NewSchema(attrs...))
 	partial := make(relation.Tuple, len(attrs))
 	setCount := make([]int, len(attrs))
 	var rec func(k int)
 	rec = func(k int) {
-		if k == len(residual) {
+		if k == len(members) {
 			out.Append(partial)
 			return
 		}
-		rel := rels[residual[k]]
+		rel := members[k]
 		n := rel.Len()
 	rows:
 		for i := 0; i < n; i++ {
@@ -220,6 +280,26 @@ func materializeResidual(name string, rels []*relation.Relation, edges []Edge, r
 		}
 	}
 	rec(0)
+	return out
+}
+
+// materializeResidual joins the residual relations into one relation.
+// Residual relations are joined on their mutual edges plus natural
+// equality of any shared attribute names.
+func materializeResidual(name string, rels []*relation.Relation, edges []Edge, residual []int) (*Residual, error) {
+	inRes := make(map[int]bool, len(residual))
+	for _, r := range residual {
+		inRes[r] = true
+	}
+	members := make([]*relation.Relation, len(residual))
+	for i, ri := range residual {
+		members[i] = rels[ri]
+	}
+	out := materializeRows(name+"_residual", members)
+	pos := make(map[string]int)
+	for i, a := range out.Schema().Attrs() {
+		pos[a] = i
+	}
 
 	// Link attributes: shared between the residual schema and any kept
 	// (skeleton) relation.
@@ -242,26 +322,15 @@ func materializeResidual(name string, rels []*relation.Relation, edges []Edge, r
 		links = append(links, a)
 	}
 	sort.Strings(links)
-	res := &Residual{Rel: out, LinkAttrs: links}
+	res := &Residual{Rel: out, LinkAttrs: links, src: members, srcVers: make([]uint64, len(members))}
+	for i, m := range members {
+		res.srcVers[i] = m.Version()
+	}
 	res.linkPos = make([]int, len(links))
 	for i, a := range links {
 		res.linkPos[i] = out.Schema().Index(a)
 	}
-	res.index = make(map[string][]int)
-	key := make(relation.Tuple, len(links))
-	for i := 0; i < out.Len(); i++ {
-		row := out.Row(i)
-		for k, p := range res.linkPos {
-			key[k] = row[p]
-		}
-		ks := relation.TupleKey(key)
-		res.index[ks] = append(res.index[ks], i)
-	}
-	for _, rows := range res.index {
-		if len(rows) > res.maxDeg {
-			res.maxDeg = len(rows)
-		}
-	}
+	res.buildLinkIndex()
 	return res, nil
 }
 
@@ -348,7 +417,7 @@ func treeFromGraph(name string, rels []*relation.Relation, edges []Edge, residua
 		for i, a := range res.LinkAttrs {
 			res.linkOut[i] = j.out.Index(a)
 		}
-		j.membership = nil
+		j.membership.Store(nil)
 	}
 	return j, nil
 }

@@ -15,6 +15,8 @@ package join
 
 import (
 	"fmt"
+	"sync"
+	"sync/atomic"
 
 	"sampleunion/internal/relation"
 )
@@ -44,10 +46,12 @@ type Join struct {
 	res   *Residual // non-nil for cyclic joins
 	out   *relation.Schema
 
-	// membership[node] maps the key of a row's projection onto output
-	// attributes to the number of rows with that projection; built lazily
-	// by Contains.
-	membership []map[string]int
+	// membership holds the per-relation projection KeySets behind
+	// Contains: built on first probe (exactly once under concurrent
+	// first use, guarded by memMu) and republished when a base
+	// relation's version moves (Relation.Append invalidation).
+	membership atomic.Pointer[membershipTables]
+	memMu      sync.Mutex
 }
 
 // Name returns the join's name.

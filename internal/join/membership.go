@@ -4,6 +4,25 @@ import (
 	"sampleunion/internal/relation"
 )
 
+// membershipTables is the immutable product of one membership build:
+// one KeySet of row projections per tree relation (plus the residual),
+// together with the relation versions it was built against. It is
+// published through an atomic pointer, so concurrent first use builds
+// it exactly once and mutation (Relation.Append) is detected and
+// triggers a rebuild on the next probe.
+//
+// Freshness is decided from this snapshot and Relation.Version reads
+// only — never from mutable Residual fields, which Residual.refresh
+// rewrites under memMu and must not be read lock-free.
+type membershipTables struct {
+	sets     []*relation.KeySet
+	versions []uint64 // tree-node relation versions at build time
+	// resSrcVers are the residual member base relation versions at
+	// build time (cyclic joins): the materialized residual itself never
+	// moves, so staleness is read off its sources.
+	resSrcVers []uint64
+}
+
 // Contains reports whether output tuple t (in this join's output schema
 // order) is a result of the join — without executing the join. Every
 // relation must hold a row matching t's projection onto its attributes;
@@ -12,78 +31,228 @@ import (
 // membership primitive the random-walk overlap estimator relies on
 // (§6.2): "we already have the index for each J_i".
 //
-// Contains builds its per-relation projection indexes on first use; it
-// is not safe for concurrent first use.
+// The per-relation projection tables are built on first use (exactly
+// once, even under concurrent first use) and probed without allocating:
+// projections are hashed through an access path, never materialized.
 func (j *Join) Contains(t relation.Tuple) bool {
-	j.ensureMembership()
+	return j.containsPerm(t, nil)
+}
+
+// containsPerm is Contains for a tuple whose output attributes live at
+// positions perm[0..out.Len()) of t (nil = identity). Probes compose
+// the node projection with perm, so no intermediate tuple is built.
+func (j *Join) containsPerm(t relation.Tuple, perm []int) bool {
+	m := j.ensureMembership()
 	for k := range j.nodes {
-		if !j.nodeHas(k, t) {
+		if !m.sets[k].ContainsProj(t, composed(j.nodes[k].proj, perm)) {
 			return false
 		}
 	}
 	if j.res != nil {
-		key := j.projKey(j.res.proj, t)
-		if j.membership[len(j.nodes)][key] == 0 {
+		if !m.sets[len(j.nodes)].ContainsProj(t, composed(j.res.proj, perm)) {
 			return false
 		}
 	}
 	return true
 }
 
+// composed maps a node projection through an optional outer
+// permutation. With perm nil the projection is returned as-is, so the
+// common case costs nothing.
+func composed(proj, perm []int) []int {
+	if perm == nil {
+		return proj
+	}
+	out := make([]int, len(proj))
+	for i, p := range proj {
+		out[i] = perm[p]
+	}
+	return out
+}
+
 // ContainsAligned is Contains for a tuple expressed in another join's
 // output schema: attributes are aligned by name, so joins whose output
 // schemas hold the same attributes in different orders remain
-// comparable (§2's unionability assumption).
+// comparable (§2's unionability assumption). Callers probing repeatedly
+// from the same schema should hold an AlignedProbe instead, which
+// precomputes the alignment once.
 func (j *Join) ContainsAligned(t relation.Tuple, schema *relation.Schema) bool {
 	if schema.Equal(j.out) {
 		return j.Contains(t)
 	}
-	mapped := make(relation.Tuple, j.out.Len())
+	p, ok := j.alignPerm(schema)
+	if !ok {
+		return false
+	}
+	return j.containsPerm(t, p)
+}
+
+// alignPerm maps output positions to positions in the given schema:
+// perm[i] is where output attribute i lives in schema order.
+func (j *Join) alignPerm(schema *relation.Schema) ([]int, bool) {
+	perm := make([]int, j.out.Len())
 	for i := 0; i < j.out.Len(); i++ {
 		p := schema.Index(j.out.Attr(i))
 		if p < 0 {
+			return nil, false
+		}
+		perm[i] = p
+	}
+	return perm, true
+}
+
+// AlignedProbe is a prepared membership probe: Contains for tuples in a
+// fixed external schema order, with every projection composed at build
+// time. Probing allocates nothing; on a prewarmed join it is safe for
+// concurrent use.
+type AlignedProbe struct {
+	j     *Join
+	projs [][]int // per tree node (+ residual): output-tuple positions
+}
+
+// AlignProbe prepares an AlignedProbe for tuples in the given schema
+// order. ok is false when the schema lacks one of the join's output
+// attributes.
+func (j *Join) AlignProbe(schema *relation.Schema) (AlignedProbe, bool) {
+	var perm []int
+	if !schema.Equal(j.out) {
+		p, ok := j.alignPerm(schema)
+		if !ok {
+			return AlignedProbe{}, false
+		}
+		perm = p
+	}
+	pr := AlignedProbe{j: j}
+	for k := range j.nodes {
+		pr.projs = append(pr.projs, composedCopy(j.nodes[k].proj, perm))
+	}
+	if j.res != nil {
+		pr.projs = append(pr.projs, composedCopy(j.res.proj, perm))
+	}
+	return pr, true
+}
+
+// composedCopy is composed with an unconditional copy, so the probe
+// never aliases the join's internal tables.
+func composedCopy(proj, perm []int) []int {
+	out := make([]int, len(proj))
+	for i, p := range proj {
+		if perm == nil {
+			out[i] = p
+		} else {
+			out[i] = perm[p]
+		}
+	}
+	return out
+}
+
+// Contains reports whether t (in the probe's schema order) is a result
+// of the join.
+func (p AlignedProbe) Contains(t relation.Tuple) bool {
+	m := p.j.ensureMembership()
+	for k, proj := range p.projs {
+		if !m.sets[k].ContainsProj(t, proj) {
 			return false
 		}
-		mapped[i] = t[p]
 	}
-	return j.Contains(mapped)
+	return true
 }
 
-func (j *Join) nodeHas(k int, t relation.Tuple) bool {
-	key := j.projKey(j.nodes[k].proj, t)
-	return j.membership[k][key] > 0
-}
-
-func (j *Join) projKey(proj []int, t relation.Tuple) string {
-	buf := make(relation.Tuple, len(proj))
-	for i, p := range proj {
-		buf[i] = t[p]
+// ensureMembership returns the current membership tables, building them
+// on first use and rebuilding when a base relation was mutated since
+// the last build. The fast path is one atomic load plus one version
+// read per relation.
+func (j *Join) ensureMembership() *membershipTables {
+	if m := j.membership.Load(); m != nil && j.membershipFresh(m) {
+		return m
 	}
-	return relation.TupleKey(buf)
+	j.memMu.Lock()
+	defer j.memMu.Unlock()
+	if m := j.membership.Load(); m != nil && j.membershipFresh(m) {
+		return m
+	}
+	if j.res != nil && j.res.stale() {
+		// A residual member base relation changed: the frozen
+		// materialization (and its link index) must be rebuilt before
+		// the membership tables read it. Safe here: refresh only ever
+		// runs under memMu, and readers reach the residual through the
+		// snapshot's KeySets, not through the mutable Residual fields.
+		j.res.refresh()
+	}
+	m := j.buildMembership()
+	j.membership.Store(m)
+	return m
 }
 
-func (j *Join) ensureMembership() {
-	if j.membership != nil {
+// membershipFresh reports whether the tables match the relations'
+// current versions, using only atomic Relation.Version reads against
+// the immutable snapshot (it runs lock-free on every Contains).
+func (j *Join) membershipFresh(m *membershipTables) bool {
+	for k := range j.nodes {
+		if m.versions[k] != j.nodes[k].Rel.Version() {
+			return false
+		}
+	}
+	if j.res != nil {
+		for i, s := range j.res.src {
+			if s.Version() != m.resSrcVers[i] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// FreshenResidual re-materializes a cyclic join's residual (and its
+// link index) when member base relations changed since construction;
+// it is a no-op for acyclic joins and fresh residuals. Samplers read
+// the residual without staleness checks on the hot path, so callers
+// preparing samplers over a mutated join run this first (core does).
+// Not safe concurrently with sampling.
+func (j *Join) FreshenResidual() {
+	if j.res == nil {
 		return
 	}
+	// Residual fields (srcVers included) are only read or written under
+	// memMu; this is setup-time code, so the lock is uncontended.
+	j.memMu.Lock()
+	defer j.memMu.Unlock()
+	if j.res.stale() {
+		j.res.refresh()
+	}
+}
+
+func (j *Join) buildMembership() *membershipTables {
 	total := len(j.nodes)
 	if j.res != nil {
 		total++
 	}
-	j.membership = make([]map[string]int, total)
-	for k := range j.nodes {
-		n := &j.nodes[k]
-		m := make(map[string]int, n.Rel.Len())
-		for i := 0; i < n.Rel.Len(); i++ {
-			m[relation.TupleKey(n.Rel.Row(i))]++
+	m := &membershipTables{
+		sets:     make([]*relation.KeySet, total),
+		versions: make([]uint64, len(j.nodes)),
+	}
+	build := func(rel *relation.Relation) *relation.KeySet {
+		set := relation.NewKeySet(rel.Arity(), rel.Len())
+		for i := 0; i < rel.Len(); i++ {
+			set.Insert(rel.Row(i))
 		}
-		j.membership[k] = m
+		return set
+	}
+	for k := range j.nodes {
+		m.sets[k] = build(j.nodes[k].Rel)
+		m.versions[k] = j.nodes[k].Rel.Version()
 	}
 	if j.res != nil {
-		m := make(map[string]int, j.res.Rel.Len())
-		for i := 0; i < j.res.Rel.Len(); i++ {
-			m[relation.TupleKey(j.res.Rel.Row(i))]++
+		m.sets[len(j.nodes)] = build(j.res.Rel)
+		m.resSrcVers = make([]uint64, len(j.res.src))
+		for i, s := range j.res.src {
+			m.resSrcVers[i] = s.Version()
 		}
-		j.membership[len(j.nodes)] = m
 	}
+	return m
 }
+
+// PrewarmMembership forces the membership tables (and the underlying
+// per-attribute indexes are forced by core.Prewarm); after it returns,
+// concurrent Contains probes only read shared state.
+func (j *Join) PrewarmMembership() { j.ensureMembership() }

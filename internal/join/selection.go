@@ -113,7 +113,7 @@ func PushDown(j *Join, preds ...relation.Predicate) (*Join, error) {
 			}
 			res.linkOut[i] = p
 		}
-		out.membership = nil
+		out.membership.Store(nil)
 	}
 	return out, nil
 }
@@ -129,21 +129,7 @@ func rebuildResidual(rel *relation.Relation, links []string) (*Residual, error) 
 		}
 		res.linkPos[i] = p
 	}
-	res.index = make(map[string][]int)
-	key := make(relation.Tuple, len(links))
-	for i := 0; i < rel.Len(); i++ {
-		row := rel.Row(i)
-		for k, p := range res.linkPos {
-			key[k] = row[p]
-		}
-		ks := relation.TupleKey(key)
-		res.index[ks] = append(res.index[ks], i)
-	}
-	for _, rows := range res.index {
-		if len(rows) > res.maxDeg {
-			res.maxDeg = len(rows)
-		}
-	}
+	res.buildLinkIndex()
 	return res, nil
 }
 

@@ -29,10 +29,16 @@ import (
 
 // Sampler draws uniform, independent samples from one join.
 type Sampler interface {
-	// Sample attempts one draw. ok is false when the attempt was
-	// rejected (the caller retries) — EW never rejects on non-empty
-	// joins.
+	// Sample attempts one draw into a fresh tuple. ok is false when the
+	// attempt was rejected (the caller retries) — EW never rejects on
+	// non-empty joins.
 	Sample(g *rng.RNG) (relation.Tuple, bool)
+	// SampleInto is Sample into caller-owned scratch: out must have the
+	// join's output schema length and rowOf at least NumNodes entries.
+	// A rejected attempt may leave both partially written. Samplers are
+	// shared between concurrent runs; handing each run its own scratch
+	// is what keeps the per-draw path allocation-free and race-free.
+	SampleInto(out relation.Tuple, rowOf []int, g *rng.RNG) bool
 	// Method names the weight instantiation ("EW", "EO", "WJ").
 	Method() string
 	// SizeEstimate returns the sampler's knowledge of |J|: exact for EW
@@ -40,6 +46,17 @@ type Sampler interface {
 	SizeEstimate() float64
 	// Join returns the underlying join.
 	Join() *join.Join
+}
+
+// sampleAlloc adapts a SampleInto implementation to the allocating
+// Sample signature.
+func sampleAlloc(j *join.Join, into func(out relation.Tuple, rowOf []int, g *rng.RNG) bool, g *rng.RNG) (relation.Tuple, bool) {
+	out := make(relation.Tuple, j.OutputSchema().Len())
+	rowOf := make([]int, len(j.Nodes()))
+	if !into(out, rowOf, g) {
+		return nil, false
+	}
+	return out, true
 }
 
 // MustSample retries s.Sample until a draw is accepted, up to maxTries;
@@ -97,8 +114,12 @@ type EW struct {
 	j       *join.Join
 	weights [][]int64
 	root    *weightedRows
-	// byValue[node][join value] = weighted matching rows of that node.
-	byValue []map[relation.Value]*weightedRows
+	// nodeIdx[node] is the node's join-attribute CSR index; byValue[node]
+	// is parallel to its entries: the weighted matching rows per distinct
+	// join value (nil when all matching rows have zero weight). Probing
+	// is one index lookup plus one slice access — no second hash table.
+	nodeIdx []*relation.Index
+	byValue [][]*weightedRows
 	exact   int64 // skeleton result count (== |J| for tree joins)
 }
 
@@ -106,7 +127,11 @@ type EW struct {
 func NewEW(j *join.Join) *EW {
 	nodes := j.Nodes()
 	w := j.ExactWeights()
-	e := &EW{j: j, weights: w, byValue: make([]map[relation.Value]*weightedRows, len(nodes))}
+	e := &EW{
+		j: j, weights: w,
+		nodeIdx: make([]*relation.Index, len(nodes)),
+		byValue: make([][]*weightedRows, len(nodes)),
+	}
 	rootRows := make([]int, nodes[0].Rel.Len())
 	for i := range rootRows {
 		rootRows[i] = i
@@ -116,14 +141,15 @@ func NewEW(j *join.Join) *EW {
 	for k := 1; k < len(nodes); k++ {
 		n := &nodes[k]
 		idx := n.Rel.Index(n.AttrPos)
-		m := make(map[relation.Value]*weightedRows, len(idx))
-		for v, rows := range idx {
-			wr := buildWeighted(rows, w[k])
+		e.nodeIdx[k] = idx
+		wrs := make([]*weightedRows, idx.NumEntries())
+		for ent := 0; ent < idx.NumEntries(); ent++ {
+			wr := buildWeighted(idx.RowsAt(ent), w[k])
 			if wr.total() > 0 {
-				m[v] = wr
+				wrs[ent] = wr
 			}
 		}
-		e.byValue[k] = m
+		e.byValue[k] = wrs
 	}
 	return e
 }
@@ -151,21 +177,27 @@ func (e *EW) SizeEstimate() float64 {
 // Sample implements Sampler. On tree joins it always succeeds when the
 // join is non-empty.
 func (e *EW) Sample(g *rng.RNG) (relation.Tuple, bool) {
+	return sampleAlloc(e.j, e.SampleInto, g)
+}
+
+// SampleInto implements Sampler without allocating.
+func (e *EW) SampleInto(out relation.Tuple, rowOf []int, g *rng.RNG) bool {
 	if e.exact == 0 {
-		return nil, false
+		return false
 	}
 	nodes := e.j.Nodes()
-	out := make(relation.Tuple, e.j.OutputSchema().Len())
-	rowOf := make([]int, len(nodes))
 	rowOf[0] = e.root.draw(g)
 	e.j.FillOutput(0, rowOf[0], out)
 	for k := 1; k < len(nodes); k++ {
 		n := &nodes[k]
 		v := e.j.ParentValue(k, rowOf[n.Parent])
-		wr := e.byValue[k][v]
+		var wr *weightedRows
+		if ent, ok := e.nodeIdx[k].EntryOf(v); ok {
+			wr = e.byValue[k][ent]
+		}
 		if wr == nil || wr.total() == 0 {
 			// Impossible after a positive-weight parent draw; defensive.
-			return nil, false
+			return false
 		}
 		rowOf[k] = wr.draw(g)
 		e.j.FillOutput(k, rowOf[k], out)
@@ -176,19 +208,19 @@ func (e *EW) Sample(g *rng.RNG) (relation.Tuple, bool) {
 // finishResidual applies the residual accept/reject step for cyclic
 // joins: accept with probability d/M(S_R) and pick uniformly among the
 // d matching residual rows, keeping the overall draw uniform.
-func finishResidual(j *join.Join, out relation.Tuple, g *rng.RNG) (relation.Tuple, bool) {
+func finishResidual(j *join.Join, out relation.Tuple, g *rng.RNG) bool {
 	res := j.ResidualPart()
 	if res == nil {
-		return out, true
+		return true
 	}
 	matches := res.Match(out)
 	d := len(matches)
 	if d == 0 {
-		return nil, false
+		return false
 	}
 	if !g.Bernoulli(float64(d) / float64(res.MaxDegree())) {
-		return nil, false
+		return false
 	}
 	j.FillResidual(matches[g.Intn(d)], out)
-	return out, true
+	return true
 }

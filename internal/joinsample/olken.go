@@ -44,13 +44,16 @@ func (e *EO) SizeEstimate() float64 { return e.bound }
 // the join result: the probability of a particular result is
 // 1/(|R_root| · Π M) regardless of the path taken.
 func (e *EO) Sample(g *rng.RNG) (relation.Tuple, bool) {
+	return sampleAlloc(e.j, e.SampleInto, g)
+}
+
+// SampleInto implements Sampler without allocating.
+func (e *EO) SampleInto(out relation.Tuple, rowOf []int, g *rng.RNG) bool {
 	nodes := e.j.Nodes()
 	root := nodes[0].Rel
 	if root.Len() == 0 {
-		return nil, false
+		return false
 	}
-	out := make(relation.Tuple, e.j.OutputSchema().Len())
-	rowOf := make([]int, len(nodes))
 	rowOf[0] = g.Intn(root.Len())
 	e.j.FillOutput(0, rowOf[0], out)
 	for k := 1; k < len(nodes); k++ {
@@ -59,10 +62,10 @@ func (e *EO) Sample(g *rng.RNG) (relation.Tuple, bool) {
 		matches := n.Rel.Matches(n.AttrPos, v)
 		d := len(matches)
 		if d == 0 {
-			return nil, false // dangling tuple: zero weight (§3.2)
+			return false // dangling tuple: zero weight (§3.2)
 		}
 		if !g.Bernoulli(float64(d) / float64(e.maxDeg[k])) {
-			return nil, false
+			return false
 		}
 		rowOf[k] = matches[g.Intn(d)]
 		e.j.FillOutput(k, rowOf[k], out)
@@ -102,14 +105,16 @@ func (w *WJ) SizeEstimate() float64 { return w.bound }
 
 // Sample implements Sampler.
 func (w *WJ) Sample(g *rng.RNG) (relation.Tuple, bool) {
-	t, p, ok := w.walker.Walk(g)
+	return sampleAlloc(w.j, w.SampleInto, g)
+}
+
+// SampleInto implements Sampler without allocating.
+func (w *WJ) SampleInto(out relation.Tuple, rowOf []int, g *rng.RNG) bool {
+	p, ok := w.walker.WalkInto(out, rowOf, g)
 	if !ok {
-		return nil, false
+		return false
 	}
-	if !g.Bernoulli(1 / (p * w.bound)) {
-		return nil, false
-	}
-	return t, true
+	return g.Bernoulli(1 / (p * w.bound))
 }
 
 // Walker performs Wander Join random walks over the join data graph
@@ -129,15 +134,26 @@ func (w *Walker) Join() *join.Join { return w.j }
 
 // Walk performs one random walk. ok is false when the walk dies on a
 // dangling tuple (p(t) = 0 in the paper's backtracking bookkeeping).
-// The returned tuple is freshly allocated and safe to retain.
+// The returned tuple is freshly allocated and safe to retain — the
+// walkest reuse pool depends on that.
 func (w *Walker) Walk(g *rng.RNG) (relation.Tuple, float64, bool) {
+	out := make(relation.Tuple, w.j.OutputSchema().Len())
+	rowOf := make([]int, len(w.j.Nodes()))
+	p, ok := w.WalkInto(out, rowOf, g)
+	if !ok {
+		return nil, 0, false
+	}
+	return out, p, true
+}
+
+// WalkInto is Walk into caller-owned scratch; a dead walk may leave the
+// buffers partially written.
+func (w *Walker) WalkInto(out relation.Tuple, rowOf []int, g *rng.RNG) (float64, bool) {
 	nodes := w.j.Nodes()
 	root := nodes[0].Rel
 	if root.Len() == 0 {
-		return nil, 0, false
+		return 0, false
 	}
-	out := make(relation.Tuple, w.j.OutputSchema().Len())
-	rowOf := make([]int, len(nodes))
 	rowOf[0] = g.Intn(root.Len())
 	w.j.FillOutput(0, rowOf[0], out)
 	p := 1.0 / float64(root.Len())
@@ -147,7 +163,7 @@ func (w *Walker) Walk(g *rng.RNG) (relation.Tuple, float64, bool) {
 		matches := n.Rel.Matches(n.AttrPos, v)
 		d := len(matches)
 		if d == 0 {
-			return nil, 0, false
+			return 0, false
 		}
 		rowOf[k] = matches[g.Intn(d)]
 		w.j.FillOutput(k, rowOf[k], out)
@@ -157,10 +173,10 @@ func (w *Walker) Walk(g *rng.RNG) (relation.Tuple, float64, bool) {
 		matches := res.Match(out)
 		d := len(matches)
 		if d == 0 {
-			return nil, 0, false
+			return 0, false
 		}
 		w.j.FillResidual(matches[g.Intn(d)], out)
 		p /= float64(d)
 	}
-	return out, p, true
+	return p, true
 }

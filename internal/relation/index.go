@@ -1,0 +1,124 @@
+package relation
+
+// Index is a per-attribute hash index in CSR layout: the row ids of
+// every distinct value live contiguously in one packed slice, addressed
+// by a counting-sort offset table, with an open-addressed value table
+// on top. Compared to the previous map[Value][]int it is built in two
+// linear passes with O(distinct) allocations instead of O(distinct)
+// separately grown slices, probes without hashing strings, and — being
+// immutable after construction — is safe for concurrent readers.
+type Index struct {
+	slots  []int32 // open addressing: entry index + 1; 0 = empty
+	keys   []Value // distinct values, first-appearance order
+	starts []int32 // entry e's rows at rows[starts[e]:starts[e+1]]
+	rows   []int   // row ids grouped by value, ascending within a group
+	maxDeg int
+}
+
+// hashValue fingerprints one attribute value for the index's slot
+// table.
+func hashValue(v Value) uint64 { return mix(uint64(v) + keySeed0) }
+
+// buildIndex constructs the CSR index over attribute position a of r.
+func buildIndex(r *Relation, a int) *Index {
+	n := r.Len()
+	ix := &Index{}
+	// Pass 1: discover distinct values and their degrees. counts is
+	// indexed by entry id (first-appearance rank).
+	nslots := minSlots
+	for nslots < n*2 {
+		nslots <<= 1
+	}
+	ix.slots = make([]int32, nslots)
+	counts := make([]int32, 0, 16)
+	mask := uint64(nslots - 1)
+	for i := 0; i < n; i++ {
+		v := r.Value(i, a)
+		h := hashValue(v)
+		j := h & mask
+		for {
+			s := ix.slots[j]
+			if s == 0 {
+				ix.slots[j] = int32(len(ix.keys) + 1)
+				ix.keys = append(ix.keys, v)
+				counts = append(counts, 1)
+				break
+			}
+			if ix.keys[s-1] == v {
+				counts[s-1]++
+				break
+			}
+			j = (j + 1) & mask
+		}
+	}
+	// Pass 2: prefix sums, then scatter row ids. Scanning rows in order
+	// keeps each group ascending, matching the old index's guarantee.
+	ix.starts = make([]int32, len(ix.keys)+1)
+	for e, c := range counts {
+		ix.starts[e+1] = ix.starts[e] + c
+		if int(c) > ix.maxDeg {
+			ix.maxDeg = int(c)
+		}
+	}
+	ix.rows = make([]int, n)
+	cursor := append([]int32(nil), ix.starts[:len(ix.keys)]...)
+	for i := 0; i < n; i++ {
+		v := r.Value(i, a)
+		e, _ := ix.EntryOf(v)
+		ix.rows[cursor[e]] = i
+		cursor[e]++
+	}
+	return ix
+}
+
+// EntryOf returns the dense entry id of a value, or (-1, false) when
+// the value does not occur.
+func (ix *Index) EntryOf(v Value) (int, bool) {
+	mask := uint64(len(ix.slots) - 1)
+	h := hashValue(v)
+	for j := h & mask; ; j = (j + 1) & mask {
+		s := ix.slots[j]
+		if s == 0 {
+			return -1, false
+		}
+		if ix.keys[s-1] == v {
+			return int(s - 1), true
+		}
+	}
+}
+
+// Rows returns the row ids holding v, ascending. The slice aliases the
+// index; do not mutate it.
+func (ix *Index) Rows(v Value) []int {
+	e, ok := ix.EntryOf(v)
+	if !ok {
+		return nil
+	}
+	return ix.rows[ix.starts[e]:ix.starts[e+1]]
+}
+
+// Degree returns the number of rows holding v.
+func (ix *Index) Degree(v Value) int {
+	e, ok := ix.EntryOf(v)
+	if !ok {
+		return 0
+	}
+	return int(ix.starts[e+1] - ix.starts[e])
+}
+
+// MaxDegree returns the maximum value frequency.
+func (ix *Index) MaxDegree() int { return ix.maxDeg }
+
+// Distinct returns the number of distinct values.
+func (ix *Index) Distinct() int { return len(ix.keys) }
+
+// NumEntries returns the number of distinct values; entries are
+// addressed 0..NumEntries()-1 in first-appearance order.
+func (ix *Index) NumEntries() int { return len(ix.keys) }
+
+// ValueAt returns entry e's value.
+func (ix *Index) ValueAt(e int) Value { return ix.keys[e] }
+
+// RowsAt returns entry e's row ids. The slice aliases the index; do not
+// mutate it.
+func (ix *Index) RowsAt(e int) []int { return ix.rows[ix.starts[e]:ix.starts[e+1]] }

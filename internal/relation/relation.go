@@ -2,28 +2,41 @@ package relation
 
 import (
 	"fmt"
+	"sync"
+	"sync/atomic"
 )
 
 // Relation is an in-memory table: a schema plus rows stored row-major in
-// one flat slice (stride = arity). Hash indexes over single attributes
-// are built lazily and cached; they serve the joinability lookups that
-// the paper implements with hash tables (§3.2).
+// one flat slice (stride = arity). CSR hash indexes over single
+// attributes (see Index) are built on first use and cached; they serve
+// the joinability lookups that the paper implements with hash tables
+// (§3.2).
+//
+// Mutation (Append) and sampling must not overlap, but concurrent
+// readers are safe even on first index use: the index set is published
+// through an atomic pointer and built under a mutex, so a fresh
+// relation shared by several sampling goroutines builds each index
+// exactly once.
 type Relation struct {
 	name   string
 	schema *Schema
 	data   []Value // row-major, len = rows*arity
 
-	// indexes[attr position] maps a value to the row ids holding it.
-	indexes map[int]map[Value][]int
+	// indexes is the current immutable set of per-attribute CSR indexes
+	// (entry a nil until built). Replaced wholesale on build and on
+	// Append invalidation.
+	indexes atomic.Pointer[[]*Index]
+	mu      sync.Mutex // serializes index building
+
+	// version counts Appends since index build; cached structures
+	// derived from this relation (join membership tables) compare it to
+	// detect staleness.
+	version atomic.Uint64
 }
 
 // New returns an empty relation with the given name and schema.
 func New(name string, schema *Schema) *Relation {
-	return &Relation{
-		name:    name,
-		schema:  schema,
-		indexes: make(map[int]map[Value][]int),
-	}
+	return &Relation{name: name, schema: schema}
 }
 
 // FromTuples builds a relation from explicit rows, validating arity.
@@ -72,44 +85,57 @@ func (r *Relation) Row(i int) Tuple {
 	return Tuple(r.data[i*k : (i+1)*k : (i+1)*k])
 }
 
-// Append adds a row. It invalidates any lazily built indexes, so load
-// all data before sampling.
+// Append adds a row. It invalidates any built indexes and bumps the
+// relation's version so caches built over the old contents (join
+// membership tables) rebuild on next use; load all data before
+// sampling. Append must not run concurrently with readers.
 func (r *Relation) Append(t Tuple) {
 	if len(t) != r.schema.Len() {
 		panic(fmt.Sprintf("relation %s: append arity %d, want %d", r.name, len(t), r.schema.Len()))
 	}
 	r.data = append(r.data, t...)
-	if len(r.indexes) > 0 {
-		r.indexes = make(map[int]map[Value][]int)
+	r.version.Add(1)
+	if r.indexes.Load() != nil {
+		r.indexes.Store(nil)
 	}
 }
 
 // AppendValues adds a row given as individual values.
 func (r *Relation) AppendValues(vs ...Value) { r.Append(Tuple(vs)) }
 
+// Version counts mutations; caches derived from this relation compare
+// it to detect staleness.
+func (r *Relation) Version() uint64 { return r.version.Load() }
+
 // Value returns the value of attribute position a in row i.
 func (r *Relation) Value(i, a int) Value {
 	return r.data[i*r.schema.Len()+a]
 }
 
-// Index returns (building if needed) the hash index over the attribute
-// at position a: value -> sorted slice of row ids.
-func (r *Relation) Index(a int) map[Value][]int {
-	if idx, ok := r.indexes[a]; ok {
-		return idx
+// Index returns (building if needed) the CSR hash index over the
+// attribute at position a. First use from several goroutines builds the
+// index exactly once; a built index is immutable.
+func (r *Relation) Index(a int) *Index {
+	if set := r.indexes.Load(); set != nil && (*set)[a] != nil {
+		return (*set)[a]
 	}
-	idx := make(map[Value][]int)
-	n := r.Len()
-	for i := 0; i < n; i++ {
-		v := r.Value(i, a)
-		idx[v] = append(idx[v], i)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	old := r.indexes.Load()
+	if old != nil && (*old)[a] != nil {
+		return (*old)[a]
 	}
-	r.indexes[a] = idx
-	return idx
+	next := make([]*Index, r.schema.Len())
+	if old != nil {
+		copy(next, *old)
+	}
+	next[a] = buildIndex(r, a)
+	r.indexes.Store(&next)
+	return next[a]
 }
 
 // IndexByName is Index keyed by attribute name.
-func (r *Relation) IndexByName(attr string) (map[Value][]int, error) {
+func (r *Relation) IndexByName(attr string) (*Index, error) {
 	a := r.schema.Index(attr)
 	if a < 0 {
 		return nil, fmt.Errorf("relation %s: no attribute %q", r.name, attr)
@@ -117,34 +143,29 @@ func (r *Relation) IndexByName(attr string) (map[Value][]int, error) {
 	return r.Index(a), nil
 }
 
-// Matches returns the row ids whose attribute at position a equals v.
-// The returned slice is shared with the index; do not mutate it.
+// Matches returns the row ids whose attribute at position a equals v,
+// ascending. The returned slice is shared with the index; do not mutate
+// it.
 func (r *Relation) Matches(a int, v Value) []int {
-	return r.Index(a)[v]
+	return r.Index(a).Rows(v)
 }
 
 // Degree returns the number of rows whose attribute at position a
 // equals v — the d_A(v, R) of the paper.
 func (r *Relation) Degree(a int, v Value) int {
-	return len(r.Index(a)[v])
+	return r.Index(a).Degree(v)
 }
 
 // MaxDegree returns the maximum value frequency in attribute position a
 // — the M_A(R) of Olken's bound. It is 0 for an empty relation.
 func (r *Relation) MaxDegree(a int) int {
-	max := 0
-	for _, rows := range r.Index(a) {
-		if len(rows) > max {
-			max = len(rows)
-		}
-	}
-	return max
+	return r.Index(a).MaxDegree()
 }
 
 // DistinctCount returns the number of distinct values in attribute
 // position a.
 func (r *Relation) DistinctCount(a int) int {
-	return len(r.Index(a))
+	return r.Index(a).Distinct()
 }
 
 // Tuples returns a copy of all rows.
@@ -196,16 +217,13 @@ func (r *Relation) DistinctProject(name string, attrs []string) (*Relation, erro
 		return nil, err
 	}
 	out := New(name, p.schema)
-	seen := make(map[string]struct{}, p.Len())
-	var keyBuf []byte
 	n := p.Len()
+	seen := NewKeySet(p.schema.Len(), n)
 	for i := 0; i < n; i++ {
 		row := p.Row(i)
-		keyBuf = appendTupleKey(keyBuf[:0], row)
-		if _, ok := seen[string(keyBuf)]; ok {
+		if !seen.Insert(row) {
 			continue
 		}
-		seen[string(keyBuf)] = struct{}{}
 		out.data = append(out.data, row...)
 	}
 	return out, nil
@@ -223,7 +241,10 @@ func appendTupleKey(dst []byte, t Tuple) []byte {
 }
 
 // TupleKey returns a string key uniquely identifying t's values; two
-// tuples of the same arity have equal keys iff they are Equal.
+// tuples of the same arity have equal keys iff they are Equal. The
+// sampling hot path uses KeySet/KeyCounter instead; TupleKey remains
+// the reference encoding (and serves the warm-up's exact overlap
+// computation, where a string map over all result tuples is fine).
 func TupleKey(t Tuple) string {
 	return string(appendTupleKey(nil, t))
 }

@@ -92,8 +92,8 @@ func TestRelationArityError(t *testing.T) {
 func TestIndexAndDegrees(t *testing.T) {
 	r := testRel(t)
 	idx := r.Index(0)
-	if len(idx[1]) != 2 || len(idx[2]) != 1 || len(idx[3]) != 1 {
-		t.Errorf("index over a wrong: %v", idx)
+	if len(idx.Rows(1)) != 2 || len(idx.Rows(2)) != 1 || len(idx.Rows(3)) != 1 {
+		t.Errorf("index over a wrong: %v/%v/%v", idx.Rows(1), idx.Rows(2), idx.Rows(3))
 	}
 	if d := r.Degree(0, 1); d != 2 {
 		t.Errorf("Degree(a=1) = %d, want 2", d)

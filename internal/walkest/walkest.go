@@ -150,6 +150,12 @@ type Estimator struct {
 	opts    Options
 	wByMask []map[uint]float64 // per join: membership mask -> Σ 1/p
 	wAll    []float64          // per join: Σ 1/p over successful walks
+
+	// probes[j][i] tests a join-j walk tuple against join i without
+	// re-deriving the schema alignment per walk (nil when i == j or the
+	// schemas are not alignable, which counts as not contained — the
+	// same answer ContainsAligned gives). Immutable, shared by clones.
+	probes [][]*join.AlignedProbe
 }
 
 // New prepares a random-walk estimator over the joins.
@@ -162,6 +168,18 @@ func New(joins []*join.Join, opts Options) (*Estimator, error) {
 		e.ests = append(e.ests, NewJoinEstimate(j))
 		e.wByMask = append(e.wByMask, make(map[uint]float64))
 		e.wAll = append(e.wAll, 0)
+	}
+	e.probes = make([][]*join.AlignedProbe, len(joins))
+	for j, src := range joins {
+		e.probes[j] = make([]*join.AlignedProbe, len(joins))
+		for i, other := range joins {
+			if i == j {
+				continue
+			}
+			if p, ok := other.AlignProbe(src.OutputSchema()); ok {
+				e.probes[j][i] = &p
+			}
+		}
 	}
 	return e, nil
 }
@@ -202,6 +220,7 @@ func (e *Estimator) Clone() *Estimator {
 		ests:    make([]*JoinEstimate, len(e.ests)),
 		wByMask: make([]map[uint]float64, len(e.wByMask)),
 		wAll:    append([]float64(nil), e.wAll...),
+		probes:  e.probes,
 	}
 	for i, je := range e.ests {
 		c.ests[i] = je.clone()
@@ -223,12 +242,8 @@ func (e *Estimator) StepJoin(j int, g *rng.RNG) (Sample, bool) {
 		return Sample{}, false
 	}
 	mask := uint(1) << uint(j)
-	schema := e.joins[j].OutputSchema()
-	for i := range e.joins {
-		if i == j {
-			continue
-		}
-		if e.joins[i].ContainsAligned(s.Tuple, schema) {
+	for i, p := range e.probes[j] {
+		if p != nil && p.Contains(s.Tuple) {
 			mask |= 1 << uint(i)
 		}
 	}

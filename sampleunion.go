@@ -193,6 +193,13 @@ type Options struct {
 	// instead of the paper's dynamic record; exactly uniform from the
 	// first sample, but needs per-relation indexes.
 	Oracle bool
+	// DetailedTiming wall-clocks every individual draw when filling the
+	// Stats time fields. By default timing is coarse-grained: draws are
+	// always counted exactly, but the clock is read only once per
+	// core.TimingStride draws and scaled, keeping time.Now out of the
+	// sampling inner loop (Stats.TimingSampled reports which mode a run
+	// used).
+	DetailedTiming bool
 	// Seed makes sampling reproducible (default 1). It seeds the
 	// warm-up, and a prepared Session derives a decorrelated per-call
 	// stream from it (see Session.SampleSeeded for explicit streams).
@@ -302,7 +309,10 @@ func (u *Union) Sample(n int, o Options) ([]Tuple, *Stats, error) {
 // prepared subroutine samplers.
 func (u *Union) SampleDisjoint(n int, o Options) ([]Tuple, *Stats, error) {
 	o = o.withDefaults()
-	shared, err := core.PrepareDisjoint(u.joins, core.JoinMethod(o.Method))
+	shared, err := core.PrepareDisjoint(u.joins, core.DisjointConfig{
+		Method:         core.JoinMethod(o.Method),
+		DetailedTiming: o.DetailedTiming,
+	})
 	if err != nil {
 		return nil, nil, err
 	}

@@ -60,14 +60,16 @@ func (u *Union) prepare(o Options, prewarm bool) (*Session, error) {
 	var err error
 	if o.Online {
 		prepared, err = core.PrepareOnline(u.joins, core.OnlineConfig{
-			WarmupWalks: o.WarmupWalks,
-			Oracle:      o.Oracle,
+			WarmupWalks:    o.WarmupWalks,
+			Oracle:         o.Oracle,
+			DetailedTiming: o.DetailedTiming,
 		}, g)
 	} else {
 		prepared, err = core.PrepareCover(u.joins, core.CoverConfig{
-			Method:    core.JoinMethod(o.Method),
-			Estimator: u.estimator(o),
-			Oracle:    o.Oracle,
+			Method:         core.JoinMethod(o.Method),
+			Estimator:      u.estimator(o),
+			Oracle:         o.Oracle,
+			DetailedTiming: o.DetailedTiming,
 		}, g)
 	}
 	if err != nil {
@@ -97,10 +99,13 @@ func (u *Union) prepare(o Options, prewarm bool) (*Session, error) {
 func (s *Session) disjointShared() (*core.DisjointShared, error) {
 	s.disjointOnce.Do(func() {
 		if s.opts.Online && core.JoinMethod(s.opts.Method) != core.MethodEO {
-			s.disjoint, s.disjointErr = core.PrepareDisjoint(s.u.joins, core.JoinMethod(s.opts.Method))
+			s.disjoint, s.disjointErr = core.PrepareDisjoint(s.u.joins, core.DisjointConfig{
+				Method:         core.JoinMethod(s.opts.Method),
+				DetailedTiming: s.opts.DetailedTiming,
+			})
 			return
 		}
-		s.disjoint, s.disjointErr = core.PrepareDisjointFrom(s.prepared)
+		s.disjoint, s.disjointErr = core.PrepareDisjointFrom(s.prepared, s.opts.DetailedTiming)
 	})
 	return s.disjoint, s.disjointErr
 }
