@@ -250,6 +250,120 @@ func BenchmarkMembershipProbe(b *testing.B) {
 	}
 }
 
+// benchLiveUnion builds a larger two-chain union whose relations the
+// mutation benchmarks append to, returning the relations for mutation.
+func benchLiveUnion(b *testing.B, rows int) (*Union, []*Relation) {
+	b.Helper()
+	var rels []*Relation
+	mk := func(suffix string, lo, hi int) *Join {
+		a := NewRelation("cust_"+suffix, NewSchema("custkey", "nationkey"))
+		o := NewRelation("ord_"+suffix, NewSchema("orderkey", "custkey"))
+		for k := lo; k < hi; k++ {
+			a.AppendValues(Value(k), Value(k%25))
+			o.AppendValues(Value(k*10), Value(k))
+		}
+		j, err := Chain("J_"+suffix, []*Relation{a, o}, []string{"custkey"})
+		if err != nil {
+			b.Fatal(err)
+		}
+		rels = append(rels, a, o)
+		return j
+	}
+	u, err := NewUnion(mk("east", 0, rows), mk("west", rows/2, rows+rows/2))
+	if err != nil {
+		b.Fatal(err)
+	}
+	return u, rels
+}
+
+// appendBurst appends a fresh batch of joinable rows to every relation
+// (new customers with one order each, keys disjoint from everything
+// appended before).
+func appendBurst(rels []*Relation, iter, batch, base int) {
+	for ri := 0; ri+1 < len(rels); ri += 2 {
+		cust := make([]Tuple, batch)
+		ord := make([]Tuple, batch)
+		for i := 0; i < batch; i++ {
+			k := Value(base + iter*batch + i)
+			cust[i] = Tuple{k, Value(i % 25)}
+			ord[i] = Tuple{k * 10, k}
+		}
+		rels[ri].AppendRows(cust)
+		rels[ri+1].AppendRows(ord)
+	}
+}
+
+// BenchmarkMutateThenDraw measures the streaming shape — one append
+// burst followed by a handful of draws, repeated — under the two
+// maintenance strategies:
+//
+//   - refresh: the warm session absorbs the burst through
+//     Session.Refresh (delta-overlaid indexes, membership deltas,
+//     dirty-join sampler rebuilds, re-estimation).
+//   - rebuild: the pre-live-relations strategy — every burst invalidates
+//     the derived structures (ResetCaches) and pays a cold Prepare.
+//
+// The configuration is the streaming-friendly one (random-walk warm-up
+// + EO subroutine: index-only setup, walk cost independent of data
+// size), so refresh cost is O(delta + walks) while rebuild is O(data).
+// The per-op gap is the amortized-maintenance claim of this PR; see
+// BENCH_PR3.json.
+func BenchmarkMutateThenDraw(b *testing.B) {
+	const (
+		rows  = 30000
+		batch = 32
+		draws = 16
+	)
+	opts := Options{Warmup: WarmupRandomWalk, WarmupWalks: 300, Method: MethodEO, Seed: 1}
+	b.Run("refresh", func(b *testing.B) {
+		u, rels := benchLiveUnion(b, rows)
+		s, err := u.Prepare(opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			appendBurst(rels, i, batch, 10*rows)
+			if err := s.Refresh(); err != nil {
+				b.Fatal(err)
+			}
+			out, _, err := s.SampleSeeded(draws, int64(i))
+			if err != nil {
+				b.Fatal(err)
+			}
+			if len(out) != draws {
+				b.Fatal("short sample")
+			}
+		}
+	})
+	b.Run("rebuild", func(b *testing.B) {
+		u, rels := benchLiveUnion(b, rows)
+		if _, err := u.Prepare(opts); err != nil { // match the warm start
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			appendBurst(rels, i, batch, 10*rows)
+			for _, r := range rels {
+				r.ResetCaches()
+			}
+			s, err := u.Prepare(opts)
+			if err != nil {
+				b.Fatal(err)
+			}
+			out, _, err := s.SampleSeeded(draws, int64(i))
+			if err != nil {
+				b.Fatal(err)
+			}
+			if len(out) != draws {
+				b.Fatal("short sample")
+			}
+		}
+	})
+}
+
 func benchUnion(b *testing.B) *Union {
 	b.Helper()
 	mk := func(suffix string, lo, hi int) *Join {

@@ -116,6 +116,12 @@ var goldenDigests = map[string]string{
 	"where":     "d8047d7dee5c08fb",
 	"cyclic-ew": "31b3d2c892e82e3c",
 	"cyclic-eo": "ba2a8487a19207c5",
+	// Post-mutation refreshed draws (live-relation PR): a fixed mutation
+	// script plus Session.Refresh, then the same seeded stream.
+	"mutate-cover-ew":  "974049a344db657c",
+	"mutate-cover-eo":  "9304ff62e2042f23",
+	"mutate-online":    "00f85e71861c6ea6",
+	"mutate-cyclic-eo": "3787d5c08d55a697",
 }
 
 func goldenScenarios(t testing.TB) []struct {
@@ -158,6 +164,82 @@ func goldenScenarios(t testing.TB) []struct {
 		}},
 		{"cyclic-ew", sample(prep(cu, Options{Warmup: WarmupHistogram, Method: MethodEW}))},
 		{"cyclic-eo", sample(prep(cu, Options{Warmup: WarmupHistogram, Method: MethodEO}))},
+		{"mutate-cover-ew", mutateDraw(t, Options{Warmup: WarmupExact, Method: MethodEW})},
+		{"mutate-cover-eo", mutateDraw(t, Options{Warmup: WarmupHistogram, Method: MethodEO})},
+		{"mutate-online", mutateDraw(t, Options{Online: true, WarmupWalks: 150})},
+		{"mutate-cyclic-eo", mutateCyclicDraw(t)},
+	}
+}
+
+// mutateDraw pins the refreshed-draw path: prepare a session over a
+// fresh golden union, apply a fixed mutation script (a batch append, a
+// single append, and two deletes), Refresh, and draw a seeded stream.
+// Refresh randomness is derived from the session seed and refresh
+// count, so the digest is stable.
+func mutateDraw(t testing.TB, o Options) func() ([]Tuple, error) {
+	u := goldenUnion(t)
+	o.Seed = 424242
+	s, err := u.Prepare(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return func() ([]Tuple, error) {
+		cust := u.Joins()[0].Nodes()[0].Rel
+		ord := u.Joins()[0].Nodes()[1].Rel
+		cust.AppendRows([]Tuple{{500, 1}, {501, 2}})
+		ord.AppendRows([]Tuple{{5000, 500}, {5001, 500}, {5002, 501}})
+		cust.Delete(3)
+		ord.Delete(10)
+		if err := s.Refresh(); err != nil {
+			return nil, err
+		}
+		out, _, err := s.SampleSeeded(64, 99)
+		return out, err
+	}
+}
+
+// mutateCyclicDraw is mutateDraw over a triangle join: the mutations
+// touch every base relation — skeleton nodes and the residual member —
+// so the refreshed draw exercises residual reconciliation (append-only
+// delta join on one burst, full re-materialization after the delete).
+func mutateCyclicDraw(t testing.TB) func() ([]Tuple, error) {
+	r := NewRelation("R", NewSchema("A", "B"))
+	s := NewRelation("S", NewSchema("B", "C"))
+	x := NewRelation("T", NewSchema("C", "A"))
+	for i := 0; i < 24; i++ {
+		r.AppendValues(Value(i%6), Value(i%8))
+		s.AppendValues(Value(i%8), Value(i%5))
+		x.AppendValues(Value(i%5), Value(i%6))
+	}
+	j, err := Cyclic("tri", []*Relation{r, s, x},
+		[]Edge{{A: 0, B: 1, Attr: "B"}, {A: 1, B: 2, Attr: "C"}, {A: 2, B: 0, Attr: "A"}}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cu, err := NewUnion(j)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess, err := cu.Prepare(Options{Warmup: WarmupHistogram, Method: MethodEO, Seed: 424242})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return func() ([]Tuple, error) {
+		// Append-only burst across all three relations, then refresh.
+		r.AppendRows([]Tuple{{1, 2}, {3, 7}})
+		s.AppendValues(7, 3)
+		x.AppendValues(3, 1)
+		if err := sess.Refresh(); err != nil {
+			return nil, err
+		}
+		// A delete forces the full-rebuild path on the second refresh.
+		s.Delete(5)
+		x.Delete(2)
+		if err := sess.Refresh(); err != nil {
+			return nil, err
+		}
+		out, _, err := sess.SampleSeeded(64, 99)
+		return out, err
 	}
 }
 

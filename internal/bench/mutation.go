@@ -1,0 +1,159 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"sampleunion/internal/core"
+	"sampleunion/internal/relation"
+	"sampleunion/internal/rng"
+	"sampleunion/internal/tpch"
+	"sampleunion/internal/walkest"
+)
+
+// mutationScales picks the data scales swept by the mutation
+// experiment: the refresh arm's cost is O(delta + walks) and therefore
+// flat in the scale, while rebuild-per-batch grows linearly — the gap
+// is the claim.
+func mutationScales(o Options) []float64 {
+	if o.Quick {
+		return []float64{0.5, 1}
+	}
+	return []float64{0.5, 1, 2, 4}
+}
+
+// appendBurstTPCH appends batch rows to every distinct fact-sized base
+// relation of the workload. Rows are clones of live rows spread across
+// the relation, so the burst joins like real ingest (dimension tables
+// below 100 rows are left alone, as a streaming workload would).
+func appendBurstTPCH(w *tpch.Workload, batch, iter int) {
+	seen := make(map[*relation.Relation]bool)
+	for _, j := range w.Joins {
+		for _, n := range j.Nodes() {
+			r := n.Rel
+			if seen[r] {
+				continue
+			}
+			seen[r] = true
+			if r.LiveLen() < 100 {
+				continue
+			}
+			rows := make([]relation.Tuple, 0, batch)
+			n0 := r.Len()
+			for i := 0; i < batch; i++ {
+				src := (iter*batch + i*37) % n0
+				if !r.Live(src) {
+					continue
+				}
+				rows = append(rows, r.Row(src).Clone())
+			}
+			r.AppendRows(rows)
+		}
+	}
+}
+
+// mutationConfig is the streaming-friendly sampler configuration:
+// random-walk warm-up (walk cost independent of data size) with the EO
+// subroutine (index-only setup), so an incremental refresh costs
+// O(delta + walks) while a cold rebuild costs O(data).
+func mutationConfig(w *tpch.Workload) core.CoverConfig {
+	return core.CoverConfig{
+		Method: core.MethodEO,
+		Estimator: &core.RandomWalkEstimator{
+			Joins: w.Joins,
+			Opts:  walkest.Options{MaxWalks: 60},
+		},
+	}
+}
+
+// MutationRefresh regenerates the live-relations claim: amortized
+// append-burst + draws via Session-style incremental Refresh versus
+// rebuild-per-batch (caches invalidated, cold warm-up), on UQ1. The
+// speedup column is the headline number recorded in BENCH_PR3.json;
+// the root-package BenchmarkMutateThenDraw measures the same shape
+// through the public Session API.
+func MutationRefresh(o Options) (*Result, error) {
+	o = o.withDefaults()
+	res := &Result{
+		Name:   "append burst + draws: incremental refresh vs rebuild-per-batch on UQ1",
+		Figure: "mutation",
+		Note:   "refresh reconciles delta-overlaid indexes/membership and re-walks; rebuild pays a cold prepare",
+		Header: []string{"sf", "batch", "refresh_ms", "rebuild_ms", "speedup"},
+	}
+	iters := 12
+	draws := 16
+	batch := 64
+	if o.Quick {
+		iters = 5
+		batch = 16
+	}
+	for _, sf := range mutationScales(o) {
+		// Refresh arm: one warm prepare, then per-burst incremental
+		// reconciliation.
+		w, err := tpch.UQ1(tpch.Config{SF: sf, Overlap: o.Overlap, Seed: o.Seed})
+		if err != nil {
+			return nil, err
+		}
+		var cur core.PreparedSampler
+		cur, err = core.PrepareCover(w.Joins, mutationConfig(w), rng.New(o.Seed))
+		if err != nil {
+			return nil, err
+		}
+		core.Prewarm(cur)
+		g := rng.New(o.Seed + 7)
+		start := time.Now()
+		for i := 0; i < iters; i++ {
+			appendBurstTPCH(w, batch, i)
+			next, _, err := core.Refresh(cur, rng.New(o.Seed+int64(i)))
+			if err != nil {
+				return nil, err
+			}
+			core.Prewarm(next)
+			cur = next
+			if _, err := cur.NewRun().Sample(draws, g); err != nil {
+				return nil, err
+			}
+		}
+		refreshMS := time.Since(start)
+
+		// Rebuild arm: identical bursts, but every burst invalidates the
+		// derived structures and pays a cold prepare.
+		w2, err := tpch.UQ1(tpch.Config{SF: sf, Overlap: o.Overlap, Seed: o.Seed})
+		if err != nil {
+			return nil, err
+		}
+		if _, err := core.PrepareCover(w2.Joins, mutationConfig(w2), rng.New(o.Seed)); err != nil {
+			return nil, err
+		}
+		g2 := rng.New(o.Seed + 7)
+		start = time.Now()
+		for i := 0; i < iters; i++ {
+			appendBurstTPCH(w2, batch, i)
+			seen := make(map[*relation.Relation]bool)
+			for _, j := range w2.Joins {
+				for _, rel := range j.Relations() {
+					if !seen[rel] {
+						seen[rel] = true
+						rel.ResetCaches()
+					}
+				}
+			}
+			shared, err := core.PrepareCover(w2.Joins, mutationConfig(w2), rng.New(o.Seed+int64(i)))
+			if err != nil {
+				return nil, err
+			}
+			core.Prewarm(shared)
+			if _, err := shared.NewRun().Sample(draws, g2); err != nil {
+				return nil, err
+			}
+		}
+		rebuildMS := time.Since(start)
+
+		speedup := float64(rebuildMS) / float64(refreshMS)
+		res.Add(fmt.Sprintf("%.2f", sf), fmt.Sprintf("%d", batch),
+			ms(refreshMS/time.Duration(iters)),
+			ms(rebuildMS/time.Duration(iters)),
+			fmt.Sprintf("%.1fx", speedup))
+	}
+	return res, nil
+}

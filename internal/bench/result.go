@@ -151,6 +151,7 @@ func Experiments() []struct {
 		{"scale-joins", ScaleJoins},
 		{"prepared", PreparedAmortization},
 		{"hotpath", Hotpath},
+		{"mutation", MutationRefresh},
 	}
 }
 

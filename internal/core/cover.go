@@ -110,6 +110,23 @@ func (p *CoverShared) warm(g *rng.RNG) error {
 	return nil
 }
 
+// Refresh returns a CoverShared reconciled with the current data:
+// dirty joins reconcile their residuals and rebuild their subroutine
+// samplers (clean joins are shared), and the estimator re-runs over the
+// incrementally maintained indexes and membership tables. The receiver
+// is untouched; in-flight runs keep their snapshot.
+func (p *CoverShared) Refresh(g *rng.RNG) (PreparedSampler, bool, error) {
+	nb, _, changed := p.base.refreshed()
+	if !changed {
+		return p, false, nil
+	}
+	np := &CoverShared{base: nb, cfg: p.cfg, maxDraw: p.maxDraw}
+	if err := np.warm(g); err != nil {
+		return nil, false, err
+	}
+	return np, true, nil
+}
+
 // Params returns the warm-up parameters (nil before warm-up).
 func (p *CoverShared) Params() *Params { return p.params }
 

@@ -154,6 +154,68 @@ func paramsFromWalks(walks *walkest.Estimator) (*Params, bool, error) {
 	return ParamsFromTable(t), true, nil
 }
 
+// Refresh returns an OnlineShared reconciled with the current data.
+// Dirty joins rebuild their subroutine samplers and their walk
+// estimates reset and re-warm (the old walks were observations of a
+// join that no longer exists); clean joins keep their samplers,
+// Horvitz–Thompson estimates, and overlap counters — the walk-estimator
+// state reconciles against the changed relations only. Overlap masks
+// recorded by clean anchors against dirty joins stay as recorded; they
+// re-converge as runs refine, which the framework's record/revision
+// machinery tolerates (estimates are never trusted exactly). The
+// receiver is untouched; in-flight runs keep their snapshot.
+func (p *OnlineShared) Refresh(g *rng.RNG) (PreparedSampler, bool, error) {
+	nb, dirty, changed := p.base.refreshed()
+	if !changed {
+		return p, false, nil
+	}
+	np := &OnlineShared{base: nb, cfg: p.cfg, walks: p.walks.Clone()}
+	for j, d := range dirty {
+		if d {
+			np.walks.Reset(j)
+		}
+	}
+	if err := np.warmRefresh(g, dirty); err != nil {
+		return nil, false, err
+	}
+	return np, true, nil
+}
+
+// warmRefresh is warm for a refresh: the histogram re-reads the
+// (incrementally maintained) indexes, but warm-up walks re-run only for
+// the dirty joins.
+func (p *OnlineShared) warmRefresh(g *rng.RNG, dirty []bool) error {
+	start := time.Now()
+	hist := &HistogramEstimator{Joins: p.base.joins, Opts: p.cfg.HistOpts}
+	params, err := hist.Params(g)
+	if err != nil {
+		return err
+	}
+	p.params = params
+	if p.cfg.WarmupWalks > 0 {
+		for j, je := range p.walks.JoinEstimates() {
+			if !dirty[j] {
+				continue
+			}
+			for je.Walks() < p.cfg.WarmupWalks {
+				p.walks.StepJoin(j, g)
+			}
+		}
+		if params, ok, err := paramsFromWalks(p.walks); err != nil {
+			return err
+		} else if ok {
+			p.params = params
+		}
+	}
+	p.alias = rng.NewAlias(p.params.Cover)
+	p.warmupTime = time.Since(start)
+	if p.alias == nil {
+		return fmt.Errorf("core: refreshed cover is all-zero; union appears empty")
+	}
+	p.warmed = true
+	return nil
+}
+
 // Params returns the warm-up parameters (nil before warm-up).
 func (p *OnlineShared) Params() *Params { return p.params }
 

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"fmt"
 	"time"
 
 	"sampleunion/internal/rng"
@@ -56,6 +57,33 @@ func Prewarm(p PreparedSampler) {
 			}
 		}
 	}
+}
+
+// Stale reports whether any relation underlying the prepared sampler
+// mutated since its warm-up (or last Refresh): draws still work but
+// serve parameters estimated over the old contents. It costs a few
+// atomic version loads and is safe to call concurrently with runs.
+func Stale(p PreparedSampler) bool {
+	_, any := p.unionBase().dirtyJoins()
+	return any
+}
+
+// Refresh returns a prepared sampler reconciled with the current data:
+// dirty joins' residual materializations reconcile (incrementally when
+// the mutation delta allows), their subroutine samplers rebuild, and
+// the parameters re-estimate — clean joins keep their samplers and
+// (for the online mode) their walk estimates. The receiver is left
+// untouched, so in-flight runs keep sampling the old snapshot; changed
+// reports whether a new sampler was built. Warm-up randomness is drawn
+// from g, so a fixed seed makes refreshed sessions reproducible.
+func Refresh(p PreparedSampler, g *rng.RNG) (PreparedSampler, bool, error) {
+	switch s := p.(type) {
+	case *CoverShared:
+		return s.Refresh(g)
+	case *OnlineShared:
+		return s.Refresh(g)
+	}
+	return p, false, fmt.Errorf("core: Refresh: unsupported prepared sampler %T", p)
 }
 
 // DeriveSeed maps a base seed and a stream index to a decorrelated RNG

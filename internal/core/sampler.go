@@ -54,6 +54,7 @@ func newJoinSampler(j *join.Join, m JoinMethod) joinsample.Sampler {
 // per-draw scratch lives in the runs (drawScratch).
 type unionBase struct {
 	joins    []*join.Join
+	method   JoinMethod
 	samplers []joinsample.Sampler
 	ref      *relation.Schema
 	perms    [][]int // perms[i][k] = position of ref attr k in join i's schema; nil when equal
@@ -62,6 +63,11 @@ type unionBase struct {
 	// against join k — the allocation-free path behind minContaining,
 	// which only ever scans k < i, so just the lower triangle is built.
 	probes [][]join.AlignedProbe
+
+	// vers[i] snapshots join i's relation versions when its subroutine
+	// sampler was built; Refresh compares against fresh snapshots to
+	// rebuild only the dirty joins' samplers.
+	vers [][]uint64
 
 	maxNodes int // scratch sizing: most tree nodes over all joins
 }
@@ -72,16 +78,19 @@ func newUnionBase(joins []*join.Join, m JoinMethod) (*unionBase, error) {
 	}
 	b := &unionBase{
 		joins:    joins,
+		method:   m,
 		samplers: make([]joinsample.Sampler, len(joins)),
 		ref:      joins[0].OutputSchema(),
 		perms:    make([][]int, len(joins)),
 		probes:   make([][]join.AlignedProbe, len(joins)),
+		vers:     make([][]uint64, len(joins)),
 	}
 	for i, j := range joins {
-		// A cyclic join whose residual members were appended to since
-		// construction must re-materialize before samplers snapshot its
+		// A cyclic join whose residual members mutated since
+		// construction must reconcile before samplers snapshot its
 		// degrees and link index.
 		j.FreshenResidual()
+		b.vers[i] = j.StateVersions()
 		b.samplers[i] = newJoinSampler(j, m)
 		if !j.OutputSchema().Equal(b.ref) {
 			perm, err := alignPerm(b.ref, j)
@@ -105,6 +114,47 @@ func newUnionBase(joins []*join.Join, m JoinMethod) (*unionBase, error) {
 		}
 	}
 	return b, nil
+}
+
+// dirtyJoins reports, per join, whether any underlying relation mutated
+// since the join's subroutine sampler was built, and whether any did.
+func (b *unionBase) dirtyJoins() ([]bool, bool) {
+	dirty := make([]bool, len(b.joins))
+	any := false
+	for i, j := range b.joins {
+		cur := j.StateVersions()
+		for k, v := range cur {
+			if k >= len(b.vers[i]) || b.vers[i][k] != v {
+				dirty[i] = true
+				any = true
+				break
+			}
+		}
+	}
+	return dirty, any
+}
+
+// refreshed returns a copy of the base whose dirty joins have
+// reconciled residuals and freshly built subroutine samplers; clean
+// joins share their samplers with the old base. Schema alignment and
+// membership probes are version-independent and shared as-is.
+func (b *unionBase) refreshed() (*unionBase, []bool, bool) {
+	dirty, any := b.dirtyJoins()
+	if !any {
+		return b, dirty, false
+	}
+	nb := *b
+	nb.samplers = append([]joinsample.Sampler(nil), b.samplers...)
+	nb.vers = append([][]uint64(nil), b.vers...)
+	for i, d := range dirty {
+		if !d {
+			continue
+		}
+		nb.joins[i].FreshenResidual()
+		nb.vers[i] = nb.joins[i].StateVersions()
+		nb.samplers[i] = newJoinSampler(nb.joins[i], b.method)
+	}
+	return &nb, dirty, true
 }
 
 func alignPerm(ref *relation.Schema, j *join.Join) ([]int, error) {

@@ -201,8 +201,9 @@ func Precompute(j *join.Join) *Precomputed {
 	}
 	if res != nil {
 		ri := len(nodes)
-		p.rels[ri] = &joinRelView{schemaAttrs: res.Rel.Schema().Attrs()}
-		p.relStats[ri] = stats.Build(res.Rel)
+		resRel := res.Rel()
+		p.rels[ri] = &joinRelView{schemaAttrs: resRel.Schema().Attrs()}
+		p.relStats[ri] = stats.Build(resRel)
 		for _, a := range p.rels[ri].schemaAttrs {
 			p.holders[a] = append(p.holders[a], ri)
 		}

@@ -3,6 +3,7 @@ package join
 import (
 	"fmt"
 	"sort"
+	"sync/atomic"
 
 	"sampleunion/internal/relation"
 )
@@ -18,31 +19,97 @@ type Edge struct {
 // taken out to make the remainder (the skeleton) acyclic, materialized
 // into a single relation. It joins back to the skeleton on every
 // attribute shared with skeleton relations (the link attributes).
+//
+// The materialization and its link index live in an immutable resState
+// behind an atomic pointer: samplers pin one View per probe, so
+// reconciliation (after member base relations mutate) can publish a new
+// state while draws keep reading the old one. When member mutations are
+// append-only and small, reconcile extends the materialization with a
+// delta join instead of re-executing the full residual join.
 type Residual struct {
-	Rel       *relation.Relation   // materialized residual join
-	LinkAttrs []string             // attributes shared with the skeleton
-	linkPos   []int                // positions of LinkAttrs in Rel's schema
-	linkKeys  *relation.KeyCounter // composite link key -> dense group id
-	starts    []int32              // group g's rows at rows[starts[g]:starts[g+1]]
-	rows      []int                // residual row ids grouped by link key
-	maxDeg    int                  // M(S_R): max rows per link key
+	LinkAttrs []string // attributes shared with the skeleton
+	linkPos   []int    // positions of LinkAttrs in the residual schema
+
+	state atomic.Pointer[resState]
 
 	// src are the member base relations the residual was materialized
-	// from, with their versions at materialization; they detect appends
-	// that would otherwise leave the frozen materialization stale (nil
-	// when untracked, e.g. pushdown rebuilds over already-derived data).
+	// from; srcVers/srcLens are the log positions and physical row
+	// counts the current state reflects (nil/unused when untracked,
+	// e.g. pushdown rebuilds over already-derived data). Guarded by the
+	// owning join's memMu.
 	src     []*relation.Relation
 	srcVers []uint64
+	srcLens []int
 
 	emit    [][2]int // (rel attr pos, output pos) for new output columns
 	proj    []int    // output position of each residual attribute
 	linkOut []int    // output positions of LinkAttrs
 }
 
+// resState is one immutable materialization + link index: group g's
+// residual rows at rows[starts[g]:starts[g+1]], keyed by composite link
+// value through linkKeys.
+type resState struct {
+	rel      *relation.Relation
+	linkKeys *relation.KeyCounter // composite link key -> dense group id
+	starts   []int32
+	rows     []int
+	maxDeg   int // M(S_R): max rows per link key
+}
+
+// ResView pins one residual state for a sequence of dependent reads
+// (Match, then MaxDegree and FillInto on the matched rows). Samplers
+// must hold a single View across those calls so a concurrent refresh
+// cannot swap the materialization out from under the matched row ids.
+type ResView struct {
+	r  *Residual
+	st *resState
+}
+
+// View pins the current state.
+func (r *Residual) View() ResView { return ResView{r: r, st: r.state.Load()} }
+
+// Rel returns the pinned materialized relation.
+func (v ResView) Rel() *relation.Relation { return v.st.rel }
+
+// MaxDegree returns the pinned M(S_R).
+func (v ResView) MaxDegree() int { return v.st.maxDeg }
+
+// Match returns the residual row ids consistent with the partial output
+// tuple out (which must already have all link attributes filled). The
+// link key is probed through a projection access path — no tuple is
+// materialized and nothing is allocated.
+func (v ResView) Match(out relation.Tuple) []int {
+	g, ok := v.st.linkKeys.Lookup(out, v.r.linkOut)
+	if !ok {
+		return nil
+	}
+	return v.st.rows[v.st.starts[g]:v.st.starts[g+1]]
+}
+
+// FillInto copies residual row row's new output columns into out.
+func (v ResView) FillInto(row int, out relation.Tuple) {
+	t := v.st.rel.Row(row)
+	for _, e := range v.r.emit {
+		out[e[1]] = t[e[0]]
+	}
+}
+
+// Rel returns the current materialized residual relation (setup-time
+// convenience; hot paths pin a View instead).
+func (r *Residual) Rel() *relation.Relation { return r.state.Load().rel }
+
+// MaxDegree returns M(S_R), the maximum number of residual rows sharing
+// one combination of link-attribute values (§8.2), for the current
+// state.
+func (r *Residual) MaxDegree() int { return r.state.Load().maxDeg }
+
+// Match is View().Match for setup-time callers.
+func (r *Residual) Match(out relation.Tuple) []int { return r.View().Match(out) }
+
 // stale reports whether a tracked member base relation changed since
-// the residual was materialized. srcVers is rewritten by refresh, so
-// callers must hold the owning join's memMu (the lock-free Contains
-// fast path uses the membershipTables snapshot instead).
+// the residual was last reconciled. srcVers is rewritten by reconcile,
+// so callers must hold the owning join's memMu.
 func (r *Residual) stale() bool {
 	for i, s := range r.src {
 		if s.Version() != r.srcVers[i] {
@@ -52,61 +119,163 @@ func (r *Residual) stale() bool {
 	return false
 }
 
-// refresh re-materializes the residual from its member base relations
-// and rebuilds the link index. The combined schema is a deterministic
-// function of the member schemas, so linkPos/emit/proj/linkOut remain
-// valid. Callers must hold the owning join's memMu (or be
-// single-threaded); refresh is not safe concurrently with Match.
-func (r *Residual) refresh() {
-	r.Rel = materializeRows(r.Rel.Name(), r.src)
-	r.maxDeg = 0
-	r.buildLinkIndex()
+// reconcile brings the materialization up to date with the member base
+// relations. Small append-only member deltas extend the current
+// materialization with a delta join (Δ_k joined against the already-
+// updated prefix and the old suffix, the standard telescoping, so each
+// new combination appears exactly once) and rebuild only the link
+// index; deletions, lost log tails, and large deltas fall back to full
+// re-materialization. Either way a fresh immutable state is published;
+// in-flight Views keep reading the old one. Callers hold the owning
+// join's memMu.
+func (r *Residual) reconcile() {
+	type delta struct {
+		newRows []int
+		upTo    uint64
+	}
+	deltas := make([]delta, len(r.src))
+	incremental := true
+	total := 0
 	for i, s := range r.src {
-		r.srcVers[i] = s.Version()
+		if s.Version() == r.srcVers[i] {
+			deltas[i].upTo = r.srcVers[i]
+			continue
+		}
+		tail, upTo, ok := s.MutationsSince(r.srcVers[i])
+		if !ok {
+			incremental = false
+			break
+		}
+		deltas[i].upTo = upTo
+		for _, m := range tail {
+			if m.Kind != relation.MutAppend {
+				incremental = false
+				break
+			}
+			deltas[i].newRows = append(deltas[i].newRows, m.Row)
+		}
+		if !incremental {
+			break
+		}
+		total += len(deltas[i].newRows)
+	}
+	st := r.state.Load()
+	if budget := 64 + st.rel.Len()/4; !incremental || total > budget {
+		r.refreshFull()
+		return
+	}
+	if total == 0 {
+		for i := range r.src {
+			r.srcVers[i] = deltas[i].upTo
+		}
+		return
+	}
+	// Append-only delta join: for each member k with new rows, join the
+	// new rows against members 0..k-1 in their updated extent and
+	// members k+1.. in their old extent.
+	rel := st.rel
+	_, pos := combinedSchema(r.src)
+	lists := make([][]int, len(r.src))
+	oldLists := make([][]int, len(r.src))
+	fullLists := make([][]int, len(r.src))
+	for i, s := range r.src {
+		oldLists[i] = liveRowsBelow(s, r.srcLens[i])
+		fullLists[i] = append(append([]int(nil), oldLists[i]...), deltas[i].newRows...)
+	}
+	ba := &batchAppender{rel: rel}
+	for k := range r.src {
+		if len(deltas[k].newRows) == 0 {
+			continue
+		}
+		for i := range r.src {
+			switch {
+			case i < k:
+				lists[i] = fullLists[i]
+			case i == k:
+				lists[i] = deltas[k].newRows
+			default:
+				lists[i] = oldLists[i]
+			}
+		}
+		enumerateJoin(r.src, lists, pos, rel.Schema().Len(), ba.emit)
+	}
+	ba.flush()
+	for i := range r.src {
+		r.srcVers[i] = deltas[i].upTo
+		r.srcLens[i] = r.srcLens[i] + len(deltas[i].newRows)
+	}
+	r.state.Store(r.buildState(rel))
+}
+
+// refreshFull re-materializes the residual from scratch and publishes a
+// fresh state. Per-member row lists are captured atomically with their
+// versions, so replaying later log tails can neither miss nor
+// double-apply a mutation. Callers hold the owning join's memMu.
+func (r *Residual) refreshFull() {
+	old := r.state.Load()
+	rel, vers, lens := materializeCapture(old.rel.Name(), r.src)
+	copy(r.srcVers, vers)
+	copy(r.srcLens, lens)
+	r.state.Store(r.buildState(rel))
+}
+
+// batchAppender buffers cloned emitted tuples and flushes them to the
+// relation in chunks, so a materialization pays one lock and snapshot
+// per chunk rather than per emitted row.
+type batchAppender struct {
+	rel  *relation.Relation
+	rows []relation.Tuple
+}
+
+func (ba *batchAppender) emit(t relation.Tuple) {
+	ba.rows = append(ba.rows, t.Clone())
+	if len(ba.rows) >= 4096 {
+		ba.flush()
 	}
 }
 
-// MaxDegree returns M(S_R), the maximum number of residual rows sharing
-// one combination of link-attribute values (§8.2).
-func (r *Residual) MaxDegree() int { return r.maxDeg }
-
-// Match returns the residual row ids consistent with the partial output
-// tuple out (which must already have all link attributes filled). The
-// link key is probed through a projection access path — no tuple is
-// materialized and nothing is allocated, so Match is safe and cheap on
-// the per-draw path.
-func (r *Residual) Match(out relation.Tuple) []int {
-	g, ok := r.linkKeys.Lookup(out, r.linkOut)
-	if !ok {
-		return nil
-	}
-	return r.rows[r.starts[g]:r.starts[g+1]]
+func (ba *batchAppender) flush() {
+	ba.rel.AppendRows(ba.rows)
+	ba.rows = ba.rows[:0]
 }
 
-// buildLinkIndex builds the CSR link index: pass 1 counts rows per
-// distinct link key (assigning dense group ids in first-appearance
-// order), pass 2 scatters row ids, keeping each group ascending.
-func (r *Residual) buildLinkIndex() {
-	n := r.Rel.Len()
-	r.linkKeys = relation.NewKeyCounter(len(r.linkPos), n)
-	for i := 0; i < n; i++ {
-		_, c := r.linkKeys.Add(r.Rel.Row(i), r.linkPos, 1)
-		if c > r.maxDeg {
-			r.maxDeg = c
+// liveRowsBelow lists the live row ids of r below limit.
+func liveRowsBelow(r *relation.Relation, limit int) []int {
+	out := make([]int, 0, limit)
+	for i := 0; i < limit; i++ {
+		if r.Live(i) {
+			out = append(out, i)
 		}
 	}
-	groups := r.linkKeys.Len()
-	r.starts = make([]int32, groups+1)
-	for g := 0; g < groups; g++ {
-		r.starts[g+1] = r.starts[g] + int32(r.linkKeys.At(g))
-	}
-	r.rows = make([]int, n)
-	cursor := append([]int32(nil), r.starts[:groups]...)
+	return out
+}
+
+// buildState materializes the CSR link index over rel: pass 1 counts
+// rows per distinct link key (assigning dense group ids in
+// first-appearance order), pass 2 scatters row ids, keeping each group
+// ascending.
+func (r *Residual) buildState(rel *relation.Relation) *resState {
+	n := rel.Len()
+	st := &resState{rel: rel, linkKeys: relation.NewKeyCounter(len(r.linkPos), n)}
 	for i := 0; i < n; i++ {
-		g, _ := r.linkKeys.Lookup(r.Rel.Row(i), r.linkPos)
-		r.rows[cursor[g]] = i
+		_, c := st.linkKeys.Add(rel.Row(i), r.linkPos, 1)
+		if c > st.maxDeg {
+			st.maxDeg = c
+		}
+	}
+	groups := st.linkKeys.Len()
+	st.starts = make([]int32, groups+1)
+	for g := 0; g < groups; g++ {
+		st.starts[g+1] = st.starts[g] + int32(st.linkKeys.At(g))
+	}
+	st.rows = make([]int, n)
+	cursor := append([]int32(nil), st.starts[:groups]...)
+	for i := 0; i < n; i++ {
+		g, _ := st.linkKeys.Lookup(rel.Row(i), r.linkPos)
+		st.rows[cursor[g]] = i
 		cursor[g]++
 	}
+	return st
 }
 
 // NewCyclic builds a join from a general (possibly cyclic) join graph.
@@ -228,11 +397,9 @@ func chooseResidual(n int, edges []Edge) []int {
 	return nil
 }
 
-// materializeRows executes the backtracking natural join of the member
-// relations into one relation whose schema is the union of the member
-// attributes in first-appearance order (deterministic in the member
-// schemas, so re-materialization preserves attribute positions).
-func materializeRows(name string, members []*relation.Relation) *relation.Relation {
+// combinedSchema computes the union of the member attributes in
+// first-appearance order, together with each attribute's position.
+func combinedSchema(members []*relation.Relation) ([]string, map[string]int) {
 	var attrs []string
 	pos := make(map[string]int)
 	for _, m := range members {
@@ -243,19 +410,24 @@ func materializeRows(name string, members []*relation.Relation) *relation.Relati
 			}
 		}
 	}
-	out := relation.New(name, relation.NewSchema(attrs...))
-	partial := make(relation.Tuple, len(attrs))
-	setCount := make([]int, len(attrs))
+	return attrs, pos
+}
+
+// enumerateJoin backtracks over the given per-member row-id lists,
+// emitting every combination consistent on shared attribute names, in
+// list order (deterministic).
+func enumerateJoin(members []*relation.Relation, lists [][]int, pos map[string]int, width int, emit func(relation.Tuple)) {
+	partial := make(relation.Tuple, width)
+	setCount := make([]int, width)
 	var rec func(k int)
 	rec = func(k int) {
 		if k == len(members) {
-			out.Append(partial)
+			emit(partial)
 			return
 		}
 		rel := members[k]
-		n := rel.Len()
 	rows:
-		for i := 0; i < n; i++ {
+		for _, i := range lists[k] {
 			row := rel.Row(i)
 			touched := make([]int, 0, rel.Arity())
 			for a := 0; a < rel.Arity(); a++ {
@@ -280,7 +452,28 @@ func materializeRows(name string, members []*relation.Relation) *relation.Relati
 		}
 	}
 	rec(0)
-	return out
+}
+
+// materializeCapture executes the backtracking natural join of the
+// member relations' live rows into one relation whose schema is the
+// union of the member attributes in first-appearance order
+// (deterministic in the member schemas, so re-materialization preserves
+// attribute positions). Each member's row list is captured atomically
+// with its version (relation.LiveRows), and the capture points are
+// returned so the caller can reconcile incrementally from them.
+func materializeCapture(name string, members []*relation.Relation) (*relation.Relation, []uint64, []int) {
+	attrs, pos := combinedSchema(members)
+	out := relation.New(name, relation.NewSchema(attrs...))
+	lists := make([][]int, len(members))
+	vers := make([]uint64, len(members))
+	lens := make([]int, len(members))
+	for i, m := range members {
+		lists[i], lens[i], vers[i] = m.LiveRows()
+	}
+	ba := &batchAppender{rel: out}
+	enumerateJoin(members, lists, pos, len(attrs), ba.emit)
+	ba.flush()
+	return out, vers, lens
 }
 
 // materializeResidual joins the residual relations into one relation.
@@ -295,7 +488,7 @@ func materializeResidual(name string, rels []*relation.Relation, edges []Edge, r
 	for i, ri := range residual {
 		members[i] = rels[ri]
 	}
-	out := materializeRows(name+"_residual", members)
+	out, vers, lens := materializeCapture(name+"_residual", members)
 	pos := make(map[string]int)
 	for i, a := range out.Schema().Attrs() {
 		pos[a] = i
@@ -322,15 +515,12 @@ func materializeResidual(name string, rels []*relation.Relation, edges []Edge, r
 		links = append(links, a)
 	}
 	sort.Strings(links)
-	res := &Residual{Rel: out, LinkAttrs: links, src: members, srcVers: make([]uint64, len(members))}
-	for i, m := range members {
-		res.srcVers[i] = m.Version()
-	}
+	res := &Residual{LinkAttrs: links, src: members, srcVers: vers, srcLens: lens}
 	res.linkPos = make([]int, len(links))
 	for i, a := range links {
 		res.linkPos[i] = out.Schema().Index(a)
 	}
-	res.buildLinkIndex()
+	res.state.Store(res.buildState(out))
 	return res, nil
 }
 

@@ -10,22 +10,23 @@ import (
 // between calls, so clone them to retain.
 func (j *Join) Enumerate(yield func(relation.Tuple) bool) {
 	out := make(relation.Tuple, j.out.Len())
-	j.enumerate(0, out, yield)
+	var rv ResView
+	if j.res != nil {
+		rv = j.res.View()
+	}
+	j.enumerate(0, out, rv, yield)
 }
 
 // enumerate extends the partial output with node k's rows; when all
 // skeleton nodes are assigned it applies the residual probe (if any)
 // and emits.
-func (j *Join) enumerate(k int, out relation.Tuple, yield func(relation.Tuple) bool) bool {
+func (j *Join) enumerate(k int, out relation.Tuple, rv ResView, yield func(relation.Tuple) bool) bool {
 	if k == len(j.nodes) {
 		if j.res == nil {
 			return yield(out)
 		}
-		for _, ri := range j.res.Match(out) {
-			row := j.res.Rel.Row(ri)
-			for _, e := range j.res.emit {
-				out[e[1]] = row[e[0]]
-			}
+		for _, ri := range rv.Match(out) {
+			rv.FillInto(ri, out)
 			if !yield(out) {
 				return false
 			}
@@ -36,11 +37,14 @@ func (j *Join) enumerate(k int, out relation.Tuple, yield func(relation.Tuple) b
 	if k == 0 {
 		rows := n.Rel.Len()
 		for i := 0; i < rows; i++ {
+			if !n.Rel.Live(i) {
+				continue
+			}
 			row := n.Rel.Row(i)
 			for _, e := range n.emit {
 				out[e[1]] = row[e[0]]
 			}
-			if !j.enumerate(k+1, out, yield) {
+			if !j.enumerate(k+1, out, rv, yield) {
 				return false
 			}
 		}
@@ -52,7 +56,7 @@ func (j *Join) enumerate(k int, out relation.Tuple, yield func(relation.Tuple) b
 		for _, e := range n.emit {
 			out[e[1]] = row[e[0]]
 		}
-		if !j.enumerate(k+1, out, yield) {
+		if !j.enumerate(k+1, out, rv, yield) {
 			return false
 		}
 	}
@@ -87,24 +91,27 @@ func (j *Join) Count() int64 {
 	}
 	var total int64
 	out := make(relation.Tuple, j.out.Len())
-	j.countResidual(0, out, &total)
+	j.countResidual(0, out, j.res.View(), &total)
 	return total
 }
 
-func (j *Join) countResidual(k int, out relation.Tuple, total *int64) {
+func (j *Join) countResidual(k int, out relation.Tuple, rv ResView, total *int64) {
 	if k == len(j.nodes) {
-		*total += int64(len(j.res.Match(out)))
+		*total += int64(len(rv.Match(out)))
 		return
 	}
 	n := &j.nodes[k]
 	if k == 0 {
 		rows := n.Rel.Len()
 		for i := 0; i < rows; i++ {
+			if !n.Rel.Live(i) {
+				continue
+			}
 			row := n.Rel.Row(i)
 			for _, e := range n.emit {
 				out[e[1]] = row[e[0]]
 			}
-			j.countResidual(k+1, out, total)
+			j.countResidual(k+1, out, rv, total)
 		}
 		return
 	}
@@ -114,7 +121,7 @@ func (j *Join) countResidual(k int, out relation.Tuple, total *int64) {
 		for _, e := range n.emit {
 			out[e[1]] = row[e[0]]
 		}
-		j.countResidual(k+1, out, total)
+		j.countResidual(k+1, out, rv, total)
 	}
 }
 
@@ -122,9 +129,9 @@ func (j *Join) countResidual(k int, out relation.Tuple, total *int64) {
 // of join results of the subtree rooted at that node that the row
 // participates in — the Exact Weight (EW) statistic of Zhao et al.
 // (§3.2). weights[n][i] is the weight of row i of node n's relation.
-// Dangling rows get weight 0, implementing the paper's relaxation of
-// key–foreign-key joins. The residual (cyclic case) is not included;
-// samplers handle it by rejection.
+// Dangling and tombstoned rows get weight 0 (the paper's relaxation of
+// key–foreign-key joins, extended to live relations). The residual
+// (cyclic case) is not included; samplers handle it by rejection.
 func (j *Join) ExactWeights() [][]int64 {
 	w := make([][]int64, len(j.nodes))
 	// Process nodes in reverse topological order (children first).
@@ -138,11 +145,17 @@ func (j *Join) ExactWeights() [][]int64 {
 			cn := &j.nodes[c]
 			sums := make(map[relation.Value]int64)
 			for i := 0; i < cn.Rel.Len(); i++ {
+				if !cn.Rel.Live(i) {
+					continue
+				}
 				sums[cn.Rel.Value(i, cn.AttrPos)] += w[c][i]
 			}
 			childSums[ci] = sums
 		}
 		for i := 0; i < rows; i++ {
+			if !n.Rel.Live(i) {
+				continue // weight 0: tombstoned rows join nothing
+			}
 			prod := int64(1)
 			for ci, c := range n.Children {
 				cn := &j.nodes[c]
@@ -163,13 +176,13 @@ func (j *Join) ExactWeights() [][]int64 {
 // |R_root| · Π over non-root nodes of M_attr(R) (§3.2), times M(S_R)
 // for cyclic joins. It is 0 when any relation is empty.
 func (j *Join) OlkenBound() float64 {
-	bound := float64(j.nodes[0].Rel.Len())
+	bound := float64(j.nodes[0].Rel.LiveLen())
 	for k := 1; k < len(j.nodes); k++ {
 		n := &j.nodes[k]
 		bound *= float64(n.Rel.MaxDegree(n.AttrPos))
 	}
 	if j.res != nil {
-		bound *= float64(j.res.maxDeg)
+		bound *= float64(j.res.MaxDegree())
 	}
 	return bound
 }

@@ -68,14 +68,32 @@ func (j *Join) Nodes() []Node { return j.nodes }
 func (j *Join) ResidualPart() *Residual { return j.res }
 
 // Relations returns the base relations in node order (the residual's
-// materialized relation included last when present).
+// current materialized relation included last when present).
 func (j *Join) Relations() []*relation.Relation {
 	out := make([]*relation.Relation, 0, len(j.nodes)+1)
 	for i := range j.nodes {
 		out = append(out, j.nodes[i].Rel)
 	}
 	if j.res != nil {
-		out = append(out, j.res.Rel)
+		out = append(out, j.res.Rel())
+	}
+	return out
+}
+
+// StateVersions snapshots the mutation versions of everything this
+// join's derived state depends on: the tree relations plus (for cyclic
+// joins) the residual's member base relations. Prepared samplers store
+// it and compare against a fresh snapshot to decide whether a refresh
+// must reconcile this join.
+func (j *Join) StateVersions() []uint64 {
+	out := make([]uint64, 0, len(j.nodes)+4)
+	for i := range j.nodes {
+		out = append(out, j.nodes[i].Rel.Version())
+	}
+	if j.res != nil {
+		for _, s := range j.res.src {
+			out = append(out, s.Version())
+		}
 	}
 	return out
 }
@@ -178,8 +196,12 @@ func (j *Join) buildOutput() error {
 		}
 	}
 	if j.res != nil {
-		for a := 0; a < j.res.Rel.Arity(); a++ {
-			name := j.res.Rel.Schema().Attr(a)
+		// The residual schema is a deterministic function of the member
+		// schemas, so reading it off the current state stays valid across
+		// re-materializations.
+		resSchema := j.res.Rel().Schema()
+		for a := 0; a < resSchema.Len(); a++ {
+			name := resSchema.Attr(a)
 			if _, ok := pos[name]; !ok {
 				pos[name] = len(attrs)
 				attrs = append(attrs, name)
@@ -196,9 +218,10 @@ func (j *Join) buildOutput() error {
 		}
 	}
 	if j.res != nil {
-		j.res.proj = make([]int, j.res.Rel.Arity())
-		for a := 0; a < j.res.Rel.Arity(); a++ {
-			j.res.proj[a] = pos[j.res.Rel.Schema().Attr(a)]
+		resSchema := j.res.Rel().Schema()
+		j.res.proj = make([]int, resSchema.Len())
+		for a := 0; a < resSchema.Len(); a++ {
+			j.res.proj[a] = pos[resSchema.Attr(a)]
 		}
 	}
 	return nil
@@ -264,11 +287,11 @@ func (j *Join) FillOutput(k, r int, out relation.Tuple) {
 
 // FillResidual copies residual row r into the output-tuple positions the
 // residual contributes. It panics when the join has no residual.
+// Samplers that matched rows against a pinned ResView must use
+// ResView.FillInto instead, so the row id and the materialization agree
+// under concurrent reconciliation.
 func (j *Join) FillResidual(r int, out relation.Tuple) {
-	row := j.res.Rel.Row(r)
-	for _, e := range j.res.emit {
-		out[e[1]] = row[e[0]]
-	}
+	j.res.View().FillInto(r, out)
 }
 
 // ParentValue returns, for non-root node k, the join-attribute value the

@@ -1,0 +1,265 @@
+package join
+
+import (
+	"sort"
+	"sync"
+	"testing"
+
+	"sampleunion/internal/relation"
+)
+
+// execKeys returns the sorted multiset of a join's results.
+func execKeys(j *Join) []string {
+	var keys []string
+	for _, t := range j.Execute() {
+		keys = append(keys, relation.TupleKey(t))
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func sameKeys(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// cloneRel copies a relation's live rows into a fresh relation.
+func cloneRel(r *relation.Relation) *relation.Relation {
+	out := relation.New(r.Name(), r.Schema())
+	out.AppendRows(r.Tuples())
+	return out
+}
+
+// TestMembershipIncremental drives a chain join's membership tables
+// through append and delete bursts and checks Contains against a join
+// rebuilt from the mutated data — the incremental delta path must be
+// observationally identical to a cold rebuild.
+func TestMembershipIncremental(t *testing.T) {
+	a := relation.New("A", relation.NewSchema("x", "y"))
+	b := relation.New("B", relation.NewSchema("y", "z"))
+	for i := 0; i < 40; i++ {
+		a.AppendValues(relation.Value(i), relation.Value(i%6))
+		b.AppendValues(relation.Value(i%6), relation.Value(i%4))
+	}
+	j, err := NewChain("chain", []*relation.Relation{a, b}, []string{"y"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.PrewarmMembership() // build the base tables
+
+	check := func() {
+		t.Helper()
+		fresh, err := NewChain("fresh", []*relation.Relation{cloneRel(a), cloneRel(b)}, []string{"y"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Probe every tuple of the fresh result plus perturbed non-members.
+		for _, tup := range fresh.Execute() {
+			if !j.Contains(tup) {
+				t.Fatalf("Contains(%v) = false for a result tuple", tup)
+			}
+			miss := tup.Clone()
+			miss[0] = 999
+			if j.Contains(miss) != fresh.Contains(miss) {
+				t.Fatalf("Contains(%v) diverges from rebuilt join", miss)
+			}
+		}
+		// And the reverse: members of the stale generation that died.
+		if !sameKeys(execKeys(j), execKeys(fresh)) {
+			t.Fatal("Execute diverged from rebuilt join")
+		}
+	}
+
+	// Small append burst: the delta path.
+	a.AppendRows([]relation.Tuple{{100, 1}, {101, 2}})
+	b.AppendValues(2, 9)
+	check()
+	// Deletions: negative delta counts.
+	a.Delete(0)
+	b.Delete(3)
+	check()
+	// Delete one copy of a duplicated row: multiset counting must keep
+	// the survivor a member.
+	b.AppendValues(1, 7)
+	b.AppendValues(1, 7)
+	j.PrewarmMembership()
+	probe := relation.Tuple{0, 1, 7} // x,y,z with (1,7) in B twice... x must exist with y=1
+	a.AppendValues(0, 1)
+	j.PrewarmMembership()
+	if !j.Contains(relation.Tuple{0, 1, 7}) {
+		t.Fatalf("Contains(%v) = false before duplicate delete", probe)
+	}
+	for i := 0; i < b.Len(); i++ {
+		if b.Live(i) && b.Value(i, 0) == 1 && b.Value(i, 1) == 7 {
+			b.Delete(i)
+			break
+		}
+	}
+	if !j.Contains(relation.Tuple{0, 1, 7}) {
+		t.Fatal("deleting one of two duplicate rows must keep membership")
+	}
+	check()
+	// Large burst: exceeds the delta budget, forcing a base rebuild.
+	big := make([]relation.Tuple, 600)
+	for i := range big {
+		big[i] = relation.Tuple{relation.Value(200 + i), relation.Value(i % 6)}
+	}
+	a.AppendRows(big)
+	check()
+}
+
+// TestResidualIncrementalAppend checks that append-only mutations to a
+// cyclic join's residual members extend the materialization by a delta
+// join with results identical to a from-scratch NewCyclic over the same
+// data, and that deletions (which fall back to full re-materialization)
+// are identical too.
+func TestResidualIncrementalAppend(t *testing.T) {
+	mk := func() (*relation.Relation, *relation.Relation, *relation.Relation) {
+		r := relation.New("R", relation.NewSchema("A", "B"))
+		s := relation.New("S", relation.NewSchema("B", "C"))
+		u := relation.New("T", relation.NewSchema("C", "A"))
+		for i := 0; i < 18; i++ {
+			r.AppendValues(relation.Value(i%5), relation.Value(i%7))
+			s.AppendValues(relation.Value(i%7), relation.Value(i%4))
+			u.AppendValues(relation.Value(i%4), relation.Value(i%5))
+		}
+		return r, s, u
+	}
+	edges := []Edge{{A: 0, B: 1, Attr: "B"}, {A: 1, B: 2, Attr: "C"}, {A: 2, B: 0, Attr: "A"}}
+	r, s, u := mk()
+	j, err := NewCyclic("tri", []*relation.Relation{r, s, u}, edges, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j.ResidualPart() == nil {
+		t.Fatal("triangle join built without a residual")
+	}
+	j.PrewarmMembership()
+
+	check := func() {
+		t.Helper()
+		fresh, err := NewCyclic("fresh", []*relation.Relation{cloneRel(r), cloneRel(s), cloneRel(u)}, edges, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		j.FreshenResidual()
+		if !sameKeys(execKeys(j), execKeys(fresh)) {
+			t.Fatal("cyclic results diverged from rebuilt join after reconcile")
+		}
+		if got, want := j.Count(), fresh.Count(); got != want {
+			t.Fatalf("Count = %d, want %d", got, want)
+		}
+	}
+
+	// Append to every base relation (residual member included): the
+	// append-only incremental path.
+	resBefore := j.ResidualPart().Rel()
+	r.AppendValues(1, 2)
+	s.AppendValues(2, 3)
+	u.AppendValues(3, 1)
+	check()
+	if j.ResidualPart().Rel() != resBefore {
+		// The incremental path extends the same materialized relation; a
+		// swapped identity means the full-rebuild path ran instead.
+		t.Log("note: reconcile took the full-rebuild path on an append-only delta")
+	}
+
+	// Delete from a residual member: must fall back to an exact full
+	// re-materialization.
+	for i := 0; i < u.Len(); i++ {
+		if u.Live(i) {
+			u.Delete(i)
+			break
+		}
+	}
+	check()
+
+	// Interleave more appends after the rebuild.
+	for i := 0; i < 6; i++ {
+		s.AppendValues(relation.Value(i%7), relation.Value(i%4))
+		check()
+	}
+}
+
+// TestResidualViewPinning ensures a pinned ResView stays internally
+// consistent while reconciles republish state concurrently.
+func TestResidualViewPinning(t *testing.T) {
+	r := relation.New("R", relation.NewSchema("A", "B"))
+	s := relation.New("S", relation.NewSchema("B", "C"))
+	u := relation.New("T", relation.NewSchema("C", "A"))
+	for i := 0; i < 12; i++ {
+		r.AppendValues(relation.Value(i%3), relation.Value(i%4))
+		s.AppendValues(relation.Value(i%4), relation.Value(i%3))
+		u.AppendValues(relation.Value(i%3), relation.Value(i%3))
+	}
+	edges := []Edge{{A: 0, B: 1, Attr: "B"}, {A: 1, B: 2, Attr: "C"}, {A: 2, B: 0, Attr: "A"}}
+	j, err := NewCyclic("tri", []*relation.Relation{r, s, u}, edges, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := j.ResidualPart()
+	j.PrewarmMembership()
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { // reconciler: mutate members and freshen
+		defer wg.Done()
+		for i := 0; i < 200; i++ {
+			u.AppendValues(relation.Value(i%3), relation.Value(i%3))
+			j.FreshenResidual()
+		}
+		close(done)
+	}()
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			out := make(relation.Tuple, j.OutputSchema().Len())
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				rv := res.View()
+				rel := rv.Rel()
+				for _, t2 := range rel.Tuples() {
+					copy(out, t2[:min(len(t2), len(out))])
+					break
+				}
+				// A pinned view's matches must index into the same pinned rel.
+				for i := 0; i < rel.Len(); i++ {
+					row := rel.Row(i)
+					for k, p := range res.linkOut {
+						if p < len(out) {
+							out[p] = row[res.linkPos[k]]
+						}
+					}
+					for _, m := range rv.Match(out) {
+						if m >= rel.Len() {
+							t.Errorf("pinned view match %d out of range %d", m, rel.Len())
+							return
+						}
+					}
+					break
+				}
+				_ = rv.MaxDegree()
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

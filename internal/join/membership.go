@@ -4,22 +4,46 @@ import (
 	"sampleunion/internal/relation"
 )
 
-// membershipTables is the immutable product of one membership build:
-// one KeySet of row projections per tree relation (plus the residual),
-// together with the relation versions it was built against. It is
-// published through an atomic pointer, so concurrent first use builds
-// it exactly once and mutation (Relation.Append) is detected and
-// triggers a rebuild on the next probe.
+// memberTable is one relation's membership structure: an immutable
+// base multiset of full rows (value tuple -> live row count, captured
+// at a version) plus an optional small immutable delta of net count
+// changes since. A tuple is a member iff base + delta count > 0.
+// Relations untouched since the base build probe exactly one table;
+// mutated relations pay one extra lookup until the delta folds back
+// into a rebuilt base.
+type memberTable struct {
+	rel     *relation.Relation
+	base    *relation.KeyCounter
+	delta   *relation.KeyCounter // nil when empty
+	version uint64               // log position base+delta reflect
+}
+
+func (mt *memberTable) containsProj(t relation.Tuple, proj []int) bool {
+	c, _ := mt.base.Get(t, proj)
+	if mt.delta != nil {
+		d, _ := mt.delta.Get(t, proj)
+		c += d
+	}
+	return c > 0
+}
+
+// membershipTables is the immutable product of one membership build or
+// reconcile: one memberTable per tree relation (plus the residual),
+// published through an atomic pointer so concurrent first use builds it
+// exactly once and mutation is detected and reconciled on the next
+// probe. Tables of unchanged relations are shared between generations;
+// a changed relation's table is caught up by cloning its small delta
+// and replaying the mutation-log tail — never by rescanning the
+// relation unless the tail is gone or the delta outgrew its budget.
 //
 // Freshness is decided from this snapshot and Relation.Version reads
-// only — never from mutable Residual fields, which Residual.refresh
-// rewrites under memMu and must not be read lock-free.
+// only — never from mutable Residual fields, which reconcile rewrites
+// under memMu and must not be read lock-free.
 type membershipTables struct {
-	sets     []*relation.KeySet
-	versions []uint64 // tree-node relation versions at build time
+	tabs []*memberTable // per tree node, then residual (when present)
 	// resSrcVers are the residual member base relation versions at
-	// build time (cyclic joins): the materialized residual itself never
-	// moves, so staleness is read off its sources.
+	// build time (cyclic joins): staleness of the materialized residual
+	// is read off its sources.
 	resSrcVers []uint64
 }
 
@@ -44,12 +68,12 @@ func (j *Join) Contains(t relation.Tuple) bool {
 func (j *Join) containsPerm(t relation.Tuple, perm []int) bool {
 	m := j.ensureMembership()
 	for k := range j.nodes {
-		if !m.sets[k].ContainsProj(t, composed(j.nodes[k].proj, perm)) {
+		if !m.tabs[k].containsProj(t, composed(j.nodes[k].proj, perm)) {
 			return false
 		}
 	}
 	if j.res != nil {
-		if !m.sets[len(j.nodes)].ContainsProj(t, composed(j.res.proj, perm)) {
+		if !m.tabs[len(j.nodes)].containsProj(t, composed(j.res.proj, perm)) {
 			return false
 		}
 	}
@@ -151,7 +175,7 @@ func composedCopy(proj, perm []int) []int {
 func (p AlignedProbe) Contains(t relation.Tuple) bool {
 	m := p.j.ensureMembership()
 	for k, proj := range p.projs {
-		if !m.sets[k].ContainsProj(t, proj) {
+		if !m.tabs[k].containsProj(t, proj) {
 			return false
 		}
 	}
@@ -159,9 +183,9 @@ func (p AlignedProbe) Contains(t relation.Tuple) bool {
 }
 
 // ensureMembership returns the current membership tables, building them
-// on first use and rebuilding when a base relation was mutated since
-// the last build. The fast path is one atomic load plus one version
-// read per relation.
+// on first use and reconciling them when a base relation was mutated
+// since the last build. The fast path is one atomic load plus one
+// version read per relation.
 func (j *Join) ensureMembership() *membershipTables {
 	if m := j.membership.Load(); m != nil && j.membershipFresh(m) {
 		return m
@@ -172,14 +196,13 @@ func (j *Join) ensureMembership() *membershipTables {
 		return m
 	}
 	if j.res != nil && j.res.stale() {
-		// A residual member base relation changed: the frozen
-		// materialization (and its link index) must be rebuilt before
-		// the membership tables read it. Safe here: refresh only ever
-		// runs under memMu, and readers reach the residual through the
-		// snapshot's KeySets, not through the mutable Residual fields.
-		j.res.refresh()
+		// A residual member base relation changed: the materialization
+		// (and its link index) must reconcile before the membership
+		// tables read it. Safe here: reconcile only ever runs under
+		// memMu, and readers reach the residual through pinned Views.
+		j.res.reconcile()
 	}
-	m := j.buildMembership()
+	m := j.buildMembership(j.membership.Load())
 	j.membership.Store(m)
 	return m
 }
@@ -189,7 +212,7 @@ func (j *Join) ensureMembership() *membershipTables {
 // the immutable snapshot (it runs lock-free on every Contains).
 func (j *Join) membershipFresh(m *membershipTables) bool {
 	for k := range j.nodes {
-		if m.versions[k] != j.nodes[k].Rel.Version() {
+		if m.tabs[k].version != j.nodes[k].Rel.Version() {
 			return false
 		}
 	}
@@ -203,51 +226,95 @@ func (j *Join) membershipFresh(m *membershipTables) bool {
 	return true
 }
 
-// FreshenResidual re-materializes a cyclic join's residual (and its
-// link index) when member base relations changed since construction;
-// it is a no-op for acyclic joins and fresh residuals. Samplers read
-// the residual without staleness checks on the hot path, so callers
-// preparing samplers over a mutated join run this first (core does).
-// Not safe concurrently with sampling.
+// FreshenResidual reconciles a cyclic join's residual materialization
+// (and its link index) when member base relations changed since the
+// last reconcile; it is a no-op for acyclic joins and fresh residuals.
+// A fresh immutable state is published atomically, so it is safe to
+// call while other goroutines sample (they keep their pinned Views).
 func (j *Join) FreshenResidual() {
 	if j.res == nil {
 		return
 	}
-	// Residual fields (srcVers included) are only read or written under
-	// memMu; this is setup-time code, so the lock is uncontended.
+	// Residual bookkeeping (srcVers included) is only read or written
+	// under memMu.
 	j.memMu.Lock()
 	defer j.memMu.Unlock()
 	if j.res.stale() {
-		j.res.refresh()
+		j.res.reconcile()
 	}
 }
 
-func (j *Join) buildMembership() *membershipTables {
+// memberBudget is the delta size past which a member table folds back
+// into a rebuilt base.
+func memberBudget(rel *relation.Relation) int {
+	b := rel.Len() / 8
+	if b < 64 {
+		b = 64
+	}
+	return b
+}
+
+// reconcileTable returns an up-to-date table for rel, reusing old when
+// possible: unchanged tables are shared, small tails extend a cloned
+// delta, and everything else rebuilds the base from an atomic row
+// capture.
+func reconcileTable(old *memberTable, rel *relation.Relation) *memberTable {
+	if old != nil && old.rel == rel {
+		if old.version == rel.Version() {
+			return old
+		}
+		tail, upTo, ok := rel.MutationsSince(old.version)
+		deltaLen := 0
+		if old.delta != nil {
+			deltaLen = old.delta.Len()
+		}
+		if ok && deltaLen+len(tail) <= memberBudget(rel) {
+			var delta *relation.KeyCounter
+			if old.delta != nil {
+				delta = old.delta.Clone()
+			} else {
+				delta = relation.NewKeyCounter(rel.Arity(), len(tail))
+			}
+			for _, m := range tail {
+				switch m.Kind {
+				case relation.MutAppend:
+					delta.Add(rel.Row(m.Row), nil, 1)
+				case relation.MutDelete:
+					delta.Add(m.Vals, nil, -1)
+				}
+			}
+			return &memberTable{rel: rel, base: old.base, delta: delta, version: upTo}
+		}
+	}
+	ids, _, version := rel.LiveRows()
+	base := relation.NewKeyCounter(rel.Arity(), len(ids))
+	for _, i := range ids {
+		base.Add(rel.Row(i), nil, 1)
+	}
+	return &memberTable{rel: rel, base: base, version: version}
+}
+
+// buildMembership assembles the next immutable membership snapshot,
+// reconciling each relation's table against the previous generation.
+func (j *Join) buildMembership(old *membershipTables) *membershipTables {
 	total := len(j.nodes)
 	if j.res != nil {
 		total++
 	}
-	m := &membershipTables{
-		sets:     make([]*relation.KeySet, total),
-		versions: make([]uint64, len(j.nodes)),
-	}
-	build := func(rel *relation.Relation) *relation.KeySet {
-		set := relation.NewKeySet(rel.Arity(), rel.Len())
-		for i := 0; i < rel.Len(); i++ {
-			set.Insert(rel.Row(i))
+	m := &membershipTables{tabs: make([]*memberTable, total)}
+	oldTab := func(k int) *memberTable {
+		if old == nil || k >= len(old.tabs) {
+			return nil
 		}
-		return set
+		return old.tabs[k]
 	}
 	for k := range j.nodes {
-		m.sets[k] = build(j.nodes[k].Rel)
-		m.versions[k] = j.nodes[k].Rel.Version()
+		m.tabs[k] = reconcileTable(oldTab(k), j.nodes[k].Rel)
 	}
 	if j.res != nil {
-		m.sets[len(j.nodes)] = build(j.res.Rel)
+		m.tabs[len(j.nodes)] = reconcileTable(oldTab(len(j.nodes)), j.res.Rel())
 		m.resSrcVers = make([]uint64, len(j.res.src))
-		for i, s := range j.res.src {
-			m.resSrcVers[i] = s.Version()
-		}
+		copy(m.resSrcVers, j.res.srcVers)
 	}
 	return m
 }

@@ -93,7 +93,7 @@ func PushDown(j *Join, preds ...relation.Predicate) (*Join, error) {
 		return nil, err
 	}
 	if j.res != nil {
-		fres, err := filter(j.res.Rel)
+		fres, err := filter(j.res.Rel())
 		if err != nil {
 			return nil, err
 		}
@@ -118,9 +118,11 @@ func PushDown(j *Join, preds ...relation.Predicate) (*Join, error) {
 	return out, nil
 }
 
-// rebuildResidual re-indexes a filtered residual relation.
+// rebuildResidual re-indexes a filtered residual relation. The result
+// is untracked (no member sources): pushdown produces a static derived
+// join, so there is nothing to reconcile against.
 func rebuildResidual(rel *relation.Relation, links []string) (*Residual, error) {
-	res := &Residual{Rel: rel, LinkAttrs: links}
+	res := &Residual{LinkAttrs: links}
 	res.linkPos = make([]int, len(links))
 	for i, a := range links {
 		p := rel.Schema().Index(a)
@@ -129,7 +131,7 @@ func rebuildResidual(rel *relation.Relation, links []string) (*Residual, error) 
 		}
 		res.linkPos[i] = p
 	}
-	res.buildLinkIndex()
+	res.state.Store(res.buildState(rel))
 	return res, nil
 }
 

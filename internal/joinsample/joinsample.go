@@ -71,6 +71,31 @@ func MustSample(s Sampler, g *rng.RNG, maxTries int) (relation.Tuple, int, error
 		s.Method(), s.Join().Name(), maxTries)
 }
 
+// liveRoot draws a uniform live row of r. When the relation has no
+// tombstones this is a single Intn (keeping seeded streams byte-
+// identical to the pre-live-relation implementation); with tombstones
+// it rejects dead slots, which stays uniform over the live rows. The
+// rejection loop re-checks LiveLen periodically so a concurrent
+// mutator draining the relation turns the draw into a failure, never
+// a spin.
+func liveRoot(r *relation.Relation, g *rng.RNG) (int, bool) {
+	n := r.Len()
+	if n == 0 {
+		return 0, false
+	}
+	if !r.HasDeleted() {
+		return g.Intn(n), true
+	}
+	for r.LiveLen() > 0 {
+		for tries := 0; tries < 64; tries++ {
+			if i := g.Intn(n); r.Live(i) {
+				return i, true
+			}
+		}
+	}
+	return 0, false
+}
+
 // weightedRows supports O(log n) weighted row selection via prefix sums.
 type weightedRows struct {
 	rows []int   // row ids
@@ -132,6 +157,8 @@ func NewEW(j *join.Join) *EW {
 		nodeIdx: make([]*relation.Index, len(nodes)),
 		byValue: make([][]*weightedRows, len(nodes)),
 	}
+	// Dead root rows carry weight 0 (ExactWeights) and are filtered by
+	// buildWeighted, so enumerating physical ids is safe.
 	rootRows := make([]int, nodes[0].Rel.Len())
 	for i := range rootRows {
 		rootRows[i] = i
@@ -207,20 +234,23 @@ func (e *EW) SampleInto(out relation.Tuple, rowOf []int, g *rng.RNG) bool {
 
 // finishResidual applies the residual accept/reject step for cyclic
 // joins: accept with probability d/M(S_R) and pick uniformly among the
-// d matching residual rows, keeping the overall draw uniform.
+// d matching residual rows, keeping the overall draw uniform. The view
+// is pinned once, so the matched rows, M(S_R), and the row fill all
+// read the same materialization even under a concurrent reconcile.
 func finishResidual(j *join.Join, out relation.Tuple, g *rng.RNG) bool {
 	res := j.ResidualPart()
 	if res == nil {
 		return true
 	}
-	matches := res.Match(out)
+	rv := res.View()
+	matches := rv.Match(out)
 	d := len(matches)
 	if d == 0 {
 		return false
 	}
-	if !g.Bernoulli(float64(d) / float64(res.MaxDegree())) {
+	if !g.Bernoulli(float64(d) / float64(rv.MaxDegree())) {
 		return false
 	}
-	j.FillResidual(matches[g.Intn(d)], out)
+	rv.FillInto(matches[g.Intn(d)], out)
 	return true
 }

@@ -51,10 +51,11 @@ func (e *EO) Sample(g *rng.RNG) (relation.Tuple, bool) {
 func (e *EO) SampleInto(out relation.Tuple, rowOf []int, g *rng.RNG) bool {
 	nodes := e.j.Nodes()
 	root := nodes[0].Rel
-	if root.Len() == 0 {
+	r0, ok := liveRoot(root, g)
+	if !ok {
 		return false
 	}
-	rowOf[0] = g.Intn(root.Len())
+	rowOf[0] = r0
 	e.j.FillOutput(0, rowOf[0], out)
 	for k := 1; k < len(nodes); k++ {
 		n := &nodes[k]
@@ -151,12 +152,13 @@ func (w *Walker) Walk(g *rng.RNG) (relation.Tuple, float64, bool) {
 func (w *Walker) WalkInto(out relation.Tuple, rowOf []int, g *rng.RNG) (float64, bool) {
 	nodes := w.j.Nodes()
 	root := nodes[0].Rel
-	if root.Len() == 0 {
+	r0, ok := liveRoot(root, g)
+	if !ok {
 		return 0, false
 	}
-	rowOf[0] = g.Intn(root.Len())
+	rowOf[0] = r0
 	w.j.FillOutput(0, rowOf[0], out)
-	p := 1.0 / float64(root.Len())
+	p := 1.0 / float64(root.LiveLen())
 	for k := 1; k < len(nodes); k++ {
 		n := &nodes[k]
 		v := w.j.ParentValue(k, rowOf[n.Parent])
@@ -170,12 +172,13 @@ func (w *Walker) WalkInto(out relation.Tuple, rowOf []int, g *rng.RNG) (float64,
 		p /= float64(d)
 	}
 	if res := w.j.ResidualPart(); res != nil {
-		matches := res.Match(out)
+		rv := res.View()
+		matches := rv.Match(out)
 		d := len(matches)
 		if d == 0 {
 			return 0, false
 		}
-		w.j.FillResidual(matches[g.Intn(d)], out)
+		rv.FillInto(matches[g.Intn(d)], out)
 		p /= float64(d)
 	}
 	return p, true

@@ -17,6 +17,9 @@ func WriteCSV(w io.Writer, r *Relation) error {
 	rec := make([]string, r.Arity())
 	n := r.Len()
 	for i := 0; i < n; i++ {
+		if !r.Live(i) {
+			continue
+		}
 		row := r.Row(i)
 		for j, v := range row {
 			rec[j] = strconv.FormatInt(int64(v), 10)

@@ -1,124 +1,421 @@
 package relation
 
-// Index is a per-attribute hash index in CSR layout: the row ids of
-// every distinct value live contiguously in one packed slice, addressed
+// Index is a per-attribute hash index: an immutable CSR base (the row
+// ids of every distinct value contiguous in one packed slice, addressed
 // by a counting-sort offset table, with an open-addressed value table
-// on top. Compared to the previous map[Value][]int it is built in two
-// linear passes with O(distinct) allocations instead of O(distinct)
-// separately grown slices, probes without hashing strings, and — being
-// immutable after construction — is safe for concurrent readers.
+// on top) plus an optional immutable delta overlay that absorbs
+// mutations without rebuilding the base. Probes consult the overlay
+// first — a value untouched by any mutation costs exactly the pure-CSR
+// probe — and every published Index is immutable, so concurrent readers
+// need no synchronization. Relation.Index catches an index up to the
+// current version by cloning the overlay and replaying the mutation-log
+// tail; when the overlay would grow past a fraction of the base, the
+// catch-up compacts back to a pure CSR instead.
 type Index struct {
-	slots  []int32 // open addressing: entry index + 1; 0 = empty
-	keys   []Value // distinct values, first-appearance order
-	starts []int32 // entry e's rows at rows[starts[e]:starts[e+1]]
-	rows   []int   // row ids grouped by value, ascending within a group
-	maxDeg int
+	base    *csr
+	ov      *overlay // nil = pure CSR
+	maxDeg  int      // exact max live degree under the overlay
+	version uint64   // relation version this index reflects
 }
 
-// hashValue fingerprints one attribute value for the index's slot
-// table.
-func hashValue(v Value) uint64 { return mix(uint64(v) + keySeed0) }
+// csr is the immutable base layout.
+type csr struct {
+	slots   []int32 // open addressing: entry index + 1; 0 = empty
+	keys    []Value // distinct values, first-appearance order
+	starts  []int32 // entry e's rows at rows[starts[e]:starts[e+1]]
+	rows    []int   // row ids grouped by value, ascending within a group
+	maxDeg  int
+	degrade uint64 // test-only hash degradation mask
+}
 
-// buildIndex constructs the CSR index over attribute position a of r.
-func buildIndex(r *Relation, a int) *Index {
-	n := r.Len()
-	ix := &Index{}
+// overlay holds the touched values: for each, the fully merged live row
+// list. It is immutable once published; catch-up clones it.
+type overlay struct {
+	slots   []int32 // open addressing: overlay entry index + 1; 0 = empty
+	keys    []Value // touched values
+	rows    [][]int // merged live rows per touched value (ascending)
+	baseEnt []int32 // base entry of the value, or -1 when new
+	extra   []int32 // overlay entries of values absent from base, in first-appearance order
+	rank    []int32 // per overlay entry: its index in extra (-1 for base values); keeps EntryOf O(1)
+	degrade uint64
+}
+
+// hashValue fingerprints one attribute value for the slot tables.
+func hashValue(v Value, degrade uint64) uint64 {
+	h := mix(uint64(v) + keySeed0)
+	if degrade != 0 {
+		h &= degrade
+	}
+	return h
+}
+
+// overlayThreshold returns the touched-value budget before a catch-up
+// compacts to a pure CSR.
+func overlayThreshold(base *csr) int {
+	t := len(base.rows) / 8
+	if t < 64 {
+		t = 64
+	}
+	return t
+}
+
+// buildIndex constructs a pure-CSR index over attribute position a of
+// the snapshot, skipping tombstoned rows.
+func buildIndex(s *snapshot, arity, a int, version uint64, degrade uint64) *Index {
+	n := s.rows
+	b := &csr{degrade: degrade}
 	// Pass 1: discover distinct values and their degrees. counts is
 	// indexed by entry id (first-appearance rank).
 	nslots := minSlots
 	for nslots < n*2 {
 		nslots <<= 1
 	}
-	ix.slots = make([]int32, nslots)
+	b.slots = make([]int32, nslots)
 	counts := make([]int32, 0, 16)
 	mask := uint64(nslots - 1)
 	for i := 0; i < n; i++ {
-		v := r.Value(i, a)
-		h := hashValue(v)
+		if !s.isLive(i) {
+			continue
+		}
+		v := s.data[i*arity+a]
+		h := hashValue(v, degrade)
 		j := h & mask
 		for {
-			s := ix.slots[j]
-			if s == 0 {
-				ix.slots[j] = int32(len(ix.keys) + 1)
-				ix.keys = append(ix.keys, v)
+			sl := b.slots[j]
+			if sl == 0 {
+				b.slots[j] = int32(len(b.keys) + 1)
+				b.keys = append(b.keys, v)
 				counts = append(counts, 1)
 				break
 			}
-			if ix.keys[s-1] == v {
-				counts[s-1]++
+			if b.keys[sl-1] == v {
+				counts[sl-1]++
 				break
 			}
 			j = (j + 1) & mask
 		}
 	}
 	// Pass 2: prefix sums, then scatter row ids. Scanning rows in order
-	// keeps each group ascending, matching the old index's guarantee.
-	ix.starts = make([]int32, len(ix.keys)+1)
+	// keeps each group ascending.
+	b.starts = make([]int32, len(b.keys)+1)
+	live := 0
 	for e, c := range counts {
-		ix.starts[e+1] = ix.starts[e] + c
-		if int(c) > ix.maxDeg {
-			ix.maxDeg = int(c)
+		b.starts[e+1] = b.starts[e] + c
+		live += int(c)
+		if int(c) > b.maxDeg {
+			b.maxDeg = int(c)
 		}
 	}
-	ix.rows = make([]int, n)
-	cursor := append([]int32(nil), ix.starts[:len(ix.keys)]...)
+	b.rows = make([]int, live)
+	cursor := append([]int32(nil), b.starts[:len(b.keys)]...)
 	for i := 0; i < n; i++ {
-		v := r.Value(i, a)
-		e, _ := ix.EntryOf(v)
-		ix.rows[cursor[e]] = i
+		if !s.isLive(i) {
+			continue
+		}
+		v := s.data[i*arity+a]
+		e, _ := b.entryOf(v)
+		b.rows[cursor[e]] = i
 		cursor[e]++
 	}
-	return ix
+	return &Index{base: b, maxDeg: b.maxDeg, version: version}
 }
 
-// EntryOf returns the dense entry id of a value, or (-1, false) when
-// the value does not occur.
-func (ix *Index) EntryOf(v Value) (int, bool) {
-	mask := uint64(len(ix.slots) - 1)
-	h := hashValue(v)
+func (b *csr) entryOf(v Value) (int, bool) {
+	mask := uint64(len(b.slots) - 1)
+	h := hashValue(v, b.degrade)
 	for j := h & mask; ; j = (j + 1) & mask {
-		s := ix.slots[j]
+		s := b.slots[j]
 		if s == 0 {
 			return -1, false
 		}
-		if ix.keys[s-1] == v {
+		if b.keys[s-1] == v {
 			return int(s - 1), true
 		}
 	}
 }
 
-// Rows returns the row ids holding v, ascending. The slice aliases the
-// index; do not mutate it.
-func (ix *Index) Rows(v Value) []int {
-	e, ok := ix.EntryOf(v)
+func (b *csr) rowsOf(v Value) []int {
+	e, ok := b.entryOf(v)
 	if !ok {
 		return nil
 	}
-	return ix.rows[ix.starts[e]:ix.starts[e+1]]
+	return b.rows[b.starts[e]:b.starts[e+1]]
 }
 
-// Degree returns the number of rows holding v.
+func (b *csr) degreeAt(e int) int { return int(b.starts[e+1] - b.starts[e]) }
+
+// lookup returns the overlay entry of v, or -1.
+func (o *overlay) lookup(v Value) int {
+	if o == nil || len(o.slots) == 0 {
+		return -1
+	}
+	mask := uint64(len(o.slots) - 1)
+	h := hashValue(v, o.degrade)
+	for j := h & mask; ; j = (j + 1) & mask {
+		s := o.slots[j]
+		if s == 0 {
+			return -1
+		}
+		if o.keys[s-1] == v {
+			return int(s - 1)
+		}
+	}
+}
+
+// clone deep-copies the overlay's entry tables; row slices stay shared
+// until modified (the catch-up copies them on first write).
+func (o *overlay) clone() *overlay {
+	if o == nil {
+		return &overlay{slots: make([]int32, minSlots)}
+	}
+	return &overlay{
+		slots:   append([]int32(nil), o.slots...),
+		keys:    append([]Value(nil), o.keys...),
+		rows:    append([][]int(nil), o.rows...),
+		baseEnt: append([]int32(nil), o.baseEnt...),
+		extra:   append([]int32(nil), o.extra...),
+		rank:    append([]int32(nil), o.rank...),
+		degrade: o.degrade,
+	}
+}
+
+// ensure returns the overlay entry for v, creating it (initialized with
+// the base's row list for v — necessarily all live, since any earlier
+// deletion of a v-row would already have created the entry) when
+// absent.
+func (o *overlay) ensure(v Value, base *csr) int {
+	if e := o.lookup(v); e >= 0 {
+		return e
+	}
+	if (len(o.keys)+1)*4 > len(o.slots)*3 {
+		o.grow()
+	}
+	e := len(o.keys)
+	o.keys = append(o.keys, v)
+	be, ok := base.entryOf(v)
+	if ok {
+		o.rows = append(o.rows, append([]int(nil), base.rows[base.starts[be]:base.starts[be+1]]...))
+		o.baseEnt = append(o.baseEnt, int32(be))
+		o.rank = append(o.rank, -1)
+	} else {
+		o.rows = append(o.rows, nil)
+		o.baseEnt = append(o.baseEnt, -1)
+		o.rank = append(o.rank, int32(len(o.extra)))
+		o.extra = append(o.extra, int32(e))
+	}
+	mask := uint64(len(o.slots) - 1)
+	j := hashValue(v, o.degrade) & mask
+	for o.slots[j] != 0 {
+		j = (j + 1) & mask
+	}
+	o.slots[j] = int32(e + 1)
+	return e
+}
+
+func (o *overlay) grow() {
+	n := len(o.slots) * 2
+	if n < minSlots {
+		n = minSlots
+	}
+	slots := make([]int32, n)
+	mask := uint64(n - 1)
+	for e, v := range o.keys {
+		j := hashValue(v, o.degrade) & mask
+		for slots[j] != 0 {
+			j = (j + 1) & mask
+		}
+		slots[j] = int32(e + 1)
+	}
+	o.slots = slots
+}
+
+// applyTail returns a new Index reflecting the mutation-log tail on top
+// of ix, or nil when the overlay would exceed its budget and the caller
+// should rebuild a pure CSR instead.
+func (ix *Index) applyTail(s *snapshot, arity, a int, tail []Mutation, version uint64) *Index {
+	budget := overlayThreshold(ix.base)
+	existing := 0
+	if ix.ov != nil {
+		existing = len(ix.ov.keys)
+	}
+	if existing+len(tail) > budget {
+		return nil
+	}
+	ov := ix.ov.clone()
+	ov.degrade = ix.base.degrade
+	copied := make([]bool, len(ov.rows), len(ov.rows)+len(tail))
+	for _, m := range tail {
+		switch m.Kind {
+		case MutAppend:
+			v := s.data[m.Row*arity+a]
+			e := ov.ensure(v, ix.base)
+			for len(copied) <= e {
+				copied = append(copied, true) // fresh entries own their slice
+			}
+			if !copied[e] {
+				ov.rows[e] = append([]int(nil), ov.rows[e]...)
+				copied[e] = true
+			}
+			ov.rows[e] = append(ov.rows[e], m.Row)
+		case MutDelete:
+			v := m.Vals[a]
+			e := ov.ensure(v, ix.base)
+			for len(copied) <= e {
+				copied = append(copied, true)
+			}
+			if !copied[e] {
+				ov.rows[e] = append([]int(nil), ov.rows[e]...)
+				copied[e] = true
+			}
+			ov.rows[e] = removeRow(ov.rows[e], m.Row)
+		}
+	}
+	nx := &Index{base: ix.base, ov: ov, version: version}
+	nx.maxDeg = nx.computeMaxDeg()
+	return nx
+}
+
+// removeRow deletes row from an ascending id list in place.
+func removeRow(rows []int, row int) []int {
+	lo, hi := 0, len(rows)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if rows[mid] < row {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(rows) && rows[lo] == row {
+		return append(rows[:lo], rows[lo+1:]...)
+	}
+	return rows
+}
+
+// computeMaxDeg recomputes the exact max degree under the overlay. The
+// base is scanned only when every base value attaining the base max was
+// touched and shrunk — otherwise the base max still stands.
+func (ix *Index) computeMaxDeg() int {
+	ov := ix.ov
+	max := 0
+	shrunkAttainer := false
+	for e := range ov.keys {
+		if d := len(ov.rows[e]); d > max {
+			max = d
+		}
+		if be := ov.baseEnt[e]; be >= 0 && ix.base.degreeAt(int(be)) == ix.base.maxDeg && len(ov.rows[e]) < ix.base.maxDeg {
+			shrunkAttainer = true
+		}
+	}
+	if !shrunkAttainer {
+		if ix.base.maxDeg > max {
+			max = ix.base.maxDeg
+		}
+		return max
+	}
+	for e := range ix.base.keys {
+		if ov.lookup(ix.base.keys[e]) >= 0 {
+			continue
+		}
+		if d := ix.base.degreeAt(e); d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+// EntryOf returns the dense entry id of a value, or (-1, false) when
+// the value was never indexed. Under an overlay, a value whose rows
+// were all deleted keeps its entry (with zero rows); use Degree to test
+// liveness.
+func (ix *Index) EntryOf(v Value) (int, bool) {
+	if ix.ov != nil {
+		if e := ix.ov.lookup(v); e >= 0 {
+			if be := ix.ov.baseEnt[e]; be >= 0 {
+				return int(be), true
+			}
+			// New value: dense id after the base entries.
+			return len(ix.base.keys) + int(ix.ov.rank[e]), true
+		}
+	}
+	return ix.base.entryOf(v)
+}
+
+// Rows returns the live row ids holding v, ascending. The slice aliases
+// the index; do not mutate it.
+func (ix *Index) Rows(v Value) []int {
+	if ix.ov != nil {
+		if e := ix.ov.lookup(v); e >= 0 {
+			return ix.ov.rows[e]
+		}
+	}
+	return ix.base.rowsOf(v)
+}
+
+// Degree returns the number of live rows holding v.
 func (ix *Index) Degree(v Value) int {
-	e, ok := ix.EntryOf(v)
+	if ix.ov != nil {
+		if e := ix.ov.lookup(v); e >= 0 {
+			return len(ix.ov.rows[e])
+		}
+	}
+	e, ok := ix.base.entryOf(v)
 	if !ok {
 		return 0
 	}
-	return int(ix.starts[e+1] - ix.starts[e])
+	return ix.base.degreeAt(e)
 }
 
-// MaxDegree returns the maximum value frequency.
+// MaxDegree returns the maximum live value frequency.
 func (ix *Index) MaxDegree() int { return ix.maxDeg }
 
-// Distinct returns the number of distinct values.
-func (ix *Index) Distinct() int { return len(ix.keys) }
+// Distinct returns the number of distinct values with at least one live
+// row.
+func (ix *Index) Distinct() int {
+	n := len(ix.base.keys)
+	if ix.ov == nil {
+		return n
+	}
+	for e := range ix.ov.keys {
+		switch {
+		case ix.ov.baseEnt[e] >= 0 && len(ix.ov.rows[e]) == 0:
+			n--
+		case ix.ov.baseEnt[e] < 0 && len(ix.ov.rows[e]) > 0:
+			n++
+		}
+	}
+	return n
+}
 
-// NumEntries returns the number of distinct values; entries are
-// addressed 0..NumEntries()-1 in first-appearance order.
-func (ix *Index) NumEntries() int { return len(ix.keys) }
+// NumEntries returns the number of dense entries: base entries first
+// (some possibly emptied by deletions), then values first seen through
+// the overlay. Entries are addressed 0..NumEntries()-1.
+func (ix *Index) NumEntries() int {
+	n := len(ix.base.keys)
+	if ix.ov != nil {
+		n += len(ix.ov.extra)
+	}
+	return n
+}
 
 // ValueAt returns entry e's value.
-func (ix *Index) ValueAt(e int) Value { return ix.keys[e] }
+func (ix *Index) ValueAt(e int) Value {
+	if e < len(ix.base.keys) {
+		return ix.base.keys[e]
+	}
+	return ix.ov.keys[ix.ov.extra[e-len(ix.base.keys)]]
+}
 
-// RowsAt returns entry e's row ids. The slice aliases the index; do not
-// mutate it.
-func (ix *Index) RowsAt(e int) []int { return ix.rows[ix.starts[e]:ix.starts[e+1]] }
+// RowsAt returns entry e's live row ids. The slice aliases the index;
+// do not mutate it.
+func (ix *Index) RowsAt(e int) []int {
+	if e >= len(ix.base.keys) {
+		return ix.ov.rows[ix.ov.extra[e-len(ix.base.keys)]]
+	}
+	if ix.ov != nil {
+		if oe := ix.ov.lookup(ix.base.keys[e]); oe >= 0 {
+			return ix.ov.rows[oe]
+		}
+	}
+	return ix.base.rows[ix.base.starts[e]:ix.base.starts[e+1]]
+}

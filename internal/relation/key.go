@@ -297,6 +297,23 @@ func (c *KeyCounter) Add(t Tuple, proj []int, delta int) (int, int) {
 	return e, c.counts[e]
 }
 
+// Clone returns an independent copy of the counter: flat array copies,
+// no rehashing. Incremental membership maintenance clones the small
+// delta table per reconcile instead of rebuilding the base.
+func (c *KeyCounter) Clone() *KeyCounter {
+	return &KeyCounter{
+		kt: keyTable{
+			hasher:      c.kt.hasher,
+			arity:       c.kt.arity,
+			slots:       append([]int32(nil), c.kt.slots...),
+			hashes:      append([]uint64(nil), c.kt.hashes...),
+			vals:        append([]Value(nil), c.kt.vals...),
+			degradeMask: c.kt.degradeMask,
+		},
+		counts: append([]int(nil), c.counts...),
+	}
+}
+
 // At returns the value stored at a handle.
 func (c *KeyCounter) At(handle int) int { return c.counts[handle] }
 

@@ -12,31 +12,99 @@ import (
 // the joinability lookups that the paper implements with hash tables
 // (§3.2).
 //
-// Mutation (Append) and sampling must not overlap, but concurrent
-// readers are safe even on first index use: the index set is published
-// through an atomic pointer and built under a mutex, so a fresh
-// relation shared by several sampling goroutines builds each index
-// exactly once.
+// Relations are live: Append/AppendRows/Delete may run concurrently
+// with readers. Row storage is published through an immutable snapshot
+// behind an atomic pointer — appends only ever write into capacity no
+// published snapshot can reach, and deletes tombstone rows in a
+// copy-on-write bitset, so a reader always observes a consistent view.
+// Row ids are stable forever (storage is monotone; deleted rows keep
+// their slot and values), which is what lets index row lists, join
+// membership tables, and sampler state survive mutations and reconcile
+// incrementally instead of rebuilding.
+//
+// Each mutation bumps Version and (once any derived structure exists)
+// appends to a bounded mutation log. Derived structures — the
+// per-attribute indexes here, join membership tables and cyclic
+// residuals in internal/join — record the version they were built at
+// and catch up by replaying the log tail; when the tail is gone or too
+// large they rebuild from scratch.
 type Relation struct {
 	name   string
 	schema *Schema
-	data   []Value // row-major, len = rows*arity
 
-	// indexes is the current immutable set of per-attribute CSR indexes
-	// (entry a nil until built). Replaced wholesale on build and on
-	// Append invalidation.
+	// snap is the current immutable row storage view.
+	snap atomic.Pointer[snapshot]
+
+	// indexes is the current immutable set of per-attribute CSR(+delta)
+	// indexes (entry a nil until built). Replaced wholesale whenever an
+	// index is built or caught up to a new version.
 	indexes atomic.Pointer[[]*Index]
-	mu      sync.Mutex // serializes index building
+	mu      sync.Mutex // serializes mutations, the log, and index building
 
-	// version counts Appends since index build; cached structures
-	// derived from this relation (join membership tables) compare it to
-	// detect staleness.
+	// version counts mutations; cached structures derived from this
+	// relation compare it to detect staleness.
 	version atomic.Uint64
+
+	// Mutation log, guarded by mu. logOn flips true when the first
+	// derived structure is built (bulk loading before that costs no log
+	// traffic); entries cover versions logStart+1 .. logStart+len(log).
+	logOn    bool
+	logStart uint64
+	log      []Mutation
+
+	// testDegrade, when non-zero, collapses the index hash space so
+	// collision paths are exercised; see SetIndexHashDegradeForTest.
+	testDegrade uint64
 }
+
+// snapshot is one immutable view of the row storage. data always has
+// len == rows*arity; appends beyond rows write only into capacity, so
+// sharing the backing array between snapshots is safe.
+type snapshot struct {
+	data []Value
+	rows int      // physical row count, dead rows included
+	dead []uint64 // tombstone bitset (nil = no deletions); immutable
+	live int      // live row count
+}
+
+func (s *snapshot) isLive(i int) bool {
+	w := i >> 6
+	if w >= len(s.dead) {
+		return true
+	}
+	return s.dead[w]&(1<<(uint(i)&63)) == 0
+}
+
+// MutKind distinguishes mutation log entries.
+type MutKind uint8
+
+const (
+	// MutAppend records a row append; the row's values live in storage.
+	MutAppend MutKind = iota
+	// MutDelete records a row tombstone; Vals carries the dead row's
+	// values (they stay valid forever — storage is never overwritten,
+	// so Vals aliases it).
+	MutDelete
+)
+
+// Mutation is one entry of the relation's mutation log, replayed by
+// derived structures (indexes, membership tables, residuals) to catch
+// up incrementally. Treat Vals as read-only.
+type Mutation struct {
+	Kind MutKind
+	Row  int
+	Vals Tuple // MutDelete only
+}
+
+// maxLogLen bounds the mutation log; structures further behind than the
+// retained tail rebuild from scratch.
+const maxLogLen = 4096
 
 // New returns an empty relation with the given name and schema.
 func New(name string, schema *Schema) *Relation {
-	return &Relation{name: name, schema: schema}
+	r := &Relation{name: name, schema: schema}
+	r.snap.Store(&snapshot{})
+	return r
 }
 
 // FromTuples builds a relation from explicit rows, validating arity.
@@ -46,8 +114,8 @@ func FromTuples(name string, schema *Schema, rows []Tuple) (*Relation, error) {
 		if len(t) != schema.Len() {
 			return nil, fmt.Errorf("relation %s: row %d has arity %d, want %d", name, i, len(t), schema.Len())
 		}
-		r.data = append(r.data, t...)
 	}
+	r.AppendRows(rows)
 	return r, nil
 }
 
@@ -67,41 +135,202 @@ func (r *Relation) Name() string { return r.name }
 // Schema returns the relation's schema.
 func (r *Relation) Schema() *Schema { return r.schema }
 
-// Len reports the number of rows.
-func (r *Relation) Len() int {
-	if r.schema.Len() == 0 {
-		return 0
-	}
-	return len(r.data) / r.schema.Len()
-}
+// Len reports the physical number of rows, tombstoned rows included:
+// Row(i) is valid for 0 <= i < Len(). Use LiveLen for the logical
+// cardinality; the two agree unless Delete was called.
+func (r *Relation) Len() int { return r.snap.Load().rows }
+
+// LiveLen reports the number of live (non-deleted) rows.
+func (r *Relation) LiveLen() int { return r.snap.Load().live }
+
+// HasDeleted reports whether any row has ever been deleted.
+func (r *Relation) HasDeleted() bool { return r.snap.Load().dead != nil }
+
+// Live reports whether row i has not been deleted.
+func (r *Relation) Live(i int) bool { return r.snap.Load().isLive(i) }
 
 // Arity reports the number of attributes.
 func (r *Relation) Arity() int { return r.schema.Len() }
 
 // Row returns row i as a Tuple sharing the relation's backing array.
-// Callers must not mutate it; use Row(i).Clone() to keep a copy.
+// Callers must not mutate it; use Row(i).Clone() to keep a copy. Row
+// slices stay valid forever: storage is monotone and deleted rows keep
+// their values.
 func (r *Relation) Row(i int) Tuple {
 	k := r.schema.Len()
-	return Tuple(r.data[i*k : (i+1)*k : (i+1)*k])
+	return Tuple(r.snap.Load().data[i*k : (i+1)*k : (i+1)*k])
 }
 
-// Append adds a row. It invalidates any built indexes and bumps the
-// relation's version so caches built over the old contents (join
-// membership tables) rebuild on next use; load all data before
-// sampling. Append must not run concurrently with readers.
+// Append adds a row. Built indexes are not invalidated: they absorb the
+// change through their delta overlay on next use. The relation's
+// version moves so caches built over the old contents reconcile on next
+// use. Safe to call concurrently with readers; see the package
+// visibility contract in the README for what concurrent draws observe.
 func (r *Relation) Append(t Tuple) {
 	if len(t) != r.schema.Len() {
 		panic(fmt.Sprintf("relation %s: append arity %d, want %d", r.name, len(t), r.schema.Len()))
 	}
-	r.data = append(r.data, t...)
-	r.version.Add(1)
-	if r.indexes.Load() != nil {
-		r.indexes.Store(nil)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.appendLocked(t)
+}
+
+// AppendRows adds a batch of rows under one lock acquisition and one
+// snapshot publish — the fast path for streaming ingest.
+func (r *Relation) AppendRows(rows []Tuple) {
+	if len(rows) == 0 {
+		return
 	}
+	k := r.schema.Len()
+	for i, t := range rows {
+		if len(t) != k {
+			panic(fmt.Sprintf("relation %s: append row %d arity %d, want %d", r.name, i, len(t), k))
+		}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := r.snap.Load()
+	data := s.data
+	first := s.rows
+	for _, t := range rows {
+		data = append(data, t...)
+	}
+	r.snap.Store(&snapshot{data: data, rows: s.rows + len(rows), dead: s.dead, live: s.live + len(rows)})
+	for i := range rows {
+		r.logMutation(Mutation{Kind: MutAppend, Row: first + i})
+	}
+}
+
+// appendLocked appends one row; callers hold r.mu.
+func (r *Relation) appendLocked(t Tuple) {
+	s := r.snap.Load()
+	data := append(s.data, t...)
+	r.snap.Store(&snapshot{data: data, rows: s.rows + 1, dead: s.dead, live: s.live + 1})
+	r.logMutation(Mutation{Kind: MutAppend, Row: s.rows})
 }
 
 // AppendValues adds a row given as individual values.
 func (r *Relation) AppendValues(vs ...Value) { r.Append(Tuple(vs)) }
+
+// Delete tombstones row i and reports whether it was live. The row's
+// slot and values remain (readers holding its id stay safe); it simply
+// stops matching index probes, membership tests, and enumeration.
+func (r *Relation) Delete(i int) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := r.snap.Load()
+	if i < 0 || i >= s.rows || !s.isLive(i) {
+		return false
+	}
+	words := (s.rows + 63) / 64
+	dead := make([]uint64, words)
+	copy(dead, s.dead)
+	dead[i>>6] |= 1 << (uint(i) & 63)
+	k := r.schema.Len()
+	vals := Tuple(s.data[i*k : (i+1)*k : (i+1)*k])
+	r.snap.Store(&snapshot{data: s.data, rows: s.rows, dead: dead, live: s.live - 1})
+	r.logMutation(Mutation{Kind: MutDelete, Row: i, Vals: vals})
+	return true
+}
+
+// logMutation bumps the version and, when logging is on, appends to the
+// bounded log; callers hold r.mu.
+func (r *Relation) logMutation(m Mutation) {
+	v := r.version.Add(1)
+	if !r.logOn {
+		r.logStart = v
+		return
+	}
+	r.log = append(r.log, m)
+	if len(r.log) > maxLogLen {
+		drop := len(r.log) / 2
+		kept := make([]Mutation, len(r.log)-drop)
+		copy(kept, r.log[drop:])
+		r.log = kept
+		r.logStart += uint64(drop)
+	}
+}
+
+// EnableMutationLog starts recording mutations so derived structures
+// built from the current contents can catch up incrementally. Building
+// an index enables it automatically; join membership tables and
+// residual materializations call it explicitly.
+func (r *Relation) EnableMutationLog() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.enableLogLocked()
+}
+
+func (r *Relation) enableLogLocked() {
+	if r.logOn {
+		return
+	}
+	r.logOn = true
+	r.logStart = r.version.Load()
+	r.log = nil
+}
+
+// MutationsSince returns a copy of the log tail covering versions
+// (since, upTo], where upTo is the relation's version at the time of
+// the call. ok is false when the tail is no longer retained (the caller
+// rebuilds from scratch).
+func (r *Relation) MutationsSince(since uint64) (tail []Mutation, upTo uint64, ok bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	upTo = r.version.Load()
+	if since == upTo {
+		return nil, upTo, true
+	}
+	if !r.logOn || since < r.logStart || since > upTo {
+		return nil, upTo, false
+	}
+	tail = make([]Mutation, upTo-since)
+	copy(tail, r.log[since-r.logStart:])
+	return tail, upTo, true
+}
+
+// LiveRows returns the live row ids, the physical row count, and the
+// exact version they reflect, captured atomically with respect to
+// mutations. It also enables the mutation log, so a derived structure
+// built from the returned rows can later catch up from the returned
+// version without missing or double-applying a mutation. Row ids stay
+// valid forever (storage is monotone), so callers may read Row(id)
+// lock-free afterwards.
+func (r *Relation) LiveRows() (ids []int, phys int, version uint64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.enableLogLocked()
+	s := r.snap.Load()
+	ids = make([]int, 0, s.live)
+	for i := 0; i < s.rows; i++ {
+		if s.isLive(i) {
+			ids = append(ids, i)
+		}
+	}
+	return ids, s.rows, r.version.Load()
+}
+
+// ResetCaches drops the cached indexes and the mutation log, so every
+// derived structure rebuilds from scratch on next use. It exists for
+// benchmarks and tests that compare incremental maintenance against the
+// rebuild-everything baseline; production code never needs it.
+func (r *Relation) ResetCaches() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.indexes.Store(nil)
+	r.log = nil
+	r.logOn = false
+}
+
+// SetIndexHashDegradeForTest collapses the hash space of indexes built
+// afterwards (mask ANDed onto every fingerprint), forcing collisions so
+// equality-verification paths are exercised. Test-only.
+func (r *Relation) SetIndexHashDegradeForTest(mask uint64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.testDegrade = mask
+	r.indexes.Store(nil)
+}
 
 // Version counts mutations; caches derived from this relation compare
 // it to detect staleness.
@@ -109,29 +338,63 @@ func (r *Relation) Version() uint64 { return r.version.Load() }
 
 // Value returns the value of attribute position a in row i.
 func (r *Relation) Value(i, a int) Value {
-	return r.data[i*r.schema.Len()+a]
+	k := r.schema.Len()
+	return r.snap.Load().data[i*k+a]
 }
 
-// Index returns (building if needed) the CSR hash index over the
-// attribute at position a. First use from several goroutines builds the
-// index exactly once; a built index is immutable.
+// Index returns the CSR(+delta) hash index over the attribute at
+// position a, building or catching it up as needed. First use from
+// several goroutines — including the first build of a delta overlay
+// after a mutation — builds exactly once behind r.mu; a published index
+// is immutable, so concurrent probes are safe.
 func (r *Relation) Index(a int) *Index {
-	if set := r.indexes.Load(); set != nil && (*set)[a] != nil {
-		return (*set)[a]
+	if set := r.indexes.Load(); set != nil {
+		if ix := (*set)[a]; ix != nil && ix.version == r.version.Load() {
+			return ix
+		}
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	v := r.version.Load() // stable: mutations hold r.mu
 	old := r.indexes.Load()
-	if old != nil && (*old)[a] != nil {
-		return (*old)[a]
-	}
-	next := make([]*Index, r.schema.Len())
+	var prev *Index
 	if old != nil {
-		copy(next, *old)
+		prev = (*old)[a]
 	}
-	next[a] = buildIndex(r, a)
-	r.indexes.Store(&next)
-	return next[a]
+	if prev != nil && prev.version == v {
+		return prev
+	}
+	r.enableLogLocked()
+	s := r.snap.Load()
+	var next *Index
+	if prev != nil {
+		if tail, upTo, ok := r.mutationsSinceLocked(prev.version); ok && upTo == v {
+			next = prev.applyTail(s, r.schema.Len(), a, tail, v)
+		}
+	}
+	if next == nil {
+		next = buildIndex(s, r.schema.Len(), a, v, r.testDegrade)
+	}
+	set := make([]*Index, r.schema.Len())
+	if old != nil {
+		copy(set, *old)
+	}
+	set[a] = next
+	r.indexes.Store(&set)
+	return next
+}
+
+// mutationsSinceLocked is MutationsSince for callers already holding
+// r.mu.
+func (r *Relation) mutationsSinceLocked(since uint64) (tail []Mutation, upTo uint64, ok bool) {
+	upTo = r.version.Load()
+	if since == upTo {
+		return nil, upTo, true
+	}
+	if !r.logOn || since < r.logStart || since > upTo {
+		return nil, upTo, false
+	}
+	return r.log[since-r.logStart : upTo-r.logStart], upTo, true
 }
 
 // IndexByName is Index keyed by attribute name.
@@ -143,14 +406,14 @@ func (r *Relation) IndexByName(attr string) (*Index, error) {
 	return r.Index(a), nil
 }
 
-// Matches returns the row ids whose attribute at position a equals v,
-// ascending. The returned slice is shared with the index; do not mutate
-// it.
+// Matches returns the live row ids whose attribute at position a equals
+// v, ascending. The returned slice is shared with the index; do not
+// mutate it.
 func (r *Relation) Matches(a int, v Value) []int {
 	return r.Index(a).Rows(v)
 }
 
-// Degree returns the number of rows whose attribute at position a
+// Degree returns the number of live rows whose attribute at position a
 // equals v — the d_A(v, R) of the paper.
 func (r *Relation) Degree(a int, v Value) int {
 	return r.Index(a).Degree(v)
@@ -162,51 +425,69 @@ func (r *Relation) MaxDegree(a int) int {
 	return r.Index(a).MaxDegree()
 }
 
-// DistinctCount returns the number of distinct values in attribute
-// position a.
+// DistinctCount returns the number of distinct values among live rows
+// in attribute position a.
 func (r *Relation) DistinctCount(a int) int {
 	return r.Index(a).Distinct()
 }
 
-// Tuples returns a copy of all rows.
+// Tuples returns a copy of all live rows.
 func (r *Relation) Tuples() []Tuple {
-	n := r.Len()
-	out := make([]Tuple, n)
-	for i := 0; i < n; i++ {
-		out[i] = r.Row(i).Clone()
+	s := r.snap.Load()
+	out := make([]Tuple, 0, s.live)
+	k := r.schema.Len()
+	for i := 0; i < s.rows; i++ {
+		if !s.isLive(i) {
+			continue
+		}
+		out = append(out, Tuple(s.data[i*k:(i+1)*k:(i+1)*k]).Clone())
 	}
 	return out
 }
 
-// Filter returns a new relation keeping only rows for which pred is
-// true. The result shares no storage with r.
+// Filter returns a new relation keeping only live rows for which pred
+// is true. The result shares no storage with r. Kept rows are buffered
+// as aliases (row storage is immutable) and appended in one batch —
+// one lock, one snapshot.
 func (r *Relation) Filter(name string, pred Predicate) *Relation {
 	out := New(name, r.schema)
-	n := r.Len()
-	for i := 0; i < n; i++ {
+	s := r.snap.Load()
+	var kept []Tuple
+	for i := 0; i < s.rows; i++ {
+		if !s.isLive(i) {
+			continue
+		}
 		row := r.Row(i)
 		if pred.Eval(row, r.schema) {
-			out.data = append(out.data, row...)
+			kept = append(kept, row)
 		}
 	}
+	out.AppendRows(kept)
 	return out
 }
 
 // Project returns a new relation with only the named attributes, in the
-// given order. Duplicate rows are retained.
+// given order. Duplicate rows are retained; dead rows are dropped.
 func (r *Relation) Project(name string, attrs []string) (*Relation, error) {
 	idx, err := r.schema.Project(attrs)
 	if err != nil {
 		return nil, err
 	}
 	out := New(name, NewSchema(attrs...))
-	n := r.Len()
-	for i := 0; i < n; i++ {
-		row := r.Row(i)
-		for _, j := range idx {
-			out.data = append(out.data, row[j])
+	s := r.snap.Load()
+	rows := make([]Tuple, 0, s.live)
+	for i := 0; i < s.rows; i++ {
+		if !s.isLive(i) {
+			continue
 		}
+		row := r.Row(i)
+		t := make(Tuple, len(idx))
+		for k, j := range idx {
+			t[k] = row[j]
+		}
+		rows = append(rows, t)
 	}
+	out.AppendRows(rows)
 	return out, nil
 }
 
@@ -219,13 +500,15 @@ func (r *Relation) DistinctProject(name string, attrs []string) (*Relation, erro
 	out := New(name, p.schema)
 	n := p.Len()
 	seen := NewKeySet(p.schema.Len(), n)
+	var kept []Tuple
 	for i := 0; i < n; i++ {
 		row := p.Row(i)
 		if !seen.Insert(row) {
 			continue
 		}
-		out.data = append(out.data, row...)
+		kept = append(kept, row)
 	}
+	out.AppendRows(kept)
 	return out, nil
 }
 
@@ -250,5 +533,5 @@ func TupleKey(t Tuple) string {
 }
 
 func (r *Relation) String() string {
-	return fmt.Sprintf("%s%s[%d rows]", r.name, r.schema, r.Len())
+	return fmt.Sprintf("%s%s[%d rows]", r.name, r.schema, r.LiveLen())
 }

@@ -48,14 +48,20 @@ func HorizontalSplit(r *Relation, trueName, falseName string, pred Predicate) (*
 	yes := New(trueName, r.Schema())
 	no := New(falseName, r.Schema())
 	n := r.Len()
+	var yesRows, noRows []Tuple
 	for i := 0; i < n; i++ {
+		if !r.Live(i) {
+			continue
+		}
 		row := r.Row(i)
 		if pred.Eval(row, r.Schema()) {
-			yes.data = append(yes.data, row...)
+			yesRows = append(yesRows, row)
 		} else {
-			no.data = append(no.data, row...)
+			noRows = append(noRows, row)
 		}
 	}
+	yes.AppendRows(yesRows)
+	no.AppendRows(noRows)
 	return yes, no
 }
 

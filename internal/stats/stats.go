@@ -29,6 +29,9 @@ func BuildAttr(r *relation.Relation, pos int) *AttrStats {
 	}
 	n := r.Len()
 	for i := 0; i < n; i++ {
+		if !r.Live(i) {
+			continue
+		}
 		v := r.Value(i, pos)
 		s.Freq[v]++
 		s.Total++
@@ -78,7 +81,7 @@ type RelStats struct {
 func Build(r *relation.Relation) *RelStats {
 	rs := &RelStats{
 		Name:  r.Name(),
-		Size:  r.Len(),
+		Size:  r.LiveLen(),
 		Attrs: make(map[string]*AttrStats, r.Arity()),
 	}
 	for i := 0; i < r.Arity(); i++ {

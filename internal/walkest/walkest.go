@@ -233,6 +233,16 @@ func (e *Estimator) Clone() *Estimator {
 	return c
 }
 
+// Reset discards join j's estimate, overlap counters, and reuse pool —
+// its walks observed a join whose data has since mutated. Other joins'
+// state is untouched, which is what lets a session refresh re-walk only
+// the dirty joins.
+func (e *Estimator) Reset(j int) {
+	e.ests[j] = NewJoinEstimate(e.joins[j])
+	e.wByMask[j] = make(map[uint]float64)
+	e.wAll[j] = 0
+}
+
 // StepJoin performs one walk of join j, folding the result into both
 // the size estimate and the overlap counters (§6.2's containment check
 // against every other join's index).

@@ -18,18 +18,38 @@ import (
 // queries shape: prepare once, then serve a stream of sampling and AQP
 // requests.
 //
-// A Session is safe for concurrent use. The prepared state is immutable;
-// each call mints its own sampling run with a private RNG stream, record,
-// and Stats. Auto-streamed methods (Sample, ApproxCount, ...) draw their
-// stream index from an atomic counter, so concurrent calls get distinct,
-// non-overlapping streams; use the *Seeded variants when a caller needs
-// a bit-reproducible stream regardless of call interleaving.
+// A Session is safe for concurrent use. The prepared state is immutable
+// and swapped atomically by Refresh; each call mints its own sampling
+// run with a private RNG stream, record, and Stats. Auto-streamed
+// methods (Sample, ApproxCount, ...) draw their stream index from an
+// atomic counter, so concurrent calls get distinct, non-overlapping
+// streams; use the *Seeded variants when a caller needs a
+// bit-reproducible stream regardless of call interleaving.
+//
+// Sessions stay warm across mutations: after Relation.Append/
+// AppendRows/Delete on the underlying data, Refresh reconciles only the
+// dirty shared state (delta-overlaid indexes, membership deltas,
+// residual delta joins, dirty-join walk estimates) and re-estimates,
+// instead of paying a cold Prepare. See the README's "Dynamic data &
+// refresh" section for the visibility contract.
 type Session struct {
-	u        *Union
-	opts     Options
+	u       *Union
+	opts    Options
+	state   atomic.Pointer[sessionState]
+	streams atomic.Int64
+
+	// refreshMu serializes Refresh; refreshes counts them so each
+	// refresh's warm-up randomness comes from its own derived stream
+	// (negative stream space, disjoint from the draw streams).
+	refreshMu sync.Mutex
+	refreshes int64
+}
+
+// sessionState is one immutable prepared-state generation. Draws load
+// it once, so a concurrent Refresh never changes state under a call.
+type sessionState struct {
 	prepared core.PreparedSampler
 	est      Estimate
-	streams  atomic.Int64
 
 	// The disjoint-union sampler is built on first use: it needs no
 	// estimator, and most sessions never call SampleDisjoint.
@@ -78,36 +98,95 @@ func (u *Union) prepare(o Options, prewarm bool) (*Session, error) {
 	if prewarm {
 		core.Prewarm(prepared)
 	}
+	s := &Session{u: u, opts: o}
+	s.state.Store(newSessionState(prepared))
+	return s, nil
+}
+
+func newSessionState(prepared core.PreparedSampler) *sessionState {
 	p := prepared.Params()
-	return &Session{
-		u:        u,
-		opts:     o,
+	return &sessionState{
 		prepared: prepared,
 		est: Estimate{
 			JoinSizes:  append([]float64(nil), p.JoinSizes...),
 			CoverSizes: append([]float64(nil), p.Cover...),
 			UnionSize:  p.UnionSize,
 		},
-	}, nil
+	}
 }
 
-// disjointShared builds the disjoint-union sampler on first use. Cover
-// sessions reuse the prepared subroutine samplers (their method is the
-// session's Method); online sessions are prepared on EO internally, so
-// when the caller asked for a different Method the disjoint sampler is
-// built separately to honor it.
-func (s *Session) disjointShared() (*core.DisjointShared, error) {
-	s.disjointOnce.Do(func() {
+// cur returns the state generation this call samples under, refreshing
+// first when the session was prepared with AutoRefresh and the
+// underlying relations mutated since the last (re)preparation.
+func (s *Session) cur() (*sessionState, error) {
+	st := s.state.Load()
+	if s.opts.AutoRefresh && core.Stale(st.prepared) {
+		if err := s.Refresh(); err != nil {
+			return nil, err
+		}
+		st = s.state.Load()
+	}
+	return st, nil
+}
+
+// Stale reports whether the underlying relations mutated since the
+// session's last (re)preparation: draws still work, but serve
+// parameters estimated over the old contents until Refresh runs. It
+// costs a few atomic loads.
+func (s *Session) Stale() bool {
+	return core.Stale(s.state.Load().prepared)
+}
+
+// Refresh reconciles the session with mutated data without a cold
+// Prepare: per-attribute indexes absorb the mutation log through their
+// delta overlays, membership tables patch per-relation deltas, cyclic
+// residuals extend by delta joins when they can, only dirty joins'
+// subroutine samplers (and, online, walk estimates) rebuild, and the
+// parameters re-estimate. The new state is prewarmed and published
+// atomically: concurrent draws never block and simply keep their
+// generation until the swap. A no-op when nothing mutated.
+//
+// Refresh is deterministic for a fixed Options.Seed and mutation
+// history: the i-th refresh draws warm-up randomness from stream -i.
+func (s *Session) Refresh() error {
+	s.refreshMu.Lock()
+	defer s.refreshMu.Unlock()
+	st := s.state.Load()
+	if !core.Stale(st.prepared) {
+		return nil
+	}
+	s.refreshes++
+	g := rng.New(core.DeriveSeed(s.opts.Seed, -s.refreshes))
+	np, changed, err := core.Refresh(st.prepared, g)
+	if err != nil {
+		return err
+	}
+	if !changed {
+		return nil
+	}
+	core.Prewarm(np)
+	s.state.Store(newSessionState(np))
+	return nil
+}
+
+// disjointShared builds the disjoint-union sampler on first use (per
+// state generation — a Refresh rebuilds it lazily too). Cover sessions
+// reuse the prepared subroutine samplers (their method is the session's
+// Method); online sessions are prepared on EO internally, so when the
+// caller asked for a different Method the disjoint sampler is built
+// separately to honor it.
+func (s *Session) disjointShared(st *sessionState) (*core.DisjointShared, error) {
+	st.disjointOnce.Do(func() {
 		if s.opts.Online && core.JoinMethod(s.opts.Method) != core.MethodEO {
-			s.disjoint, s.disjointErr = core.PrepareDisjoint(s.u.joins, core.DisjointConfig{
+			st.disjoint, st.disjointErr = core.PrepareDisjoint(s.u.joins, core.DisjointConfig{
 				Method:         core.JoinMethod(s.opts.Method),
 				DetailedTiming: s.opts.DetailedTiming,
 			})
 			return
 		}
-		s.disjoint, s.disjointErr = core.PrepareDisjointFrom(s.prepared, s.opts.DetailedTiming)
+		st.disjoint, st.disjointErr = core.PrepareDisjointFrom(st.prepared, s.opts.DetailedTiming)
 	})
-	return s.disjoint, s.disjointErr
+	return st.disjoint, st.disjointErr
 }
 
 // Union returns the union this session samples.
@@ -120,20 +199,21 @@ func (s *Session) Options() Options { return s.opts }
 // OutputSchema returns the schema sampled tuples use.
 func (s *Session) OutputSchema() *Schema { return s.u.OutputSchema() }
 
-// Estimate reports the cached warm-up parameters. No further estimation
-// runs; the call is free.
+// Estimate reports the cached warm-up parameters (of the current state
+// generation). No further estimation runs; the call is free.
 func (s *Session) Estimate() *Estimate {
-	e := s.est
-	e.JoinSizes = append([]float64(nil), s.est.JoinSizes...)
-	e.CoverSizes = append([]float64(nil), s.est.CoverSizes...)
+	e := s.state.Load().est
+	e.JoinSizes = append([]float64(nil), e.JoinSizes...)
+	e.CoverSizes = append([]float64(nil), e.CoverSizes...)
 	return &e
 }
 
-// UnionSize returns the warm-up's estimated |J_1 ∪ ... ∪ J_n|.
-func (s *Session) UnionSize() float64 { return s.est.UnionSize }
+// UnionSize returns the current estimated |J_1 ∪ ... ∪ J_n|.
+func (s *Session) UnionSize() float64 { return s.state.Load().est.UnionSize }
 
-// WarmupTime reports how long the one-time warm-up estimation took.
-func (s *Session) WarmupTime() time.Duration { return s.prepared.WarmupTime() }
+// WarmupTime reports how long the last (re)preparation's estimation
+// took.
+func (s *Session) WarmupTime() time.Duration { return s.state.Load().prepared.WarmupTime() }
 
 // nextStream reserves the next auto-stream index.
 func (s *Session) nextStream() int64 { return s.streams.Add(1) }
@@ -153,9 +233,13 @@ func (s *Session) Sample(n int) ([]Tuple, *Stats, error) {
 
 // SampleSeeded is Sample on an explicit stream: the same seed always
 // reproduces the same tuples, bit for bit, regardless of what other
-// calls run concurrently.
+// calls run concurrently (given the same data and refresh history).
 func (s *Session) SampleSeeded(n int, seed int64) ([]Tuple, *Stats, error) {
-	run := s.prepared.NewRun()
+	st, err := s.cur()
+	if err != nil {
+		return nil, nil, err
+	}
+	run := st.prepared.NewRun()
 	out, err := run.Sample(n, rng.New(seed))
 	if err != nil {
 		return nil, nil, err
@@ -173,7 +257,11 @@ func (s *Session) SampleDisjoint(n int) ([]Tuple, *Stats, error) {
 
 // SampleDisjointSeeded is SampleDisjoint on an explicit stream.
 func (s *Session) SampleDisjointSeeded(n int, seed int64) ([]Tuple, *Stats, error) {
-	shared, err := s.disjointShared()
+	st, err := s.cur()
+	if err != nil {
+		return nil, nil, err
+	}
+	shared, err := s.disjointShared(st)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -196,7 +284,11 @@ func (s *Session) SampleWhere(n int, pred Predicate) ([]Tuple, *Stats, error) {
 
 // SampleWhereSeeded is SampleWhere on an explicit stream.
 func (s *Session) SampleWhereSeeded(n int, pred Predicate, seed int64) ([]Tuple, *Stats, error) {
-	run := s.prepared.NewRun()
+	st, err := s.cur()
+	if err != nil {
+		return nil, nil, err
+	}
+	run := st.prepared.NewRun()
 	out, err := core.SampleWhere(run, s.u.OutputSchema(), pred, n, rng.New(seed), 0)
 	if err != nil {
 		return nil, nil, err
@@ -298,7 +390,11 @@ func (s *Session) ApproxGroupCount(attr string, n int) ([]GroupEstimate, error) 
 // them with the run's |U| estimate (the cached warm-up value, refined
 // by the run itself in online mode).
 func (s *Session) sampleWithSize(n int) ([]Tuple, float64, error) {
-	run := s.prepared.NewRun()
+	st, err := s.cur()
+	if err != nil {
+		return nil, 0, err
+	}
+	run := st.prepared.NewRun()
 	out, err := run.Sample(n, rng.New(s.nextSeed()))
 	if err != nil {
 		return nil, 0, err
