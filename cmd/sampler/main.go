@@ -38,9 +38,15 @@ func main() {
 	showStats := flag.Bool("stats", true, "print run statistics to stderr")
 	flag.Parse()
 
+	o, err := options(*warmup, *method, *online, *seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		flag.Usage()
+		os.Exit(2)
+	}
 	u, err := loadUnion(*specPath, *dataDir, *workload, *sf, *ov, *seed)
 	if err == nil {
-		err = run(u, *n, *workers, options(*warmup, *method, *online, *seed), *showStats)
+		err = run(u, *n, *workers, o, *showStats)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -67,23 +73,20 @@ func loadUnion(specPath, dataDir, workload string, sf, ov float64, seed int64) (
 	return sampleunion.NewUnion(w.Joins...)
 }
 
-func options(warmup, method string, online bool, seed int64) sampleunion.Options {
+// options parses the -warmup and -method strings, rejecting anything
+// that is not a documented value: silently coercing a typo (say
+// -warmup=histgram) to a default would sample under the wrong
+// configuration without any sign of it.
+func options(warmup, method string, online bool, seed int64) (sampleunion.Options, error) {
 	o := sampleunion.Options{Online: online, Seed: seed}
-	switch warmup {
-	case "histogram":
-		o.Warmup = sampleunion.WarmupHistogram
-	case "exact":
-		o.Warmup = sampleunion.WarmupExact
-	default:
-		o.Warmup = sampleunion.WarmupRandomWalk
+	var err error
+	if o.Warmup, err = sampleunion.ParseWarmup(warmup); err != nil {
+		return o, fmt.Errorf("-warmup: %w", err)
 	}
-	switch method {
-	case "EO":
-		o.Method = sampleunion.MethodEO
-	case "WJ":
-		o.Method = sampleunion.MethodWJ
+	if o.Method, err = sampleunion.ParseMethod(method); err != nil {
+		return o, fmt.Errorf("-method: %w", err)
 	}
-	return o
+	return o, nil
 }
 
 func run(u *sampleunion.Union, n, workers int, o sampleunion.Options, showStats bool) error {

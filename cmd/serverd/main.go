@@ -1,0 +1,83 @@
+// Command serverd serves the union sampler over HTTP/JSON: a session
+// registry multiplexes many concurrent clients onto few warm sampling
+// sessions (one warm-up per distinct (union, options) declaration),
+// with admission control, per-endpoint latency metrics, and graceful
+// drain on SIGTERM.
+//
+// Usage:
+//
+//	serverd -addr :8080                      # built-in workloads only
+//	serverd -addr :8080 -data ./data         # plus inline CSV specs
+//	serverd -sessions 16 -max-inflight 256
+//
+// Endpoints: POST /sample, /sample/where, /approx/{count,sum,avg,group},
+// /estimate, /refresh, /relation/{name}/append; GET /healthz, /metrics.
+// See the README's "Serving" section for request bodies and curl
+// examples.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"sampleunion/internal/serve"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	dataDir := flag.String("data", "", "data directory for inline-spec CSV files (empty disables specs)")
+	sessions := flag.Int("sessions", 8, "warm sessions kept in the registry (LRU beyond it)")
+	maxInflight := flag.Int("max-inflight", 0, "draw requests executing at once before shedding 429s (0 = 16 x GOMAXPROCS)")
+	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "graceful drain deadline on SIGTERM/SIGINT")
+	flag.Parse()
+
+	srv := serve.New(serve.Config{
+		DataDir:     *dataDir,
+		SessionCap:  *sessions,
+		MaxInflight: *maxInflight,
+	})
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	errCh := make(chan error, 1)
+	go func() {
+		fmt.Fprintf(os.Stderr, "serverd: listening on %s (sessions=%d)\n", *addr, *sessions)
+		errCh <- httpSrv.ListenAndServe()
+	}()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGTERM, syscall.SIGINT)
+	select {
+	case err := <-errCh:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	case got := <-sig:
+		// Graceful drain: stop accepting, let in-flight requests
+		// finish, then exit. A second signal (or the deadline) cuts
+		// the drain short.
+		fmt.Fprintf(os.Stderr, "serverd: %v, draining (deadline %v)\n", got, *drainTimeout)
+		ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+		defer cancel()
+		go func() {
+			<-sig
+			cancel()
+		}()
+		if err := httpSrv.Shutdown(ctx); err != nil {
+			fmt.Fprintf(os.Stderr, "serverd: drain incomplete: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintln(os.Stderr, "serverd: drained cleanly")
+	}
+}

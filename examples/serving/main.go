@@ -1,0 +1,120 @@
+// Command serving is the client-side view of sampling-as-a-service: it
+// boots an in-process serverd (the same internal/serve handler the
+// daemon mounts) and then talks to it exclusively over HTTP/JSON — the
+// exact requests a remote client would send. Point base at a real
+// daemon (`go run ./cmd/serverd -addr :8080`, base = "http://localhost:8080")
+// and the client half runs unchanged.
+//
+//	go run ./examples/serving
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"log"
+	"net/http"
+	"net/http/httptest"
+
+	"sampleunion/internal/serve"
+)
+
+func main() {
+	// Server half: in production this is `serverd -addr :8080`.
+	srv := httptest.NewServer(serve.New(serve.Config{SessionCap: 8}).Handler())
+	defer srv.Close()
+	base := srv.URL
+
+	// Every request declares its union by value; requests with equal
+	// declarations share one warm session on the server.
+	union := map[string]any{
+		"workload": "UQ1",
+		"sf":       0.2,
+		"options":  map[string]any{"warmup": "random-walk", "seed": 7},
+	}
+
+	// First draw pays the warm-up; repeat draws are per-draw cost.
+	var sample struct {
+		Schema    []string  `json:"schema"`
+		Tuples    [][]int64 `json:"tuples"`
+		UnionSize float64   `json:"union_size"`
+		ElapsedUs float64   `json:"elapsed_us"`
+	}
+	post(base+"/sample", map[string]any{"union": union, "n": 5}, &sample)
+	fmt.Printf("drew %d tuples over %v (|U| ≈ %.0f, %.0fµs)\n",
+		len(sample.Tuples), sample.Schema[:3], sample.UnionSize, sample.ElapsedUs)
+	post(base+"/sample", map[string]any{"union": union, "n": 5}, &sample)
+	fmt.Printf("warm redraw: %.0fµs\n", sample.ElapsedUs)
+
+	// Approximate COUNT(*) WHERE nationkey < 10 with a 95% interval.
+	var count struct {
+		Value     float64 `json:"value"`
+		HalfWidth float64 `json:"half_width"`
+		Lo        float64 `json:"lo"`
+		Hi        float64 `json:"hi"`
+	}
+	post(base+"/approx/count", map[string]any{
+		"union": union,
+		"n":     500,
+		"where": map[string]any{"cmp": map[string]any{"attr": "nationkey", "op": "<", "value": 10}},
+	}, &count)
+	fmt.Printf("COUNT(nationkey < 10) ≈ %.0f ± %.0f [%.0f, %.0f]\n",
+		count.Value, count.HalfWidth, count.Lo, count.Hi)
+
+	// Streaming ingest: append rows to a base relation; the server
+	// refreshes the session before answering, so later draws see them.
+	var app struct {
+		Appended  int     `json:"appended"`
+		UnionSize float64 `json:"union_size"`
+	}
+	post(base+"/relation/nation/append", map[string]any{
+		"union": union,
+		"rows":  [][]int64{{25, 990001, 1}},
+	}, &app)
+	fmt.Printf("appended %d rows, |U| now ≈ %.0f\n", app.Appended, app.UnionSize)
+
+	// The registry proves its economics: many requests, one warm-up.
+	var metrics struct {
+		Registry struct {
+			Sessions int   `json:"sessions"`
+			Prepares int64 `json:"prepares"`
+			Hits     int64 `json:"hits"`
+		} `json:"registry"`
+	}
+	get(base+"/metrics", &metrics)
+	fmt.Printf("registry: %d session(s), %d warm-up(s), %d hit(s)\n",
+		metrics.Registry.Sessions, metrics.Registry.Prepares, metrics.Registry.Hits)
+}
+
+func post(url string, body, out any) {
+	b, err := json.Marshal(body)
+	if err != nil {
+		log.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(b))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		var apiErr struct {
+			Error string `json:"error"`
+		}
+		_ = json.NewDecoder(resp.Body).Decode(&apiErr)
+		log.Fatalf("%s: %d %s", url, resp.StatusCode, apiErr.Error)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func get(url string, out any) {
+	resp, err := http.Get(url)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		log.Fatal(err)
+	}
+}

@@ -46,13 +46,46 @@ func Count(samples []relation.Tuple, schema *relation.Schema, pred relation.Pred
 		}
 	}
 	p := float64(hits) / float64(n)
-	// Binomial proportion: se = sqrt(p(1-p)/n), scaled by |U|.
-	se := math.Sqrt(p * (1 - p) / float64(n))
+	// Binomial proportion: se = sqrt(p(1-p)/n), scaled by |U|. The Wald
+	// width degenerates to exactly 0 at hits == 0 and hits == n —
+	// claiming certainty from a finite sample — so the half-width is
+	// floored by the Wilson score interval, which stays positive at the
+	// edges (at hits == 0 its upper bound is z²/(n+z²), the continuous
+	// analogue of the rule of three's 3/n at 95%).
 	return Result{
 		Value:     unionSize * p,
-		HalfWidth: unionSize * z * se,
+		HalfWidth: unionSize * binomialHalfWidth(hits, n, z),
 		N:         n,
 	}, nil
+}
+
+// binomialHalfWidth is the half-width (on the proportion scale) of the
+// interval for hits successes in n trials: the Wald width, floored so
+// the interval always covers the Wilson score interval around the
+// point estimate hits/n. Shared by Count and GroupCount.
+func binomialHalfWidth(hits, n int, z float64) float64 {
+	p := float64(hits) / float64(n)
+	hw := z * math.Sqrt(p*(1-p)/float64(n))
+	lo, hi := wilson(hits, n, z)
+	if d := hi - p; d > hw {
+		hw = d
+	}
+	if d := p - lo; d > hw {
+		hw = d
+	}
+	return hw
+}
+
+// wilson is the Wilson score interval for hits successes in n trials
+// at confidence multiplier z. Unlike the Wald interval it never
+// collapses to a point for finite n: at hits == 0 it is
+// [0, z²/(n+z²)], the continuous analogue of the rule of three's 3/n
+// upper bound at 95%.
+func wilson(hits, n int, z float64) (lo, hi float64) {
+	h, m := float64(hits), float64(n)
+	center := (h + z*z/2) / (m + z*z)
+	hw := z / (m + z*z) * math.Sqrt(h*(m-h)/m+z*z/4)
+	return center - hw, center + hw
 }
 
 // Sum estimates SUM(attr) WHERE pred over the union: |U| times the

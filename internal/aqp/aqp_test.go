@@ -124,6 +124,94 @@ func TestErrorCases(t *testing.T) {
 	}
 }
 
+// TestCountDegenerateEdges regresses the zero-half-width bug: with
+// hits == 0 or hits == n the binomial SE degenerates to 0, and the old
+// Wald-only interval claimed certainty from a finite sample. The
+// Wilson floor must keep the interval open at both edges, at about the
+// rule-of-three scale (3/n at 95%), and must cover plausible truths.
+func TestCountDegenerateEdges(t *testing.T) {
+	pop, s := population()
+	const n = 2000
+	unionSize := float64(len(pop))
+	samples := draw(pop, n, 6)
+
+	never := relation.Cmp{Attr: "v", Op: relation.GE, Val: relation.Value(len(pop))}
+	always := relation.True{}
+
+	zero, err := Count(samples, s, never, unionSize, 1.96)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if zero.Value != 0 {
+		t.Fatalf("hits==0: estimate %v, want 0", zero.Value)
+	}
+	if zero.HalfWidth <= 0 {
+		t.Fatalf("hits==0: half-width %v, want > 0 (zero claims certainty)", zero.HalfWidth)
+	}
+	// Rule-of-three scale: upper bound ≈ z²/n · |U|, and not orders
+	// of magnitude wider.
+	ruleOfThree := 3.0 / float64(n) * unionSize
+	if _, hi := zero.Interval(); hi < ruleOfThree || hi > 3*ruleOfThree {
+		t.Fatalf("hits==0: upper bound %v, want within [%v, %v]", hi, ruleOfThree, 3*ruleOfThree)
+	}
+
+	full, err := Count(samples, s, always, unionSize, 1.96)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.Value != unionSize {
+		t.Fatalf("hits==n: estimate %v, want %v", full.Value, unionSize)
+	}
+	if full.HalfWidth <= 0 {
+		t.Fatalf("hits==n: half-width %v, want > 0", full.HalfWidth)
+	}
+	if lo, _ := full.Interval(); lo > unionSize-ruleOfThree/3 || lo < unionSize-3*ruleOfThree {
+		t.Fatalf("hits==n: lower bound %v, want just below %v", lo, unionSize)
+	}
+
+	// Non-degenerate counts keep (at least) the Wald width.
+	mid, err := Count(samples, s, relation.Cmp{Attr: "flag", Op: relation.EQ, Val: 1}, unionSize, 1.96)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := float64(0)
+	for _, tp := range samples {
+		if tp[1] == 1 {
+			p++
+		}
+	}
+	p /= float64(n)
+	wald := unionSize * 1.96 * math.Sqrt(p*(1-p)/float64(n))
+	if mid.HalfWidth < wald-1e-9 {
+		t.Fatalf("mid-range half-width %v narrower than Wald %v", mid.HalfWidth, wald)
+	}
+}
+
+// TestGroupCountDegenerateEdge regresses GroupCount's analogue of the
+// Count bug: a group holding every sample (p == 1) must not claim a
+// zero-width interval.
+func TestGroupCountDegenerateEdge(t *testing.T) {
+	s := relation.NewSchema("v", "g")
+	samples := make([]relation.Tuple, 500)
+	for i := range samples {
+		samples[i] = relation.Tuple{relation.Value(i), relation.Value(7)} // single group
+	}
+	groups, err := GroupCount(samples, s, "g", 1000, 1.96)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(groups) != 1 {
+		t.Fatalf("%d groups, want 1", len(groups))
+	}
+	g := groups[0]
+	if g.Key != 7 || g.Count.Value != 1000 {
+		t.Fatalf("group %+v, want key 7 value 1000", g)
+	}
+	if g.Count.HalfWidth <= 0 {
+		t.Fatalf("full-sample group has zero half-width: %+v", g.Count)
+	}
+}
+
 func TestResultString(t *testing.T) {
 	r := Result{Value: 10, HalfWidth: 2, N: 5}
 	if r.String() == "" {

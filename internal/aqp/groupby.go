@@ -2,7 +2,6 @@ package aqp
 
 import (
 	"fmt"
-	"math"
 	"sort"
 
 	"sampleunion/internal/relation"
@@ -38,12 +37,13 @@ func GroupCount(samples []relation.Tuple, schema *relation.Schema, attr string, 
 	out := make([]Group, 0, len(counts))
 	for k, c := range counts {
 		p := float64(c) / float64(n)
-		se := math.Sqrt(p * (1 - p) / float64(n))
+		// Same Wilson floor as Count: a group holding every sample
+		// (c == n) must not claim a zero-width interval.
 		out = append(out, Group{
 			Key: k,
 			Count: Result{
 				Value:     unionSize * p,
-				HalfWidth: unionSize * z * se,
+				HalfWidth: unionSize * binomialHalfWidth(c, n, z),
 				N:         c,
 			},
 		})

@@ -152,6 +152,7 @@ func Experiments() []struct {
 		{"prepared", PreparedAmortization},
 		{"hotpath", Hotpath},
 		{"mutation", MutationRefresh},
+		{"serving", Serving},
 	}
 }
 

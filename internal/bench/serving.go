@@ -1,0 +1,138 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sort"
+	"sync"
+	"time"
+
+	"sampleunion/internal/serve"
+)
+
+// servingConcurrency picks the client counts swept by the serving
+// experiment; the top end exercises the ≥64-concurrent-clients
+// acceptance bar.
+func servingConcurrency(o Options) []int {
+	if o.Quick {
+		return []int{1, 8}
+	}
+	return []int{1, 2, 4, 8, 16, 32, 64}
+}
+
+// Serving drives an in-process serverd (the internal/serve handler
+// behind a real HTTP listener) with POST /sample at increasing client
+// concurrency and records the latency curve — the serving-layer
+// analogue of the paper's sampling-time figures. All clients share one
+// registry key, so the entire sweep pays exactly one warm-up; the
+// registry's prepare count is part of the row to prove it.
+func Serving(o Options) (*Result, error) {
+	o = o.withDefaults()
+	srv := serve.New(serve.Config{SessionCap: 4, MaxInflight: 4096})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	decl := serve.UnionDecl{
+		Workload: "UQ1",
+		SF:       o.SF,
+		Overlap:  o.Overlap,
+		DataSeed: o.Seed,
+		Options:  serve.OptionsDecl{Warmup: "histogram", Seed: o.Seed},
+	}
+	drawN := 16
+	perClient := 40
+	if o.Quick {
+		perClient = 10
+	}
+	body, err := json.Marshal(struct {
+		Union serve.UnionDecl `json:"union"`
+		N     int             `json:"n"`
+	}{decl, drawN})
+	if err != nil {
+		return nil, err
+	}
+
+	client := &http.Client{Transport: &http.Transport{
+		MaxIdleConns:        256,
+		MaxIdleConnsPerHost: 256,
+	}}
+	post := func() (time.Duration, error) {
+		start := time.Now()
+		resp, err := client.Post(ts.URL+"/sample", "application/json", bytes.NewReader(body))
+		if err != nil {
+			return 0, err
+		}
+		defer resp.Body.Close()
+		var payload struct {
+			Tuples [][]int64 `json:"tuples"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&payload); err != nil {
+			return 0, err
+		}
+		if resp.StatusCode != http.StatusOK {
+			return 0, fmt.Errorf("status %d", resp.StatusCode)
+		}
+		if len(payload.Tuples) != drawN {
+			return 0, fmt.Errorf("%d tuples, want %d", len(payload.Tuples), drawN)
+		}
+		return time.Since(start), nil
+	}
+
+	// Pay the single warm-up outside the timed sweep, as a production
+	// deployment would after boot.
+	if _, err := post(); err != nil {
+		return nil, fmt.Errorf("serving warm-up request: %w", err)
+	}
+
+	res := &Result{
+		Name:   "HTTP serving latency vs client concurrency (POST /sample, one warm session)",
+		Figure: "serving",
+		Note:   fmt.Sprintf("UQ1 sf=%g, n=%d per draw, %d requests per client; warm-ups stay at 1 across the sweep", o.SF, drawN, perClient),
+		Header: []string{"concurrency", "ops", "errors", "throughput_rps", "p50_ms", "p95_ms", "p99_ms", "warmups"},
+	}
+	for _, conc := range servingConcurrency(o) {
+		lats := make([][]time.Duration, conc)
+		errs := make([]int, conc)
+		var wg sync.WaitGroup
+		sweepStart := time.Now()
+		for c := 0; c < conc; c++ {
+			wg.Add(1)
+			go func(c int) {
+				defer wg.Done()
+				for i := 0; i < perClient; i++ {
+					d, err := post()
+					if err != nil {
+						errs[c]++
+						continue
+					}
+					lats[c] = append(lats[c], d)
+				}
+			}(c)
+		}
+		wg.Wait()
+		elapsed := time.Since(sweepStart)
+
+		var all []time.Duration
+		nerr := 0
+		for c := 0; c < conc; c++ {
+			all = append(all, lats[c]...)
+			nerr += errs[c]
+		}
+		sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+		q := func(p float64) string {
+			if len(all) == 0 {
+				return "-"
+			}
+			return ms(all[int(float64(len(all)-1)*p)])
+		}
+		rps := float64(len(all)) / elapsed.Seconds()
+		res.Add(fmt.Sprintf("%d", conc), fmt.Sprintf("%d", len(all)),
+			fmt.Sprintf("%d", nerr), fmt.Sprintf("%.0f", rps),
+			q(0.50), q(0.95), q(0.99),
+			fmt.Sprintf("%d", srv.Registry().Stats().Prepares))
+	}
+	return res, nil
+}

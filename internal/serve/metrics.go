@@ -1,0 +1,111 @@
+package serve
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// latWindow is how many recent latencies each endpoint retains for
+// quantile estimation: big enough for stable p99s, small enough that a
+// scrape's copy-and-sort stays cheap.
+const latWindow = 4096
+
+// endpointMetrics instruments one endpoint: monotone op/error counts
+// plus a sliding window of recent latencies for p50/p95/p99.
+type endpointMetrics struct {
+	ops    atomic.Int64
+	errors atomic.Int64
+
+	mu     sync.Mutex
+	lat    [latWindow]time.Duration
+	next   int
+	filled int
+}
+
+// observe records one completed request.
+func (m *endpointMetrics) observe(d time.Duration, failed bool) {
+	m.ops.Add(1)
+	if failed {
+		m.errors.Add(1)
+	}
+	m.mu.Lock()
+	m.lat[m.next] = d
+	m.next = (m.next + 1) % latWindow
+	if m.filled < latWindow {
+		m.filled++
+	}
+	m.mu.Unlock()
+}
+
+// EndpointSnapshot is one endpoint's scrape output. Latency quantiles
+// are over the sliding window, in microseconds.
+type EndpointSnapshot struct {
+	Ops    int64   `json:"ops"`
+	Errors int64   `json:"errors"`
+	P50us  float64 `json:"p50_us"`
+	P95us  float64 `json:"p95_us"`
+	P99us  float64 `json:"p99_us"`
+}
+
+func (m *endpointMetrics) snapshot() EndpointSnapshot {
+	m.mu.Lock()
+	s := make([]time.Duration, m.filled)
+	if m.filled < latWindow {
+		copy(s, m.lat[:m.filled])
+	} else {
+		copy(s, m.lat[:])
+	}
+	m.mu.Unlock()
+	snap := EndpointSnapshot{Ops: m.ops.Load(), Errors: m.errors.Load()}
+	if len(s) == 0 {
+		return snap
+	}
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	q := func(p float64) float64 {
+		idx := int(float64(len(s)-1) * p)
+		return float64(s[idx].Nanoseconds()) / 1e3
+	}
+	snap.P50us = q(0.50)
+	snap.P95us = q(0.95)
+	snap.P99us = q(0.99)
+	return snap
+}
+
+// metricsSet holds the per-endpoint collectors plus server-wide
+// admission counters.
+type metricsSet struct {
+	mu        sync.Mutex
+	endpoints map[string]*endpointMetrics
+	rejected  atomic.Int64 // 429s from admission control
+}
+
+func newMetricsSet() *metricsSet {
+	return &metricsSet{endpoints: make(map[string]*endpointMetrics)}
+}
+
+func (s *metricsSet) endpoint(name string) *endpointMetrics {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	m, ok := s.endpoints[name]
+	if !ok {
+		m = &endpointMetrics{}
+		s.endpoints[name] = m
+	}
+	return m
+}
+
+func (s *metricsSet) snapshot() map[string]EndpointSnapshot {
+	s.mu.Lock()
+	names := make([]string, 0, len(s.endpoints))
+	for n := range s.endpoints {
+		names = append(names, n)
+	}
+	s.mu.Unlock()
+	out := make(map[string]EndpointSnapshot, len(names))
+	for _, n := range names {
+		out[n] = s.endpoint(n).snapshot()
+	}
+	return out
+}

@@ -1,0 +1,134 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// TestServeRaceMixed is the -race integration test of the acceptance
+// criteria: many concurrent clients mixing draws, predicate draws,
+// aggregates, streaming appends, and explicit refreshes against one
+// shared session, plus cold-key churn against a tiny LRU — every
+// response must be a well-formed 200/429, with no data race and no
+// panic.
+func TestServeRaceMixed(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration test")
+	}
+	s := New(Config{SessionCap: 2, MaxInflight: 128})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	decl := quickDecl()
+
+	// Warm the shared session once so worker errors are real failures.
+	if code := post(t, ts.URL+"/sample", sampleRequest{Union: decl, N: 1}, nil); code != 200 {
+		t.Fatal("warm-up failed")
+	}
+
+	var bad atomic.Int64
+	report := func(what string, err error) {
+		bad.Add(1)
+		t.Errorf("%s: %v", what, err)
+	}
+	do := func(what, url string, body any) {
+		b, _ := json.Marshal(body)
+		resp, err := http.Post(ts.URL+url, "application/json", bytes.NewReader(b))
+		if err != nil {
+			report(what, err)
+			return
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode == http.StatusTooManyRequests {
+			return // admission shed is a valid outcome under load
+		}
+		if resp.StatusCode != http.StatusOK {
+			var apiErr apiError
+			_ = json.NewDecoder(resp.Body).Decode(&apiErr)
+			report(what, fmt.Errorf("status %d: %s", resp.StatusCode, apiErr.Error))
+			return
+		}
+		var payload map[string]any
+		if err := json.NewDecoder(resp.Body).Decode(&payload); err != nil {
+			report(what, fmt.Errorf("invalid JSON: %v", err))
+		}
+	}
+
+	const (
+		drawWorkers   = 8
+		aggWorkers    = 4
+		ingestWorkers = 2
+		iters         = 15
+	)
+	var wg sync.WaitGroup
+	for w := 0; w < drawWorkers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			where := &PredDecl{Cmp: &CmpDecl{Attr: "nationkey", Op: "<", Value: 12}}
+			for i := 0; i < iters; i++ {
+				if i%3 == 0 {
+					do("sample/where", "/sample/where", sampleRequest{Union: decl, N: 8, Where: where})
+				} else {
+					do("sample", "/sample", sampleRequest{Union: decl, N: 16})
+				}
+			}
+		}(w)
+	}
+	for w := 0; w < aggWorkers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				switch i % 3 {
+				case 0:
+					do("approx/count", "/approx/count", approxRequest{Union: decl, N: 32})
+				case 1:
+					do("approx/sum", "/approx/sum", approxRequest{Union: decl, N: 32, Attr: "l_quantity"})
+				default:
+					do("estimate", "/estimate", unionRequest{Union: decl})
+				}
+			}
+		}(w)
+	}
+	for w := 0; w < ingestWorkers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				if i%4 == 3 {
+					do("refresh", "/refresh", unionRequest{Union: decl})
+					continue
+				}
+				rows := [][]int64{{int64(30 + w), int64(995000 + i), int64(i % 5)}}
+				do("append", "/relation/nation/append", appendRequest{Union: decl, Rows: rows})
+			}
+		}(w)
+	}
+	// Cold-key churn: distinct option seeds cycling through a 2-entry
+	// LRU force prepare/evict races alongside the hot traffic.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 6; i++ {
+			d := decl
+			d.Options.Seed = int64(100 + i%3)
+			do("churn", "/sample", sampleRequest{Union: d, N: 4})
+		}
+	}()
+	wg.Wait()
+
+	if bad.Load() > 0 {
+		t.Fatalf("%d failed requests", bad.Load())
+	}
+	// The shared entry survived the churn or was evicted — either way
+	// the server still answers.
+	if code := post(t, ts.URL+"/sample", sampleRequest{Union: decl, N: 5}, nil); code != 200 {
+		t.Fatalf("post-churn sample: %d", code)
+	}
+}

@@ -1,0 +1,218 @@
+package serve
+
+import (
+	"container/list"
+	"sync"
+	"sync/atomic"
+
+	"sampleunion"
+	"sampleunion/internal/relation"
+)
+
+// Entry is one warm union in the registry: the prepared session, the
+// executable union, and the live relations the session draws from
+// (the append endpoint's targets). Entries are self-contained — an
+// entry evicted from the registry keeps serving the requests already
+// holding it and is collected when the last one finishes.
+type Entry struct {
+	Key   string
+	Sess  *sampleunion.Session
+	Union *sampleunion.Union
+	Rels  map[string]*relation.Relation
+
+	hits atomic.Int64
+
+	// mutated records that this entry's relations received appends
+	// over the wire. The registry is a cache over declarations —
+	// re-preparing an evicted key regenerates the declared data, so
+	// wire-level mutations die with the entry. Eviction therefore
+	// prefers unmutated entries; see insertLocked.
+	mutated atomic.Bool
+
+	// appendMu orders append→refresh pairs so two concurrent ingest
+	// calls cannot interleave their refreshes with each other's
+	// appends (draws never take it; they read the session's current
+	// generation lock-free).
+	appendMu sync.Mutex
+}
+
+// Hits reports how many registry lookups this entry has served.
+func (e *Entry) Hits() int64 { return e.hits.Load() }
+
+// flight is one in-progress warm-up; concurrent requests for the same
+// key block on done and share the outcome.
+type flight struct {
+	done chan struct{}
+	e    *Entry
+	err  error
+}
+
+// Registry maps canonical (union, options) keys to warm sessions. Each
+// key's warm-up runs exactly once no matter how many requests race on
+// a cold key (singleflight); warm entries are recycled in LRU order
+// once Cap is exceeded.
+type Registry struct {
+	dataDir string
+	cap     int
+
+	mu      sync.Mutex
+	entries map[string]*list.Element // value: *Entry
+	lru     *list.List               // front = most recently used
+	flights map[string]*flight
+
+	prepares  atomic.Int64 // warm-ups actually run
+	hits      atomic.Int64 // lookups served by a warm entry
+	coalesced atomic.Int64 // lookups that waited on another's warm-up
+	evictions atomic.Int64
+}
+
+// RegistryStats is a point-in-time counter snapshot.
+type RegistryStats struct {
+	Sessions  int   `json:"sessions"`
+	Capacity  int   `json:"capacity"`
+	Prepares  int64 `json:"prepares"`
+	Hits      int64 `json:"hits"`
+	Coalesced int64 `json:"coalesced"`
+	Evictions int64 `json:"evictions"`
+}
+
+// NewRegistry returns a registry holding at most cap warm sessions
+// (minimum 1). dataDir anchors inline-spec CSV references; empty
+// rejects spec declarations.
+func NewRegistry(dataDir string, cap int) *Registry {
+	if cap < 1 {
+		cap = 1
+	}
+	return &Registry{
+		dataDir: dataDir,
+		cap:     cap,
+		entries: make(map[string]*list.Element),
+		lru:     list.New(),
+		flights: make(map[string]*flight),
+	}
+}
+
+// Get resolves a declaration to its warm entry, preparing it if this
+// is the first request for the key. Concurrent first requests share
+// one warm-up: exactly one goroutine builds and prepares, the rest
+// block until it finishes and reuse (or share the error of) its
+// outcome.
+func (r *Registry) Get(decl UnionDecl) (*Entry, error) {
+	key, err := decl.Key()
+	if err != nil {
+		return nil, err
+	}
+	r.mu.Lock()
+	if el, ok := r.entries[key]; ok {
+		r.lru.MoveToFront(el)
+		r.mu.Unlock()
+		e := el.Value.(*Entry)
+		e.hits.Add(1)
+		r.hits.Add(1)
+		return e, nil
+	}
+	if f, ok := r.flights[key]; ok {
+		r.mu.Unlock()
+		<-f.done
+		if f.err != nil {
+			return nil, f.err
+		}
+		r.coalesced.Add(1)
+		f.e.hits.Add(1)
+		return f.e, nil
+	}
+	f := &flight{done: make(chan struct{})}
+	r.flights[key] = f
+	r.mu.Unlock()
+
+	f.e, f.err = r.prepare(key, decl)
+
+	r.mu.Lock()
+	delete(r.flights, key)
+	if f.err == nil {
+		r.insertLocked(key, f.e)
+	}
+	r.mu.Unlock()
+	close(f.done)
+	if f.err != nil {
+		return nil, f.err
+	}
+	f.e.hits.Add(1)
+	return f.e, nil
+}
+
+// prepare builds the union and pays the warm-up — the expensive part,
+// run outside the registry lock.
+func (r *Registry) prepare(key string, decl UnionDecl) (*Entry, error) {
+	u, rels, err := decl.build(r.dataDir)
+	if err != nil {
+		return nil, err
+	}
+	opts, err := decl.Options.toOptions()
+	if err != nil {
+		return nil, err
+	}
+	r.prepares.Add(1)
+	sess, err := u.Prepare(opts)
+	if err != nil {
+		return nil, err
+	}
+	return &Entry{Key: key, Sess: sess, Union: u, Rels: rels}, nil
+}
+
+// insertLocked publishes a fresh entry and evicts past capacity;
+// callers hold r.mu.
+func (r *Registry) insertLocked(key string, e *Entry) {
+	if el, ok := r.entries[key]; ok {
+		// A concurrent Get raced this flight to the same key (possible
+		// only across an eviction); keep the existing entry current.
+		r.lru.MoveToFront(el)
+		return
+	}
+	r.entries[key] = r.lru.PushFront(e)
+	for r.lru.Len() > r.cap {
+		// Wire-level appends live only as long as their entry, so
+		// recycle the least-recently-used clean entry first; a mutated
+		// one goes only when every older entry is mutated (capacity is
+		// a hard bound). The just-inserted front entry is never the
+		// victim.
+		victim := r.lru.Back()
+		for el := victim; el != nil && el != r.lru.Front(); el = el.Prev() {
+			if !el.Value.(*Entry).mutated.Load() {
+				victim = el
+				break
+			}
+		}
+		old := victim.Value.(*Entry)
+		r.lru.Remove(victim)
+		delete(r.entries, old.Key)
+		r.evictions.Add(1)
+	}
+}
+
+// Lookup returns the warm entry for a key without preparing anything,
+// for introspection and tests.
+func (r *Registry) Lookup(key string) (*Entry, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	el, ok := r.entries[key]
+	if !ok {
+		return nil, false
+	}
+	return el.Value.(*Entry), true
+}
+
+// Stats snapshots the registry counters.
+func (r *Registry) Stats() RegistryStats {
+	r.mu.Lock()
+	n := r.lru.Len()
+	r.mu.Unlock()
+	return RegistryStats{
+		Sessions:  n,
+		Capacity:  r.cap,
+		Prepares:  r.prepares.Load(),
+		Hits:      r.hits.Load(),
+		Coalesced: r.coalesced.Load(),
+		Evictions: r.evictions.Load(),
+	}
+}

@@ -1,0 +1,552 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime"
+	"time"
+
+	"sampleunion"
+	"sampleunion/internal/relation"
+)
+
+// Config tunes a Server.
+type Config struct {
+	// DataDir anchors CSV references of inline-spec declarations;
+	// empty rejects them (built-in workloads still serve).
+	DataDir string
+	// SessionCap bounds the registry's warm sessions (LRU beyond it).
+	// Default 8.
+	SessionCap int
+	// MaxInflight bounds concurrently executing draw requests; past it
+	// the server sheds load with 429 + Retry-After instead of queueing
+	// without bound. Default 16 × GOMAXPROCS.
+	MaxInflight int
+}
+
+// Server is the HTTP serving layer: a session registry behind a JSON
+// request surface, with admission control and per-endpoint metrics.
+// Create with New, mount via Handler.
+type Server struct {
+	reg     *Registry
+	metrics *metricsSet
+	sem     chan struct{}
+	mux     *http.ServeMux
+	started time.Time
+}
+
+// New builds a Server.
+func New(cfg Config) *Server {
+	if cfg.SessionCap <= 0 {
+		cfg.SessionCap = 8
+	}
+	if cfg.MaxInflight <= 0 {
+		cfg.MaxInflight = 16 * runtime.GOMAXPROCS(0)
+	}
+	s := &Server{
+		reg:     NewRegistry(cfg.DataDir, cfg.SessionCap),
+		metrics: newMetricsSet(),
+		sem:     make(chan struct{}, cfg.MaxInflight),
+		mux:     http.NewServeMux(),
+		started: time.Now(),
+	}
+	s.mux.HandleFunc("POST /sample", s.handle("sample", true, s.handleSample))
+	s.mux.HandleFunc("POST /sample/where", s.handle("sample_where", true, s.handleSampleWhere))
+	s.mux.HandleFunc("POST /approx/count", s.handle("approx_count", true, s.handleApproxCount))
+	s.mux.HandleFunc("POST /approx/sum", s.handle("approx_sum", true, s.handleApproxSum))
+	s.mux.HandleFunc("POST /approx/avg", s.handle("approx_avg", true, s.handleApproxAvg))
+	s.mux.HandleFunc("POST /approx/group", s.handle("approx_group", true, s.handleApproxGroup))
+	s.mux.HandleFunc("POST /estimate", s.handle("estimate", false, s.handleEstimate))
+	s.mux.HandleFunc("POST /refresh", s.handle("refresh", false, s.handleRefresh))
+	s.mux.HandleFunc("POST /relation/{name}/append", s.handle("append", false, s.handleAppend))
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return s
+}
+
+// Handler returns the server's HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Registry exposes the session registry (tests and metrics).
+func (s *Server) Registry() *Registry { return s.reg }
+
+// Inflight reports currently executing draw requests.
+func (s *Server) Inflight() int { return len(s.sem) }
+
+// badRequest marks client errors (malformed JSON, unknown workloads,
+// bad predicates) so the envelope answers 400 instead of 500.
+type badRequest struct{ err error }
+
+func (b badRequest) Error() string { return b.err.Error() }
+
+func badf(format string, args ...any) error {
+	return badRequest{fmt.Errorf(format, args...)}
+}
+
+// apiError is the JSON error envelope.
+type apiError struct {
+	Error string `json:"error"`
+}
+
+// handle wraps an endpoint: admission control (draw endpoints only),
+// latency observation, and the JSON response/error envelope.
+func (s *Server) handle(name string, admit bool, fn func(*http.Request) (any, error)) http.HandlerFunc {
+	m := s.metrics.endpoint(name)
+	return func(w http.ResponseWriter, r *http.Request) {
+		if admit {
+			select {
+			case s.sem <- struct{}{}:
+				defer func() { <-s.sem }()
+			default:
+				s.metrics.rejected.Add(1)
+				w.Header().Set("Retry-After", "1")
+				writeJSON(w, http.StatusTooManyRequests, apiError{Error: "serve: overloaded, retry later"})
+				return
+			}
+		}
+		start := time.Now()
+		payload, err := fn(r)
+		m.observe(time.Since(start), err != nil)
+		if err != nil {
+			code := http.StatusInternalServerError
+			var bad badRequest
+			if errors.As(err, &bad) {
+				code = http.StatusBadRequest
+			}
+			writeJSON(w, code, apiError{Error: err.Error()})
+			return
+		}
+		writeJSON(w, http.StatusOK, payload)
+	}
+}
+
+func writeJSON(w http.ResponseWriter, code int, payload any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	// Encoding errors past the header are undeliverable; the client
+	// sees the truncated body.
+	_ = enc.Encode(payload)
+}
+
+// decode unmarshals a request body into dst, strictly.
+func decode(r *http.Request, dst any) error {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(dst); err != nil {
+		return badf("serve: bad request body: %v", err)
+	}
+	return nil
+}
+
+// sampleRequest is the body of /sample and /sample/where.
+type sampleRequest struct {
+	Union UnionDecl `json:"union"`
+	// N is the number of tuples to draw.
+	N int `json:"n"`
+	// Seed pins an explicit reproducible stream; absent draws the
+	// session's next auto stream.
+	Seed *int64 `json:"seed,omitempty"`
+	// Workers fans a plain /sample draw over that many goroutines.
+	Workers int `json:"workers,omitempty"`
+	// Where (only /sample/where) filters the sampled subset.
+	Where *PredDecl `json:"where,omitempty"`
+}
+
+// sampleResponse carries the drawn tuples in schema order.
+type sampleResponse struct {
+	Schema    []string  `json:"schema"`
+	Tuples    [][]int64 `json:"tuples"`
+	UnionSize float64   `json:"union_size"`
+	ElapsedUs float64   `json:"elapsed_us"`
+}
+
+func (s *Server) entryFor(decl UnionDecl) (*Entry, error) {
+	e, err := s.reg.Get(decl)
+	if err != nil {
+		// Everything that can fail here — unknown workload, bad spec,
+		// bad options — is a property of the request.
+		return nil, badRequest{err}
+	}
+	return e, nil
+}
+
+func (s *Server) handleSample(r *http.Request) (any, error) {
+	var req sampleRequest
+	if err := decode(r, &req); err != nil {
+		return nil, err
+	}
+	if req.Where != nil {
+		return nil, badf("serve: /sample takes no predicate; use /sample/where")
+	}
+	if req.N < 0 {
+		return nil, badf("serve: n must be >= 0, got %d", req.N)
+	}
+	e, err := s.entryFor(req.Union)
+	if err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	var tuples []sampleunion.Tuple
+	switch {
+	case req.Seed != nil:
+		tuples, _, err = e.Sess.SampleSeeded(req.N, *req.Seed)
+	case req.Workers > 1:
+		tuples, err = e.Sess.SampleParallel(req.N, req.Workers)
+	default:
+		tuples, _, err = e.Sess.Sample(req.N)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return sampleResponse{
+		Schema:    schemaAttrs(e.Sess.OutputSchema()),
+		Tuples:    encodeTuples(tuples),
+		UnionSize: e.Sess.UnionSize(),
+		ElapsedUs: float64(time.Since(start).Nanoseconds()) / 1e3,
+	}, nil
+}
+
+func (s *Server) handleSampleWhere(r *http.Request) (any, error) {
+	var req sampleRequest
+	if err := decode(r, &req); err != nil {
+		return nil, err
+	}
+	if req.N < 0 {
+		return nil, badf("serve: n must be >= 0, got %d", req.N)
+	}
+	pred, err := wherePredicate(req.Where)
+	if err != nil {
+		return nil, err
+	}
+	e, err := s.entryFor(req.Union)
+	if err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	var tuples []sampleunion.Tuple
+	if req.Seed != nil {
+		tuples, _, err = e.Sess.SampleWhereSeeded(req.N, pred, *req.Seed)
+	} else {
+		tuples, _, err = e.Sess.SampleWhere(req.N, pred)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return sampleResponse{
+		Schema:    schemaAttrs(e.Sess.OutputSchema()),
+		Tuples:    encodeTuples(tuples),
+		UnionSize: e.Sess.UnionSize(),
+		ElapsedUs: float64(time.Since(start).Nanoseconds()) / 1e3,
+	}, nil
+}
+
+// approxRequest is the body of the /approx/* endpoints. Attr is
+// required for sum, avg, and group; Where applies to count, sum, avg.
+type approxRequest struct {
+	Union UnionDecl `json:"union"`
+	N     int       `json:"n"`
+	Attr  string    `json:"attr,omitempty"`
+	Where *PredDecl `json:"where,omitempty"`
+}
+
+// approxResponse is one aggregate estimate with its 95% interval.
+type approxResponse struct {
+	Value     float64 `json:"value"`
+	HalfWidth float64 `json:"half_width"`
+	Lo        float64 `json:"lo"`
+	Hi        float64 `json:"hi"`
+	N         int     `json:"n"`
+}
+
+func toApproxResponse(res sampleunion.AggResult) approxResponse {
+	lo, hi := res.Interval()
+	return approxResponse{Value: res.Value, HalfWidth: res.HalfWidth, Lo: lo, Hi: hi, N: res.N}
+}
+
+// approxCall factors the shared decode/validate/dispatch of the three
+// scalar aggregate endpoints.
+func (s *Server) approxCall(r *http.Request, needAttr bool,
+	agg func(*Entry, relation.Predicate, approxRequest) (sampleunion.AggResult, error)) (any, error) {
+	var req approxRequest
+	if err := decode(r, &req); err != nil {
+		return nil, err
+	}
+	if req.N <= 0 {
+		return nil, badf("serve: approximate aggregates need n >= 1, got %d", req.N)
+	}
+	if needAttr && req.Attr == "" {
+		return nil, badf("serve: this aggregate needs an attr")
+	}
+	pred, err := wherePredicate(req.Where)
+	if err != nil {
+		return nil, err
+	}
+	e, err := s.entryFor(req.Union)
+	if err != nil {
+		return nil, err
+	}
+	res, err := agg(e, pred, req)
+	if err != nil {
+		return nil, err
+	}
+	return toApproxResponse(res), nil
+}
+
+func (s *Server) handleApproxCount(r *http.Request) (any, error) {
+	return s.approxCall(r, false, func(e *Entry, pred relation.Predicate, req approxRequest) (sampleunion.AggResult, error) {
+		return e.Sess.ApproxCount(pred, req.N)
+	})
+}
+
+func (s *Server) handleApproxSum(r *http.Request) (any, error) {
+	return s.approxCall(r, true, func(e *Entry, pred relation.Predicate, req approxRequest) (sampleunion.AggResult, error) {
+		return e.Sess.ApproxSum(req.Attr, pred, req.N)
+	})
+}
+
+func (s *Server) handleApproxAvg(r *http.Request) (any, error) {
+	return s.approxCall(r, true, func(e *Entry, pred relation.Predicate, req approxRequest) (sampleunion.AggResult, error) {
+		return e.Sess.ApproxAvg(req.Attr, pred, req.N)
+	})
+}
+
+// groupResponse is /approx/group's body.
+type groupResponse struct {
+	Groups []groupEstimate `json:"groups"`
+}
+
+type groupEstimate struct {
+	Key       int64   `json:"key"`
+	Count     float64 `json:"count"`
+	HalfWidth float64 `json:"half_width"`
+}
+
+func (s *Server) handleApproxGroup(r *http.Request) (any, error) {
+	var req approxRequest
+	if err := decode(r, &req); err != nil {
+		return nil, err
+	}
+	if req.N <= 0 {
+		return nil, badf("serve: approximate aggregates need n >= 1, got %d", req.N)
+	}
+	if req.Attr == "" {
+		return nil, badf("serve: group count needs an attr")
+	}
+	if req.Where != nil {
+		return nil, badf("serve: group count takes no predicate")
+	}
+	e, err := s.entryFor(req.Union)
+	if err != nil {
+		return nil, err
+	}
+	groups, err := e.Sess.ApproxGroupCount(req.Attr, req.N)
+	if err != nil {
+		return nil, err
+	}
+	out := groupResponse{Groups: make([]groupEstimate, len(groups))}
+	for i, g := range groups {
+		out.Groups[i] = groupEstimate{
+			Key:       int64(g.Key),
+			Count:     g.Count.Value,
+			HalfWidth: g.Count.HalfWidth,
+		}
+	}
+	return out, nil
+}
+
+// unionRequest is the body of /estimate and /refresh.
+type unionRequest struct {
+	Union UnionDecl `json:"union"`
+}
+
+// estimateResponse reports the session's cached warm-up parameters.
+type estimateResponse struct {
+	UnionSize  float64   `json:"union_size"`
+	JoinSizes  []float64 `json:"join_sizes"`
+	CoverSizes []float64 `json:"cover_sizes"`
+	WarmupMs   float64   `json:"warmup_ms"`
+	Stale      bool      `json:"stale"`
+}
+
+func (s *Server) handleEstimate(r *http.Request) (any, error) {
+	var req unionRequest
+	if err := decode(r, &req); err != nil {
+		return nil, err
+	}
+	e, err := s.entryFor(req.Union)
+	if err != nil {
+		return nil, err
+	}
+	est := e.Sess.Estimate()
+	return estimateResponse{
+		UnionSize:  est.UnionSize,
+		JoinSizes:  est.JoinSizes,
+		CoverSizes: est.CoverSizes,
+		WarmupMs:   float64(e.Sess.WarmupTime().Nanoseconds()) / 1e6,
+		Stale:      e.Sess.Stale(),
+	}, nil
+}
+
+// refreshResponse reports a refresh's outcome.
+type refreshResponse struct {
+	Refreshed bool    `json:"refreshed"`
+	UnionSize float64 `json:"union_size"`
+}
+
+func (s *Server) handleRefresh(r *http.Request) (any, error) {
+	var req unionRequest
+	if err := decode(r, &req); err != nil {
+		return nil, err
+	}
+	e, err := s.entryFor(req.Union)
+	if err != nil {
+		return nil, err
+	}
+	stale := e.Sess.Stale()
+	if err := e.Sess.Refresh(); err != nil {
+		return nil, err
+	}
+	return refreshResponse{Refreshed: stale, UnionSize: e.Sess.UnionSize()}, nil
+}
+
+// appendRequest is the body of /relation/{name}/append: rows to ingest
+// into the named base relation of the declared union.
+type appendRequest struct {
+	Union UnionDecl `json:"union"`
+	Rows  [][]int64 `json:"rows"`
+}
+
+// appendResponse reports the ingest outcome. The session is refreshed
+// before the response, so later draws observe the new rows. Appended
+// rows live as long as the registry entry: the registry is a cache
+// over declarations, so an evicted key re-prepares from the declared
+// data without wire-level appends (eviction prefers unmutated
+// entries; size -sessions to the mutated working set).
+//
+// When the append lands but the follow-up refresh fails, the response
+// is still 200 — the rows ARE in the relation (retrying would
+// duplicate them) — with refreshed == false and the refresh error
+// attached; the session keeps serving under pre-append parameters
+// until a later /refresh or mutation succeeds.
+type appendResponse struct {
+	Appended     int     `json:"appended"`
+	Refreshed    bool    `json:"refreshed"`
+	RefreshError string  `json:"refresh_error,omitempty"`
+	UnionSize    float64 `json:"union_size"`
+}
+
+func (s *Server) handleAppend(r *http.Request) (any, error) {
+	name := r.PathValue("name")
+	var req appendRequest
+	if err := decode(r, &req); err != nil {
+		return nil, err
+	}
+	e, err := s.entryFor(req.Union)
+	if err != nil {
+		return nil, err
+	}
+	rel, ok := e.Rels[name]
+	if !ok {
+		return nil, badf("serve: union has no relation %q", name)
+	}
+	arity := rel.Schema().Len()
+	rows := make([]relation.Tuple, len(req.Rows))
+	for i, vals := range req.Rows {
+		if len(vals) != arity {
+			return nil, badf("serve: row %d has %d values, relation %q wants %d", i, len(vals), name, arity)
+		}
+		t := make(relation.Tuple, arity)
+		for j, v := range vals {
+			t[j] = relation.Value(v)
+		}
+		rows[i] = t
+	}
+	// Order append→refresh pairs so concurrent ingest calls cannot
+	// observe each other half-applied; draws keep reading the current
+	// session generation and flip to the refreshed one atomically.
+	e.appendMu.Lock()
+	defer e.appendMu.Unlock()
+	rel.AppendRows(rows)
+	e.mutated.Store(true)
+	resp := appendResponse{Appended: len(rows), Refreshed: true}
+	if err := e.Sess.Refresh(); err != nil {
+		// The rows are committed; a 500 here would invite a retry that
+		// duplicates them. Report the partial outcome instead.
+		resp.Refreshed = false
+		resp.RefreshError = err.Error()
+	}
+	resp.UnionSize = e.Sess.UnionSize()
+	return resp, nil
+}
+
+// healthzResponse is the liveness probe body.
+type healthzResponse struct {
+	Status      string  `json:"status"`
+	Sessions    int     `json:"sessions"`
+	Inflight    int     `json:"inflight"`
+	MaxInflight int     `json:"max_inflight"`
+	UptimeSec   float64 `json:"uptime_sec"`
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, healthzResponse{
+		Status:      "ok",
+		Sessions:    s.reg.Stats().Sessions,
+		Inflight:    s.Inflight(),
+		MaxInflight: cap(s.sem),
+		UptimeSec:   time.Since(s.started).Seconds(),
+	})
+}
+
+// metricsResponse is the /metrics scrape body.
+type metricsResponse struct {
+	Endpoints map[string]EndpointSnapshot `json:"endpoints"`
+	Registry  RegistryStats               `json:"registry"`
+	Rejected  int64                       `json:"rejected"`
+	Inflight  int                         `json:"inflight"`
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, metricsResponse{
+		Endpoints: s.metrics.snapshot(),
+		Registry:  s.reg.Stats(),
+		Rejected:  s.metrics.rejected.Load(),
+		Inflight:  s.Inflight(),
+	})
+}
+
+// wherePredicate compiles an optional predicate declaration (absent
+// means true), classifying failures as client errors.
+func wherePredicate(p *PredDecl) (relation.Predicate, error) {
+	if p == nil {
+		return relation.True{}, nil
+	}
+	pred, err := p.toPredicate()
+	if err != nil {
+		return nil, badRequest{err}
+	}
+	return pred, nil
+}
+
+func schemaAttrs(s *sampleunion.Schema) []string {
+	out := make([]string, s.Len())
+	for i := range out {
+		out[i] = s.Attr(i)
+	}
+	return out
+}
+
+func encodeTuples(ts []sampleunion.Tuple) [][]int64 {
+	out := make([][]int64, len(ts))
+	for i, t := range ts {
+		row := make([]int64, len(t))
+		for j, v := range t {
+			row[j] = int64(v)
+		}
+		out[i] = row
+	}
+	return out
+}

@@ -161,6 +161,22 @@ func (w Warmup) String() string {
 	return "histogram"
 }
 
+// ParseWarmup maps the textual warm-up names ("histogram",
+// "random-walk", "exact") to the Warmup constant, rejecting anything
+// else. It is the inverse of Warmup.String and the single place tools
+// (cmd/sampler, the serving layer) turn user input into a Warmup.
+func ParseWarmup(s string) (Warmup, error) {
+	switch s {
+	case "histogram":
+		return WarmupHistogram, nil
+	case "random-walk":
+		return WarmupRandomWalk, nil
+	case "exact":
+		return WarmupExact, nil
+	}
+	return 0, fmt.Errorf("sampleunion: unknown warm-up %q (valid: histogram, random-walk, exact)", s)
+}
+
 // Method selects the single-join sampling subroutine (§3.2).
 type Method int
 
@@ -173,6 +189,30 @@ const (
 	// bound; index-only setup, EO-like acceptance rate.
 	MethodWJ
 )
+
+func (m Method) String() string {
+	switch m {
+	case MethodEO:
+		return "EO"
+	case MethodWJ:
+		return "WJ"
+	}
+	return "EW"
+}
+
+// ParseMethod maps the textual subroutine names ("EW", "EO", "WJ") to
+// the Method constant, rejecting anything else.
+func ParseMethod(s string) (Method, error) {
+	switch s {
+	case "EW":
+		return MethodEW, nil
+	case "EO":
+		return MethodEO, nil
+	case "WJ":
+		return MethodWJ, nil
+	}
+	return 0, fmt.Errorf("sampleunion: unknown join subroutine %q (valid: EW, EO, WJ)", s)
+}
 
 // Options configure Union.Sample.
 type Options struct {
@@ -316,6 +356,11 @@ func (u *Union) Sample(n int, o Options) ([]Tuple, *Stats, error) {
 // more than one query, since the disjoint sampler shares the session's
 // prepared subroutine samplers.
 func (u *Union) SampleDisjoint(n int, o Options) ([]Tuple, *Stats, error) {
+	if empty, err := checkN(n); err != nil {
+		return nil, nil, err
+	} else if empty {
+		return []Tuple{}, &Stats{}, nil
+	}
 	o = o.withDefaults()
 	shared, err := core.PrepareDisjoint(u.joins, core.DisjointConfig{
 		Method:         core.JoinMethod(o.Method),

@@ -58,6 +58,24 @@ type sessionState struct {
 	disjointErr  error
 }
 
+// checkN validates a requested sample count: negative counts are a
+// caller error everywhere, uniformly across Union and Session entry
+// points. empty reports n == 0, which every sampling method answers
+// with an empty result at zero cost (and every Approx* method with a
+// no-samples error, since an estimate from zero samples is undefined).
+func checkN(n int) (empty bool, err error) {
+	if n < 0 {
+		return false, fmt.Errorf("sampleunion: sample count must be >= 0, got %d", n)
+	}
+	return n == 0, nil
+}
+
+// errNoSamples is what Approx* methods return for n == 0: defined,
+// explicit behavior instead of a divide-by-zero downstream.
+func errNoSamples() error {
+	return fmt.Errorf("sampleunion: approximate aggregates need at least 1 sample, got 0")
+}
+
 // Prepare runs the warm-up for the given options exactly once and
 // returns a Session that serves any number of sampling and AQP calls
 // at per-draw cost. It estimates the framework parameters (join sizes,
@@ -235,6 +253,11 @@ func (s *Session) Sample(n int) ([]Tuple, *Stats, error) {
 // reproduces the same tuples, bit for bit, regardless of what other
 // calls run concurrently (given the same data and refresh history).
 func (s *Session) SampleSeeded(n int, seed int64) ([]Tuple, *Stats, error) {
+	if empty, err := checkN(n); err != nil {
+		return nil, nil, err
+	} else if empty {
+		return []Tuple{}, &Stats{}, nil
+	}
 	st, err := s.cur()
 	if err != nil {
 		return nil, nil, err
@@ -257,6 +280,11 @@ func (s *Session) SampleDisjoint(n int) ([]Tuple, *Stats, error) {
 
 // SampleDisjointSeeded is SampleDisjoint on an explicit stream.
 func (s *Session) SampleDisjointSeeded(n int, seed int64) ([]Tuple, *Stats, error) {
+	if empty, err := checkN(n); err != nil {
+		return nil, nil, err
+	} else if empty {
+		return []Tuple{}, &Stats{}, nil
+	}
 	st, err := s.cur()
 	if err != nil {
 		return nil, nil, err
@@ -284,6 +312,11 @@ func (s *Session) SampleWhere(n int, pred Predicate) ([]Tuple, *Stats, error) {
 
 // SampleWhereSeeded is SampleWhere on an explicit stream.
 func (s *Session) SampleWhereSeeded(n int, pred Predicate, seed int64) ([]Tuple, *Stats, error) {
+	if empty, err := checkN(n); err != nil {
+		return nil, nil, err
+	} else if empty {
+		return []Tuple{}, &Stats{}, nil
+	}
 	st, err := s.cur()
 	if err != nil {
 		return nil, nil, err
@@ -305,6 +338,11 @@ func (s *Session) SampleWhereSeeded(n int, pred Predicate, seed int64) ([]Tuple,
 func (s *Session) SampleParallel(n, workers int) ([]Tuple, error) {
 	if workers <= 0 {
 		return nil, fmt.Errorf("sampleunion: workers must be positive, got %d", workers)
+	}
+	if empty, err := checkN(n); err != nil {
+		return nil, err
+	} else if empty {
+		return []Tuple{}, nil
 	}
 	if workers > n {
 		workers = n
@@ -368,6 +406,11 @@ func (s *Session) ApproxSum(attr string, pred Predicate, n int) (AggResult, erro
 // ApproxAvg estimates AVG(attr) WHERE pred over the set union. AVG is
 // a ratio estimator, so |U| cancels and only the samples matter.
 func (s *Session) ApproxAvg(attr string, pred Predicate, n int) (AggResult, error) {
+	if empty, err := checkN(n); err != nil {
+		return AggResult{}, err
+	} else if empty {
+		return AggResult{}, errNoSamples()
+	}
 	samples, _, err := s.Sample(n)
 	if err != nil {
 		return AggResult{}, err
@@ -390,6 +433,11 @@ func (s *Session) ApproxGroupCount(attr string, n int) ([]GroupEstimate, error) 
 // them with the run's |U| estimate (the cached warm-up value, refined
 // by the run itself in online mode).
 func (s *Session) sampleWithSize(n int) ([]Tuple, float64, error) {
+	if empty, err := checkN(n); err != nil {
+		return nil, 0, err
+	} else if empty {
+		return nil, 0, errNoSamples()
+	}
 	st, err := s.cur()
 	if err != nil {
 		return nil, 0, err
