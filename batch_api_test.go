@@ -1,0 +1,133 @@
+package sampleunion
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestSampleBatchMembership: every batch-drawn tuple is a union result,
+// across subroutines and the disjoint/where variants.
+func TestSampleBatchMembership(t *testing.T) {
+	u := demoUnion(t)
+	for _, m := range []Method{MethodEW, MethodEO, MethodWJ} {
+		s, err := u.Prepare(Options{Warmup: WarmupExact, Method: m, Seed: 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		out, st, err := s.SampleBatch(500)
+		if err != nil {
+			t.Fatalf("%v: %v", m, err)
+		}
+		if len(out) != 500 || st.Accepted < 500 {
+			t.Fatalf("%v: %d tuples, stats %+v", m, len(out), st)
+		}
+		for _, tu := range out {
+			if !u.Contains(tu) {
+				t.Fatalf("%v: batch sample %v outside union", m, tu)
+			}
+		}
+	}
+	s, err := u.Prepare(Options{Warmup: WarmupExact, Method: MethodEW, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Union() != u || s.OutputSchema() != u.OutputSchema() {
+		t.Fatal("session accessors wrong")
+	}
+	if s.Options().Seed != 3 {
+		t.Fatalf("Options = %+v", s.Options())
+	}
+	if s.UnionSize() <= 0 {
+		t.Fatalf("UnionSize = %f", s.UnionSize())
+	}
+	if out, _, err := s.SampleDisjointBatch(200); err != nil || len(out) != 200 {
+		t.Fatalf("disjoint batch: %v, %d", err, len(out))
+	}
+	pred := Cmp{Attr: "nationkey", Op: GE, Val: 0}
+	if out, _, err := s.SampleWhereBatch(200, pred); err != nil || len(out) != 200 {
+		t.Fatalf("where batch: %v, %d", err, len(out))
+	}
+}
+
+// TestSampleBatchSeededReproducibleConcurrent: the same explicit seed
+// reproduces the same batch bit-for-bit no matter how many other batch
+// calls run concurrently (also the -race check for the lazily built
+// alias tables, which concurrent first batches race to publish).
+func TestSampleBatchSeededReproducibleConcurrent(t *testing.T) {
+	u := demoUnion(t)
+	s, err := u.Prepare(Options{Warmup: WarmupExact, Method: MethodEW, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _, err := s.SampleBatchSeeded(300, 77)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const workers = 8
+	got := make([][]Tuple, workers)
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			if w%2 == 0 {
+				got[w], _, errs[w] = s.SampleBatchSeeded(300, 77)
+			} else {
+				_, _, _ = s.SampleBatch(100) // interleaved auto-stream noise
+				got[w], _, errs[w] = s.SampleBatchSeeded(300, 77)
+			}
+		}(w)
+	}
+	wg.Wait()
+	for w := 0; w < workers; w++ {
+		if errs[w] != nil {
+			t.Fatalf("worker %d: %v", w, errs[w])
+		}
+		if !tuplesEqual(want, got[w]) {
+			t.Fatalf("worker %d: seeded batch diverged", w)
+		}
+	}
+}
+
+// TestSampleBatchAutoRefresh: a batch call on a stale AutoRefresh
+// session reconciles first and draws from the new data.
+func TestSampleBatchAutoRefresh(t *testing.T) {
+	r := NewRelation("r", NewSchema("a", "b"))
+	s := NewRelation("s", NewSchema("b", "c"))
+	for i := 0; i < 12; i++ {
+		r.AppendValues(Value(i), Value(i%3))
+		s.AppendValues(Value(i%3), Value(i*10))
+	}
+	j, err := Chain("j", []*Relation{r, s}, []string{"b"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	u, err := NewUnion(j)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess, err := u.Prepare(Options{Warmup: WarmupExact, Seed: 9, AutoRefresh: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.AppendRows([]Tuple{{100, 5}})
+	s.AppendRows([]Tuple{{5, 5000}})
+	out, _, err := sess.SampleBatch(2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, tu := range out {
+		if tu[0] == 100 {
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Fatal("batch draws never observed the appended rows under AutoRefresh")
+	}
+	if sess.Stale() {
+		t.Fatal("session still stale after auto-refreshing batch call")
+	}
+}

@@ -103,6 +103,50 @@ func BenchmarkSessionParallel(b *testing.B) {
 	}
 }
 
+// BenchmarkSampleBatch measures the batch engine end to end on a
+// prepared session: each n=K op is ONE SampleBatch(K) call (ns/op ÷ K
+// is the per-tuple cost; allocs/op ÷ K the per-tuple allocations —
+// the acceptance bar is ≤ 2). The loop1024 baseline draws the same
+// 1024 tuples as 1024 Session.Sample(1) calls; n=1024 must beat it by
+// ≥ 2x in tuples/sec. Recorded in BENCH_PR5.json.
+func BenchmarkSampleBatch(b *testing.B) {
+	u := benchUnion(b)
+	s, err := u.Prepare(Options{Warmup: WarmupExact, Method: MethodEW, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, n := range []int{1, 16, 256, 1024} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				out, _, err := s.SampleBatch(n)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(out) != n {
+					b.Fatal("short batch")
+				}
+			}
+		})
+	}
+	b.Run("loop1024", func(b *testing.B) {
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for k := 0; k < 1024; k++ {
+				out, _, err := s.Sample(1)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(out) != 1 {
+					b.Fatal("short sample")
+				}
+			}
+		}
+	})
+}
+
 // BenchmarkDrawPath measures the per-draw hot path in isolation: one
 // prepared session, one run, b.N tuples drawn in a single stream. The
 // allocs/op column is allocations per returned tuple — the target of

@@ -95,12 +95,14 @@ func run(u *sampleunion.Union, n, workers int, o sampleunion.Options, showStats 
 		return err
 	}
 
+	// One batch call (or one batch per worker): the CLI always wants
+	// all n tuples at once, so it pays batch-engine prices.
 	var tuples []sampleunion.Tuple
 	var stats *sampleunion.Stats
 	if workers > 1 {
 		tuples, err = s.SampleParallel(n, workers)
 	} else {
-		tuples, stats, err = s.Sample(n)
+		tuples, stats, err = s.SampleBatch(n)
 	}
 	if err != nil {
 		return err

@@ -1,10 +1,13 @@
 // Command unionbench regenerates the paper's evaluation tables
-// (Fig 4a–4d, Fig 5a–5h, Fig 6a–6b, plus the Theorem 2 cost check).
+// (Fig 4a–4d, Fig 5a–5h, Fig 6a–6b, plus the Theorem 2 cost check) and
+// the engineering experiments (prepared, hotpath, mutation, serving,
+// batch).
 //
 // Usage:
 //
 //	unionbench                      # run every experiment at defaults
 //	unionbench -exp fig5c           # one experiment
+//	unionbench -exp batch           # batch engine vs per-draw baseline
 //	unionbench -sf 2 -overlap 0.4   # scale knobs
 //	unionbench -quick               # CI-sized smoke run
 package main
@@ -19,7 +22,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "", "experiment id (fig4a..fig6b, thm2); empty runs all")
+	exp := flag.String("exp", "", "experiment id (see -list); empty runs all")
 	sf := flag.Float64("sf", 1, "TPC-H scale factor")
 	ov := flag.Float64("overlap", 0.2, "overlap scale P")
 	n := flag.Int("n", 2000, "base sample count")

@@ -122,6 +122,20 @@ var goldenDigests = map[string]string{
 	"mutate-cover-eo":  "9304ff62e2042f23",
 	"mutate-online":    "00f85e71861c6ea6",
 	"mutate-cyclic-eo": "3787d5c08d55a697",
+	// Batch-engine streams (batched-draws PR). EO, WJ, and online batch
+	// digests coincide with their sequential counterparts because those
+	// subroutines' draw logic consumes the stream identically either
+	// way; only EW's weighted-row selection switches to alias tables
+	// and integer bounded draws on the batch path.
+	"batch-cover-ew":        "8f0009ed7a3f4d9b",
+	"batch-cover-eo":        "465158fbac4cc0de",
+	"batch-cover-wj":        "1425eeeb866a50fe",
+	"batch-oracle":          "684db964bc538315",
+	"batch-online":          "ab6005ab45eb3fcf",
+	"batch-disjoint":        "f4702720567b5022",
+	"batch-where":           "98a41e44ec206f8e",
+	"batch-cyclic-ew":       "ab392a7ebf43258d",
+	"batch-mutate-cover-ew": "8e2bd4648738082a",
 }
 
 func goldenScenarios(t testing.TB) []struct {
@@ -141,6 +155,12 @@ func goldenScenarios(t testing.TB) []struct {
 	sample := func(s *Session) func() ([]Tuple, error) {
 		return func() ([]Tuple, error) {
 			out, _, err := s.SampleSeeded(64, 99)
+			return out, err
+		}
+	}
+	batch := func(s *Session) func() ([]Tuple, error) {
+		return func() ([]Tuple, error) {
+			out, _, err := s.SampleBatchSeeded(64, 99)
 			return out, err
 		}
 	}
@@ -168,6 +188,50 @@ func goldenScenarios(t testing.TB) []struct {
 		{"mutate-cover-eo", mutateDraw(t, Options{Warmup: WarmupHistogram, Method: MethodEO})},
 		{"mutate-online", mutateDraw(t, Options{Online: true, WarmupWalks: 150})},
 		{"mutate-cyclic-eo", mutateCyclicDraw(t)},
+		// Batch-engine streams (alias tables + integer bounded draws):
+		// pinned separately from the sequential streams above, which
+		// stay byte-identical to their pre-batch recordings.
+		{"batch-cover-ew", batch(prep(u, Options{Warmup: WarmupRandomWalk, WarmupWalks: 200, Method: MethodEW}))},
+		{"batch-cover-eo", batch(prep(u, Options{Warmup: WarmupHistogram, Method: MethodEO}))},
+		{"batch-cover-wj", batch(prep(u, Options{Warmup: WarmupRandomWalk, WarmupWalks: 200, Method: MethodWJ}))},
+		{"batch-oracle", batch(prep(u, Options{Warmup: WarmupExact, Method: MethodEW, Oracle: true}))},
+		{"batch-online", batch(prep(u, Options{Online: true, WarmupWalks: 150}))},
+		{"batch-disjoint", func() ([]Tuple, error) {
+			out, _, err := prep(u, Options{Method: MethodEW, Warmup: WarmupExact}).SampleDisjointBatchSeeded(64, 99)
+			return out, err
+		}},
+		{"batch-where", func() ([]Tuple, error) {
+			s := prep(u, Options{Warmup: WarmupExact, Method: MethodEW})
+			out, _, err := s.SampleWhereBatchSeeded(32, Cmp{Attr: "nationkey", Op: LT, Val: 4}, 99)
+			return out, err
+		}},
+		{"batch-cyclic-ew", batch(prep(cu, Options{Warmup: WarmupHistogram, Method: MethodEW}))},
+		{"batch-mutate-cover-ew", mutateBatchDraw(t, Options{Warmup: WarmupExact, Method: MethodEW})},
+	}
+}
+
+// mutateBatchDraw is mutateDraw on the batch engine: the refreshed
+// session's batch stream is pinned too, covering alias-table
+// invalidation through Refresh.
+func mutateBatchDraw(t testing.TB, o Options) func() ([]Tuple, error) {
+	u := goldenUnion(t)
+	o.Seed = 424242
+	s, err := u.Prepare(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return func() ([]Tuple, error) {
+		cust := u.Joins()[0].Nodes()[0].Rel
+		ord := u.Joins()[0].Nodes()[1].Rel
+		cust.AppendRows([]Tuple{{500, 1}, {501, 2}})
+		ord.AppendRows([]Tuple{{5000, 500}, {5001, 500}, {5002, 501}})
+		cust.Delete(3)
+		ord.Delete(10)
+		if err := s.Refresh(); err != nil {
+			return nil, err
+		}
+		out, _, err := s.SampleBatchSeeded(64, 99)
+		return out, err
 	}
 }
 

@@ -153,6 +153,7 @@ func Experiments() []struct {
 		{"hotpath", Hotpath},
 		{"mutation", MutationRefresh},
 		{"serving", Serving},
+		{"batch", Batch},
 	}
 }
 

@@ -1,0 +1,225 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"sampleunion/internal/relation"
+	"sampleunion/internal/rng"
+)
+
+// This file is the batch draw engine: batch variants of the cover,
+// online, and disjoint samplers. A batch call produces n tuples with
+// exactly the per-tuple distribution of n sequential draws — join
+// selection stays per-tuple (batching it across tuples would correlate
+// samples that must be independent) — but amortizes everything that the
+// sequential path pays per draw:
+//
+//   - the subroutine acceptance loop runs devirtualized inside one
+//     SampleManyInto call per union-level candidate, instead of one
+//     interface dispatch per join-level attempt;
+//   - EW weighted-row selection goes through O(1) alias tables instead
+//     of an O(log fan-out) binary search at every walk step;
+//   - the wall clock is read once per batch, not per attempt;
+//   - the result buffer is grown once to the batch size.
+//
+// Batch draws consume the RNG stream differently from the sequential
+// path (alias tables and exact integer bounded draws), so batch
+// streams are pinned by their own golden digests; sequential Sample
+// streams stay byte-identical to their pre-batch recordings.
+
+// BatchSampler is a sampling run with a batch draw engine.
+type BatchSampler interface {
+	UnionSampler
+	// SampleBatch draws n tuples with the per-tuple distribution of n
+	// sequential draws at amortized per-draw cost.
+	SampleBatch(n int, g *rng.RNG) ([]relation.Tuple, error)
+}
+
+var (
+	_ BatchSampler = (*CoverSampler)(nil)
+	_ BatchSampler = (*OnlineSampler)(nil)
+	_ BatchSampler = (*DisjointSampler)(nil)
+)
+
+// SampleBatch implements the batch engine for Algorithm 1. The
+// returned tuples follow exactly the distribution of Sample (Theorem
+// 1) and, like Sample, consecutive calls continue the run: buffered
+// tuples left by earlier calls are served first, and revisions affect
+// only not-yet-returned tuples. The wall clock is read once for the
+// whole batch and the elapsed time is attributed to AcceptTime vs
+// RejectTime proportionally to the batch's accepted vs rejected
+// attempt counts (bookBatchTime) — coarser than the sequential
+// per-draw attribution, but the documented field semantics hold;
+// counters stay exact.
+func (s *CoverSampler) SampleBatch(n int, g *rng.RNG) ([]relation.Tuple, error) {
+	if err := s.Warmup(g); err != nil {
+		return nil, err
+	}
+	s.result = growEntries(s.result, n)
+	before := s.stats
+	start := time.Now()
+	for len(s.result) < n {
+		if err := s.batchDrawOne(g); err != nil {
+			return nil, err
+		}
+	}
+	s.stats.bookBatchTime(&before, time.Since(start))
+	out := make([]relation.Tuple, n)
+	for i := 0; i < n; i++ {
+		out[i] = s.result[i].tuple
+	}
+	s.result = append(s.result[:0], s.result[n:]...)
+	return out, nil
+}
+
+// batchDrawOne is drawOne on the batch engine: the same join
+// selection, within-join redraw, and record/revision logic, with the
+// join-level acceptance loop running inside the subroutine
+// (SampleManyInto) and no per-attempt clock reads.
+func (s *CoverSampler) batchDrawOne(g *rng.RNG) error {
+	for selections := 0; ; selections++ {
+		if selections > 64 {
+			return fmt.Errorf("core: cover sampler made no progress after %d join selections", selections)
+		}
+		j := s.shared.alias.Draw(g)
+		sampler := s.shared.base.samplers[j]
+		budget := s.shared.maxDraw
+		for budget > 0 {
+			got, tries := sampler.SampleManyInto(s.scratch.many, s.scratch.rowOf, budget, g)
+			budget -= tries
+			s.stats.TotalDraws += tries
+			s.stats.JoinRejects += tries - got
+			if got == 0 {
+				break // budget exhausted or dead join: reselect
+			}
+			if s.acceptDraw(j, s.scratch.out) {
+				s.stats.Accepted++
+				return nil
+			}
+			// Union-level duplicate: redraw within the same join, as the
+			// sequential path does (Theorem 1's conditional).
+		}
+	}
+}
+
+// SampleBatch implements the batch engine for Algorithm 2: identical
+// sampling decisions to drawOne/maybeBacktrack (walks still feed the
+// run's estimates one at a time — each walk updates the parameters the
+// next draw samples under), with the per-attempt wall-clocking dropped
+// and the result buffer grown once. Whole-batch time splits across
+// Accept/Reject and Reuse/Regular proportionally to the batch's
+// attempt counts (bookBatchTime).
+func (s *OnlineSampler) SampleBatch(n int, g *rng.RNG) ([]relation.Tuple, error) {
+	if err := s.Warmup(g); err != nil {
+		return nil, err
+	}
+	s.result = growOnlineEntries(s.result, n)
+	before := s.stats
+	start := time.Now()
+	for len(s.result) < n {
+		if err := s.batchDrawOne(g); err != nil {
+			return nil, err
+		}
+		if err := s.maybeBacktrack(g); err != nil {
+			return nil, err
+		}
+	}
+	s.stats.bookBatchTime(&before, time.Since(start))
+	out := make([]relation.Tuple, n)
+	for i := 0; i < n; i++ {
+		out[i] = s.result[i].tuple
+	}
+	s.result = append(s.result[:0], s.result[n:]...)
+	return out, nil
+}
+
+// batchDrawOne is the online drawOne without per-attempt clock reads;
+// candidate generation, reuse, record, and revision logic are shared
+// with the sequential path.
+func (s *OnlineSampler) batchDrawOne(g *rng.RNG) error {
+	for selections := 0; ; selections++ {
+		if selections > 64 {
+			return fmt.Errorf("core: online sampler made no progress after %d selections", selections)
+		}
+		j := s.alias.Draw(g)
+		for attempt := 0; attempt < s.shared.cfg.MaxDrawsPerSelection; attempt++ {
+			t, mult, reuse, ok := s.candidate(j, g)
+			if !ok {
+				continue
+			}
+			if k, ok := s.acceptValue(j, t); ok {
+				s.commit(k, j, t, mult)
+				if reuse {
+					s.stats.ReuseAccepted++
+				}
+				return nil
+			}
+			s.stats.RejectedDup++
+		}
+	}
+}
+
+// batchDisjointChunk bounds the subroutine attempts one disjoint batch
+// iteration may consume before control returns to the engine loop.
+const batchDisjointChunk = 1
+
+// SampleBatch implements the batch engine for Definition 1's disjoint
+// sampler. Every iteration selects a join and attempts exactly one
+// subroutine draw, like the sequential path — under EO the bound
+// weights renormalize through full reselection, so retrying within a
+// join would bias the distribution — but the draw runs through
+// SampleManyInto (alias tables, no per-attempt clocking).
+func (s *DisjointSampler) SampleBatch(n int, g *rng.RNG) ([]relation.Tuple, error) {
+	out := make([]relation.Tuple, 0, n)
+	before := s.stats
+	start := time.Now()
+	for len(out) < n {
+		j := s.shared.alias.Draw(g)
+		got, tries := s.shared.base.samplers[j].SampleManyInto(s.scratch.many, s.scratch.rowOf, batchDisjointChunk, g)
+		s.stats.TotalDraws += tries
+		s.stats.JoinRejects += tries - got
+		if got == 0 {
+			continue
+		}
+		out = append(out, s.shared.base.alignedClone(j, s.scratch.out))
+		s.stats.Accepted++
+	}
+	s.stats.bookBatchTime(&before, time.Since(start))
+	return out, nil
+}
+
+// growEntries grows a result buffer's capacity to n entries without
+// changing its contents, so a batch fill allocates at most once.
+func growEntries(r []resultEntry, n int) []resultEntry {
+	if cap(r) >= n {
+		return r
+	}
+	nr := make([]resultEntry, len(r), n)
+	copy(nr, r)
+	return nr
+}
+
+func growOnlineEntries(r []onlineEntry, n int) []onlineEntry {
+	if cap(r) >= n {
+		return r
+	}
+	nr := make([]onlineEntry, len(r), n)
+	copy(nr, r)
+	return nr
+}
+
+// SampleWhereBatch is SampleWhere on the batch engine: candidate draws
+// come in need-sized chunks (at least whereChunk at a time) so the
+// rejection loop pays batch prices. Conditioning a uniform stream on
+// the predicate keeps it uniform over the satisfying subset, exactly
+// as in SampleWhere; maxDraws (0 means 1000·n) caps total draws so an
+// empty-support predicate fails cleanly.
+func SampleWhereBatch(s BatchSampler, schema *relation.Schema, pred relation.Predicate, n int, g *rng.RNG, maxDraws int) ([]relation.Tuple, error) {
+	return sampleWhereLoop(s.SampleBatch, schema, pred, n, g, maxDraws, func(need int) int {
+		if need < whereChunk {
+			return whereChunk
+		}
+		return need
+	})
+}

@@ -1,0 +1,172 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"sampleunion/internal/relation"
+	"sampleunion/internal/rng"
+)
+
+// TestCoverBatchUniform drives the batch engine of Algorithm 1 through
+// the same uniformity check as the sequential path, across subroutines
+// and record modes.
+func TestCoverBatchUniform(t *testing.T) {
+	cases := []struct {
+		name   string
+		method JoinMethod
+		oracle bool
+		slack  float64
+	}{
+		{"ew-oracle", MethodEW, true, 1},
+		{"ew-record", MethodEW, false, 3},
+		{"eo-oracle", MethodEO, true, 1},
+		{"wj-oracle", MethodWJ, true, 1},
+	}
+	for i, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			joins := fixtureJoins(t)
+			shared, err := PrepareCover(joins, CoverConfig{
+				Method:    c.method,
+				Estimator: &ExactEstimator{Joins: joins},
+				Oracle:    c.oracle,
+			}, rng.New(int64(100+i)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			run := shared.NewRun()
+			checkUniformUnion(t, joins, 60000, c.slack, run.SampleBatch, rng.New(int64(200+i)))
+		})
+	}
+}
+
+// TestOnlineBatchUniform drives the online batch engine through the
+// uniformity check (estimated parameters: generous slack, as in the
+// sequential online test).
+func TestOnlineBatchUniform(t *testing.T) {
+	joins := fixtureJoins(t)
+	shared, err := PrepareOnline(joins, OnlineConfig{WarmupWalks: 400}, rng.New(31))
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := shared.NewRun()
+	checkUniformUnion(t, joins, 40000, 8, run.SampleBatch, rng.New(32))
+}
+
+// TestDisjointBatchMatchesSequential: the disjoint batch engine keeps
+// Definition 1's distribution — checked against the sequential
+// disjoint sampler's empirical frequencies with a two-sample-style
+// tolerance, and by exact membership.
+func TestDisjointBatchUniform(t *testing.T) {
+	joins := fixtureJoins(t)
+	shared, err := PrepareDisjoint(joins, DisjointConfig{Method: MethodEW})
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx := unionIndex(t, joins)
+	const n = 60000
+	batchCounts := make([]int, len(idx))
+	out, err := shared.NewRun().SampleBatch(n, rng.New(41))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tu := range out {
+		i, ok := idx[relation.TupleKey(tu)]
+		if !ok {
+			t.Fatalf("batch disjoint sample %v not in union", tu)
+		}
+		batchCounts[i]++
+	}
+	seqCounts := make([]int, len(idx))
+	seqOut, err := shared.NewRun().Sample(n, rng.New(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tu := range seqOut {
+		seqCounts[idx[relation.TupleKey(tu)]]++
+	}
+	// Two-sample chi-square: batch and sequential disjoint draws come
+	// from the same (multiplicity-weighted) distribution.
+	chi := 0.0
+	for i := range batchCounts {
+		a, b := float64(batchCounts[i]), float64(seqCounts[i])
+		if a+b == 0 {
+			continue
+		}
+		d := a - b
+		chi += d * d / (a + b)
+	}
+	dof := float64(len(batchCounts) - 1)
+	if limit := dof + 6*math.Sqrt(2*dof) + 6; chi > limit {
+		t.Errorf("two-sample chi2 = %.1f over %.0f dof (limit %.1f)", chi, dof, limit)
+	}
+}
+
+// TestSampleWhereBatch: predicate enforcement on the batch engine is
+// uniform over the satisfying subset, honors maxDraws, and fails
+// cleanly on empty support.
+func TestSampleWhereBatch(t *testing.T) {
+	joins := fixtureJoins(t)
+	shared, err := PrepareCover(joins, CoverConfig{
+		Method:    MethodEW,
+		Estimator: &ExactEstimator{Joins: joins},
+		Oracle:    true,
+	}, rng.New(51))
+	if err != nil {
+		t.Fatal(err)
+	}
+	schema := joins[0].OutputSchema()
+	pred := relation.Cmp{Attr: "K", Op: relation.LT, Val: 40}
+	run := shared.NewRun()
+	out, err := SampleWhereBatch(run, schema, pred, 5000, rng.New(52), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 5000 {
+		t.Fatalf("got %d", len(out))
+	}
+	for _, tu := range out {
+		if !pred.Eval(tu, schema) {
+			t.Fatalf("batch where returned non-matching %v", tu)
+		}
+	}
+	// Empty support: a clean error once maxDraws is exhausted.
+	never := relation.Cmp{Attr: "K", Op: relation.LT, Val: -1}
+	if _, err := SampleWhereBatch(shared.NewRun(), schema, never, 10, rng.New(53), 500); err == nil {
+		t.Fatal("empty-support predicate did not error")
+	}
+}
+
+// TestBatchContinuesRun: like Sample, SampleBatch serves buffered
+// tuples from earlier calls on the same run first — consecutive calls
+// continue one stream, mixing sequential and batch calls included.
+func TestBatchContinuesRun(t *testing.T) {
+	joins := fixtureJoins(t)
+	shared, err := PrepareCover(joins, CoverConfig{
+		Method:    MethodEW,
+		Estimator: &ExactEstimator{Joins: joins},
+	}, rng.New(61))
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := shared.NewRun()
+	g := rng.New(62)
+	a, err := run.SampleBatch(10, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := run.Sample(10, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := run.SampleBatch(10, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != 10 || len(b) != 10 || len(c) != 10 {
+		t.Fatalf("lengths %d/%d/%d", len(a), len(b), len(c))
+	}
+	if run.Stats().Accepted < 30 {
+		t.Fatalf("stats accepted = %d", run.Stats().Accepted)
+	}
+}

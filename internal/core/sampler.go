@@ -177,13 +177,21 @@ func alignPerm(ref *relation.Schema, j *join.Join) ([]int, error) {
 type drawScratch struct {
 	out   relation.Tuple
 	rowOf []int
+	// many is the one-slot batch view of out handed to the subroutines'
+	// SampleManyInto: union-level accept/reject runs per candidate, so
+	// the union engines batch at the call level (one devirtualized
+	// acceptance loop per candidate) while keeping per-tuple join
+	// selection — which is what preserves sample independence.
+	many []relation.Tuple
 }
 
 func (b *unionBase) newScratch() drawScratch {
-	return drawScratch{
+	s := drawScratch{
 		out:   make(relation.Tuple, b.ref.Len()),
 		rowOf: make([]int, b.maxNodes),
 	}
+	s.many = []relation.Tuple{s.out}
+	return s
 }
 
 // recordKeys returns an empty tuple-keyed table for per-run records:

@@ -95,6 +95,40 @@ func sinceDraw(start time.Time, weight time.Duration) time.Duration {
 	return time.Since(start) * weight
 }
 
+// bookBatchTime attributes one batch call's elapsed wall time to the
+// duration fields. The batch engines read the clock once per batch, so
+// per-attempt attribution is unavailable; the elapsed time splits
+// proportionally to the batch's attempt counts (before is the Stats
+// snapshot taken when the batch started): AcceptTime vs RejectTime by
+// accepted vs rejected attempts, ReuseTime vs RegularTime by reuse vs
+// fresh attempts. Coarser than the sequential per-draw attribution but
+// consistent with the documented field semantics; counters are always
+// exact.
+func (s *Stats) bookBatchTime(before *Stats, d time.Duration) {
+	acc := s.Accepted - before.Accepted
+	rej := (s.JoinRejects - before.JoinRejects) +
+		(s.RejectedDup - before.RejectedDup) +
+		(s.ReuseRejected - before.ReuseRejected)
+	reuse := (s.ReuseAccepted - before.ReuseAccepted) +
+		(s.ReuseRejected - before.ReuseRejected)
+	total := acc + rej
+	if total <= 0 {
+		s.AcceptTime += d
+		s.RegularTime += d
+		return
+	}
+	share := func(part int) time.Duration {
+		return time.Duration(float64(d) * float64(part) / float64(total))
+	}
+	s.AcceptTime += share(acc)
+	s.RejectTime += share(rej)
+	if reuse > total {
+		reuse = total
+	}
+	s.ReuseTime += share(reuse)
+	s.RegularTime += share(total - reuse)
+}
+
 // PerAcceptedReuse returns the average time to produce one accepted
 // sample in the reuse phase (Fig 6b); zero when the phase was unused.
 func (s *Stats) PerAcceptedReuse() time.Duration {

@@ -21,6 +21,7 @@ package joinsample
 import (
 	"fmt"
 	"sort"
+	"sync/atomic"
 
 	"sampleunion/internal/join"
 	"sampleunion/internal/relation"
@@ -39,6 +40,20 @@ type Sampler interface {
 	// shared between concurrent runs; handing each run its own scratch
 	// is what keeps the per-draw path allocation-free and race-free.
 	SampleInto(out relation.Tuple, rowOf []int, g *rng.RNG) bool
+	// SampleManyInto is the batch draw: it fills out[0], out[1], ...
+	// with up to len(out) independent accepted draws, attempting at
+	// most maxTries subroutine draws in total, and returns how many
+	// tuples were accepted and how many attempts were consumed. Each
+	// out[i] must be a distinct caller-owned tuple of the join's output
+	// schema length; rowOf is shared scratch as in SampleInto. The
+	// acceptance loop runs tight inside the concrete sampler — no
+	// interface dispatch per attempt — and (for EW) selects rows
+	// through O(1) alias tables instead of the per-step binary search.
+	// Batch draws consume randomness differently from SampleInto (they
+	// use the exact integer bounded draw and alias tables), so batch
+	// streams are pinned separately from the sequential ones; the
+	// per-draw distribution is identical.
+	SampleManyInto(out []relation.Tuple, rowOf []int, maxTries int, g *rng.RNG) (filled, tries int)
 	// Method names the weight instantiation ("EW", "EO", "WJ").
 	Method() string
 	// SizeEstimate returns the sampler's knowledge of |J|: exact for EW
@@ -96,10 +111,32 @@ func liveRoot(r *relation.Relation, g *rng.RNG) (int, bool) {
 	return 0, false
 }
 
-// weightedRows supports O(log n) weighted row selection via prefix sums.
+// AliasThreshold is the fan-out above which the batch draw path selects
+// weighted rows through a lazily built Walker alias table (O(1) per
+// draw) instead of the prefix-sum binary search (O(log fan-out)).
+// Below it the table's two RNG draws and cache footprint cost more than
+// the search saves. EW samplers capture the value at construction, so
+// changing it mid-session cannot perturb a prepared session's pinned
+// batch streams; it exists as a variable for benchmarks (the `batch`
+// experiment's before/after-alias comparison) and tests.
+var AliasThreshold = 32
+
+// weightedRows supports weighted row selection: O(log n) via prefix
+// sums on the sequential path, O(1) via a lazily built alias table on
+// the batch path for fan-outs at or above the sampler's alias
+// threshold.
 type weightedRows struct {
 	rows []int   // row ids
 	cum  []int64 // cumulative weights, cum[i] = sum of w(rows[0..i])
+
+	// alias is the lazily built O(1) draw table, published atomically
+	// so concurrent batch runs build it at most once each and share one
+	// winner. It is derived purely from rows/cum, which are immutable
+	// after buildWeighted: a live mutation invalidates the whole
+	// sampler generation (unionBase.refreshed rebuilds the dirty
+	// joins' samplers from the current index version), so an alias
+	// table can never outlive the row lists it was built from.
+	alias atomic.Pointer[rng.Alias]
 }
 
 func (wr *weightedRows) total() int64 {
@@ -109,7 +146,12 @@ func (wr *weightedRows) total() int64 {
 	return wr.cum[len(wr.cum)-1]
 }
 
-// draw picks a row id proportional to weight.
+// draw picks a row id proportional to weight — the sequential path.
+// The float index derivation (with its clamp) is pinned: Sample and
+// SampleSeeded streams recorded before the batch engine must replay
+// byte-identically, so this mapping must never change. It loses
+// precision for totals near 2^53; the batch path's drawBounded is the
+// exact integer replacement (see TestUint64nBoundary in internal/rng).
 func (wr *weightedRows) draw(g *rng.RNG) int {
 	x := int64(g.Float64() * float64(wr.total()))
 	if x >= wr.total() {
@@ -117,6 +159,49 @@ func (wr *weightedRows) draw(g *rng.RNG) int {
 	}
 	i := sort.Search(len(wr.cum), func(i int) bool { return wr.cum[i] > x })
 	return wr.rows[i]
+}
+
+// drawBounded picks a row id proportional to weight using the exact
+// integer bounded draw: correct for every representable total, with no
+// round-up past the table and no 53-bit precision loss.
+func (wr *weightedRows) drawBounded(g *rng.RNG) int {
+	x := int64(g.Uint64n(uint64(wr.total())))
+	i := sort.Search(len(wr.cum), func(i int) bool { return wr.cum[i] > x })
+	return wr.rows[i]
+}
+
+// drawBatch is the batch-path row selection: alias table at or above
+// the threshold (built lazily on the first batch draw of this distinct
+// value), exact prefix-sum draw below it. The choice depends only on
+// the fan-out and the sampler's captured threshold, so batch streams
+// stay deterministic regardless of which run triggered the build.
+// Exactness caveat: the alias table normalizes its per-row
+// probabilities in float64, so above the threshold individual rows
+// carry a relative error up to ~2^-53 — the sub-threshold drawBounded
+// path is the one that is exact for every representable total.
+func (wr *weightedRows) drawBatch(g *rng.RNG, aliasMin int) int {
+	if len(wr.rows) >= aliasMin {
+		return wr.rows[wr.aliasTable().Draw(g)]
+	}
+	return wr.drawBounded(g)
+}
+
+// aliasTable returns the alias table, building and publishing it on
+// first use. Racing builders construct identical tables (the build is
+// deterministic in rows/cum); the first CAS wins and everyone shares
+// its table.
+func (wr *weightedRows) aliasTable() *rng.Alias {
+	if a := wr.alias.Load(); a != nil {
+		return a
+	}
+	w := make([]float64, len(wr.rows))
+	prev := int64(0)
+	for i, c := range wr.cum {
+		w[i] = float64(c - prev)
+		prev = c
+	}
+	wr.alias.CompareAndSwap(nil, rng.NewAlias(w))
+	return wr.alias.Load()
 }
 
 func buildWeighted(rows []int, w []int64) *weightedRows {
@@ -146,6 +231,20 @@ type EW struct {
 	nodeIdx []*relation.Index
 	byValue [][]*weightedRows
 	exact   int64 // skeleton result count (== |J| for tree joins)
+
+	// aliasMin is the AliasThreshold captured at construction: the
+	// fan-out at which batch draws switch from prefix sums to alias
+	// tables. Capturing it keeps a prepared session's batch streams
+	// stable even if the package variable is retuned.
+	aliasMin int
+	// vers snapshots join.StateVersions() at construction. The
+	// weighted-row tables (and any alias tables lazily built over
+	// them) describe exactly this version of the data: relations
+	// mutate by bumping their version, the union layer detects the
+	// mismatch (unionBase.dirtyJoins), and Refresh builds a fresh EW
+	// over the delta-overlaid index — which is how alias invalidation
+	// is wired to the live-mutation machinery.
+	vers []uint64
 }
 
 // NewEW precomputes exact weights for j.
@@ -154,8 +253,10 @@ func NewEW(j *join.Join) *EW {
 	w := j.ExactWeights()
 	e := &EW{
 		j: j, weights: w,
-		nodeIdx: make([]*relation.Index, len(nodes)),
-		byValue: make([][]*weightedRows, len(nodes)),
+		nodeIdx:  make([]*relation.Index, len(nodes)),
+		byValue:  make([][]*weightedRows, len(nodes)),
+		aliasMin: AliasThreshold,
+		vers:     j.StateVersions(),
 	}
 	// Dead root rows carry weight 0 (ExactWeights) and are filtered by
 	// buildWeighted, so enumerating physical ids is safe.
@@ -230,6 +331,51 @@ func (e *EW) SampleInto(out relation.Tuple, rowOf []int, g *rng.RNG) bool {
 		e.j.FillOutput(k, rowOf[k], out)
 	}
 	return finishResidual(e.j, out, g)
+}
+
+// StateVersions returns the per-relation version snapshot the sampler's
+// weight tables (and their lazily built alias tables) were built over;
+// a mismatch with the join's current StateVersions means the tables
+// describe stale data and the sampler must be rebuilt (which Refresh
+// does for dirty joins).
+func (e *EW) StateVersions() []uint64 { return e.vers }
+
+// SampleManyInto implements Sampler's batch draw: a tight walk loop
+// over the caller's scratch where every weighted row selection is O(1)
+// through the lazily built alias tables (above the threshold). On tree
+// joins it never rejects, so filled == min(len(out), maxTries).
+func (e *EW) SampleManyInto(out []relation.Tuple, rowOf []int, maxTries int, g *rng.RNG) (filled, tries int) {
+	if e.exact == 0 || len(out) == 0 {
+		return 0, 0
+	}
+	nodes := e.j.Nodes()
+	for filled < len(out) && tries < maxTries {
+		tries++
+		t := out[filled]
+		rowOf[0] = e.root.drawBatch(g, e.aliasMin)
+		e.j.FillOutput(0, rowOf[0], t)
+		dead := false
+		for k := 1; k < len(nodes); k++ {
+			n := &nodes[k]
+			v := e.j.ParentValue(k, rowOf[n.Parent])
+			var wr *weightedRows
+			if ent, ok := e.nodeIdx[k].EntryOf(v); ok {
+				wr = e.byValue[k][ent]
+			}
+			if wr == nil || wr.total() == 0 {
+				// Impossible after a positive-weight parent draw; defensive.
+				dead = true
+				break
+			}
+			rowOf[k] = wr.drawBatch(g, e.aliasMin)
+			e.j.FillOutput(k, rowOf[k], t)
+		}
+		if dead || !finishResidual(e.j, t, g) {
+			continue
+		}
+		filled++
+	}
+	return filled, tries
 }
 
 // finishResidual applies the residual accept/reject step for cyclic

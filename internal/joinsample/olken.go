@@ -74,6 +74,19 @@ func (e *EO) SampleInto(out relation.Tuple, rowOf []int, g *rng.RNG) bool {
 	return finishResidual(e.j, out, g)
 }
 
+// SampleManyInto implements Sampler's batch draw: the accept/reject
+// walk loop runs inside one call — EO's rejection rate grows with
+// skew, so amortizing the per-attempt call overhead matters most here.
+func (e *EO) SampleManyInto(out []relation.Tuple, rowOf []int, maxTries int, g *rng.RNG) (filled, tries int) {
+	for filled < len(out) && tries < maxTries {
+		tries++
+		if e.SampleInto(out[filled], rowOf, g) {
+			filled++
+		}
+	}
+	return filled, tries
+}
+
 // WJ is the Wander Join weight instantiation of §3.2 as a *uniform*
 // sampler: a random walk returns (t, p(t)), and the draw is accepted
 // with probability 1/(p(t)·B) where B is the extended Olken bound.
@@ -118,6 +131,19 @@ func (w *WJ) SampleInto(out relation.Tuple, rowOf []int, g *rng.RNG) bool {
 	return g.Bernoulli(1 / (p * w.bound))
 }
 
+// SampleManyInto implements Sampler's batch draw: wander-join walks
+// with the analytic 1/(p(t)·B) thinning in one tight loop.
+func (w *WJ) SampleManyInto(out []relation.Tuple, rowOf []int, maxTries int, g *rng.RNG) (filled, tries int) {
+	for filled < len(out) && tries < maxTries {
+		tries++
+		p, ok := w.walker.WalkInto(out[filled], rowOf, g)
+		if ok && g.Bernoulli(1/(p*w.bound)) {
+			filled++
+		}
+	}
+	return filled, tries
+}
+
 // Walker performs Wander Join random walks over the join data graph
 // (§6.1): each successful walk returns a result tuple together with its
 // exact sampling probability p(t) = 1/|R_root| · Π 1/d_i. Walks are
@@ -145,6 +171,27 @@ func (w *Walker) Walk(g *rng.RNG) (relation.Tuple, float64, bool) {
 		return nil, 0, false
 	}
 	return out, p, true
+}
+
+// WalkManyInto is the Walker's batch variant: it fills out[i] and
+// probs[i] with up to len(out) successful walks (each out[i] a
+// distinct caller-owned tuple), attempting at most maxTries walks in
+// total, and returns the number of successful walks and the attempts
+// consumed. Dead walks (dangling tuples) cost an attempt and fill
+// nothing. It serves single-join batch consumers (bulk
+// Horvitz–Thompson estimation, the batch-vs-sequential property
+// tests); the union engines deliberately keep per-walk stepping, since
+// each walk's estimate update must feed the next draw's parameters.
+func (w *Walker) WalkManyInto(out []relation.Tuple, probs []float64, rowOf []int, maxTries int, g *rng.RNG) (filled, tries int) {
+	for filled < len(out) && tries < maxTries {
+		tries++
+		p, ok := w.WalkInto(out[filled], rowOf, g)
+		if ok {
+			probs[filled] = p
+			filled++
+		}
+	}
+	return filled, tries
 }
 
 // WalkInto is Walk into caller-owned scratch; a dead walk may leave the

@@ -1,0 +1,156 @@
+package reftest
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	su "sampleunion"
+	"sampleunion/internal/relation"
+)
+
+// twoSampleChi computes the two-sample chi-square statistic over the
+// union of keys: with (roughly) equal totals, Σ (a-b)²/(a+b) is
+// chi-square with k-1 degrees of freedom under the null hypothesis
+// that both samples come from the same distribution.
+func twoSampleChi(a, b map[string]int) (stat float64, df int) {
+	keys := make(map[string]bool, len(a)+len(b))
+	for k := range a {
+		keys[k] = true
+	}
+	for k := range b {
+		keys[k] = true
+	}
+	for k := range keys {
+		x, y := float64(a[k]), float64(b[k])
+		if x+y == 0 {
+			continue
+		}
+		d := x - y
+		stat += d * d / (x + y)
+	}
+	return stat, len(keys) - 1
+}
+
+func countDraws(draws []relation.Tuple) map[string]int {
+	obs := make(map[string]int)
+	for _, t := range draws {
+		obs[relation.TupleKey(t)]++
+	}
+	return obs
+}
+
+// TestBatchMatchesSequential is the batch-vs-sequential distribution
+// property test: over randomized scenarios, the batch engine's draws
+// must (a) be membership-exact and chi-square-uniform against the
+// brute-force reference, exactly like the sequential engine's, and
+// (b) pass a direct two-sample chi-square against a sequential sample
+// of the same size — statically, and again after a random mutation
+// burst and a session refresh (which is what invalidates and rebuilds
+// the batch path's alias tables).
+func TestBatchMatchesSequential(t *testing.T) {
+	executed := 0
+	for seed := int64(0); seed < 30; seed++ {
+		sc := buildScenario(t, seed)
+		sc.ensureNonEmpty()
+		union, _ := sc.reference()
+		if len(union) == 0 || len(union) > 300 {
+			continue
+		}
+		method := []su.Method{su.MethodEW, su.MethodEO, su.MethodWJ}[seed%3]
+		sess, err := sc.union.Prepare(su.Options{
+			Seed: seed + 1, Warmup: su.WarmupExact, Method: method, Oracle: true,
+		})
+		if err != nil {
+			t.Fatalf("seed %d (%s): prepare: %v", seed, sc.name, err)
+		}
+		rnd := rand.New(rand.NewSource(seed + 5000))
+		for phase := 0; phase < 2; phase++ {
+			if phase == 1 {
+				mutationBurst(rnd, sc.rels)
+				sc.ensureNonEmpty()
+				if err := sess.Refresh(); err != nil {
+					t.Fatalf("seed %d (%s): refresh: %v", seed, sc.name, err)
+				}
+				union, _ = sc.reference()
+				if len(union) == 0 || len(union) > 300 {
+					break
+				}
+			}
+			label := fmt.Sprintf("seed %d (%s, %v) phase %d", seed, sc.name, method, phase)
+			n := drawCount(len(union))
+			batchDraws, _, err := sess.SampleBatchSeeded(n, seed*11+1)
+			if err != nil {
+				t.Fatalf("%s: batch: %v", label, err)
+			}
+			seqDraws, _, err := sess.SampleSeeded(n, seed*13+2)
+			if err != nil {
+				t.Fatalf("%s: sequential: %v", label, err)
+			}
+			// Both engines against the reference distribution.
+			checkDraws(t, label+" batch", batchDraws, UniformWeights(union), true)
+			checkDraws(t, label+" sequential", seqDraws, UniformWeights(union), true)
+			// And directly against each other.
+			stat, df := twoSampleChi(countDraws(batchDraws), countDraws(seqDraws))
+			if crit := ChiSquareCritical(df, chiZ); stat > crit {
+				t.Fatalf("%s: two-sample chi-square %0.1f > %0.1f (df %d): batch and sequential draws differ in distribution",
+					label, stat, crit, df)
+			}
+			executed++
+		}
+	}
+	if executed < 10 {
+		t.Fatalf("only %d scenario phases executed; generators drifted", executed)
+	}
+}
+
+// TestBatchDisjointAndWhere covers the remaining batch entry points
+// against the reference: disjoint batch draws follow the multiplicity
+// weights of Definition 1, and predicate-batch draws are uniform over
+// the satisfying subset.
+func TestBatchDisjointAndWhere(t *testing.T) {
+	executed := 0
+	for seed := int64(0); seed < 20; seed++ {
+		sc := buildScenario(t, seed)
+		sc.ensureNonEmpty()
+		union, mult := sc.reference()
+		if len(union) == 0 || len(union) > 300 {
+			continue
+		}
+		sess, err := sc.union.Prepare(su.Options{Seed: seed + 1, Warmup: su.WarmupExact, Method: su.MethodEW, Oracle: true})
+		if err != nil {
+			t.Fatalf("seed %d (%s): prepare: %v", seed, sc.name, err)
+		}
+		n := drawCount(len(union))
+		label := fmt.Sprintf("seed %d (%s)", seed, sc.name)
+
+		dis, _, err := sess.SampleDisjointBatchSeeded(n, seed*17+5)
+		if err != nil {
+			t.Fatalf("%s: disjoint batch: %v", label, err)
+		}
+		checkDraws(t, label+" disjoint-batch", dis, DisjointWeights(mult), true)
+
+		// Predicate: first output attribute <= 1 (values are drawn from
+		// a small domain, so the subset is usually non-trivial).
+		attr := sc.union.OutputSchema().Attr(0)
+		pred := su.Cmp{Attr: attr, Op: su.LE, Val: 1}
+		subset := make(map[string]relation.Tuple)
+		for k, tu := range union {
+			if pred.Eval(tu, sc.union.OutputSchema()) {
+				subset[k] = tu
+			}
+		}
+		if len(subset) == 0 || len(subset)*4 < len(union) {
+			continue // too selective for sampling-time enforcement
+		}
+		wh, _, err := sess.SampleWhereBatchSeeded(drawCount(len(subset)), pred, seed*19+7)
+		if err != nil {
+			t.Fatalf("%s: where batch: %v", label, err)
+		}
+		checkDraws(t, label+" where-batch", wh, UniformWeights(subset), true)
+		executed++
+	}
+	if executed < 5 {
+		t.Fatalf("only %d scenarios executed; generators drifted", executed)
+	}
+}

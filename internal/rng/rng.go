@@ -4,7 +4,10 @@
 // is reproducible from a seed, which the experiments rely on.
 package rng
 
-import "math/rand"
+import (
+	"math/bits"
+	"math/rand"
+)
 
 // RNG is a seeded source of randomness. It wraps math/rand so every
 // sampler draws from an explicit, reproducible stream rather than the
@@ -34,6 +37,32 @@ func (g *RNG) Int63() int64 { return g.r.Int63() }
 
 // Float64 returns a uniform float64 in [0, 1).
 func (g *RNG) Float64() float64 { return g.r.Float64() }
+
+// Uint64 returns a uniform 64-bit value.
+func (g *RNG) Uint64() uint64 { return g.r.Uint64() }
+
+// Uint64n returns a uniform uint64 in [0, n) using Lemire's
+// multiply-shift bounded draw with rejection: the 128-bit product
+// x·n splits into hi (the candidate) and lo (the fraction), and lo is
+// rejected only in the narrow band that would bias hi. Unlike the
+// float derivation int64(Float64()*float64(n)) it is exact for every
+// n — no 53-bit precision loss, and the result can never round up to
+// n. It panics if n == 0, matching Intn's contract.
+func (g *RNG) Uint64n(n uint64) uint64 {
+	if n == 0 {
+		panic("rng: Uint64n with n == 0")
+	}
+	hi, lo := bits.Mul64(g.r.Uint64(), n)
+	if lo < n {
+		// Rejection band: thresh = 2^64 mod n; candidates whose low
+		// word falls below it are over-represented by one.
+		thresh := -n % n
+		for lo < thresh {
+			hi, lo = bits.Mul64(g.r.Uint64(), n)
+		}
+	}
+	return hi
+}
 
 // Bernoulli returns true with probability p (clamped to [0,1]).
 func (g *RNG) Bernoulli(p float64) bool {

@@ -11,6 +11,9 @@ func TestDeterminism(t *testing.T) {
 		if a.Int63() != b.Int63() {
 			t.Fatal("same seed diverged")
 		}
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed diverged on Uint64")
+		}
 	}
 }
 
@@ -133,6 +136,66 @@ func TestAliasDegenerate(t *testing.T) {
 			t.Fatal("single-mass alias drew wrong index")
 		}
 	}
+}
+
+// TestUint64nBoundary is the regression test for the weighted-row index
+// derivation bug: the old float path int64(Float64()*float64(total))
+// rounds up to total when Float64 lands close enough to 1 — the product
+// total·(1-2^-53) is exactly total in float64 for any total above a few
+// thousand — and loses precision entirely for totals near 2^53. The
+// integer bounded draw must stay strictly below n for every n.
+func TestUint64nBoundary(t *testing.T) {
+	// Demonstrate the float formula's failure at the boundary: above
+	// 2^53 the conversion float64(total) collapses adjacent totals, so
+	// int64(Float64()*float64(total)) cannot even address every index —
+	// with total = 2^53+1 the top index is unreachable (its unit of
+	// weight is silently dropped) no matter what Float64 returns.
+	const fMax = 1 - 1.0/(1<<53) // max of math/rand Float64
+	if float64(1<<53+1) != float64(1<<53) {
+		t.Fatal("float64 precision premise broken")
+	}
+	if x := int64(fMax * float64(int64(1<<53+1))); x >= 1<<53 {
+		t.Fatalf("float derivation reached index %d; boundary premise broken", x)
+	}
+	edges := []uint64{1, 2, 3, 7, 1 << 20, 1<<53 - 1, 1 << 53, 1<<53 + 1, 1<<64 - 1}
+	g := New(23)
+	for _, n := range edges {
+		for i := 0; i < 2000; i++ {
+			if x := g.Uint64n(n); x >= n {
+				t.Fatalf("Uint64n(%d) = %d, out of range", n, x)
+			}
+		}
+	}
+	for i := 0; i < 1000; i++ {
+		if g.Uint64n(1) != 0 {
+			t.Fatal("Uint64n(1) != 0")
+		}
+	}
+}
+
+func TestUint64nUniform(t *testing.T) {
+	g := New(29)
+	const n, draws = 10, 500000
+	counts := make([]int, n)
+	for i := 0; i < draws; i++ {
+		counts[g.Uint64n(n)]++
+	}
+	for i, c := range counts {
+		got := float64(c) / draws
+		if math.Abs(got-0.1) > 0.01 {
+			t.Errorf("Uint64n(%d) bucket %d frequency = %.4f", n, i, got)
+		}
+	}
+}
+
+func TestUint64nZeroPanics(t *testing.T) {
+	g := New(31)
+	defer func() {
+		if recover() == nil {
+			t.Error("Uint64n(0) did not panic")
+		}
+	}()
+	g.Uint64n(0)
 }
 
 func TestPermIsPermutation(t *testing.T) {

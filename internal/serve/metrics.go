@@ -1,46 +1,89 @@
 package serve
 
 import (
-	"sort"
+	"math"
+	"math/bits"
 	"sync"
 	"sync/atomic"
 	"time"
 )
 
-// latWindow is how many recent latencies each endpoint retains for
-// quantile estimation: big enough for stable p99s, small enough that a
-// scrape's copy-and-sort stays cheap.
-const latWindow = 4096
+// latBuckets is the size of the per-endpoint latency histogram: bucket
+// b counts observations in [2^(b-1), 2^b) microseconds (bucket 0 is
+// sub-microsecond), so 40 buckets span sub-µs to ~6 days — every
+// latency a draw endpoint can produce.
+const latBuckets = 40
+
+// epochSamples is how many observations an epoch holds before the
+// histogram rotates: a scrape sums the filling epoch and the previous
+// full one, so quantiles reflect the most recent ~4k–8k requests —
+// the recency the old 4096-sample sliding window provided.
+const epochSamples = 4096
 
 // endpointMetrics instruments one endpoint: monotone op/error counts
-// plus a sliding window of recent latencies for p50/p95/p99.
+// plus a fixed log-bucket latency histogram for p50/p95/p99. Recording
+// is two atomic adds into the current epoch's bucket — no lock — and a
+// scrape reads 2×40 bucket counters, so quantile estimation is
+// O(buckets) instead of the old copy-and-sort over a 4096-sample
+// sliding window under a mutex. Two epochs rotate every epochSamples
+// observations (the filling epoch plus the last full one are scraped
+// together), keeping the quantiles recent at log-bucket resolution (a
+// bucket spans one doubling; the estimate is its geometric midpoint).
 type endpointMetrics struct {
 	ops    atomic.Int64
 	errors atomic.Int64
-
-	mu     sync.Mutex
-	lat    [latWindow]time.Duration
-	next   int
-	filled int
+	epoch  atomic.Int64 // index of the filling epoch (0 or 1)
+	seen   atomic.Int64 // observations since the last rotation
+	lat    [2][latBuckets]atomic.Int64
 }
 
-// observe records one completed request.
+// latBucket maps a latency to its histogram bucket.
+func latBucket(d time.Duration) int {
+	us := d.Microseconds()
+	if us < 1 {
+		return 0
+	}
+	b := bits.Len64(uint64(us)) // us in [2^(b-1), 2^b)
+	if b >= latBuckets {
+		b = latBuckets - 1
+	}
+	return b
+}
+
+// bucketEstimate returns the representative latency of a bucket in
+// microseconds: the geometric midpoint of its doubling.
+func bucketEstimate(b int) float64 {
+	if b == 0 {
+		return 0.7 // sub-microsecond
+	}
+	return math.Sqrt(float64(uint64(1)<<(b-1)) * float64(uint64(1)<<b))
+}
+
+// observe records one completed request: a few atomic adds, O(1),
+// lock-free. Exactly one observer per epoch boundary (the one whose
+// seen.Add lands on the multiple) performs the rotation: it clears the
+// other epoch and flips the index, so a stale latency profile ages out
+// within two epochs. Racing observers keep writing into the old epoch
+// during the flip; their samples land in what becomes the "previous"
+// epoch and still count in the scrape window.
 func (m *endpointMetrics) observe(d time.Duration, failed bool) {
 	m.ops.Add(1)
 	if failed {
 		m.errors.Add(1)
 	}
-	m.mu.Lock()
-	m.lat[m.next] = d
-	m.next = (m.next + 1) % latWindow
-	if m.filled < latWindow {
-		m.filled++
+	e := m.epoch.Load()
+	m.lat[e][latBucket(d)].Add(1)
+	if m.seen.Add(1)%epochSamples == 0 {
+		next := 1 - e
+		for b := range m.lat[next] {
+			m.lat[next][b].Store(0)
+		}
+		m.epoch.Store(next)
 	}
-	m.mu.Unlock()
 }
 
 // EndpointSnapshot is one endpoint's scrape output. Latency quantiles
-// are over the sliding window, in microseconds.
+// are estimated from the log-bucket histogram, in microseconds.
 type EndpointSnapshot struct {
 	Ops    int64   `json:"ops"`
 	Errors int64   `json:"errors"`
@@ -50,22 +93,29 @@ type EndpointSnapshot struct {
 }
 
 func (m *endpointMetrics) snapshot() EndpointSnapshot {
-	m.mu.Lock()
-	s := make([]time.Duration, m.filled)
-	if m.filled < latWindow {
-		copy(s, m.lat[:m.filled])
-	} else {
-		copy(s, m.lat[:])
-	}
-	m.mu.Unlock()
 	snap := EndpointSnapshot{Ops: m.ops.Load(), Errors: m.errors.Load()}
-	if len(s) == 0 {
+	var counts [latBuckets]int64
+	var total int64
+	for b := range counts {
+		counts[b] = m.lat[0][b].Load() + m.lat[1][b].Load()
+		total += counts[b]
+	}
+	if total == 0 {
 		return snap
 	}
-	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
 	q := func(p float64) float64 {
-		idx := int(float64(len(s)-1) * p)
-		return float64(s[idx].Nanoseconds()) / 1e3
+		rank := int64(math.Ceil(p * float64(total)))
+		if rank < 1 {
+			rank = 1
+		}
+		var cum int64
+		for b := range counts {
+			cum += counts[b]
+			if cum >= rank {
+				return bucketEstimate(b)
+			}
+		}
+		return bucketEstimate(latBuckets - 1)
 	}
 	snap.P50us = q(0.50)
 	snap.P95us = q(0.95)

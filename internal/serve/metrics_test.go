@@ -1,0 +1,123 @@
+package serve
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestLatBucketMapping(t *testing.T) {
+	cases := []struct {
+		d    time.Duration
+		want int
+	}{
+		{0, 0},
+		{500 * time.Nanosecond, 0},
+		{time.Microsecond, 1},
+		{3 * time.Microsecond, 2},
+		{4 * time.Microsecond, 3},
+		{time.Millisecond, 10},
+		{time.Second, 20},
+		{10 * 24 * time.Hour, latBuckets - 1}, // clamped
+	}
+	for _, c := range cases {
+		if got := latBucket(c.d); got != c.want {
+			t.Errorf("latBucket(%v) = %d, want %d", c.d, got, c.want)
+		}
+	}
+}
+
+// TestHistogramQuantiles checks that the log-bucket quantiles land in
+// the right doubling and stay monotone: 95 fast ops and 5 slow ones
+// must put p50 near the fast latency and p99 near the slow one.
+func TestHistogramQuantiles(t *testing.T) {
+	var m endpointMetrics
+	for i := 0; i < 95; i++ {
+		m.observe(100*time.Microsecond, false)
+	}
+	for i := 0; i < 5; i++ {
+		m.observe(50*time.Millisecond, true)
+	}
+	s := m.snapshot()
+	if s.Ops != 100 || s.Errors != 5 {
+		t.Fatalf("ops=%d errors=%d", s.Ops, s.Errors)
+	}
+	if s.P50us < 64 || s.P50us > 256 {
+		t.Errorf("p50 = %.1fus, want within the 100us doubling", s.P50us)
+	}
+	if s.P99us < 32768 || s.P99us > 131072 {
+		t.Errorf("p99 = %.1fus, want within the 50ms doubling", s.P99us)
+	}
+	if !(s.P50us <= s.P95us && s.P95us <= s.P99us) {
+		t.Errorf("quantiles not monotone: p50=%.1f p95=%.1f p99=%.1f", s.P50us, s.P95us, s.P99us)
+	}
+}
+
+func TestHistogramEmpty(t *testing.T) {
+	var m endpointMetrics
+	s := m.snapshot()
+	if s.Ops != 0 || s.P50us != 0 || s.P99us != 0 {
+		t.Fatalf("empty snapshot = %+v", s)
+	}
+}
+
+// TestHistogramAgesOut: epoch rotation keeps quantiles recent — after
+// two full epochs of fast requests, a historical slow profile must no
+// longer dominate p99 (the regression the old sliding window caught
+// and a cumulative histogram would miss).
+func TestHistogramAgesOut(t *testing.T) {
+	var m endpointMetrics
+	for i := 0; i < 3*epochSamples; i++ {
+		m.observe(100*time.Millisecond, false)
+	}
+	if s := m.snapshot(); s.P50us < 50000 {
+		t.Fatalf("slow phase p50 = %.0fus", s.P50us)
+	}
+	for i := 0; i < 2*epochSamples; i++ {
+		m.observe(200*time.Microsecond, false)
+	}
+	s := m.snapshot()
+	if s.P99us > 1000 {
+		t.Errorf("p99 = %.0fus still reflects the aged-out slow profile", s.P99us)
+	}
+	if s.Ops != 5*epochSamples {
+		t.Errorf("ops = %d", s.Ops)
+	}
+}
+
+// TestHistogramConcurrentRecord hammers observe from many goroutines
+// while scraping — the recording path is lock-free atomics, so this is
+// primarily a -race check plus a total-count assertion.
+func TestHistogramConcurrentRecord(t *testing.T) {
+	var m endpointMetrics
+	const workers, per = 8, 2000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				m.observe(time.Duration(w*i)*time.Microsecond, false)
+				if i%512 == 0 {
+					_ = m.snapshot()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	s := m.snapshot()
+	if s.Ops != workers*per {
+		t.Fatalf("ops = %d, want %d", s.Ops, workers*per)
+	}
+	// Rotation clears aged epochs, so the histogram holds a recent
+	// window of the traffic — non-empty, never more than all of it.
+	var total int64
+	for e := 0; e < 2; e++ {
+		for b := 0; b < latBuckets; b++ {
+			total += m.lat[e][b].Load()
+		}
+	}
+	if total <= 0 || total > workers*per {
+		t.Fatalf("histogram window = %d of %d observations", total, workers*per)
+	}
+}

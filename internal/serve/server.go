@@ -1,11 +1,14 @@
 package serve
 
 import (
+	"bytes"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"net/http"
 	"runtime"
+	"strconv"
+	"sync"
 	"time"
 
 	"sampleunion"
@@ -122,13 +125,40 @@ func (s *Server) handle(name string, admit bool, fn func(*http.Request) (any, er
 	}
 }
 
+// encodePool recycles response-encoding buffers across requests: a
+// draw endpoint answers from a pooled buffer (encode, write, return)
+// instead of allocating an encoder and growing a fresh buffer per
+// response, and writing the encoded bytes in one call sets
+// Content-Length for the client.
+var encodePool = sync.Pool{
+	New: func() any { return new(bytes.Buffer) },
+}
+
+// pooledBufferCap bounds the buffers the pool retains: a giant
+// response (a 10^6-tuple draw) should not pin its buffer forever.
+const pooledBufferCap = 1 << 20
+
 func writeJSON(w http.ResponseWriter, code int, payload any) {
+	buf := encodePool.Get().(*bytes.Buffer)
+	buf.Reset()
+	if err := json.NewEncoder(buf).Encode(payload); err != nil {
+		// Pre-header encoding failure: answer a clean 500 instead of a
+		// truncated body.
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusInternalServerError)
+		fmt.Fprintf(w, "{\"error\":%q}\n", "serve: response encoding failed: "+err.Error())
+		encodePool.Put(buf)
+		return
+	}
 	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Content-Length", strconv.Itoa(buf.Len()))
 	w.WriteHeader(code)
-	enc := json.NewEncoder(w)
-	// Encoding errors past the header are undeliverable; the client
-	// sees the truncated body.
-	_ = enc.Encode(payload)
+	// Write errors past the header are undeliverable; the client sees
+	// the truncated body.
+	_, _ = w.Write(buf.Bytes())
+	if buf.Cap() <= pooledBufferCap {
+		encodePool.Put(buf)
+	}
 }
 
 // decode unmarshals a request body into dst, strictly.
@@ -188,15 +218,17 @@ func (s *Server) handleSample(r *http.Request) (any, error) {
 	if err != nil {
 		return nil, err
 	}
+	// A request for n tuples is one batch call into the engine, not n
+	// per-draw calls; SampleParallel shards into batches per worker.
 	start := time.Now()
 	var tuples []sampleunion.Tuple
 	switch {
 	case req.Seed != nil:
-		tuples, _, err = e.Sess.SampleSeeded(req.N, *req.Seed)
+		tuples, _, err = e.Sess.SampleBatchSeeded(req.N, *req.Seed)
 	case req.Workers > 1:
 		tuples, err = e.Sess.SampleParallel(req.N, req.Workers)
 	default:
-		tuples, _, err = e.Sess.Sample(req.N)
+		tuples, _, err = e.Sess.SampleBatch(req.N)
 	}
 	if err != nil {
 		return nil, err
@@ -228,9 +260,9 @@ func (s *Server) handleSampleWhere(r *http.Request) (any, error) {
 	start := time.Now()
 	var tuples []sampleunion.Tuple
 	if req.Seed != nil {
-		tuples, _, err = e.Sess.SampleWhereSeeded(req.N, pred, *req.Seed)
+		tuples, _, err = e.Sess.SampleWhereBatchSeeded(req.N, pred, *req.Seed)
 	} else {
-		tuples, _, err = e.Sess.SampleWhere(req.N, pred)
+		tuples, _, err = e.Sess.SampleWhereBatch(req.N, pred)
 	}
 	if err != nil {
 		return nil, err
@@ -539,10 +571,18 @@ func schemaAttrs(s *sampleunion.Schema) []string {
 	return out
 }
 
+// encodeTuples converts a tuple batch to its wire shape. All rows
+// share one flat backing array — two allocations per response instead
+// of one per tuple.
 func encodeTuples(ts []sampleunion.Tuple) [][]int64 {
+	if len(ts) == 0 {
+		return [][]int64{}
+	}
+	arity := len(ts[0])
+	flat := make([]int64, len(ts)*arity)
 	out := make([][]int64, len(ts))
 	for i, t := range ts {
-		row := make([]int64, len(t))
+		row := flat[i*arity : (i+1)*arity : (i+1)*arity]
 		for j, v := range t {
 			row[j] = int64(v)
 		}

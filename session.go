@@ -270,6 +270,47 @@ func (s *Session) SampleSeeded(n int, seed int64) ([]Tuple, *Stats, error) {
 	return out, run.Stats(), nil
 }
 
+// SampleBatch draws n independent tuples (with replacement) from the
+// set union through the batch engine, on the session's next auto
+// stream. The per-tuple distribution is identical to Sample's; the
+// difference is cost: one session-state load, one run, one RNG, and a
+// draw loop whose weighted row selections are O(1) alias draws and
+// whose per-attempt overheads (subroutine dispatch, wall-clocking,
+// buffer growth) are amortized across the batch. Prefer it whenever
+// more than a handful of tuples are needed at once — SampleParallel,
+// the Approx* aggregates, and the serving layer all draw through it.
+//
+// Determinism contract: batch draws consume randomness differently
+// from sequential draws, so SampleBatchSeeded(n, seed) and
+// SampleSeeded(n, seed) return different (identically distributed)
+// tuples. Both are individually reproducible: Sample/SampleSeeded
+// streams are unchanged from previous releases, and batch streams are
+// pinned by their own golden digests.
+func (s *Session) SampleBatch(n int) ([]Tuple, *Stats, error) {
+	return s.SampleBatchSeeded(n, s.nextSeed())
+}
+
+// SampleBatchSeeded is SampleBatch on an explicit stream: the same
+// seed always reproduces the same tuples, bit for bit, regardless of
+// concurrent calls (given the same data and refresh history).
+func (s *Session) SampleBatchSeeded(n int, seed int64) ([]Tuple, *Stats, error) {
+	if empty, err := checkN(n); err != nil {
+		return nil, nil, err
+	} else if empty {
+		return []Tuple{}, &Stats{}, nil
+	}
+	st, err := s.cur()
+	if err != nil {
+		return nil, nil, err
+	}
+	run := st.prepared.NewRun()
+	out, err := run.SampleBatch(n, rng.New(seed))
+	if err != nil {
+		return nil, nil, err
+	}
+	return out, run.Stats(), nil
+}
+
 // SampleDisjoint draws n tuples from the disjoint union (Definition 1):
 // each result tuple with probability 1/(|J_1| + ... + |J_n|), counting
 // duplicates across joins separately. It reuses the session's prepared
@@ -295,6 +336,38 @@ func (s *Session) SampleDisjointSeeded(n int, seed int64) ([]Tuple, *Stats, erro
 	}
 	run := shared.NewRun()
 	out, err := run.Sample(n, rng.New(seed))
+	if err != nil {
+		return nil, nil, err
+	}
+	return out, run.Stats(), nil
+}
+
+// SampleDisjointBatch draws n tuples from the disjoint union
+// (Definition 1) through the batch engine — the same distribution as
+// SampleDisjoint at amortized per-draw cost, on the session's next
+// auto stream.
+func (s *Session) SampleDisjointBatch(n int) ([]Tuple, *Stats, error) {
+	return s.SampleDisjointBatchSeeded(n, s.nextSeed())
+}
+
+// SampleDisjointBatchSeeded is SampleDisjointBatch on an explicit
+// stream.
+func (s *Session) SampleDisjointBatchSeeded(n int, seed int64) ([]Tuple, *Stats, error) {
+	if empty, err := checkN(n); err != nil {
+		return nil, nil, err
+	} else if empty {
+		return []Tuple{}, &Stats{}, nil
+	}
+	st, err := s.cur()
+	if err != nil {
+		return nil, nil, err
+	}
+	shared, err := s.disjointShared(st)
+	if err != nil {
+		return nil, nil, err
+	}
+	run := shared.NewRun()
+	out, err := run.SampleBatch(n, rng.New(seed))
 	if err != nil {
 		return nil, nil, err
 	}
@@ -329,12 +402,41 @@ func (s *Session) SampleWhereSeeded(n int, pred Predicate, seed int64) ([]Tuple,
 	return out, run.Stats(), nil
 }
 
+// SampleWhereBatch is SampleWhere on the batch engine: candidate
+// draws come in batch-sized chunks, so the predicate-rejection loop
+// pays batch prices instead of per-draw prices. Same distribution as
+// SampleWhere (uniform over the satisfying subset); own pinned
+// streams.
+func (s *Session) SampleWhereBatch(n int, pred Predicate) ([]Tuple, *Stats, error) {
+	return s.SampleWhereBatchSeeded(n, pred, s.nextSeed())
+}
+
+// SampleWhereBatchSeeded is SampleWhereBatch on an explicit stream.
+func (s *Session) SampleWhereBatchSeeded(n int, pred Predicate, seed int64) ([]Tuple, *Stats, error) {
+	if empty, err := checkN(n); err != nil {
+		return nil, nil, err
+	} else if empty {
+		return []Tuple{}, &Stats{}, nil
+	}
+	st, err := s.cur()
+	if err != nil {
+		return nil, nil, err
+	}
+	run := st.prepared.NewRun()
+	out, err := core.SampleWhereBatch(run, s.u.OutputSchema(), pred, n, rng.New(seed), 0)
+	if err != nil {
+		return nil, nil, err
+	}
+	return out, run.Stats(), nil
+}
+
 // SampleParallel draws n tuples using the given number of worker
 // goroutines over the session's single shared warm-up: workers share
-// the prepared read-only state and each samples its own decorrelated
-// stream, so the total warm-up cost stays one no matter how many
-// workers run. Every worker stream is uniform and independent, hence so
-// is their concatenation.
+// the prepared read-only state and each draws one shard-sized batch
+// (SampleBatchSeeded) on its own decorrelated stream, so the total
+// warm-up cost stays one and the per-tuple cost is the batch engine's,
+// no matter how many workers run. Every worker stream is uniform and
+// independent, hence so is their concatenation.
 func (s *Session) SampleParallel(n, workers int) ([]Tuple, error) {
 	if workers <= 0 {
 		return nil, fmt.Errorf("sampleunion: workers must be positive, got %d", workers)
@@ -348,7 +450,7 @@ func (s *Session) SampleParallel(n, workers int) ([]Tuple, error) {
 		workers = n
 	}
 	if workers <= 1 {
-		out, _, err := s.Sample(n)
+		out, _, err := s.SampleBatch(n)
 		return out, err
 	}
 	// Reserve a contiguous block of stream indexes so one SampleParallel
@@ -366,7 +468,7 @@ func (s *Session) SampleParallel(n, workers int) ([]Tuple, error) {
 		wg.Add(1)
 		go func(w, count int, stream int64) {
 			defer wg.Done()
-			parts[w], _, errs[w] = s.SampleSeeded(count, core.DeriveSeed(s.opts.Seed, stream))
+			parts[w], _, errs[w] = s.SampleBatchSeeded(count, core.DeriveSeed(s.opts.Seed, stream))
 		}(w, count, first+int64(w))
 	}
 	wg.Wait()
@@ -411,7 +513,7 @@ func (s *Session) ApproxAvg(attr string, pred Predicate, n int) (AggResult, erro
 	} else if empty {
 		return AggResult{}, errNoSamples()
 	}
-	samples, _, err := s.Sample(n)
+	samples, _, err := s.SampleBatch(n)
 	if err != nil {
 		return AggResult{}, err
 	}
@@ -429,9 +531,10 @@ func (s *Session) ApproxGroupCount(attr string, n int) ([]GroupEstimate, error) 
 	return aqp.GroupCount(samples, s.u.OutputSchema(), attr, unionSize, DefaultZ)
 }
 
-// sampleWithSize draws n samples on the next auto stream and returns
-// them with the run's |U| estimate (the cached warm-up value, refined
-// by the run itself in online mode).
+// sampleWithSize draws n samples through the batch engine on the next
+// auto stream and returns them with the run's |U| estimate (the cached
+// warm-up value, refined by the run itself in online mode). Every
+// Approx* aggregate draws its sample set through this one batch call.
 func (s *Session) sampleWithSize(n int) ([]Tuple, float64, error) {
 	if empty, err := checkN(n); err != nil {
 		return nil, 0, err
@@ -443,7 +546,7 @@ func (s *Session) sampleWithSize(n int) ([]Tuple, float64, error) {
 		return nil, 0, err
 	}
 	run := st.prepared.NewRun()
-	out, err := run.Sample(n, rng.New(s.nextSeed()))
+	out, err := run.SampleBatch(n, rng.New(s.nextSeed()))
 	if err != nil {
 		return nil, 0, err
 	}
