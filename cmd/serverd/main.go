@@ -34,14 +34,16 @@ func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	dataDir := flag.String("data", "", "data directory for inline-spec CSV files (empty disables specs)")
 	sessions := flag.Int("sessions", 8, "warm sessions kept in the registry (LRU beyond it)")
-	maxInflight := flag.Int("max-inflight", 0, "draw requests executing at once before shedding 429s (0 = 16 x GOMAXPROCS)")
+	maxInflight := flag.Int("max-inflight", 0, "draw requests executing at once before shedding 429s (0 = 16 x GOMAXPROCS / shard-workers)")
+	shardWorkers := flag.Int("shard-workers", 0, "per-request shard fan-out of sharded sessions, used to scale the max-inflight default (0 = GOMAXPROCS)")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "graceful drain deadline on SIGTERM/SIGINT")
 	flag.Parse()
 
 	srv := serve.New(serve.Config{
-		DataDir:     *dataDir,
-		SessionCap:  *sessions,
-		MaxInflight: *maxInflight,
+		DataDir:      *dataDir,
+		SessionCap:   *sessions,
+		MaxInflight:  *maxInflight,
+		ShardWorkers: *shardWorkers,
 	})
 	httpSrv := &http.Server{
 		Addr:              *addr,

@@ -136,6 +136,17 @@ var goldenDigests = map[string]string{
 	"batch-where":           "98a41e44ec206f8e",
 	"batch-cyclic-ew":       "ab392a7ebf43258d",
 	"batch-mutate-cover-ew": "8e2bd4648738082a",
+	// Sharded-engine streams (shard-parallel PR): the union is hash-
+	// partitioned into shards and draws alias-select a shard per tuple,
+	// so these streams differ from the single-shard recordings above —
+	// which stay byte-identical because Shards <= 1 keeps the old path.
+	// Sharded streams depend only on (seed, shard count), never on
+	// worker scheduling.
+	"shard-cover-ew":        "01db176335818609",
+	"shard-batch-cover-ew":  "1c5d9b4797fefdf6",
+	"shard-online":          "7b614228268e8c32",
+	"shard-cyclic-eo":       "c39c26648a5a66a4",
+	"shard-mutate-cover-ew": "fa1bbeda2cc39cca",
 }
 
 func goldenScenarios(t testing.TB) []struct {
@@ -207,6 +218,14 @@ func goldenScenarios(t testing.TB) []struct {
 		}},
 		{"batch-cyclic-ew", batch(prep(cu, Options{Warmup: WarmupHistogram, Method: MethodEW}))},
 		{"batch-mutate-cover-ew", mutateBatchDraw(t, Options{Warmup: WarmupExact, Method: MethodEW})},
+		// Sharded-engine streams: sequential, batch, online, cyclic
+		// (residual rebound per shard), and mutation + refresh (dirty
+		// shards rebuilt via the delta path).
+		{"shard-cover-ew", sample(prep(u, Options{Warmup: WarmupExact, Method: MethodEW, Shards: 3}))},
+		{"shard-batch-cover-ew", batch(prep(u, Options{Warmup: WarmupExact, Method: MethodEW, Shards: 3}))},
+		{"shard-online", batch(prep(u, Options{Online: true, WarmupWalks: 150, Shards: 2}))},
+		{"shard-cyclic-eo", sample(prep(cu, Options{Warmup: WarmupHistogram, Method: MethodEO, Shards: 2}))},
+		{"shard-mutate-cover-ew", mutateBatchDraw(t, Options{Warmup: WarmupExact, Method: MethodEW, Shards: 3})},
 	}
 }
 

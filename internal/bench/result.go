@@ -154,6 +154,7 @@ func Experiments() []struct {
 		{"mutation", MutationRefresh},
 		{"serving", Serving},
 		{"batch", Batch},
+		{"shards", Shards},
 	}
 }
 

@@ -1,0 +1,111 @@
+package bench
+
+import (
+	"fmt"
+	"runtime"
+
+	"sampleunion/internal/core"
+	"sampleunion/internal/join"
+	"sampleunion/internal/rng"
+	"sampleunion/internal/tpch"
+	"sampleunion/internal/walkest"
+)
+
+// shardSweep picks the core counts of the shards experiment: powers of
+// two from 1 up to the machine's CPU count, always including at least
+// one multi-shard point so the sharded engine is exercised even on a
+// single-core host (where the curve is expected to be flat — the
+// result's note records the physical core count for that reason).
+func shardSweep(o Options) []int {
+	if o.Quick {
+		return []int{1, 2}
+	}
+	max := runtime.NumCPU()
+	if max < 4 {
+		max = 4
+	}
+	cores := []int{1}
+	for c := 2; c <= max; c *= 2 {
+		cores = append(cores, c)
+	}
+	if last := cores[len(cores)-1]; last < runtime.NumCPU() {
+		cores = append(cores, runtime.NumCPU())
+	}
+	return cores
+}
+
+// Shards measures the shard-parallel engine's batch throughput against
+// core count on TPC-H UQ1: for each swept count c, GOMAXPROCS is set
+// to c, the union is partitioned into c shards (c = 1 keeps the
+// single-shard engine — the baseline and the regression guard), and
+// one warm prepared sampler serves repeated SampleBatch(n) calls whose
+// best per-tuple cost is reported. The speedup column is against the
+// single-shard row on the same machine.
+func Shards(o Options) (*Result, error) {
+	o = o.withDefaults()
+	sf := o.SF
+	if !o.Quick && sf < 10 {
+		sf = 10 // the scaling bar is measured at sf >= 10
+	}
+	w, err := tpch.UQ1(tpch.Config{SF: sf, Overlap: o.Overlap, Seed: o.Seed})
+	if err != nil {
+		return nil, err
+	}
+	n := 8192
+	rounds := 12
+	if o.Quick {
+		n = 1024
+		rounds = 6
+	}
+	factory := func(joins []*join.Join, g *rng.RNG) (core.PreparedSampler, error) {
+		return core.PrepareCover(joins, core.CoverConfig{
+			Method: core.MethodEW,
+			Estimator: &core.RandomWalkEstimator{
+				Joins: joins,
+				Opts:  walkest.Options{MaxWalks: 300},
+			},
+		}, g)
+	}
+	res := &Result{
+		Name:   "shard-parallel batch throughput vs core count (UQ1)",
+		Figure: "shards",
+		Note: fmt.Sprintf("sf=%g batch_n=%d; GOMAXPROCS set per row; machine has %d core(s)",
+			sf, n, runtime.NumCPU()),
+		Header: []string{"cores", "shards", "us_tuple", "tuples_per_s", "speedup_vs_1"},
+	}
+	prev := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(prev)
+	base := 0.0
+	for _, c := range shardSweep(o) {
+		runtime.GOMAXPROCS(c)
+		var prepared core.PreparedSampler
+		if c == 1 {
+			prepared, err = factory(w.Joins, core.NewRunRNG(o.Seed, 0))
+		} else {
+			prepared, err = core.PrepareSharded(w.Joins, core.ShardedConfig{
+				Shards:  c,
+				Workers: c,
+				Factory: factory,
+			}, core.NewRunRNG(o.Seed, 0))
+		}
+		if err != nil {
+			return nil, err
+		}
+		core.Prewarm(prepared)
+		cost := perTuple(rounds, n, func(g *rng.RNG) error {
+			_, err := prepared.NewRun().SampleBatch(n, g)
+			return err
+		})
+		if cost.err != nil {
+			return nil, cost.err
+		}
+		if c == 1 {
+			base = cost.us
+		}
+		res.Add(fmt.Sprintf("%d", c), fmt.Sprintf("%d", c),
+			fmt.Sprintf("%.3f", cost.us),
+			fmt.Sprintf("%.0f", 1e6/cost.us),
+			fmt.Sprintf("%.2fx", base/cost.us))
+	}
+	return res, nil
+}

@@ -39,8 +39,13 @@ func PrepareDisjoint(joins []*join.Join, cfg DisjointConfig) (*DisjointShared, e
 
 // PrepareDisjointFrom builds a disjoint-union sampler over the joins
 // and subroutine samplers already prepared for a set-union sampler,
-// avoiding a second subroutine setup (EW weight tables, indexes).
+// avoiding a second subroutine setup (EW weight tables, indexes). A
+// sharded sampler has no single shared base; callers holding one should
+// use PrepareDisjoint over the original joins instead.
 func PrepareDisjointFrom(p PreparedSampler, detailedTiming bool) (*DisjointShared, error) {
+	if _, ok := p.(*ShardedShared); ok {
+		return nil, fmt.Errorf("core: PrepareDisjointFrom does not support sharded samplers; use PrepareDisjoint")
+	}
 	return newDisjointShared(p.unionBase(), detailedTiming)
 }
 

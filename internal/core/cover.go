@@ -104,7 +104,7 @@ func (p *CoverShared) warm(g *rng.RNG) error {
 	p.alias = rng.NewAlias(params.Cover)
 	p.warmupTime = time.Since(start)
 	if p.alias == nil {
-		return fmt.Errorf("core: estimated cover is all-zero; union appears empty")
+		return ErrEmptyUnion
 	}
 	p.warmed = true
 	return nil

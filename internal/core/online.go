@@ -132,7 +132,7 @@ func (p *OnlineShared) warm(g *rng.RNG) error {
 	p.alias = rng.NewAlias(p.params.Cover)
 	p.warmupTime = time.Since(start)
 	if p.alias == nil {
-		return fmt.Errorf("core: estimated cover is all-zero; union appears empty")
+		return ErrEmptyUnion
 	}
 	p.warmed = true
 	return nil
@@ -210,7 +210,7 @@ func (p *OnlineShared) warmRefresh(g *rng.RNG, dirty []bool) error {
 	p.alias = rng.NewAlias(p.params.Cover)
 	p.warmupTime = time.Since(start)
 	if p.alias == nil {
-		return fmt.Errorf("core: refreshed cover is all-zero; union appears empty")
+		return ErrEmptyUnion
 	}
 	p.warmed = true
 	return nil

@@ -58,6 +58,10 @@ var (
 // without Prewarm too — both structures build exactly once behind an
 // atomic publish — but prewarming moves the cost into preparation.)
 func Prewarm(p PreparedSampler) {
+	if s, ok := p.(*ShardedShared); ok {
+		s.prewarm()
+		return
+	}
 	base := p.unionBase()
 	for _, j := range base.joins {
 		j.PrewarmMembership()
@@ -74,6 +78,9 @@ func Prewarm(p PreparedSampler) {
 // serve parameters estimated over the old contents. It costs a few
 // atomic version loads and is safe to call concurrently with runs.
 func Stale(p PreparedSampler) bool {
+	if s, ok := p.(*ShardedShared); ok {
+		return s.stale()
+	}
 	_, any := p.unionBase().dirtyJoins()
 	return any
 }
@@ -91,6 +98,8 @@ func Refresh(p PreparedSampler, g *rng.RNG) (PreparedSampler, bool, error) {
 	case *CoverShared:
 		return s.Refresh(g)
 	case *OnlineShared:
+		return s.Refresh(g)
+	case *ShardedShared:
 		return s.Refresh(g)
 	}
 	return p, false, fmt.Errorf("core: Refresh: unsupported prepared sampler %T", p)

@@ -1,0 +1,576 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"sampleunion/internal/join"
+	"sampleunion/internal/relation"
+	"sampleunion/internal/rng"
+)
+
+// This file implements the shard-parallel union sampler: every relation
+// carrying the partition attribute is hash-partitioned into S fragments
+// (internal/relation.Partition), each shard gets its own rebound joins
+// and its own prepared per-shard sampler, and the union of shards is
+// drawn from exactly the way the paper draws from a union of joins —
+// per-shard weights estimated at warm-up, an alias table over shards
+// picking a shard per tuple, uniform sampling within the shard.
+//
+// Correctness rests on the partition being disjoint: the partition
+// attribute is a common output attribute, every result tuple has
+// exactly one value of it, and shared attribute names are
+// join-connected (enforced at Build), so σ_{hash(attr) mod S = s}(U)
+// for s = 0..S-1 partitions U. Uniform over U therefore factors into
+// "shard ∝ |U_s|, then uniform within the shard", and per-shard
+// parameters sum to the union's (JoinSizes, Cover, |U| are all
+// cardinalities of disjoint pieces).
+
+// ErrEmptyUnion reports a warm-up whose estimated cover is all-zero:
+// the union (or, for a shard, the shard's slice of it) appears empty.
+// The sharded engine treats an empty shard as weight zero rather than a
+// failure; an empty whole union remains an error.
+var ErrEmptyUnion = errors.New("core: estimated cover is all-zero; union appears empty")
+
+// ShardFactory prepares the sampler of one shard from its rebound
+// joins, drawing warm-up randomness from g. The session layer supplies
+// one closure that applies the caller's Options (estimator, method,
+// online mode) to whatever join set it is handed.
+type ShardFactory func(joins []*join.Join, g *rng.RNG) (PreparedSampler, error)
+
+// ShardedConfig configures PrepareSharded.
+type ShardedConfig struct {
+	// Shards is the partition fan-out (>= 1).
+	Shards int
+	// Workers bounds the goroutines a warm-up, refresh, or batch draw
+	// fans out to; <= 0 defaults to min(Shards, GOMAXPROCS).
+	Workers int
+	// Factory prepares one shard's sampler; required.
+	Factory ShardFactory
+	// Attr overrides the partition attribute (must be a common output
+	// attribute). Empty selects the attribute automatically: the one
+	// whose holders cover the most rows, so the largest share of the
+	// data is actually partitioned.
+	Attr string
+}
+
+// ShardedShared is the prepared state of the shard-parallel sampler: S
+// per-shard prepared samplers over hash fragments, the alias table over
+// per-shard union sizes, and the aggregate parameters. Like the other
+// prepared samplers it is immutable after warm-up and shared by any
+// number of concurrent runs; Refresh publishes a reconciled copy.
+type ShardedShared struct {
+	origJoins []*join.Join
+	cfg       ShardedConfig
+	attr      string
+	workers   int
+
+	// parts hold the partitioned relations (one Partition per distinct
+	// relation carrying the partition attribute); partOf maps a source
+	// relation to its Partition for rebinding.
+	parts  []*relation.Partition
+	partOf map[*relation.Relation]*relation.Partition
+
+	// shardJoins[s] are the rebound joins of shard s; perShard[s] is
+	// that shard's prepared sampler, nil when the shard is empty.
+	shardJoins [][]*join.Join
+	perShard   []PreparedSampler
+
+	// vers snapshots the ORIGINAL joins' StateVersions (captured before
+	// the partitions, so a mutation racing the build is seen as stale,
+	// never missed); weights[s] = |U_s|.
+	vers    [][]uint64
+	weights []float64
+	alias   *rng.Alias
+	params  *Params
+
+	warmupTime time.Duration
+}
+
+var (
+	_ PreparedSampler = (*ShardedShared)(nil)
+	_ Run             = (*ShardedSampler)(nil)
+)
+
+// PartitionAttr selects the partition attribute for a union: among the
+// common output attributes, the one whose holder relations (distinct by
+// identity across all joins) cover the most rows — maximizing how much
+// of the data the hash partition actually splits. Ties resolve to the
+// earliest attribute in the reference output schema, so the choice is
+// deterministic.
+func PartitionAttr(joins []*join.Join) string {
+	ref := joins[0].OutputSchema()
+	best, bestScore := "", -1
+	for i := 0; i < ref.Len(); i++ {
+		a := ref.Attr(i)
+		seen := make(map[*relation.Relation]bool)
+		score := 0
+		for _, j := range joins {
+			for _, n := range j.Nodes() {
+				if seen[n.Rel] || !n.Rel.Schema().Has(a) {
+					continue
+				}
+				seen[n.Rel] = true
+				score += n.Rel.Len()
+			}
+		}
+		if score > bestScore {
+			best, bestScore = a, score
+		}
+	}
+	return best
+}
+
+// PrepareSharded partitions the union into cfg.Shards hash shards and
+// prepares one sampler per shard (warm-ups run in parallel up to
+// cfg.Workers, each on its own stream derived from g). Empty shards are
+// tolerated at weight zero; an empty whole union returns ErrEmptyUnion.
+func PrepareSharded(joins []*join.Join, cfg ShardedConfig, g *rng.RNG) (*ShardedShared, error) {
+	if cfg.Shards < 1 {
+		return nil, fmt.Errorf("core: ShardedConfig.Shards must be >= 1, got %d", cfg.Shards)
+	}
+	if cfg.Factory == nil {
+		return nil, fmt.Errorf("core: ShardedConfig.Factory is required")
+	}
+	if err := validateUnion(joins); err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	attr := cfg.Attr
+	if attr == "" {
+		attr = PartitionAttr(joins)
+	} else if !joins[0].OutputSchema().Has(attr) {
+		return nil, fmt.Errorf("core: partition attribute %q is not an output attribute", attr)
+	}
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > cfg.Shards {
+		workers = cfg.Shards
+	}
+	p := &ShardedShared{
+		origJoins: joins,
+		cfg:       cfg,
+		attr:      attr,
+		workers:   workers,
+		partOf:    make(map[*relation.Relation]*relation.Partition),
+	}
+	// Version snapshot first: a mutation landing while the partitions
+	// build makes the result stale (refresh reconciles), never silently
+	// incomplete. Cyclic residuals reconcile before they are refiltered.
+	p.vers = make([][]uint64, len(joins))
+	for i, j := range joins {
+		j.FreshenResidual()
+		p.vers[i] = j.StateVersions()
+	}
+	for _, j := range joins {
+		for _, n := range j.Nodes() {
+			rel := n.Rel
+			if p.partOf[rel] != nil || !rel.Schema().Has(attr) {
+				continue
+			}
+			part, err := relation.NewPartition(rel, attr, cfg.Shards)
+			if err != nil {
+				return nil, err
+			}
+			p.partOf[rel] = part
+			p.parts = append(p.parts, part)
+		}
+	}
+	p.shardJoins = make([][]*join.Join, cfg.Shards)
+	for s := 0; s < cfg.Shards; s++ {
+		p.shardJoins[s] = make([]*join.Join, len(joins))
+		for i, j := range joins {
+			sj, err := join.Rebind(j, fmt.Sprintf("%s#%d", j.Name(), s), p.shardRel(s))
+			if err != nil {
+				return nil, err
+			}
+			p.shardJoins[s][i] = sj
+		}
+	}
+	if err := p.warmShards(g, nil); err != nil {
+		return nil, err
+	}
+	if err := p.aggregate(); err != nil {
+		return nil, err
+	}
+	p.warmupTime = time.Since(start)
+	return p, nil
+}
+
+// shardRel returns the Rebind substitution for shard s: partitioned
+// relations map to their fragment, a residual materialization carrying
+// the attribute is statically filtered to the shard, and everything
+// else (relations without the partition attribute) is shared as-is
+// across all shards — correct because the attribute's holders are
+// join-connected, so the holders alone pin every result tuple's shard.
+func (p *ShardedShared) shardRel(s int) func(*relation.Relation) (*relation.Relation, error) {
+	return func(rel *relation.Relation) (*relation.Relation, error) {
+		if part := p.partOf[rel]; part != nil {
+			return part.Frag(s), nil
+		}
+		if rel.Schema().Has(p.attr) {
+			return rel.Filter(
+				fmt.Sprintf("%s#%d/%d", rel.Name(), s, p.cfg.Shards),
+				relation.ShardPredicate{Attr: p.attr, Shard: s, Shards: p.cfg.Shards},
+			), nil
+		}
+		return rel, nil
+	}
+}
+
+// forEachShard runs f for every shard, in parallel up to p.workers.
+// Each f(s) touches only shard s's state plus concurrency-safe shared
+// structures (relation indexes, membership tables), so the fan-out is
+// race-free and — because every shard draws from its own derived
+// stream — deterministic regardless of scheduling.
+func (p *ShardedShared) forEachShard(f func(s int)) {
+	if p.workers <= 1 || p.cfg.Shards <= 1 {
+		for s := 0; s < p.cfg.Shards; s++ {
+			f(s)
+		}
+		return
+	}
+	sem := make(chan struct{}, p.workers)
+	var wg sync.WaitGroup
+	for s := 0; s < p.cfg.Shards; s++ {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(s int) {
+			defer wg.Done()
+			f(s)
+			<-sem
+		}(s)
+	}
+	wg.Wait()
+}
+
+// warmShards prepares (or, with prev non-nil, refreshes) every shard's
+// sampler. Shard s draws its warm-up randomness from stream s of a base
+// derived from g, so the result is reproducible whatever the worker
+// interleaving. Empty shards come back nil.
+func (p *ShardedShared) warmShards(g *rng.RNG, prev []PreparedSampler) error {
+	base := int64(g.Uint64())
+	p.perShard = make([]PreparedSampler, p.cfg.Shards)
+	errs := make([]error, p.cfg.Shards)
+	p.forEachShard(func(s int) {
+		gs := rng.New(DeriveSeed(base, int64(s)))
+		var ps PreparedSampler
+		var err error
+		if prev != nil && prev[s] != nil {
+			ps, _, err = Refresh(prev[s], gs)
+		} else {
+			ps, err = p.cfg.Factory(p.shardJoins[s], gs)
+		}
+		if errors.Is(err, ErrEmptyUnion) {
+			ps, err = nil, nil // empty shard: weight zero, never drawn
+		}
+		p.perShard[s], errs[s] = ps, err
+	})
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// aggregate sums per-shard parameters into the union's (exact under the
+// disjoint partition) and builds the shard-selection alias table.
+func (p *ShardedShared) aggregate() error {
+	agg := &Params{
+		JoinSizes: make([]float64, len(p.origJoins)),
+		Cover:     make([]float64, len(p.origJoins)),
+	}
+	p.weights = make([]float64, p.cfg.Shards)
+	for s, ps := range p.perShard {
+		if ps == nil {
+			continue
+		}
+		sp := ps.Params()
+		for j := range sp.JoinSizes {
+			agg.JoinSizes[j] += sp.JoinSizes[j]
+		}
+		for j := range sp.Cover {
+			agg.Cover[j] += sp.Cover[j]
+		}
+		agg.UnionSize += sp.UnionSize
+		p.weights[s] = sp.UnionSize
+	}
+	p.params = agg
+	p.alias = rng.NewAlias(p.weights)
+	if p.alias == nil {
+		return ErrEmptyUnion
+	}
+	return nil
+}
+
+// stale reports whether any original join's state moved since the
+// snapshot — the authoritative staleness signal for the sharded
+// sampler (per-shard samplers see fragments, which only move on Sync).
+func (p *ShardedShared) stale() bool {
+	dirty, any := p.dirtyOrig()
+	_ = dirty
+	return any
+}
+
+func (p *ShardedShared) dirtyOrig() ([]bool, bool) {
+	dirty := make([]bool, len(p.origJoins))
+	any := false
+	for i, j := range p.origJoins {
+		cur := j.StateVersions()
+		for k, v := range cur {
+			if k >= len(p.vers[i]) || p.vers[i][k] != v {
+				dirty[i] = true
+				any = true
+				break
+			}
+		}
+	}
+	return dirty, any
+}
+
+// Refresh reconciles the sharded sampler with mutated data: partitions
+// replay the mutation-log tail into their fragments, and only the
+// shards whose fragments (or shared relations) moved rebuild their
+// samplers and re-estimate — the PR 3 delta path, per shard. A cyclic
+// original join's mutation, or a lost log tail, falls back to a full
+// re-partition (rebound cyclic residuals are static filters, so there
+// is nothing to reconcile incrementally). The receiver is untouched;
+// in-flight runs keep drawing under the live-relation visibility
+// contract.
+func (p *ShardedShared) Refresh(g *rng.RNG) (PreparedSampler, bool, error) {
+	dirty, any := p.dirtyOrig()
+	if !any {
+		return p, false, nil
+	}
+	for i, d := range dirty {
+		if d && p.origJoins[i].IsCyclic() {
+			np, err := PrepareSharded(p.origJoins, p.cfg, g)
+			return np, true, err
+		}
+	}
+	np := &ShardedShared{
+		origJoins:  p.origJoins,
+		cfg:        p.cfg,
+		attr:       p.attr,
+		workers:    p.workers,
+		parts:      p.parts,
+		partOf:     p.partOf,
+		shardJoins: p.shardJoins,
+	}
+	// New snapshot before syncing, for the same conservative reason as
+	// at build: a racing mutation re-reports stale rather than being
+	// missed.
+	np.vers = make([][]uint64, len(p.origJoins))
+	for i, j := range p.origJoins {
+		np.vers[i] = j.StateVersions()
+	}
+	start := time.Now()
+	for _, part := range p.parts {
+		if _, ok := part.Sync(); !ok {
+			nps, err := PrepareSharded(p.origJoins, p.cfg, g)
+			return nps, true, err
+		}
+	}
+	// Per-shard Refresh sees exactly the dirty fragments (their
+	// versions moved under Sync) plus dirty shared relations, and
+	// rebuilds only those joins' samplers; clean shards return
+	// themselves unchanged.
+	if err := np.warmShards(g, p.perShard); err != nil {
+		return nil, false, err
+	}
+	if err := np.aggregate(); err != nil {
+		return nil, false, err
+	}
+	np.warmupTime = time.Since(start)
+	return np, true, nil
+}
+
+// prewarm forces every shard's lazily built shared structures.
+func (p *ShardedShared) prewarm() {
+	p.forEachShard(func(s int) {
+		if p.perShard[s] != nil {
+			Prewarm(p.perShard[s])
+		}
+	})
+}
+
+// Params returns the aggregate parameters: per-join sizes, cover sizes,
+// and |U| summed over shards (exact under the disjoint partition).
+func (p *ShardedShared) Params() *Params { return p.params }
+
+// WarmupTime reports how long the last (re)preparation took, wall
+// clock: parallel shard warm-ups overlap inside it.
+func (p *ShardedShared) WarmupTime() time.Duration { return p.warmupTime }
+
+// Shards returns the shard count.
+func (p *ShardedShared) Shards() int { return p.cfg.Shards }
+
+// Attr returns the partition attribute.
+func (p *ShardedShared) Attr() string { return p.attr }
+
+// ShardWeights returns the per-shard union-size weights (the alias
+// table's distribution); the slice is a copy.
+func (p *ShardedShared) ShardWeights() []float64 {
+	return append([]float64(nil), p.weights...)
+}
+
+// NewRun mints an independent sampling run: one per-shard run each (its
+// own record, scratch, and Stats), merged behind one Run interface.
+func (p *ShardedShared) NewRun() Run {
+	s := &ShardedSampler{shared: p, runs: make([]Run, len(p.perShard))}
+	for i, ps := range p.perShard {
+		if ps != nil {
+			s.runs[i] = ps.NewRun()
+		}
+	}
+	return s
+}
+
+// unionBase implements PreparedSampler vacuously: a sharded sampler has
+// no single shared join base. Prewarm, Stale, Refresh, and
+// PrepareDisjointFrom all dispatch on the concrete type before touching
+// it.
+func (p *ShardedShared) unionBase() *unionBase { return nil }
+
+// ShardedSampler is one sampling run over the union of shards: per
+// tuple, the alias table picks a shard proportionally to |U_s| and the
+// shard's run draws uniformly within it — Algorithm 1's join-selection
+// shape lifted one level up. Per-shard record state needs no cross-
+// shard reconciliation because the shards are disjoint: a value can
+// never be produced by two shards.
+type ShardedSampler struct {
+	shared *ShardedShared
+	runs   []Run
+	stats  Stats
+}
+
+// Sample draws n tuples sequentially on a single stream: alias-select a
+// shard, then one draw within it, per tuple. Deterministic for a fixed
+// g; the batch path below consumes randomness differently (its streams
+// are pinned by their own golden digests).
+func (s *ShardedSampler) Sample(n int, g *rng.RNG) ([]relation.Tuple, error) {
+	out := make([]relation.Tuple, 0, n)
+	for i := 0; i < n; i++ {
+		sh := s.shared.alias.Draw(g)
+		run := s.runs[sh]
+		if run == nil {
+			return nil, fmt.Errorf("core: sharded sampler drew empty shard %d", sh)
+		}
+		t, err := run.Sample(1, g)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, t[0])
+	}
+	return out, nil
+}
+
+// SampleBatch draws n tuples through the batch engine: shard
+// assignments are drawn first (recording order and counts), each busy
+// shard executes one per-shard sub-batch on its own stream derived from
+// a single base draw, sub-batches run on a worker pool bounded by the
+// configured workers, and results merge back in assignment order with
+// no cross-shard locks. The merged stream is bit-identical however many
+// workers actually run — scheduling affects only wall clock.
+func (s *ShardedSampler) SampleBatch(n int, g *rng.RNG) ([]relation.Tuple, error) {
+	if n <= 0 {
+		return []relation.Tuple{}, nil
+	}
+	shards := len(s.runs)
+	order := make([]int32, n)
+	counts := make([]int, shards)
+	for i := range order {
+		sh := s.shared.alias.Draw(g)
+		order[i] = int32(sh)
+		counts[sh]++
+	}
+	base := int64(g.Uint64())
+	parts := make([][]relation.Tuple, shards)
+	errs := make([]error, shards)
+	busy := make([]int, 0, shards)
+	for sh, c := range counts {
+		if c == 0 {
+			continue
+		}
+		if s.runs[sh] == nil {
+			return nil, fmt.Errorf("core: sharded sampler drew empty shard %d", sh)
+		}
+		busy = append(busy, sh)
+	}
+	drawShard := func(sh int) {
+		parts[sh], errs[sh] = s.runs[sh].SampleBatch(counts[sh], rng.New(DeriveSeed(base, int64(sh))))
+	}
+	if len(busy) == 1 || s.shared.workers <= 1 {
+		for _, sh := range busy {
+			drawShard(sh)
+		}
+	} else {
+		sem := make(chan struct{}, s.shared.workers)
+		var wg sync.WaitGroup
+		for _, sh := range busy {
+			wg.Add(1)
+			sem <- struct{}{}
+			go func(sh int) {
+				defer wg.Done()
+				drawShard(sh)
+				<-sem
+			}(sh)
+		}
+		wg.Wait()
+	}
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	out := make([]relation.Tuple, n)
+	cursor := make([]int, shards)
+	for i, sh := range order {
+		out[i] = parts[sh][cursor[sh]]
+		cursor[sh]++
+	}
+	return out, nil
+}
+
+// Stats merges the per-shard runs' instrumentation by summation (the
+// counters are counts of disjoint work; the sampled durations add the
+// same way). The merge is recomputed on every call, so it reflects all
+// draws so far.
+func (s *ShardedSampler) Stats() *Stats {
+	m := Stats{TimingSampled: true}
+	for _, r := range s.runs {
+		if r == nil {
+			continue
+		}
+		st := r.Stats()
+		m.Accepted += st.Accepted
+		m.RejectedDup += st.RejectedDup
+		m.Revised += st.Revised
+		m.RevisedRemoved += st.RevisedRemoved
+		m.JoinRejects += st.JoinRejects
+		m.ReuseAccepted += st.ReuseAccepted
+		m.ReuseRejected += st.ReuseRejected
+		m.Backtracks += st.Backtracks
+		m.BacktrackDropped += st.BacktrackDropped
+		m.TotalDraws += st.TotalDraws
+		m.WarmupTime += st.WarmupTime
+		m.AcceptTime += st.AcceptTime
+		m.RejectTime += st.RejectTime
+		m.ReuseTime += st.ReuseTime
+		m.RegularTime += st.RegularTime
+		m.TimingSampled = m.TimingSampled && st.TimingSampled
+	}
+	s.stats = m
+	return &s.stats
+}
+
+// Params returns the shared aggregate parameters. Online runs refine
+// their shard-local parameters internally; the aggregate view reported
+// here is the warm-up estimate.
+func (s *ShardedSampler) Params() *Params { return s.shared.params }

@@ -1,0 +1,210 @@
+package reftest
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	su "sampleunion"
+	"sampleunion/internal/relation"
+)
+
+// TestShardedMatchesReference is the sharded engine's distribution
+// property test: over randomized scenarios, a session prepared with
+// Options.Shards >= 2 must produce draws — sequential and batch — that
+// are membership-exact and chi-square-uniform against the brute-force
+// reference, and a two-sample chi-square against an unsharded session
+// of the same union must not distinguish them. Both checks run
+// statically and again after a random mutation burst plus Refresh
+// (which drives the per-shard delta path, and the full re-partition
+// path for cyclic scenarios).
+func TestShardedMatchesReference(t *testing.T) {
+	executed := 0
+	for seed := int64(0); seed < 30; seed++ {
+		sc := buildScenario(t, seed)
+		sc.ensureNonEmpty()
+		union, _ := sc.reference()
+		if len(union) == 0 || len(union) > 300 {
+			continue
+		}
+		shards := 2 + int(seed%3)
+		sharded, err := sc.union.Prepare(su.Options{
+			Seed: seed + 1, Warmup: su.WarmupExact, Method: su.MethodEW, Oracle: true,
+			Shards: shards,
+		})
+		if err != nil {
+			t.Fatalf("seed %d (%s): prepare sharded: %v", seed, sc.name, err)
+		}
+		flat, err := sc.union.Prepare(su.Options{
+			Seed: seed + 1, Warmup: su.WarmupExact, Method: su.MethodEW, Oracle: true,
+		})
+		if err != nil {
+			t.Fatalf("seed %d (%s): prepare flat: %v", seed, sc.name, err)
+		}
+		rnd := rand.New(rand.NewSource(seed + 9000))
+		for phase := 0; phase < 2; phase++ {
+			if phase == 1 {
+				mutationBurst(rnd, sc.rels)
+				sc.ensureNonEmpty()
+				if err := sharded.Refresh(); err != nil {
+					t.Fatalf("seed %d (%s): sharded refresh: %v", seed, sc.name, err)
+				}
+				if err := flat.Refresh(); err != nil {
+					t.Fatalf("seed %d (%s): flat refresh: %v", seed, sc.name, err)
+				}
+				union, _ = sc.reference()
+				if len(union) == 0 || len(union) > 300 {
+					break
+				}
+			}
+			label := fmt.Sprintf("seed %d (%s, %d shards) phase %d", seed, sc.name, shards, phase)
+			n := drawCount(len(union))
+			batchDraws, _, err := sharded.SampleBatchSeeded(n, seed*11+1)
+			if err != nil {
+				t.Fatalf("%s: sharded batch: %v", label, err)
+			}
+			seqDraws, _, err := sharded.SampleSeeded(n, seed*13+2)
+			if err != nil {
+				t.Fatalf("%s: sharded sequential: %v", label, err)
+			}
+			checkDraws(t, label+" batch", batchDraws, UniformWeights(union), true)
+			checkDraws(t, label+" sequential", seqDraws, UniformWeights(union), true)
+			// Directly against the unsharded engine.
+			flatDraws, _, err := flat.SampleBatchSeeded(n, seed*17+3)
+			if err != nil {
+				t.Fatalf("%s: flat batch: %v", label, err)
+			}
+			stat, df := twoSampleChi(countDraws(batchDraws), countDraws(flatDraws))
+			if crit := ChiSquareCritical(df, chiZ); stat > crit {
+				t.Fatalf("%s: two-sample chi-square %0.1f > %0.1f (df %d): sharded and unsharded draws differ in distribution",
+					label, stat, crit, df)
+			}
+			executed++
+		}
+	}
+	if executed < 10 {
+		t.Fatalf("only %d scenario phases executed; generators drifted", executed)
+	}
+}
+
+// TestShardedDeterministicAcrossWorkers pins the sharded determinism
+// contract: the merged batch stream must be bit-identical no matter how
+// the per-shard sub-batches are scheduled, so two sessions prepared
+// with the same seed and shard count agree draw for draw.
+func TestShardedDeterministicAcrossWorkers(t *testing.T) {
+	sc := buildScenario(t, 0) // chain2x2
+	sc.ensureNonEmpty()
+	mk := func() ([]relation.Tuple, []relation.Tuple) {
+		sess, err := sc.union.Prepare(su.Options{
+			Seed: 7, Warmup: su.WarmupExact, Method: su.MethodEW, Shards: 4,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, _, err := sess.SampleBatchSeeded(500, 99)
+		if err != nil {
+			t.Fatal(err)
+		}
+		q, _, err := sess.SampleSeeded(100, 99)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b, q
+	}
+	b1, q1 := mk()
+	b2, q2 := mk()
+	for i := range b1 {
+		if !b1[i].Equal(b2[i]) {
+			t.Fatalf("batch draw %d differs across identically-prepared sessions: %v vs %v", i, b1[i], b2[i])
+		}
+	}
+	for i := range q1 {
+		if !q1[i].Equal(q2[i]) {
+			t.Fatalf("sequential draw %d differs across identically-prepared sessions: %v vs %v", i, q1[i], q2[i])
+		}
+	}
+}
+
+// TestShardedConcurrentDrawsMutationsRefresh races sharded draws
+// against relation mutations and Refresh calls (run under -race):
+// fragments follow the live-relation visibility contract, so draws on
+// any generation must stay memory-safe while Sync replays the mutation
+// log into them, and the final refreshed state must serve exactly the
+// mutated union.
+func TestShardedConcurrentDrawsMutationsRefresh(t *testing.T) {
+	sc := buildScenario(t, 0) // chain2x2: acyclic, exercises the incremental path
+	sc.ensureNonEmpty()
+	sess, err := sc.union.Prepare(su.Options{
+		Seed: 21, Warmup: su.WarmupExact, Method: su.MethodEW, Shards: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(1)
+	go func() { // mutator: appends across relations, occasional deletes
+		defer wg.Done()
+		for i := 0; i < 120; i++ {
+			r := sc.rels[i%len(sc.rels)]
+			row := make(relation.Tuple, r.Arity())
+			for j := range row {
+				row[j] = relation.Value((i + j) % 6)
+			}
+			r.Append(row)
+			if i%13 == 0 {
+				sc.rels[0].Delete(i % sc.rels[0].Len())
+			}
+		}
+		close(stop)
+	}()
+	wg.Add(1)
+	go func() { // refresher
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				if err := sess.Refresh(); err != nil {
+					t.Errorf("refresh: %v", err)
+				}
+				return
+			default:
+				if err := sess.Refresh(); err != nil {
+					t.Errorf("refresh: %v", err)
+					return
+				}
+			}
+		}
+	}()
+	for w := 0; w < 3; w++ {
+		wg.Add(1)
+		go func(w int) { // drawers: batch (shard fan-out) and sequential
+			defer wg.Done()
+			for i := 0; i < 40; i++ {
+				if _, _, err := sess.SampleBatchSeeded(16, int64(w*1000+i)); err != nil {
+					t.Errorf("batch draw: %v", err)
+					return
+				}
+				if _, _, err := sess.Sample(4); err != nil {
+					t.Errorf("draw: %v", err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if err := sess.Refresh(); err != nil {
+		t.Fatal(err)
+	}
+	union, _ := sc.reference()
+	out, _, err := sess.SampleBatchSeeded(400, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tup := range out {
+		if _, ok := union[relation.TupleKey(tup)]; !ok {
+			t.Fatalf("post-settle draw %v not in mutated union", tup)
+		}
+	}
+}

@@ -1,0 +1,188 @@
+package relation
+
+import (
+	"testing"
+)
+
+func buildPartitioned(t *testing.T, shards int) (*Relation, *Partition) {
+	t.Helper()
+	r := New("src", NewSchema("K", "X"))
+	for i := 0; i < 100; i++ {
+		r.AppendValues(Value(i%17), Value(i))
+	}
+	p, err := NewPartition(r, "K", shards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r, p
+}
+
+// liveRows collects a relation's live tuples by value.
+func liveRows(r *Relation) map[string]int {
+	out := make(map[string]int)
+	for i := 0; i < r.Len(); i++ {
+		if r.Live(i) {
+			out[TupleKey(r.Row(i))]++
+		}
+	}
+	return out
+}
+
+func checkFragments(t *testing.T, src *Relation, p *Partition) {
+	t.Helper()
+	got := make(map[string]int)
+	for s := 0; s < p.Shards(); s++ {
+		f := p.Frag(s)
+		for i := 0; i < f.Len(); i++ {
+			if !f.Live(i) {
+				continue
+			}
+			row := f.Row(i)
+			if w := ShardOf(row[0], p.Shards()); w != s {
+				t.Fatalf("row %v in fragment %d, hashes to %d", row, s, w)
+			}
+			got[TupleKey(row)]++
+		}
+	}
+	want := liveRows(src)
+	if len(got) != len(want) {
+		t.Fatalf("fragments hold %d distinct rows, source has %d", len(got), len(want))
+	}
+	for k, n := range want {
+		if got[k] != n {
+			t.Fatalf("row %x: %d copies in fragments, %d in source", k, got[k], n)
+		}
+	}
+}
+
+func TestPartitionBuild(t *testing.T) {
+	src, p := buildPartitioned(t, 4)
+	checkFragments(t, src, p)
+	if p.Stale() {
+		t.Fatal("fresh partition reports stale")
+	}
+	nonEmpty := 0
+	for s := 0; s < 4; s++ {
+		if p.Frag(s).Len() > 0 {
+			nonEmpty++
+		}
+	}
+	if nonEmpty < 2 {
+		t.Fatalf("17 distinct keys landed in %d of 4 shards; hash is striping", nonEmpty)
+	}
+}
+
+func TestPartitionSyncAppendsAndDeletes(t *testing.T) {
+	src, p := buildPartitioned(t, 3)
+	// Mixed tail: appends, deletes of old rows, and a delete of a row
+	// appended in the same tail (exercises the two-pass ordering).
+	src.AppendValues(Value(200), Value(1))
+	src.AppendValues(Value(201), Value(2))
+	src.Delete(0)
+	src.Delete(5)
+	newRow := src.Len()
+	src.AppendValues(Value(202), Value(3))
+	src.Delete(newRow) // appended and deleted within one tail
+	if !p.Stale() {
+		t.Fatal("mutated source not reported stale")
+	}
+	dirty, ok := p.Sync()
+	if !ok {
+		t.Fatal("sync lost the log tail unexpectedly")
+	}
+	anyDirty := false
+	for _, d := range dirty {
+		anyDirty = anyDirty || d
+	}
+	if !anyDirty {
+		t.Fatal("sync reported no dirty fragments after mutations")
+	}
+	checkFragments(t, src, p)
+	if p.Stale() {
+		t.Fatal("synced partition reports stale")
+	}
+	// A clean re-sync is a no-op.
+	if _, ok := p.Sync(); !ok {
+		t.Fatal("clean sync lost the tail")
+	}
+}
+
+func TestPartitionSyncRepeatedRounds(t *testing.T) {
+	src, p := buildPartitioned(t, 5)
+	for round := 0; round < 8; round++ {
+		for i := 0; i < 10; i++ {
+			src.AppendValues(Value(300+round*10+i), Value(i))
+		}
+		src.Delete((round * 7) % src.Len())
+		if _, ok := p.Sync(); !ok {
+			t.Fatalf("round %d: lost tail", round)
+		}
+		checkFragments(t, src, p)
+	}
+}
+
+func TestPartitionSyncLostTail(t *testing.T) {
+	src, p := buildPartitioned(t, 2)
+	// Overflow the bounded mutation log so the partition's tail is gone.
+	rows := make([]Tuple, 0, 6000)
+	for i := 0; i < 6000; i++ {
+		rows = append(rows, Tuple{Value(i), Value(i)})
+	}
+	src.AppendRows(rows)
+	if _, ok := p.Sync(); ok {
+		t.Fatal("sync succeeded across a lost log tail")
+	}
+	// The caller rebuilds: a fresh partition over the same source works.
+	np, err := NewPartition(src, "K", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkFragments(t, src, np)
+}
+
+func TestNewPartitionValidation(t *testing.T) {
+	r := New("r", NewSchema("A"))
+	if _, err := NewPartition(r, "A", 0); err == nil {
+		t.Fatal("0 shards accepted")
+	}
+	if _, err := NewPartition(r, "missing", 2); err == nil {
+		t.Fatal("unknown attribute accepted")
+	}
+}
+
+func TestShardPredicate(t *testing.T) {
+	s := NewSchema("A", "B")
+	pred := ShardPredicate{Attr: "B", Shard: ShardOf(7, 3), Shards: 3}
+	if !pred.Eval(Tuple{1, 7}, s) {
+		t.Fatal("matching row rejected")
+	}
+	miss := false
+	for v := Value(0); v < 20; v++ {
+		if ShardOf(v, 3) != pred.Shard && !miss {
+			miss = true
+			if pred.Eval(Tuple{1, v}, s) {
+				t.Fatalf("row with off-shard value %d accepted", v)
+			}
+		}
+	}
+	if pred.String() == "" {
+		t.Fatal("empty predicate string")
+	}
+	absent := ShardPredicate{Attr: "C", Shard: 0, Shards: 3}
+	if absent.Eval(Tuple{1, 2}, s) {
+		t.Fatal("predicate over absent attribute accepted a row")
+	}
+}
+
+func TestShardOfSpreads(t *testing.T) {
+	const shards = 8
+	counts := make([]int, shards)
+	for v := Value(0); v < 8000; v++ {
+		counts[ShardOf(v, shards)]++
+	}
+	for s, c := range counts {
+		if c < 700 || c > 1300 {
+			t.Fatalf("shard %d holds %d of 8000 consecutive values; expected near 1000", s, c)
+		}
+	}
+}

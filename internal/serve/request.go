@@ -20,6 +20,7 @@ package serve
 
 import (
 	"fmt"
+	"runtime"
 	"strings"
 
 	"sampleunion"
@@ -59,6 +60,10 @@ type OptionsDecl struct {
 	WarmupWalks int    `json:"warmup_walks,omitempty"`
 	Oracle      bool   `json:"oracle,omitempty"`
 	Seed        int64  `json:"seed,omitempty"`
+	// Shards enables the shard-parallel engine (Options.Shards): 0 or 1
+	// keeps the single-shard engine, -1 resolves to the server's core
+	// count, >= 2 is an explicit shard count.
+	Shards int `json:"shards,omitempty"`
 }
 
 // normalize fills defaults so equal-by-effect declarations produce
@@ -79,6 +84,15 @@ func (o OptionsDecl) normalize() OptionsDecl {
 	if o.Seed == 0 {
 		o.Seed = 1
 	}
+	if o.Shards < 0 {
+		// Resolve "auto" at the server, so the fingerprint is stable for
+		// the server's lifetime and equal-by-effect declarations share a
+		// session.
+		o.Shards = runtime.GOMAXPROCS(0)
+	}
+	if o.Shards < 1 {
+		o.Shards = 1
+	}
 	return o
 }
 
@@ -90,6 +104,7 @@ func (o OptionsDecl) toOptions() (sampleunion.Options, error) {
 		WarmupWalks: o.WarmupWalks,
 		Oracle:      o.Oracle,
 		Seed:        o.Seed,
+		Shards:      o.Shards,
 	}
 	var err error
 	if out.Warmup, err = sampleunion.ParseWarmup(o.Warmup); err != nil {
@@ -132,8 +147,8 @@ func (d UnionDecl) Key() (string, error) {
 		return "", fmt.Errorf("serve: declare either workload or spec, not both")
 	}
 	o := d.Options
-	optPart := fmt.Sprintf("opts warmup=%s method=%s online=%t walks=%d oracle=%t seed=%d",
-		o.Warmup, o.Method, o.Online, o.WarmupWalks, o.Oracle, o.Seed)
+	optPart := fmt.Sprintf("opts warmup=%s method=%s online=%t walks=%d oracle=%t seed=%d shards=%d",
+		o.Warmup, o.Method, o.Online, o.WarmupWalks, o.Oracle, o.Seed, o.Shards)
 	srcPart := fmt.Sprintf("workload name=%s sf=%g overlap=%g seed=%d",
 		d.Workload, d.SF, d.Overlap, d.DataSeed)
 	if d.Spec != "" {

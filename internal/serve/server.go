@@ -25,8 +25,15 @@ type Config struct {
 	SessionCap int
 	// MaxInflight bounds concurrently executing draw requests; past it
 	// the server sheds load with 429 + Retry-After instead of queueing
-	// without bound. Default 16 × GOMAXPROCS.
+	// without bound. Default 16 × GOMAXPROCS ÷ ShardWorkers (min 1):
+	// sharded sessions fan every batch request out to ShardWorkers
+	// goroutines, so the admission cap is divided by the fan-out to keep
+	// one batch request from oversubscribing the cores.
 	MaxInflight int
+	// ShardWorkers is the per-request shard fan-out sessions prepared
+	// with a shards option use (the worker-pool width of one batch
+	// draw). It only scales the MaxInflight default; default GOMAXPROCS.
+	ShardWorkers int
 }
 
 // Server is the HTTP serving layer: a session registry behind a JSON
@@ -45,8 +52,14 @@ func New(cfg Config) *Server {
 	if cfg.SessionCap <= 0 {
 		cfg.SessionCap = 8
 	}
+	if cfg.ShardWorkers <= 0 {
+		cfg.ShardWorkers = runtime.GOMAXPROCS(0)
+	}
 	if cfg.MaxInflight <= 0 {
-		cfg.MaxInflight = 16 * runtime.GOMAXPROCS(0)
+		cfg.MaxInflight = 16 * runtime.GOMAXPROCS(0) / cfg.ShardWorkers
+		if cfg.MaxInflight < 1 {
+			cfg.MaxInflight = 1
+		}
 	}
 	s := &Server{
 		reg:     NewRegistry(cfg.DataDir, cfg.SessionCap),

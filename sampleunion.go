@@ -38,6 +38,7 @@ package sampleunion
 
 import (
 	"fmt"
+	"runtime"
 
 	"sampleunion/internal/core"
 	"sampleunion/internal/histest"
@@ -245,6 +246,23 @@ type Options struct {
 	// stream from it (see Session.SampleSeeded for explicit streams).
 	Seed int64
 
+	// Shards enables the shard-parallel engine: every relation carrying
+	// the partition attribute (a common output attribute, chosen to
+	// cover the most rows) is hash-partitioned into Shards fragments,
+	// one sampler is prepared per shard (warm-ups run in parallel), and
+	// each draw selects a shard proportionally to its estimated union
+	// size before sampling uniformly within it — the union of shards
+	// drawn exactly like the paper draws from a union of joins. Batch
+	// draws fan per-shard sub-batches out to a worker pool and merge
+	// without cross-shard locks.
+	//
+	// 0 or 1 keeps the single-shard engine — the default fast path,
+	// with streams byte-identical to previous releases. ShardsAuto (or
+	// any negative value) resolves to runtime.GOMAXPROCS(0). Sharded
+	// streams are themselves deterministic for a fixed seed and shard
+	// count, but differ from single-shard streams under the same seed.
+	Shards int
+
 	// AutoRefresh makes a prepared Session reconcile itself before a
 	// sampling call whenever the underlying relations mutated since the
 	// last (re)preparation — the convenience mode for streaming data.
@@ -259,6 +277,10 @@ type Options struct {
 	testEstimator core.Estimator
 }
 
+// ShardsAuto sets Options.Shards to the number of usable cores
+// (runtime.GOMAXPROCS) at Prepare time.
+const ShardsAuto = -1
+
 func (o Options) withDefaults() Options {
 	if o.WarmupWalks == 0 {
 		o.WarmupWalks = 1000
@@ -268,6 +290,12 @@ func (o Options) withDefaults() Options {
 	}
 	if o.Seed == 0 {
 		o.Seed = 1
+	}
+	if o.Shards < 0 {
+		o.Shards = runtime.GOMAXPROCS(0)
+	}
+	if o.Shards < 1 {
+		o.Shards = 1
 	}
 	return o
 }
@@ -311,20 +339,61 @@ func (u *Union) OutputSchema() *Schema { return u.joins[0].OutputSchema() }
 
 // estimator builds the core.Estimator for the options.
 func (u *Union) estimator(o Options) core.Estimator {
+	return estimatorFor(u.joins, o, o.WarmupWalks)
+}
+
+// estimatorFor builds the core.Estimator for an arbitrary join set —
+// the whole union's, or one shard's rebound joins — with an explicit
+// walk budget (the sharded engine divides the session's budget across
+// shards).
+func estimatorFor(joins []*join.Join, o Options, walks int) core.Estimator {
 	if o.testEstimator != nil {
 		return o.testEstimator
 	}
 	switch o.Warmup {
 	case WarmupRandomWalk:
-		return &core.RandomWalkEstimator{Joins: u.joins, Opts: walkest.Options{MaxWalks: o.WarmupWalks}}
+		return &core.RandomWalkEstimator{Joins: joins, Opts: walkest.Options{MaxWalks: walks}}
 	case WarmupExact:
-		return &core.ExactEstimator{Joins: u.joins}
+		return &core.ExactEstimator{Joins: joins}
 	default:
 		sizes := histest.SizeEO
 		if o.Method == MethodEW {
 			sizes = histest.SizeEW
 		}
-		return &core.HistogramEstimator{Joins: u.joins, Opts: histest.Options{Sizes: sizes}}
+		return &core.HistogramEstimator{Joins: joins, Opts: histest.Options{Sizes: sizes}}
+	}
+}
+
+// minShardWarmupWalks floors the per-shard walk budget: dividing the
+// session budget across many shards must not starve a shard's estimate.
+const minShardWarmupWalks = 32
+
+// shardFactory returns the closure the sharded engine uses to prepare
+// one shard's sampler under the session's options: the same
+// online/cover selection as the single-shard path, with the warm-up
+// walk budget split across shards.
+func shardFactory(o Options) core.ShardFactory {
+	walks := o.WarmupWalks
+	if o.Shards > 1 && walks > 0 {
+		walks = (walks + o.Shards - 1) / o.Shards
+		if walks < minShardWarmupWalks {
+			walks = minShardWarmupWalks
+		}
+	}
+	return func(joins []*join.Join, g *rng.RNG) (core.PreparedSampler, error) {
+		if o.Online {
+			return core.PrepareOnline(joins, core.OnlineConfig{
+				WarmupWalks:    walks,
+				Oracle:         o.Oracle,
+				DetailedTiming: o.DetailedTiming,
+			}, g)
+		}
+		return core.PrepareCover(joins, core.CoverConfig{
+			Method:         core.JoinMethod(o.Method),
+			Estimator:      estimatorFor(joins, o, walks),
+			Oracle:         o.Oracle,
+			DetailedTiming: o.DetailedTiming,
+		}, g)
 	}
 }
 

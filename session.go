@@ -96,7 +96,12 @@ func (u *Union) prepare(o Options, prewarm bool) (*Session, error) {
 	g := rng.New(o.Seed)
 	var prepared core.PreparedSampler
 	var err error
-	if o.Online {
+	if o.Shards > 1 {
+		prepared, err = core.PrepareSharded(u.joins, core.ShardedConfig{
+			Shards:  o.Shards,
+			Factory: shardFactory(o),
+		}, g)
+	} else if o.Online {
 		prepared, err = core.PrepareOnline(u.joins, core.OnlineConfig{
 			WarmupWalks:    o.WarmupWalks,
 			Oracle:         o.Oracle,
@@ -192,10 +197,13 @@ func (s *Session) Refresh() error {
 // reuse the prepared subroutine samplers (their method is the session's
 // Method); online sessions are prepared on EO internally, so when the
 // caller asked for a different Method the disjoint sampler is built
-// separately to honor it.
+// separately to honor it. Sharded sessions have no single shared join
+// base to reuse, so their disjoint sampler is prepared over the
+// original (unsharded) joins — disjoint draws are the rare path and do
+// not need shard fan-out.
 func (s *Session) disjointShared(st *sessionState) (*core.DisjointShared, error) {
 	st.disjointOnce.Do(func() {
-		if s.opts.Online && core.JoinMethod(s.opts.Method) != core.MethodEO {
+		if s.opts.Shards > 1 || (s.opts.Online && core.JoinMethod(s.opts.Method) != core.MethodEO) {
 			st.disjoint, st.disjointErr = core.PrepareDisjoint(s.u.joins, core.DisjointConfig{
 				Method:         core.JoinMethod(s.opts.Method),
 				DetailedTiming: s.opts.DetailedTiming,
@@ -449,7 +457,11 @@ func (s *Session) SampleParallel(n, workers int) ([]Tuple, error) {
 	if workers > n {
 		workers = n
 	}
-	if workers <= 1 {
+	// A sharded session parallelizes inside SampleBatch (per-shard
+	// sub-batches on the shard worker pool); stacking outer workers on
+	// top would oversubscribe the cores, so the whole request goes
+	// through one batch call.
+	if workers <= 1 || s.opts.Shards > 1 {
 		out, _, err := s.SampleBatch(n)
 		return out, err
 	}
