@@ -155,6 +155,7 @@ func Experiments() []struct {
 		{"serving", Serving},
 		{"batch", Batch},
 		{"shards", Shards},
+		{"storage", Storage},
 	}
 }
 

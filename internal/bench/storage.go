@@ -1,0 +1,154 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"sampleunion/internal/relation"
+	"sampleunion/internal/tpch"
+)
+
+// Storage measures the relation storage engine at a scale-factor sweep:
+// bytes allocated per row while building storage, and the throughput of
+// a selective predicate scan over a dictionary-encoded column
+// (~1/1024 selectivity, TPC-H lineitem shape plus a city column). This
+// is the record behind BENCH_PR7.json: run it on the pre-columnar
+// commit for the row-major baseline and on the refactored tree for the
+// columnar numbers — the scan row is labeled with the storage layout it
+// ran against.
+func Storage(o Options) (*Result, error) {
+	o = o.withDefaults()
+	sfs := []float64{1, 10}
+	if o.Quick {
+		sfs = []float64{1}
+	}
+	res := &Result{
+		Name:   "storage engine: build bytes/row and selective predicate scan",
+		Figure: "storage",
+		Note:   "scan is city = 'city-0000' (~1/1024 selective) over lineitem+city; ns_row is best of 5 rounds",
+		Header: []string{"sf", "rows", "layout", "build_bytes_row", "scan", "scan_ns_row", "matches"},
+	}
+	for _, sf := range sfs {
+		rows, schema, pred := storageWorkload(sf, o.Seed)
+		n := len(rows)
+		var rel *relation.Relation
+		c := measure(n, func() {
+			rel = relation.New("scan", schema)
+			rel.AppendRows(rows)
+		})
+		for _, sc := range storageScans() {
+			ns, matches := bestScan(5, rel, pred, sc.scan)
+			res.Add(
+				fmt.Sprintf("%g", sf),
+				fmt.Sprintf("%d", n),
+				storageLayout,
+				fmt.Sprintf("%d", c.bytesOp),
+				sc.name,
+				fmt.Sprintf("%.2f", ns),
+				fmt.Sprintf("%d", matches),
+			)
+		}
+	}
+	return res, nil
+}
+
+// storageLayout names the relation storage layout this build uses; it
+// tags the measurement rows so recorded baselines identify themselves.
+const storageLayout = "row-major"
+
+// storageScan is one predicate-scan implementation under measurement.
+type storageScan struct {
+	name string
+	scan func(r *relation.Relation, pred relation.Predicate) int
+}
+
+func storageScans() []storageScan {
+	return []storageScan{
+		{"row-eval", scanRowEval},
+	}
+}
+
+// scanRowEval is the tuple-at-a-time reference scan: evaluate the
+// predicate on each physical row.
+func scanRowEval(r *relation.Relation, pred relation.Predicate) int {
+	s := r.Schema()
+	n := r.Len()
+	matches := 0
+	for i := 0; i < n; i++ {
+		if pred.Eval(r.Row(i), s) {
+			matches++
+		}
+	}
+	return matches
+}
+
+// bestScan times rounds full scans and returns the best per-row
+// nanosecond cost plus the match count (identical across rounds; it
+// also keeps the scan from being optimized away). Small relations scan
+// repeatedly inside one timing so the clock resolution does not
+// dominate.
+func bestScan(rounds int, r *relation.Relation, pred relation.Predicate, scan func(*relation.Relation, relation.Predicate) int) (float64, int) {
+	n := r.Len()
+	reps := 1
+	if n > 0 {
+		if reps = 2_000_000 / n; reps < 1 {
+			reps = 1
+		}
+	}
+	best := 0.0
+	matches := 0
+	for round := 0; round < rounds; round++ {
+		start := time.Now()
+		for rep := 0; rep < reps; rep++ {
+			matches = scan(r, pred)
+		}
+		ns := float64(time.Since(start).Nanoseconds()) / float64(reps*n)
+		if round == 0 || ns < best {
+			best = ns
+		}
+	}
+	return best, matches
+}
+
+// storageWorkload builds the measured rows: variant-0 lineitem at the
+// scale factor, extended with a dictionary-encoded l_city column drawn
+// from 1024 distinct city names, plus the selective equality predicate
+// on one city code.
+func storageWorkload(sf float64, seed int64) ([]relation.Tuple, *relation.Schema, relation.Predicate) {
+	gen := tpch.NewGenerator(tpch.Config{SF: sf, Seed: seed})
+	li := gen.Lineitem(0)
+	dict := relation.NewDictionary()
+	names := make([]string, 1024)
+	for i := range names {
+		names[i] = fmt.Sprintf("city-%04d", i)
+	}
+	codes := encodeCities(dict, names)
+	n := li.Len()
+	rows := make([]relation.Tuple, n)
+	// Deterministic city assignment: SplitMix64-style mix of the row id,
+	// independent of the lineitem cells.
+	for i := 0; i < n; i++ {
+		base := li.Row(i)
+		row := make(relation.Tuple, len(base)+1)
+		copy(row, base)
+		h := uint64(i)*0x9E3779B97F4A7C15 + uint64(seed)
+		h ^= h >> 31
+		h *= 0xBF58476D1CE4E5B9
+		h ^= h >> 29
+		row[len(base)] = codes[h%uint64(len(codes))]
+		rows[i] = row
+	}
+	schema := relation.NewSchema("orderkey", "l_linenumber", "l_quantity", "l_price", "l_city")
+	pred := relation.Cmp{Attr: "l_city", Op: relation.EQ, Val: codes[0]}
+	return rows, schema, pred
+}
+
+// encodeCities interns the city names and returns their codes in name
+// order.
+func encodeCities(d *relation.Dictionary, names []string) []relation.Value {
+	codes := make([]relation.Value, len(names))
+	for i, s := range names {
+		codes[i] = d.Encode(s)
+	}
+	return codes
+}
