@@ -54,7 +54,7 @@ func Storage(o Options) (*Result, error) {
 
 // storageLayout names the relation storage layout this build uses; it
 // tags the measurement rows so recorded baselines identify themselves.
-const storageLayout = "row-major"
+const storageLayout = "columnar"
 
 // storageScan is one predicate-scan implementation under measurement.
 type storageScan struct {
@@ -63,8 +63,15 @@ type storageScan struct {
 }
 
 func storageScans() []storageScan {
+	// The vectorized scan reuses its selection vector across rounds, so
+	// the measurement is the per-column loop, not allocator traffic.
+	var sel []int
 	return []storageScan{
 		{"row-eval", scanRowEval},
+		{"vector-scan", func(r *relation.Relation, pred relation.Predicate) int {
+			sel = r.ScanWhere(pred, sel[:0])
+			return len(sel)
+		}},
 	}
 }
 
@@ -143,12 +150,8 @@ func storageWorkload(sf float64, seed int64) ([]relation.Tuple, *relation.Schema
 	return rows, schema, pred
 }
 
-// encodeCities interns the city names and returns their codes in name
-// order.
+// encodeCities interns the city names in one batch round and returns
+// their codes in name order.
 func encodeCities(d *relation.Dictionary, names []string) []relation.Value {
-	codes := make([]relation.Value, len(names))
-	for i, s := range names {
-		codes[i] = d.Encode(s)
-	}
-	return codes
+	return d.EncodeAll(names)
 }

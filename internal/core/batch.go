@@ -57,6 +57,7 @@ func (s *CoverSampler) SampleBatch(n int, g *rng.RNG) ([]relation.Tuple, error) 
 		return nil, err
 	}
 	s.result = growEntries(s.result, n)
+	s.arena = growArena(s.arena, (n-len(s.result))*s.shared.base.ref.Len())
 	before := s.stats
 	start := time.Now()
 	for len(s.result) < n {
@@ -65,12 +66,7 @@ func (s *CoverSampler) SampleBatch(n int, g *rng.RNG) ([]relation.Tuple, error) 
 		}
 	}
 	s.stats.bookBatchTime(&before, time.Since(start))
-	out := make([]relation.Tuple, n)
-	for i := 0; i < n; i++ {
-		out[i] = s.result[i].tuple
-	}
-	s.result = append(s.result[:0], s.result[n:]...)
-	return out, nil
+	return s.serveResult(n), nil
 }
 
 // batchDrawOne is drawOne on the batch engine: the same join
@@ -115,6 +111,7 @@ func (s *OnlineSampler) SampleBatch(n int, g *rng.RNG) ([]relation.Tuple, error)
 		return nil, err
 	}
 	s.result = growOnlineEntries(s.result, n)
+	s.arena = growArena(s.arena, (n-len(s.result))*s.shared.base.ref.Len())
 	before := s.stats
 	start := time.Now()
 	for len(s.result) < n {
@@ -126,12 +123,7 @@ func (s *OnlineSampler) SampleBatch(n int, g *rng.RNG) ([]relation.Tuple, error)
 		}
 	}
 	s.stats.bookBatchTime(&before, time.Since(start))
-	out := make([]relation.Tuple, n)
-	for i := 0; i < n; i++ {
-		out[i] = s.result[i].tuple
-	}
-	s.result = append(s.result[:0], s.result[n:]...)
-	return out, nil
+	return s.serveResult(n), nil
 }
 
 // batchDrawOne is the online drawOne without per-attempt clock reads;
@@ -171,6 +163,8 @@ const batchDisjointChunk = 1
 // join would bias the distribution — but the draw runs through
 // SampleManyInto (alias tables, no per-attempt clocking).
 func (s *DisjointSampler) SampleBatch(n int, g *rng.RNG) ([]relation.Tuple, error) {
+	k := s.shared.base.ref.Len()
+	flat := make([]relation.Value, 0, n*k)
 	out := make([]relation.Tuple, 0, n)
 	before := s.stats
 	start := time.Now()
@@ -182,7 +176,9 @@ func (s *DisjointSampler) SampleBatch(n int, g *rng.RNG) ([]relation.Tuple, erro
 		if got == 0 {
 			continue
 		}
-		out = append(out, s.shared.base.alignedClone(j, s.scratch.out))
+		off := len(flat)
+		flat = s.shared.base.alignedAppend(j, s.scratch.out, flat)
+		out = append(out, relation.Tuple(flat[off:len(flat):len(flat)]))
 		s.stats.Accepted++
 	}
 	s.stats.bookBatchTime(&before, time.Since(start))

@@ -96,6 +96,8 @@ func (s *DisjointSampler) Stats() *Stats { return &s.stats }
 // Sample returns n independent tuples, each with probability
 // 1/(|J_1| + ... + |J_n|), in the first join's output schema order.
 func (s *DisjointSampler) Sample(n int, g *rng.RNG) ([]relation.Tuple, error) {
+	k := s.shared.base.ref.Len()
+	flat := make([]relation.Value, 0, n*k)
 	out := make([]relation.Tuple, 0, n)
 	for len(out) < n {
 		start, w := s.stats.startDraw()
@@ -107,7 +109,9 @@ func (s *DisjointSampler) Sample(n int, g *rng.RNG) ([]relation.Tuple, error) {
 			s.stats.RejectTime += sinceDraw(start, w)
 			continue
 		}
-		out = append(out, s.shared.base.alignedClone(j, s.scratch.out))
+		off := len(flat)
+		flat = s.shared.base.alignedAppend(j, s.scratch.out, flat)
+		out = append(out, relation.Tuple(flat[off:len(flat):len(flat)]))
 		s.stats.Accepted++
 		d := sinceDraw(start, w)
 		s.stats.AcceptTime += d
@@ -194,6 +198,8 @@ func (s *BernoulliSampler) Sample(n int, g *rng.RNG) ([]relation.Tuple, error) {
 	if err := s.Warmup(g); err != nil {
 		return nil, err
 	}
+	k := s.base.ref.Len()
+	flat := make([]relation.Value, 0, n*k)
 	out := make([]relation.Tuple, 0, n)
 	for len(out) < n {
 		for j := range s.base.joins {
@@ -213,7 +219,9 @@ func (s *BernoulliSampler) Sample(n int, g *rng.RNG) ([]relation.Tuple, error) {
 				continue
 			}
 			if s.accept(j, s.scratch.out) {
-				out = append(out, s.base.alignedClone(j, s.scratch.out))
+				off := len(flat)
+				flat = s.base.alignedAppend(j, s.scratch.out, flat)
+				out = append(out, relation.Tuple(flat[off:len(flat):len(flat)]))
 				s.stats.Accepted++
 				d := sinceDraw(start, w)
 				s.stats.AcceptTime += d

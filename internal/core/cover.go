@@ -35,12 +35,14 @@ type CoverConfig struct {
 	DetailedTiming bool
 }
 
-// resultEntry is one buffered sample: the tuple plus its value's dense
-// record handle (KeyCounter insertion rank), which identifies the
-// tuple's value for revision removal exactly as the old string key did.
+// resultEntry is one buffered sample: the arena offset of the tuple's
+// value span plus the value's dense record handle (KeyCounter insertion
+// rank), which identifies the tuple's value for revision removal
+// exactly as the old string key did. The tuple itself lives in the
+// run's arena — buffering a sample allocates nothing.
 type resultEntry struct {
-	key   int
-	tuple relation.Tuple
+	key int
+	off int // start of the tuple's span in the run's arena
 }
 
 // CoverShared is the prepared state of Algorithm 1: the per-join
@@ -170,6 +172,7 @@ type CoverSampler struct {
 	record  *relation.KeyCounter // value (ref order) -> assigned join
 	scratch drawScratch
 	result  []resultEntry
+	arena   []relation.Value // backing store of buffered samples
 	stats   Stats
 }
 
@@ -219,12 +222,30 @@ func (s *CoverSampler) Sample(n int, g *rng.RNG) ([]relation.Tuple, error) {
 			return nil, err
 		}
 	}
-	out := make([]relation.Tuple, n)
-	for i := 0; i < n; i++ {
-		out[i] = s.result[i].tuple
+	return s.serveResult(n), nil
+}
+
+// serveResult copies the first n buffered samples out over one flat
+// backing (two allocations for the whole batch) and compacts the arena
+// behind the remaining entries.
+func (s *CoverSampler) serveResult(n int) []relation.Tuple {
+	k := s.shared.base.ref.Len()
+	out := serveFlat(s.arena, n, k, func(i int) int { return s.result[i].off })
+	s.result = s.result[:copy(s.result, s.result[n:])]
+	// Entry offsets are strictly increasing (each accepted draw appends
+	// its own span), so the m-th remaining entry's span starts at or
+	// after m*k and the forward copy never overruns its source.
+	w := 0
+	for i := range s.result {
+		e := &s.result[i]
+		if e.off != w {
+			copy(s.arena[w:w+k], s.arena[e.off:e.off+k])
+			e.off = w
+		}
+		w += k
 	}
-	s.result = append(s.result[:0], s.result[n:]...)
-	return out, nil
+	s.arena = s.arena[:w]
+	return out
 }
 
 // drawOne runs join selection and the accept/reject/revise logic until
@@ -292,7 +313,9 @@ func (s *CoverSampler) acceptDraw(j int, t relation.Tuple) bool {
 			k = s.record.PutNew(t, proj, j)
 		}
 	}
-	s.result = append(s.result, resultEntry{key: k, tuple: s.shared.base.alignedClone(j, t)})
+	off := len(s.arena)
+	s.arena = s.shared.base.alignedAppend(j, t, s.arena)
+	s.result = append(s.result, resultEntry{key: k, off: off})
 	return true
 }
 

@@ -43,10 +43,10 @@ type OnlineConfig struct {
 }
 
 type onlineEntry struct {
-	key   int // record handle of the tuple's value (see resultEntry)
-	tuple relation.Tuple
-	join  int
-	prob  float64 // inclusion probability the tuple was accepted under
+	key  int // record handle of the tuple's value (see resultEntry)
+	off  int // start of the tuple's span in the run's arena
+	join int
+	prob float64 // inclusion probability the tuple was accepted under
 }
 
 // OnlineShared is the prepared state of Algorithm 2: the histogram
@@ -258,6 +258,7 @@ type OnlineSampler struct {
 	alias    *rng.Alias
 	record   *relation.KeyCounter // value (ref order) -> assigned join
 	result   []onlineEntry
+	arena    []relation.Value // backing store of buffered samples
 	stats    Stats
 	recorded int
 	conf     float64
@@ -352,12 +353,37 @@ func (s *OnlineSampler) Sample(n int, g *rng.RNG) ([]relation.Tuple, error) {
 			return nil, err
 		}
 	}
-	out := make([]relation.Tuple, n)
-	for i := 0; i < n; i++ {
-		out[i] = s.result[i].tuple
+	return s.serveResult(n), nil
+}
+
+// serveResult copies the first n buffered samples out over one flat
+// backing (two allocations for the whole batch) and compacts the arena
+// behind the remaining entries. Entry offsets are non-decreasing — the
+// mult instances of one commit share one span — so duplicates remap to
+// the span's new position and distinct spans forward-copy safely (the
+// m-th distinct remaining span starts at or after m*k).
+func (s *OnlineSampler) serveResult(n int) []relation.Tuple {
+	k := s.shared.base.ref.Len()
+	out := serveFlat(s.arena, n, k, func(i int) int { return s.result[i].off })
+	s.result = s.result[:copy(s.result, s.result[n:])]
+	w := 0
+	prevOld, prevNew := -1, -1
+	for i := range s.result {
+		e := &s.result[i]
+		if e.off == prevOld {
+			e.off = prevNew
+			continue
+		}
+		prevOld = e.off
+		if e.off != w {
+			copy(s.arena[w:w+k], s.arena[e.off:e.off+k])
+		}
+		prevNew = w
+		e.off = w
+		w += k
 	}
-	s.result = append(s.result[:0], s.result[n:]...)
-	return out, nil
+	s.arena = s.arena[:w]
+	return out
 }
 
 // drawOne selects a join by cover weight and retries within it until
@@ -506,10 +532,11 @@ func (s *OnlineSampler) removeKey(k int) {
 // commit appends mult instances of the accepted tuple, recording the
 // inclusion probability they were accepted under for backtracking.
 func (s *OnlineSampler) commit(k, j int, t relation.Tuple, mult int) {
-	aligned := s.shared.base.alignedClone(j, t)
+	off := len(s.arena)
+	s.arena = s.shared.base.alignedAppend(j, t, s.arena)
 	prob := s.inclusionProb(j)
 	for i := 0; i < mult; i++ {
-		s.result = append(s.result, onlineEntry{key: k, tuple: aligned, join: j, prob: prob})
+		s.result = append(s.result, onlineEntry{key: k, off: off, join: j, prob: prob})
 	}
 	s.stats.Accepted += mult
 }

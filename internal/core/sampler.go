@@ -205,18 +205,43 @@ func (b *unionBase) recordKeys() *relation.KeyCounter {
 // order onto the reference order for record lookups (nil = identity).
 func (b *unionBase) recordProj(i int) []int { return b.perms[i] }
 
-// alignedClone returns a fresh tuple in reference schema order holding
-// the values of t (a tuple in join i's schema order) — the single
-// allocation a returned sample costs.
-func (b *unionBase) alignedClone(i int, t relation.Tuple) relation.Tuple {
-	out := make(relation.Tuple, b.ref.Len())
+// alignedAppend appends the values of t (a tuple in join i's schema
+// order) to arena in reference schema order. Accepted draws ride this
+// zero-clone path: buffered samples live as k-wide spans of a run-owned
+// arena and copy out as one flat allocation per batch, instead of one
+// tuple allocation per accepted draw.
+func (b *unionBase) alignedAppend(i int, t relation.Tuple, arena []relation.Value) []relation.Value {
 	perm := b.perms[i]
 	if perm == nil {
-		copy(out, t)
-	} else {
-		for k, p := range perm {
-			out[k] = t[p]
-		}
+		return append(arena, t...)
+	}
+	for _, p := range perm {
+		arena = append(arena, t[p])
+	}
+	return arena
+}
+
+// growArena ensures arena has room for need more values without
+// reallocating mid-batch.
+func growArena(arena []relation.Value, need int) []relation.Value {
+	if need <= 0 || cap(arena)-len(arena) >= need {
+		return arena
+	}
+	na := make([]relation.Value, len(arena), len(arena)+need)
+	copy(na, arena)
+	return na
+}
+
+// serveFlat copies n buffered spans of arena out as tuples over one
+// flat backing: two allocations for the whole batch. offAt(i) returns
+// the i-th served entry's arena offset; k is the tuple width.
+func serveFlat(arena []relation.Value, n, k int, offAt func(int) int) []relation.Tuple {
+	flat := make([]relation.Value, n*k)
+	out := make([]relation.Tuple, n)
+	for i := 0; i < n; i++ {
+		off := offAt(i)
+		copy(flat[i*k:(i+1)*k], arena[off:off+k])
+		out[i] = relation.Tuple(flat[i*k : (i+1)*k : (i+1)*k])
 	}
 	return out
 }

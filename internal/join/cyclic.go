@@ -89,9 +89,9 @@ func (v ResView) Match(out relation.Tuple) []int {
 
 // FillInto copies residual row row's new output columns into out.
 func (v ResView) FillInto(row int, out relation.Tuple) {
-	t := v.st.rel.Row(row)
+	cols := v.st.rel.Cols()
 	for _, e := range v.r.emit {
-		out[e[1]] = t[e[0]]
+		out[e[1]] = cols[e[0]][row]
 	}
 }
 
@@ -256,9 +256,10 @@ func liveRowsBelow(r *relation.Relation, limit int) []int {
 // ascending.
 func (r *Residual) buildState(rel *relation.Relation) *resState {
 	n := rel.Len()
+	cols := rel.Cols()
 	st := &resState{rel: rel, linkKeys: relation.NewKeyCounter(len(r.linkPos), n)}
 	for i := 0; i < n; i++ {
-		_, c := st.linkKeys.Add(rel.Row(i), r.linkPos, 1)
+		_, c := st.linkKeys.AddRow(cols, i, r.linkPos, 1)
 		if c > st.maxDeg {
 			st.maxDeg = c
 		}
@@ -271,7 +272,7 @@ func (r *Residual) buildState(rel *relation.Relation) *resState {
 	st.rows = make([]int, n)
 	cursor := append([]int32(nil), st.starts[:groups]...)
 	for i := 0; i < n; i++ {
-		g, _ := st.linkKeys.Lookup(rel.Row(i), r.linkPos)
+		g, _ := st.linkKeys.LookupRow(cols, i, r.linkPos)
 		st.rows[cursor[g]] = i
 		cursor[g]++
 	}
@@ -426,21 +427,21 @@ func enumerateJoin(members []*relation.Relation, lists [][]int, pos map[string]i
 			return
 		}
 		rel := members[k]
+		cols := rel.Cols()
 	rows:
 		for _, i := range lists[k] {
-			row := rel.Row(i)
 			touched := make([]int, 0, rel.Arity())
 			for a := 0; a < rel.Arity(); a++ {
 				p := pos[rel.Schema().Attr(a)]
 				if setCount[p] > 0 {
-					if partial[p] != row[a] {
+					if partial[p] != cols[a][i] {
 						for _, tp := range touched {
 							setCount[tp]--
 						}
 						continue rows
 					}
 				} else {
-					partial[p] = row[a]
+					partial[p] = cols[a][i]
 				}
 				setCount[p]++
 				touched = append(touched, p)

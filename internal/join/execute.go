@@ -34,15 +34,15 @@ func (j *Join) enumerate(k int, out relation.Tuple, rv ResView, yield func(relat
 		return true
 	}
 	n := &j.nodes[k]
+	cols := n.Rel.Cols()
 	if k == 0 {
 		rows := n.Rel.Len()
 		for i := 0; i < rows; i++ {
 			if !n.Rel.Live(i) {
 				continue
 			}
-			row := n.Rel.Row(i)
 			for _, e := range n.emit {
-				out[e[1]] = row[e[0]]
+				out[e[1]] = cols[e[0]][i]
 			}
 			if !j.enumerate(k+1, out, rv, yield) {
 				return false
@@ -52,9 +52,8 @@ func (j *Join) enumerate(k int, out relation.Tuple, rv ResView, yield func(relat
 	}
 	parentVal := out[j.nodes[n.Parent].proj[n.ParentAttrPos]]
 	for _, i := range n.Rel.Matches(n.AttrPos, parentVal) {
-		row := n.Rel.Row(i)
 		for _, e := range n.emit {
-			out[e[1]] = row[e[0]]
+			out[e[1]] = cols[e[0]][i]
 		}
 		if !j.enumerate(k+1, out, rv, yield) {
 			return false
@@ -101,15 +100,15 @@ func (j *Join) countResidual(k int, out relation.Tuple, rv ResView, total *int64
 		return
 	}
 	n := &j.nodes[k]
+	cols := n.Rel.Cols()
 	if k == 0 {
 		rows := n.Rel.Len()
 		for i := 0; i < rows; i++ {
 			if !n.Rel.Live(i) {
 				continue
 			}
-			row := n.Rel.Row(i)
 			for _, e := range n.emit {
-				out[e[1]] = row[e[0]]
+				out[e[1]] = cols[e[0]][i]
 			}
 			j.countResidual(k+1, out, rv, total)
 		}
@@ -117,9 +116,8 @@ func (j *Join) countResidual(k int, out relation.Tuple, rv ResView, total *int64
 	}
 	parentVal := out[j.nodes[n.Parent].proj[n.ParentAttrPos]]
 	for _, i := range n.Rel.Matches(n.AttrPos, parentVal) {
-		row := n.Rel.Row(i)
 		for _, e := range n.emit {
-			out[e[1]] = row[e[0]]
+			out[e[1]] = cols[e[0]][i]
 		}
 		j.countResidual(k+1, out, rv, total)
 	}
@@ -140,15 +138,17 @@ func (j *Join) ExactWeights() [][]int64 {
 		rows := n.Rel.Len()
 		w[k] = make([]int64, rows)
 		// childSum[c][v] = sum of weights of child c's rows with join value v.
+		cols := n.Rel.Cols()
 		childSums := make([]map[relation.Value]int64, len(n.Children))
 		for ci, c := range n.Children {
 			cn := &j.nodes[c]
 			sums := make(map[relation.Value]int64)
+			ccol := cn.Rel.Cols()[cn.AttrPos]
 			for i := 0; i < cn.Rel.Len(); i++ {
 				if !cn.Rel.Live(i) {
 					continue
 				}
-				sums[cn.Rel.Value(i, cn.AttrPos)] += w[c][i]
+				sums[ccol[i]] += w[c][i]
 			}
 			childSums[ci] = sums
 		}
@@ -159,7 +159,7 @@ func (j *Join) ExactWeights() [][]int64 {
 			prod := int64(1)
 			for ci, c := range n.Children {
 				cn := &j.nodes[c]
-				s := childSums[ci][n.Rel.Value(i, cn.ParentAttrPos)]
+				s := childSums[ci][cols[cn.ParentAttrPos][i]]
 				if s == 0 {
 					prod = 0
 					break

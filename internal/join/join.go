@@ -279,9 +279,9 @@ func (j *Join) validateSharedAttrs() error {
 // node is responsible for. Samplers compose result tuples with it.
 func (j *Join) FillOutput(k, r int, out relation.Tuple) {
 	n := &j.nodes[k]
-	row := n.Rel.Row(r)
+	cols := n.Rel.Cols()
 	for _, e := range n.emit {
-		out[e[1]] = row[e[0]]
+		out[e[1]] = cols[e[0]][r]
 	}
 }
 

@@ -275,10 +275,11 @@ func reconcileTable(old *memberTable, rel *relation.Relation) *memberTable {
 			} else {
 				delta = relation.NewKeyCounter(rel.Arity(), len(tail))
 			}
+			cols := rel.Cols()
 			for _, m := range tail {
 				switch m.Kind {
 				case relation.MutAppend:
-					delta.Add(rel.Row(m.Row), nil, 1)
+					delta.AddRow(cols, m.Row, nil, 1)
 				case relation.MutDelete:
 					delta.Add(m.Vals, nil, -1)
 				}
@@ -288,8 +289,9 @@ func reconcileTable(old *memberTable, rel *relation.Relation) *memberTable {
 	}
 	ids, _, version := rel.LiveRows()
 	base := relation.NewKeyCounter(rel.Arity(), len(ids))
+	cols := rel.Cols()
 	for _, i := range ids {
-		base.Add(rel.Row(i), nil, 1)
+		base.AddRow(cols, i, nil, 1)
 	}
 	return &memberTable{rel: rel, base: base, version: version}
 }

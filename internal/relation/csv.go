@@ -15,14 +15,14 @@ func WriteCSV(w io.Writer, r *Relation) error {
 		return err
 	}
 	rec := make([]string, r.Arity())
+	cols := r.Cols()
 	n := r.Len()
 	for i := 0; i < n; i++ {
 		if !r.Live(i) {
 			continue
 		}
-		row := r.Row(i)
-		for j, v := range row {
-			rec[j] = strconv.FormatInt(int64(v), 10)
+		for j, col := range cols {
+			rec[j] = strconv.FormatInt(int64(col[i]), 10)
 		}
 		if err := cw.Write(rec); err != nil {
 			return err
@@ -35,13 +35,22 @@ func WriteCSV(w io.Writer, r *Relation) error {
 // ReadCSV reads a relation written by WriteCSV: the first record is the
 // schema, subsequent records are tuples of integers.
 func ReadCSV(rd io.Reader, name string) (*Relation, error) {
+	return ReadCSVDict(rd, name, nil)
+}
+
+// ReadCSVDict is ReadCSV with string-column support: a column holding
+// any non-integer field is dictionary-encoded — every one of its cells
+// is interned through d in a single EncodeAll round, so bulk import
+// pays one lock round per string column rather than per cell. A nil
+// dictionary restores ReadCSV's strict integer-only behavior.
+func ReadCSVDict(rd io.Reader, name string, d *Dictionary) (*Relation, error) {
 	cr := csv.NewReader(rd)
 	cr.FieldsPerRecord = -1
 	header, err := cr.Read()
 	if err != nil {
 		return nil, fmt.Errorf("relation: reading CSV header: %w", err)
 	}
-	r := New(name, NewSchema(header...))
+	var recs [][]string
 	for line := 2; ; line++ {
 		rec, err := cr.Read()
 		if err == io.EOF {
@@ -53,15 +62,37 @@ func ReadCSV(rd io.Reader, name string) (*Relation, error) {
 		if len(rec) != len(header) {
 			return nil, fmt.Errorf("relation: CSV line %d has %d fields, want %d", line, len(rec), len(header))
 		}
-		t := make(Tuple, len(rec))
-		for j, f := range rec {
-			v, err := strconv.ParseInt(f, 10, 64)
-			if err != nil {
-				return nil, fmt.Errorf("relation: CSV line %d field %d: %w", line, j+1, err)
-			}
-			t[j] = Value(v)
-		}
-		r.Append(t)
+		recs = append(recs, rec)
 	}
+	rows := make([]Tuple, len(recs))
+	flat := make([]Value, len(recs)*len(header))
+	for i := range rows {
+		rows[i] = Tuple(flat[i*len(header) : (i+1)*len(header) : (i+1)*len(header)])
+	}
+	for j := range header {
+		strCol := false
+		for i, rec := range recs {
+			v, err := strconv.ParseInt(rec[j], 10, 64)
+			if err != nil {
+				if d == nil {
+					return nil, fmt.Errorf("relation: CSV line %d field %d: %w", i+2, j+1, err)
+				}
+				strCol = true
+				break
+			}
+			rows[i][j] = Value(v)
+		}
+		if strCol {
+			cells := make([]string, len(recs))
+			for i, rec := range recs {
+				cells[i] = rec[j]
+			}
+			for i, v := range d.EncodeAll(cells) {
+				rows[i][j] = v
+			}
+		}
+	}
+	r := New(name, NewSchema(header...))
+	r.AppendRows(rows)
 	return r, nil
 }

@@ -60,9 +60,11 @@ func overlayThreshold(base *csr) int {
 }
 
 // buildIndex constructs a pure-CSR index over attribute position a of
-// the snapshot, skipping tombstoned rows.
-func buildIndex(s *snapshot, arity, a int, version uint64, degrade uint64) *Index {
+// the snapshot, skipping tombstoned rows. Both passes run down the
+// attribute's column vector.
+func buildIndex(s *snapshot, a int, version uint64, degrade uint64) *Index {
 	n := s.rows
+	col := s.cols[a]
 	b := &csr{degrade: degrade}
 	// Pass 1: discover distinct values and their degrees. counts is
 	// indexed by entry id (first-appearance rank).
@@ -77,7 +79,7 @@ func buildIndex(s *snapshot, arity, a int, version uint64, degrade uint64) *Inde
 		if !s.isLive(i) {
 			continue
 		}
-		v := s.data[i*arity+a]
+		v := col[i]
 		h := hashValue(v, degrade)
 		j := h & mask
 		for {
@@ -112,7 +114,7 @@ func buildIndex(s *snapshot, arity, a int, version uint64, degrade uint64) *Inde
 		if !s.isLive(i) {
 			continue
 		}
-		v := s.data[i*arity+a]
+		v := col[i]
 		e, _ := b.entryOf(v)
 		b.rows[cursor[e]] = i
 		cursor[e]++
@@ -232,7 +234,7 @@ func (o *overlay) grow() {
 // applyTail returns a new Index reflecting the mutation-log tail on top
 // of ix, or nil when the overlay would exceed its budget and the caller
 // should rebuild a pure CSR instead.
-func (ix *Index) applyTail(s *snapshot, arity, a int, tail []Mutation, version uint64) *Index {
+func (ix *Index) applyTail(s *snapshot, a int, tail []Mutation, version uint64) *Index {
 	budget := overlayThreshold(ix.base)
 	existing := 0
 	if ix.ov != nil {
@@ -243,11 +245,12 @@ func (ix *Index) applyTail(s *snapshot, arity, a int, tail []Mutation, version u
 	}
 	ov := ix.ov.clone()
 	ov.degrade = ix.base.degrade
+	col := s.cols[a]
 	copied := make([]bool, len(ov.rows), len(ov.rows)+len(tail))
 	for _, m := range tail {
 		switch m.Kind {
 		case MutAppend:
-			v := s.data[m.Row*arity+a]
+			v := col[m.Row]
 			e := ov.ensure(v, ix.base)
 			for len(copied) <= e {
 				copied = append(copied, true) // fresh entries own their slice

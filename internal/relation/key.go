@@ -71,6 +71,24 @@ func (h KeyHasher) hashProj(t Tuple, proj []int) uint64 {
 	return acc
 }
 
+// hashRow fingerprints row i of the column vectors through proj (nil =
+// identity): the value sequence cols[proj[0]][i], cols[proj[1]][i], ...
+// It must agree with Hash on the materialized row — the key is a pure
+// function of the value sequence, not of how it is accessed.
+func (h KeyHasher) hashRow(cols [][]Value, i int, proj []int) uint64 {
+	acc := h.seed + keySeed0
+	if proj == nil {
+		for _, c := range cols {
+			acc = mix(acc + uint64(c[i]))
+		}
+		return acc
+	}
+	for _, p := range proj {
+		acc = mix(acc + uint64(cols[p][i]))
+	}
+	return acc
+}
+
 // keyTable is the shared open-addressed core: a slot array indexing a
 // dense entry list (hash + tuple values in a flat arena). Entries are
 // never removed; handles (entry indexes) are stable and dense in
@@ -169,6 +187,83 @@ func (kt *keyTable) insert(t Tuple, proj []int) int {
 	return e
 }
 
+// rowHash, equalRow, lookupRow, and insertRow are the columnar access
+// path: the key is row i of the column vectors seen through proj,
+// hashed and compared straight from the column codes — no tuple is
+// ever materialized.
+
+func (kt *keyTable) rowHash(cols [][]Value, i int, proj []int) uint64 {
+	h := kt.hasher.hashRow(cols, i, proj)
+	if kt.degradeMask != 0 {
+		h &= kt.degradeMask
+	}
+	return h
+}
+
+// equalRow reports whether entry e's key equals row i of cols under
+// proj.
+func (kt *keyTable) equalRow(e int, cols [][]Value, i int, proj []int) bool {
+	key := kt.vals[e*kt.arity : (e+1)*kt.arity]
+	if proj == nil {
+		for a, v := range key {
+			if cols[a][i] != v {
+				return false
+			}
+		}
+		return true
+	}
+	for a, v := range key {
+		if cols[proj[a]][i] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// lookupRow returns the entry handle for row i of cols under proj, or
+// -1.
+func (kt *keyTable) lookupRow(cols [][]Value, i int, proj []int) int {
+	h := kt.rowHash(cols, i, proj)
+	mask := uint64(len(kt.slots) - 1)
+	for j := h & mask; ; j = (j + 1) & mask {
+		s := kt.slots[j]
+		if s == 0 {
+			return -1
+		}
+		e := int(s - 1)
+		if kt.hashes[e] == h && kt.equalRow(e, cols, i, proj) {
+			return e
+		}
+	}
+}
+
+// insertRow adds row i of cols under proj, assuming lookupRow returned
+// -1, and returns the new entry's handle.
+func (kt *keyTable) insertRow(cols [][]Value, i int, proj []int) int {
+	if (len(kt.hashes)+1)*4 > len(kt.slots)*3 {
+		kt.grow()
+	}
+	h := kt.rowHash(cols, i, proj)
+	e := len(kt.hashes)
+	kt.hashes = append(kt.hashes, h)
+	if proj == nil {
+		for a := 0; a < kt.arity; a++ {
+			kt.vals = append(kt.vals, cols[a][i])
+		}
+	} else {
+		for _, p := range proj {
+			kt.vals = append(kt.vals, cols[p][i])
+		}
+	}
+	mask := uint64(len(kt.slots) - 1)
+	j := h & mask
+	for kt.slots[j] != 0 {
+		j = (j + 1) & mask
+	}
+	kt.slots[j] = int32(e + 1)
+	return e
+}
+
 // grow doubles the slot array and rehashes every entry from its stored
 // fingerprint.
 func (kt *keyTable) grow() {
@@ -223,6 +318,23 @@ func (s *KeySet) InsertProj(t Tuple, proj []int) bool {
 		return false
 	}
 	s.kt.insert(t, proj)
+	return true
+}
+
+// ContainsRow reports whether row i of the column vectors, seen through
+// proj (nil = identity), is in the set — hashing straight from the
+// columns, no tuple materialized.
+func (s *KeySet) ContainsRow(cols [][]Value, i int, proj []int) bool {
+	return s.kt.lookupRow(cols, i, proj) >= 0
+}
+
+// InsertRow adds row i of the column vectors under proj and reports
+// whether it was absent.
+func (s *KeySet) InsertRow(cols [][]Value, i int, proj []int) bool {
+	if s.kt.lookupRow(cols, i, proj) >= 0 {
+		return false
+	}
+	s.kt.insertRow(cols, i, proj)
 	return true
 }
 
@@ -290,6 +402,28 @@ func (c *KeyCounter) Add(t Tuple, proj []int, delta int) (int, int) {
 	e := c.kt.lookup(t, proj)
 	if e < 0 {
 		e = c.kt.insert(t, proj)
+		c.counts = append(c.counts, delta)
+		return e, delta
+	}
+	c.counts[e] += delta
+	return e, c.counts[e]
+}
+
+// LookupRow returns the handle of row i of the column vectors under
+// proj (nil = identity), or (-1, false) — the columnar counterpart of
+// Lookup, hashing straight from the column codes.
+func (c *KeyCounter) LookupRow(cols [][]Value, i int, proj []int) (int, bool) {
+	e := c.kt.lookupRow(cols, i, proj)
+	return e, e >= 0
+}
+
+// AddRow adds delta to the value keyed by row i of the column vectors
+// under proj (inserting the key at zero if absent) and returns the
+// handle and the new value — the columnar counterpart of Add.
+func (c *KeyCounter) AddRow(cols [][]Value, i int, proj []int, delta int) (int, int) {
+	e := c.kt.lookupRow(cols, i, proj)
+	if e < 0 {
+		e = c.kt.insertRow(cols, i, proj)
 		c.counts = append(c.counts, delta)
 		return e, delta
 	}

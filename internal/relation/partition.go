@@ -50,6 +50,24 @@ func (p ShardPredicate) Eval(t Tuple, s *Schema) bool {
 	return ShardOf(t[a], p.Shards) == p.Shard
 }
 
+// EvalColumn implements ColumnPredicate: one hash per candidate over
+// the single column.
+func (p ShardPredicate) EvalColumn(s *Schema, cols [][]Value, sel []int, out []int) []int {
+	a := s.Index(p.Attr)
+	if a < 0 {
+		return out
+	}
+	col := cols[a]
+	for _, i := range sel {
+		if ShardOf(col[i], p.Shards) == p.Shard {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+var _ ColumnPredicate = ShardPredicate{}
+
 func (p ShardPredicate) String() string {
 	return fmt.Sprintf("hash(%s) mod %d = %d", p.Attr, p.Shards, p.Shard)
 }
@@ -101,18 +119,18 @@ func NewPartition(src *Relation, attr string, shards int) (*Partition, error) {
 		p.shardOf[i] = -1
 		p.localOf[i] = -1
 	}
-	buckets := make([][]Tuple, shards)
+	col := src.Cols()[pos]
+	buckets := make([][]int, shards)
 	for _, id := range ids {
-		row := src.Row(id)
-		s := ShardOf(row[pos], shards)
+		s := ShardOf(col[id], shards)
 		p.shardOf[id] = int32(s)
 		p.localOf[id] = int32(len(buckets[s]))
-		buckets[s] = append(buckets[s], row)
+		buckets[s] = append(buckets[s], id)
 	}
 	p.frags = make([]*Relation, shards)
 	for s := range p.frags {
 		p.frags[s] = New(fmt.Sprintf("%s#%d/%d", src.Name(), s, shards), src.Schema())
-		p.frags[s].AppendRows(buckets[s])
+		p.frags[s].AppendRowIDs(src, buckets[s])
 	}
 	return p, nil
 }
@@ -156,8 +174,11 @@ func (p *Partition) Sync() (dirty []bool, ok bool) {
 		return dirty, true
 	}
 	// First pass: assign fragment slots for appends (so a delete later
-	// in the tail finds its row mapped), bucketing the rows per shard.
-	appends := make([][]Tuple, p.shards)
+	// in the tail finds its row mapped), bucketing the row ids per
+	// shard. The shard hash reads the partition attribute's column
+	// directly — no row gather.
+	col := p.src.Cols()[p.attrPos]
+	appends := make([][]int, p.shards)
 	fragLen := make([]int, p.shards)
 	for s := range fragLen {
 		fragLen[s] = p.frags[s].Len()
@@ -171,11 +192,10 @@ func (p *Partition) Sync() (dirty []bool, ok bool) {
 				p.shardOf = append(p.shardOf, -1)
 				p.localOf = append(p.localOf, -1)
 			}
-			row := p.src.Row(m.Row)
-			s := ShardOf(row[p.attrPos], p.shards)
+			s := ShardOf(col[m.Row], p.shards)
 			p.shardOf[m.Row] = int32(s)
 			p.localOf[m.Row] = int32(fragLen[s] + len(appends[s]))
-			appends[s] = append(appends[s], row)
+			appends[s] = append(appends[s], m.Row)
 			dirty[s] = true
 		case MutDelete:
 			if m.Row < len(p.shardOf) && p.shardOf[m.Row] >= 0 {
@@ -187,8 +207,8 @@ func (p *Partition) Sync() (dirty []bool, ok bool) {
 	// Apply appends first: every delete's target row exists afterwards
 	// (row ids are never reused, so an append always precedes its
 	// delete in the tail).
-	for s, rows := range appends {
-		p.frags[s].AppendRows(rows)
+	for s, ids := range appends {
+		p.frags[s].AppendRowIDs(p.src, ids)
 	}
 	for _, d := range deletes {
 		p.frags[d.shard].Delete(int(d.local))

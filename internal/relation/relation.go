@@ -6,11 +6,11 @@ import (
 	"sync/atomic"
 )
 
-// Relation is an in-memory table: a schema plus rows stored row-major in
-// one flat slice (stride = arity). CSR hash indexes over single
-// attributes (see Index) are built on first use and cached; they serve
-// the joinability lookups that the paper implements with hash tables
-// (§3.2).
+// Relation is an in-memory table: a schema plus rows stored columnar —
+// one contiguous []Value vector per attribute. CSR hash indexes over
+// single attributes (see Index) are built on first use and cached; they
+// serve the joinability lookups that the paper implements with hash
+// tables (§3.2).
 //
 // Relations are live: Append/AppendRows/Delete may run concurrently
 // with readers. Row storage is published through an immutable snapshot
@@ -57,11 +57,13 @@ type Relation struct {
 	testDegrade uint64
 }
 
-// snapshot is one immutable view of the row storage. data always has
-// len == rows*arity; appends beyond rows write only into capacity, so
-// sharing the backing array between snapshots is safe.
+// snapshot is one immutable view of the row storage: one column vector
+// per attribute, each with len == rows. Appends beyond rows write only
+// into spare column capacity, so sharing the backing arrays between
+// snapshots is safe — exactly the discipline the old row-major flat
+// slice used, per column.
 type snapshot struct {
-	data []Value
+	cols [][]Value
 	rows int      // physical row count, dead rows included
 	dead []uint64 // tombstone bitset (nil = no deletions); immutable
 	live int      // live row count
@@ -82,8 +84,7 @@ const (
 	// MutAppend records a row append; the row's values live in storage.
 	MutAppend MutKind = iota
 	// MutDelete records a row tombstone; Vals carries the dead row's
-	// values (they stay valid forever — storage is never overwritten,
-	// so Vals aliases it).
+	// values, gathered from the column vectors at delete time.
 	MutDelete
 )
 
@@ -103,7 +104,7 @@ const maxLogLen = 4096
 // New returns an empty relation with the given name and schema.
 func New(name string, schema *Schema) *Relation {
 	r := &Relation{name: name, schema: schema}
-	r.snap.Store(&snapshot{})
+	r.snap.Store(&snapshot{cols: make([][]Value, schema.Len())})
 	return r
 }
 
@@ -152,13 +153,35 @@ func (r *Relation) Live(i int) bool { return r.snap.Load().isLive(i) }
 // Arity reports the number of attributes.
 func (r *Relation) Arity() int { return r.schema.Len() }
 
-// Row returns row i as a Tuple sharing the relation's backing array.
-// Callers must not mutate it; use Row(i).Clone() to keep a copy. Row
-// slices stay valid forever: storage is monotone and deleted rows keep
-// their values.
+// Row returns row i as a freshly allocated Tuple gathered from the
+// column vectors. It is the convenience accessor for cold paths; hot
+// paths read Cols (or RowInto) to stay allocation-free. The values a
+// row id denotes stay valid forever: storage is monotone and deleted
+// rows keep their values.
 func (r *Relation) Row(i int) Tuple {
-	k := r.schema.Len()
-	return Tuple(r.snap.Load().data[i*k : (i+1)*k : (i+1)*k])
+	s := r.snap.Load()
+	out := make(Tuple, len(s.cols))
+	for a, c := range s.cols {
+		out[a] = c[i]
+	}
+	return out
+}
+
+// RowInto gathers row i into out (which must have the relation's
+// arity) without allocating.
+func (r *Relation) RowInto(i int, out Tuple) {
+	for a, c := range r.snap.Load().cols {
+		out[a] = c[i]
+	}
+}
+
+// Cols returns the current snapshot's column vectors: one []Value per
+// attribute, each of length Len() as of the same consistent snapshot.
+// The slices are immutable — treat them as read-only. They stay valid
+// forever (storage is monotone; deleted rows keep their values), though
+// later appends are only visible through a fresh Cols call.
+func (r *Relation) Cols() [][]Value {
+	return r.snap.Load().cols
 }
 
 // Append adds a row. Built indexes are not invalidated: they absorb the
@@ -190,22 +213,83 @@ func (r *Relation) AppendRows(rows []Tuple) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	s := r.snap.Load()
-	data := s.data
 	first := s.rows
-	for _, t := range rows {
-		data = append(data, t...)
+	cols := make([][]Value, k)
+	for a := range cols {
+		col := s.cols[a]
+		if n := len(col) + len(rows); cap(col) < n {
+			grown := make([]Value, len(col), growCap(cap(col), n))
+			copy(grown, col)
+			col = grown
+		}
+		for _, t := range rows {
+			col = append(col, t[a])
+		}
+		cols[a] = col
 	}
-	r.snap.Store(&snapshot{data: data, rows: s.rows + len(rows), dead: s.dead, live: s.live + len(rows)})
+	r.snap.Store(&snapshot{cols: cols, rows: s.rows + len(rows), dead: s.dead, live: s.live + len(rows)})
 	for i := range rows {
 		r.logMutation(Mutation{Kind: MutAppend, Row: first + i})
 	}
 }
 
+// AppendRowIDs appends the given rows of src — which must have the
+// receiver's arity — column-at-a-time: one lock, one snapshot, and a
+// per-column copy loop with no row materialization. It is the bulk
+// path behind Filter, Partition, and the splits.
+func (r *Relation) AppendRowIDs(src *Relation, ids []int) {
+	if len(ids) == 0 {
+		return
+	}
+	k := r.schema.Len()
+	srcCols := src.Cols()
+	if len(srcCols) != k {
+		panic(fmt.Sprintf("relation %s: AppendRowIDs from arity %d, want %d", r.name, len(srcCols), k))
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := r.snap.Load()
+	first := s.rows
+	cols := make([][]Value, k)
+	for a := range cols {
+		col := s.cols[a]
+		if n := len(col) + len(ids); cap(col) < n {
+			grown := make([]Value, len(col), growCap(cap(col), n))
+			copy(grown, col)
+			col = grown
+		}
+		sc := srcCols[a]
+		for _, i := range ids {
+			col = append(col, sc[i])
+		}
+		cols[a] = col
+	}
+	r.snap.Store(&snapshot{cols: cols, rows: s.rows + len(ids), dead: s.dead, live: s.live + len(ids)})
+	for i := range ids {
+		r.logMutation(Mutation{Kind: MutAppend, Row: first + i})
+	}
+}
+
+// growCap doubles capacity until it covers need (minimum 8), keeping
+// column growth amortized-constant under streaming appends.
+func growCap(cur, need int) int {
+	if cur < 8 {
+		cur = 8
+	}
+	for cur < need {
+		cur *= 2
+	}
+	return cur
+}
+
 // appendLocked appends one row; callers hold r.mu.
 func (r *Relation) appendLocked(t Tuple) {
 	s := r.snap.Load()
-	data := append(s.data, t...)
-	r.snap.Store(&snapshot{data: data, rows: s.rows + 1, dead: s.dead, live: s.live + 1})
+	cols := make([][]Value, len(s.cols))
+	for a := range cols {
+		cols[a] = append(s.cols[a], t[a])
+	}
+	r.snap.Store(&snapshot{cols: cols, rows: s.rows + 1, dead: s.dead, live: s.live + 1})
 	r.logMutation(Mutation{Kind: MutAppend, Row: s.rows})
 }
 
@@ -226,9 +310,11 @@ func (r *Relation) Delete(i int) bool {
 	dead := make([]uint64, words)
 	copy(dead, s.dead)
 	dead[i>>6] |= 1 << (uint(i) & 63)
-	k := r.schema.Len()
-	vals := Tuple(s.data[i*k : (i+1)*k : (i+1)*k])
-	r.snap.Store(&snapshot{data: s.data, rows: s.rows, dead: dead, live: s.live - 1})
+	vals := make(Tuple, len(s.cols))
+	for a, c := range s.cols {
+		vals[a] = c[i]
+	}
+	r.snap.Store(&snapshot{cols: s.cols, rows: s.rows, dead: dead, live: s.live - 1})
 	r.logMutation(Mutation{Kind: MutDelete, Row: i, Vals: vals})
 	return true
 }
@@ -338,8 +424,7 @@ func (r *Relation) Version() uint64 { return r.version.Load() }
 
 // Value returns the value of attribute position a in row i.
 func (r *Relation) Value(i, a int) Value {
-	k := r.schema.Len()
-	return r.snap.Load().data[i*k+a]
+	return r.snap.Load().cols[a][i]
 }
 
 // Index returns the CSR(+delta) hash index over the attribute at
@@ -369,11 +454,11 @@ func (r *Relation) Index(a int) *Index {
 	var next *Index
 	if prev != nil {
 		if tail, upTo, ok := r.mutationsSinceLocked(prev.version); ok && upTo == v {
-			next = prev.applyTail(s, r.schema.Len(), a, tail, v)
+			next = prev.applyTail(s, a, tail, v)
 		}
 	}
 	if next == nil {
-		next = buildIndex(s, r.schema.Len(), a, v, r.testDegrade)
+		next = buildIndex(s, a, v, r.testDegrade)
 	}
 	set := make([]*Index, r.schema.Len())
 	if old != nil {
@@ -435,34 +520,67 @@ func (r *Relation) DistinctCount(a int) int {
 func (r *Relation) Tuples() []Tuple {
 	s := r.snap.Load()
 	out := make([]Tuple, 0, s.live)
-	k := r.schema.Len()
+	flat := make([]Value, 0, s.live*len(s.cols))
 	for i := 0; i < s.rows; i++ {
 		if !s.isLive(i) {
 			continue
 		}
-		out = append(out, Tuple(s.data[i*k:(i+1)*k:(i+1)*k]).Clone())
+		at := len(flat)
+		for _, c := range s.cols {
+			flat = append(flat, c[i])
+		}
+		out = append(out, Tuple(flat[at:len(flat):len(flat)]))
 	}
 	return out
 }
 
+// StorageStats describes a relation's columnar storage footprint at one
+// snapshot: physical and live row counts plus the bytes backing each
+// column vector (allocated capacity, not just the occupied prefix).
+type StorageStats struct {
+	Rows     int     `json:"rows"`
+	LiveRows int     `json:"live_rows"`
+	ColBytes []int64 `json:"col_bytes"`
+}
+
+// StorageStats reports the current snapshot's storage footprint.
+func (r *Relation) StorageStats() StorageStats {
+	s := r.snap.Load()
+	st := StorageStats{Rows: s.rows, LiveRows: s.live, ColBytes: make([]int64, len(s.cols))}
+	for a, c := range s.cols {
+		st.ColBytes[a] = int64(cap(c)) * 8
+	}
+	return st
+}
+
+// liveIDs appends the snapshot's live row ids to sel, ascending.
+func (s *snapshot) liveIDs(sel []int) []int {
+	for i := 0; i < s.rows; i++ {
+		if s.isLive(i) {
+			sel = append(sel, i)
+		}
+	}
+	return sel
+}
+
+// ScanWhere returns the live row ids satisfying pred, ascending,
+// appended to sel. The scan runs column-at-a-time for the built-in
+// predicates (tight per-column loops over a selection vector) and
+// falls back to per-row evaluation for foreign Predicate
+// implementations.
+func (r *Relation) ScanWhere(pred Predicate, sel []int) []int {
+	s := r.snap.Load()
+	all := s.liveIDs(make([]int, 0, s.live))
+	return evalColumns(pred, r.schema, s.cols, all, sel)
+}
+
 // Filter returns a new relation keeping only live rows for which pred
-// is true. The result shares no storage with r. Kept rows are buffered
-// as aliases (row storage is immutable) and appended in one batch —
+// is true. The result shares no storage with r. The scan is
+// vectorized and kept rows are copied column-at-a-time in one batch —
 // one lock, one snapshot.
 func (r *Relation) Filter(name string, pred Predicate) *Relation {
 	out := New(name, r.schema)
-	s := r.snap.Load()
-	var kept []Tuple
-	for i := 0; i < s.rows; i++ {
-		if !s.isLive(i) {
-			continue
-		}
-		row := r.Row(i)
-		if pred.Eval(row, r.schema) {
-			kept = append(kept, row)
-		}
-	}
-	out.AppendRows(kept)
+	out.AppendRowIDs(r, r.ScanWhere(pred, nil))
 	return out
 }
 
@@ -475,19 +593,22 @@ func (r *Relation) Project(name string, attrs []string) (*Relation, error) {
 	}
 	out := New(name, NewSchema(attrs...))
 	s := r.snap.Load()
-	rows := make([]Tuple, 0, s.live)
-	for i := 0; i < s.rows; i++ {
-		if !s.isLive(i) {
-			continue
+	live := s.liveIDs(make([]int, 0, s.live))
+	cols := make([][]Value, len(idx))
+	for k, j := range idx {
+		src := s.cols[j]
+		col := make([]Value, len(live))
+		for n, i := range live {
+			col[n] = src[i]
 		}
-		row := r.Row(i)
-		t := make(Tuple, len(idx))
-		for k, j := range idx {
-			t[k] = row[j]
-		}
-		rows = append(rows, t)
+		cols[k] = col
 	}
-	out.AppendRows(rows)
+	out.mu.Lock()
+	defer out.mu.Unlock()
+	out.snap.Store(&snapshot{cols: cols, rows: len(live), live: len(live)})
+	for i := range live {
+		out.logMutation(Mutation{Kind: MutAppend, Row: i})
+	}
 	return out, nil
 }
 
@@ -500,15 +621,14 @@ func (r *Relation) DistinctProject(name string, attrs []string) (*Relation, erro
 	out := New(name, p.schema)
 	n := p.Len()
 	seen := NewKeySet(p.schema.Len(), n)
-	var kept []Tuple
+	cols := p.Cols()
+	var kept []int
 	for i := 0; i < n; i++ {
-		row := p.Row(i)
-		if !seen.Insert(row) {
-			continue
+		if seen.InsertRow(cols, i, nil) {
+			kept = append(kept, i)
 		}
-		kept = append(kept, row)
 	}
-	out.AppendRows(kept)
+	out.AppendRowIDs(p, kept)
 	return out, nil
 }
 

@@ -1,0 +1,194 @@
+package relation
+
+// This file is the vectorized predicate scan path over the columnar
+// storage: predicates evaluate column-at-a-time against a selection
+// vector of candidate row ids instead of row-at-a-time against gathered
+// tuples. The built-in predicates compose through selection vectors
+// (And chains them, Or merges them through a bitmap, Not complements);
+// foreign Predicate implementations keep working through a per-row
+// gather fallback, so the vectorized path is an optimization, never a
+// compatibility requirement.
+
+// ColumnPredicate is the optional vectorized face of Predicate.
+// Implementations must decide rows exactly as their Eval does — the
+// scan dispatcher treats the two as interchangeable.
+type ColumnPredicate interface {
+	Predicate
+	// EvalColumn filters the selection vector sel (ascending row ids
+	// into cols, one vector per schema attribute) down to the rows
+	// satisfying the predicate under s, appending survivors to out in
+	// order and returning it. Implementations must not retain cols or
+	// sel and must write only through out.
+	EvalColumn(s *Schema, cols [][]Value, sel []int, out []int) []int
+}
+
+var (
+	_ ColumnPredicate = Cmp{}
+	_ ColumnPredicate = And(nil)
+	_ ColumnPredicate = Or(nil)
+	_ ColumnPredicate = Not{}
+	_ ColumnPredicate = True{}
+	_ ColumnPredicate = In{}
+)
+
+// evalColumns dispatches predicate evaluation over column vectors:
+// built-in predicates run their vectorized loops; anything else falls
+// back to gathering each candidate row into a scratch tuple and
+// calling Eval.
+func evalColumns(p Predicate, s *Schema, cols [][]Value, sel []int, out []int) []int {
+	if cp, ok := p.(ColumnPredicate); ok {
+		return cp.EvalColumn(s, cols, sel, out)
+	}
+	scratch := make(Tuple, len(cols))
+	for _, i := range sel {
+		for a, c := range cols {
+			scratch[a] = c[i]
+		}
+		if p.Eval(scratch, s) {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// EvalColumn implements ColumnPredicate: one tight loop over the
+// attribute's column, specialized per operator so the comparison
+// branch hoists out of the loop. A schema lacking the attribute fails
+// every row, as in Eval.
+func (c Cmp) EvalColumn(s *Schema, cols [][]Value, sel []int, out []int) []int {
+	a := s.Index(c.Attr)
+	if a < 0 {
+		return out
+	}
+	col, v := cols[a], c.Val
+	switch c.Op {
+	case EQ:
+		for _, i := range sel {
+			if col[i] == v {
+				out = append(out, i)
+			}
+		}
+	case NE:
+		for _, i := range sel {
+			if col[i] != v {
+				out = append(out, i)
+			}
+		}
+	case LT:
+		for _, i := range sel {
+			if col[i] < v {
+				out = append(out, i)
+			}
+		}
+	case LE:
+		for _, i := range sel {
+			if col[i] <= v {
+				out = append(out, i)
+			}
+		}
+	case GT:
+		for _, i := range sel {
+			if col[i] > v {
+				out = append(out, i)
+			}
+		}
+	case GE:
+		for _, i := range sel {
+			if col[i] >= v {
+				out = append(out, i)
+			}
+		}
+	}
+	return out
+}
+
+// EvalColumn implements ColumnPredicate: conjuncts chain through
+// successively narrower selection vectors, so each clause scans only
+// the survivors of the ones before it.
+func (a And) EvalColumn(s *Schema, cols [][]Value, sel []int, out []int) []int {
+	switch len(a) {
+	case 0:
+		return append(out, sel...)
+	case 1:
+		return evalColumns(a[0], s, cols, sel, out)
+	}
+	cur := evalColumns(a[0], s, cols, sel, make([]int, 0, len(sel)))
+	var alt []int
+	for _, p := range a[1 : len(a)-1] {
+		alt = evalColumns(p, s, cols, cur, alt[:0])
+		cur, alt = alt, cur
+	}
+	return evalColumns(a[len(a)-1], s, cols, cur, out)
+}
+
+// EvalColumn implements ColumnPredicate: each disjunct scans the full
+// candidate vector and marks its matches in a bitmap, and the union is
+// emitted in selection order. Marking stops early once every candidate
+// matched.
+func (o Or) EvalColumn(s *Schema, cols [][]Value, sel []int, out []int) []int {
+	if len(o) == 0 || len(sel) == 0 {
+		return out
+	}
+	if len(o) == 1 {
+		return evalColumns(o[0], s, cols, sel, out)
+	}
+	marks := make([]uint64, sel[len(sel)-1]>>6+1)
+	var res []int
+	matched := 0
+	for _, p := range o {
+		res = evalColumns(p, s, cols, sel, res[:0])
+		for _, i := range res {
+			w, b := i>>6, uint64(1)<<(uint(i)&63)
+			if marks[w]&b == 0 {
+				marks[w] |= b
+				matched++
+			}
+		}
+		if matched == len(sel) {
+			break
+		}
+	}
+	for _, i := range sel {
+		if marks[i>>6]&(1<<(uint(i)&63)) != 0 {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// EvalColumn implements ColumnPredicate: the child's survivors (an
+// ascending subsequence of sel) are subtracted from sel by a tandem
+// walk.
+func (n Not) EvalColumn(s *Schema, cols [][]Value, sel []int, out []int) []int {
+	res := evalColumns(n.P, s, cols, sel, nil)
+	j := 0
+	for _, i := range sel {
+		if j < len(res) && res[j] == i {
+			j++
+			continue
+		}
+		out = append(out, i)
+	}
+	return out
+}
+
+// EvalColumn implements ColumnPredicate.
+func (True) EvalColumn(_ *Schema, _ [][]Value, sel []int, out []int) []int {
+	return append(out, sel...)
+}
+
+// EvalColumn implements ColumnPredicate: one map probe per candidate
+// over the single column.
+func (in In) EvalColumn(s *Schema, cols [][]Value, sel []int, out []int) []int {
+	a := s.Index(in.Attr)
+	if a < 0 {
+		return out
+	}
+	col := cols[a]
+	for _, i := range sel {
+		if _, ok := in.Vals[col[i]]; ok {
+			out = append(out, i)
+		}
+	}
+	return out
+}

@@ -47,21 +47,23 @@ func VerticalSplit(r *Relation, leftName string, leftAttrs []string, rightName s
 func HorizontalSplit(r *Relation, trueName, falseName string, pred Predicate) (*Relation, *Relation) {
 	yes := New(trueName, r.Schema())
 	no := New(falseName, r.Schema())
-	n := r.Len()
-	var yesRows, noRows []Tuple
+	yesIDs := r.ScanWhere(pred, nil)
+	// The complement of the scan's survivors among live rows, by tandem
+	// walk (ScanWhere emits ascending ids).
+	var noIDs []int
+	j, n := 0, r.Len()
 	for i := 0; i < n; i++ {
 		if !r.Live(i) {
 			continue
 		}
-		row := r.Row(i)
-		if pred.Eval(row, r.Schema()) {
-			yesRows = append(yesRows, row)
-		} else {
-			noRows = append(noRows, row)
+		if j < len(yesIDs) && yesIDs[j] == i {
+			j++
+			continue
 		}
+		noIDs = append(noIDs, i)
 	}
-	yes.AppendRows(yesRows)
-	no.AppendRows(noRows)
+	yes.AppendRowIDs(r, yesIDs)
+	no.AppendRowIDs(r, noIDs)
 	return yes, no
 }
 

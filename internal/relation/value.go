@@ -54,6 +54,43 @@ func (d *Dictionary) Encode(s string) Value {
 	return v
 }
 
+// EncodeAll interns every string in ss and returns their Values in
+// order. Known strings resolve under one read lock; only the batch's
+// novel strings pay a write-lock round, so bulk ingest (CSV import,
+// column loads) locks twice per column instead of twice per cell.
+func (d *Dictionary) EncodeAll(ss []string) []Value {
+	out := make([]Value, len(ss))
+	miss := 0
+	d.mu.RLock()
+	for i, s := range ss {
+		if v, ok := d.byStr[s]; ok {
+			out[i] = v
+		} else {
+			out[i] = Null
+			miss++
+		}
+	}
+	d.mu.RUnlock()
+	if miss == 0 {
+		return out
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for i, s := range ss {
+		if out[i] != Null {
+			continue
+		}
+		v, ok := d.byStr[s]
+		if !ok {
+			v = Value(len(d.byValue))
+			d.byStr[s] = v
+			d.byValue = append(d.byValue, s)
+		}
+		out[i] = v
+	}
+	return out
+}
+
 // Decode returns the string for v. The second result reports whether v
 // was produced by this dictionary.
 func (d *Dictionary) Decode(v Value) (string, bool) {

@@ -20,6 +20,11 @@ type Entry struct {
 	Union *sampleunion.Union
 	Rels  map[string]*relation.Relation
 
+	// Dict interns string columns of spec-declared entries (nil for
+	// workload entries, whose generators emit integers directly); its
+	// size is a /metrics storage gauge.
+	Dict *relation.Dictionary
+
 	hits atomic.Int64
 
 	// mutated records that this entry's relations received appends
@@ -144,7 +149,7 @@ func (r *Registry) Get(decl UnionDecl) (*Entry, error) {
 // prepare builds the union and pays the warm-up — the expensive part,
 // run outside the registry lock.
 func (r *Registry) prepare(key string, decl UnionDecl) (*Entry, error) {
-	u, rels, err := decl.build(r.dataDir)
+	u, rels, dict, err := decl.build(r.dataDir)
 	if err != nil {
 		return nil, err
 	}
@@ -157,7 +162,7 @@ func (r *Registry) prepare(key string, decl UnionDecl) (*Entry, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Entry{Key: key, Sess: sess, Union: u, Rels: rels}, nil
+	return &Entry{Key: key, Sess: sess, Union: u, Rels: rels, Dict: dict}, nil
 }
 
 // insertLocked publishes a fresh entry and evicts past capacity;
@@ -200,6 +205,58 @@ func (r *Registry) Lookup(key string) (*Entry, bool) {
 		return nil, false
 	}
 	return el.Value.(*Entry), true
+}
+
+// RelationStorage is one relation's storage gauge set: row counts and
+// the bytes each column vector pins (capacity, not just length — the
+// number a footprint regression shows up in).
+type RelationStorage struct {
+	Rows     int              `json:"rows"`
+	LiveRows int              `json:"live_rows"`
+	Bytes    int64            `json:"bytes"`
+	ColBytes map[string]int64 `json:"col_bytes"`
+}
+
+// EntryStorage groups one warm entry's storage gauges: its relations
+// plus the interning dictionary size (spec entries only).
+type EntryStorage struct {
+	Relations map[string]RelationStorage `json:"relations"`
+	DictLen   int                        `json:"dict_len,omitempty"`
+}
+
+// StorageSnapshot reports per-relation storage gauges for every warm
+// entry, keyed by registry key. Gauges are read off immutable relation
+// snapshots, so only the entry listing holds the registry lock.
+func (r *Registry) StorageSnapshot() map[string]EntryStorage {
+	r.mu.Lock()
+	entries := make([]*Entry, 0, r.lru.Len())
+	for el := r.lru.Front(); el != nil; el = el.Next() {
+		entries = append(entries, el.Value.(*Entry))
+	}
+	r.mu.Unlock()
+	out := make(map[string]EntryStorage, len(entries))
+	for _, e := range entries {
+		es := EntryStorage{Relations: make(map[string]RelationStorage, len(e.Rels))}
+		for name, rel := range e.Rels {
+			st := rel.StorageStats()
+			rs := RelationStorage{
+				Rows:     st.Rows,
+				LiveRows: st.LiveRows,
+				ColBytes: make(map[string]int64, len(st.ColBytes)),
+			}
+			attrs := rel.Schema().Attrs()
+			for a, b := range st.ColBytes {
+				rs.Bytes += b
+				rs.ColBytes[attrs[a]] = b
+			}
+			es.Relations[name] = rs
+		}
+		if e.Dict != nil {
+			es.DictLen = e.Dict.Len()
+		}
+		out[e.Key] = es
+	}
+	return out
 }
 
 // Stats snapshots the registry counters.

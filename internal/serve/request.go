@@ -161,24 +161,28 @@ func (d UnionDecl) Key() (string, error) {
 // relations by name (the append endpoint's targets). dataDir anchors
 // CSV references of inline specs; an empty dataDir rejects spec
 // declarations.
-func (d UnionDecl) build(dataDir string) (*sampleunion.Union, map[string]*relation.Relation, error) {
+func (d UnionDecl) build(dataDir string) (*sampleunion.Union, map[string]*relation.Relation, *relation.Dictionary, error) {
 	d = d.normalize()
 	if d.Spec != "" {
 		if d.Workload != "" {
-			return nil, nil, fmt.Errorf("serve: declare either workload or spec, not both")
+			return nil, nil, nil, fmt.Errorf("serve: declare either workload or spec, not both")
 		}
 		if dataDir == "" {
-			return nil, nil, fmt.Errorf("serve: inline specs need the server started with a data directory")
+			return nil, nil, nil, fmt.Errorf("serve: inline specs need the server started with a data directory")
 		}
-		su, err := spec.Parse(strings.NewReader(d.Spec), spec.DirLoader(dataDir))
+		// Each spec entry interns its string columns through its own
+		// dictionary; /metrics reports its size alongside the storage
+		// gauges.
+		dict := relation.NewDictionary()
+		su, err := spec.Parse(strings.NewReader(d.Spec), spec.DirLoaderDict(dataDir, dict))
 		if err != nil {
-			return nil, nil, err
+			return nil, nil, nil, err
 		}
 		u, err := sampleunion.NewUnion(su.Joins...)
 		if err != nil {
-			return nil, nil, err
+			return nil, nil, nil, err
 		}
-		return u, su.Relations, nil
+		return u, su.Relations, dict, nil
 	}
 	cfg := tpch.Config{SF: d.SF, Overlap: d.Overlap, Seed: d.DataSeed}
 	var w *tpch.Workload
@@ -191,14 +195,14 @@ func (d UnionDecl) build(dataDir string) (*sampleunion.Union, map[string]*relati
 	case "UQ3":
 		w, err = tpch.UQ3(cfg)
 	default:
-		return nil, nil, fmt.Errorf("serve: unknown workload %q (valid: UQ1, UQ2, UQ3)", d.Workload)
+		return nil, nil, nil, fmt.Errorf("serve: unknown workload %q (valid: UQ1, UQ2, UQ3)", d.Workload)
 	}
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
 	u, err := sampleunion.NewUnion(w.Joins...)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
 	rels := make(map[string]*relation.Relation)
 	for _, j := range w.Joins {
@@ -206,7 +210,7 @@ func (d UnionDecl) build(dataDir string) (*sampleunion.Union, map[string]*relati
 			rels[n.Rel.Name()] = n.Rel
 		}
 	}
-	return u, rels, nil
+	return u, rels, nil, nil
 }
 
 // PredDecl is the JSON form of a selection predicate: exactly one

@@ -423,6 +423,63 @@ chain J2 r b s
 	}
 }
 
+// TestSpecStringColumns serves a spec whose CSVs carry string payload
+// columns: they dictionary-encode on load (per-entry dictionary) and
+// the dictionary size surfaces as a /metrics storage gauge.
+func TestSpecStringColumns(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "city.csv"),
+		[]byte("a,b,city\n1,10,tokyo\n2,20,lagos\n3,10,tokyo\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "s.csv"),
+		[]byte("b,c\n10,7\n20,8\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	specText := `
+rel r city.csv
+rel s s.csv
+chain J1 r b s
+`
+	_, ts := newTestServer(t, Config{DataDir: dir})
+	decl := UnionDecl{Spec: specText, Options: OptionsDecl{Warmup: "histogram", Seed: 1}}
+
+	var sr sampleResponse
+	if code := post(t, ts.URL+"/sample", sampleRequest{Union: decl, N: 10}, &sr); code != 200 {
+		t.Fatalf("/sample over string-column spec: %d", code)
+	}
+	if len(sr.Tuples) != 10 {
+		t.Fatalf("%d tuples, want 10", len(sr.Tuples))
+	}
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var m metricsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, es := range m.Storage {
+		if _, ok := es.Relations["r"]; !ok {
+			continue
+		}
+		found = true
+		if es.DictLen != 2 {
+			t.Errorf("dict_len %d, want 2 (tokyo, lagos)", es.DictLen)
+		}
+		rs := es.Relations["r"]
+		if rs.Rows != 3 || len(rs.ColBytes) != 3 {
+			t.Errorf("relation r gauges %+v, want 3 rows over 3 columns", rs)
+		}
+	}
+	if !found {
+		t.Fatal("no storage gauges for the spec entry")
+	}
+}
+
 // TestAdmissionControl saturates the in-flight bound and checks
 // overload answers 429 with Retry-After instead of queueing.
 func TestAdmissionControl(t *testing.T) {
@@ -491,6 +548,29 @@ func TestMetricsEndpoint(t *testing.T) {
 	}
 	if m.Registry.Prepares != 1 {
 		t.Fatalf("registry prepares %d, want 1", m.Registry.Prepares)
+	}
+	if len(m.Storage) != 1 {
+		t.Fatalf("storage gauges for %d entries, want 1", len(m.Storage))
+	}
+	for key, es := range m.Storage {
+		if len(es.Relations) == 0 {
+			t.Fatalf("entry %s: no relation storage gauges", key)
+		}
+		for name, rs := range es.Relations {
+			if rs.Rows <= 0 || rs.LiveRows <= 0 || rs.LiveRows > rs.Rows {
+				t.Errorf("%s: bad row gauges %+v", name, rs)
+			}
+			var sum int64
+			for _, b := range rs.ColBytes {
+				sum += b
+			}
+			if sum != rs.Bytes || rs.Bytes < int64(rs.Rows*8) {
+				t.Errorf("%s: bytes %d (cols sum %d) inconsistent for %d rows", name, rs.Bytes, sum, rs.Rows)
+			}
+		}
+		if es.DictLen != 0 {
+			t.Errorf("workload entry %s reports dict_len %d, want 0", key, es.DictLen)
+		}
 	}
 }
 

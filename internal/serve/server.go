@@ -550,14 +550,20 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 type metricsResponse struct {
 	Endpoints map[string]EndpointSnapshot `json:"endpoints"`
 	Registry  RegistryStats               `json:"registry"`
-	Rejected  int64                       `json:"rejected"`
-	Inflight  int                         `json:"inflight"`
+	// Storage reports per-relation storage gauges (rows, live rows,
+	// bytes per column vector, dictionary sizes) for every warm entry,
+	// keyed by registry key — the scrape point for footprint
+	// regressions in serving.
+	Storage  map[string]EntryStorage `json:"storage"`
+	Rejected int64                   `json:"rejected"`
+	Inflight int                     `json:"inflight"`
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, metricsResponse{
 		Endpoints: s.metrics.snapshot(),
 		Registry:  s.reg.Stats(),
+		Storage:   s.reg.StorageSnapshot(),
 		Rejected:  s.metrics.rejected.Load(),
 		Inflight:  s.Inflight(),
 	})

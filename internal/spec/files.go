@@ -12,6 +12,13 @@ import (
 // DirLoader returns a Loader reading CSV files relative to dir,
 // rejecting paths that escape it.
 func DirLoader(dir string) Loader {
+	return DirLoaderDict(dir, nil)
+}
+
+// DirLoaderDict is DirLoader with string-column support: non-integer
+// CSV columns are interned through d (one batch round per column, see
+// relation.ReadCSVDict). A nil dictionary rejects string columns.
+func DirLoaderDict(dir string, d *relation.Dictionary) Loader {
 	return func(name, file string) (*relation.Relation, error) {
 		clean := filepath.Clean(file)
 		if filepath.IsAbs(clean) || strings.HasPrefix(clean, "..") {
@@ -22,7 +29,7 @@ func DirLoader(dir string) Loader {
 			return nil, err
 		}
 		defer f.Close()
-		return relation.ReadCSV(f, name)
+		return relation.ReadCSVDict(f, name, d)
 	}
 }
 
