@@ -9,11 +9,19 @@
 //	serverd -addr :8080                      # built-in workloads only
 //	serverd -addr :8080 -data ./data         # plus inline CSV specs
 //	serverd -sessions 16 -max-inflight 256
+//	serverd -data-dir /var/lib/serverd -fsync always
+//
+// With -data-dir, ingest is durable: every acked append is in a
+// per-relation WAL first (fsynced per -fsync), relations checkpoint
+// every -checkpoint-every mutations, and a restart recovers relations
+// from checkpoint + WAL replay and re-prepares every registered
+// session from the boot manifest — the daemon comes back warm with no
+// acked row lost.
 //
 // Endpoints: POST /sample, /sample/where, /approx/{count,sum,avg,group},
 // /estimate, /refresh, /relation/{name}/append; GET /healthz, /metrics.
-// See the README's "Serving" section for request bodies and curl
-// examples.
+// See the README's "Serving" and "Durability" sections for request
+// bodies, curl examples, and ack semantics.
 package main
 
 import (
@@ -28,6 +36,7 @@ import (
 	"time"
 
 	"sampleunion/internal/serve"
+	"sampleunion/internal/wal"
 )
 
 func main() {
@@ -37,14 +46,62 @@ func main() {
 	maxInflight := flag.Int("max-inflight", 0, "draw requests executing at once before shedding 429s (0 = 16 x GOMAXPROCS / shard-workers)")
 	shardWorkers := flag.Int("shard-workers", 0, "per-request shard fan-out of sharded sessions, used to scale the max-inflight default (0 = GOMAXPROCS)")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "graceful drain deadline on SIGTERM/SIGINT")
+	durableDir := flag.String("data-dir", "", "durable state directory: per-relation WALs, checkpoints, and the boot manifest (empty = memory-only)")
+	fsync := flag.String("fsync", "interval", "WAL fsync policy: always (fsync before every append ack), interval (group commit), off")
+	fsyncInterval := flag.Duration("fsync-interval", 2*time.Millisecond, "group-commit fsync cadence under -fsync interval")
+	checkpointEvery := flag.Int("checkpoint-every", 4096, "mutations per relation between snapshot checkpoints (-1 disables)")
 	flag.Parse()
 
+	// Nonsense flags exit 2 with usage instead of reaching channel and
+	// worker sizing (matching cmd/sampler's treatment of -warmup/-method).
+	fail := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, format+"\n", args...)
+		flag.Usage()
+		os.Exit(2)
+	}
+	if *sessions < 1 {
+		fail("serverd: -sessions must be >= 1, got %d", *sessions)
+	}
+	if *maxInflight < 0 {
+		fail("serverd: -max-inflight must be >= 0 (0 = auto), got %d", *maxInflight)
+	}
+	if *shardWorkers < 0 {
+		fail("serverd: -shard-workers must be >= 0 (0 = auto), got %d", *shardWorkers)
+	}
+	if *drainTimeout <= 0 {
+		fail("serverd: -drain-timeout must be positive, got %v", *drainTimeout)
+	}
+	policy, err := wal.ParseSyncPolicy(*fsync)
+	if err != nil {
+		fail("serverd: %v", err)
+	}
+	if *fsyncInterval <= 0 {
+		fail("serverd: -fsync-interval must be positive, got %v", *fsyncInterval)
+	}
+	if *checkpointEvery == 0 {
+		fail("serverd: -checkpoint-every must be >= 1 (or -1 to disable), got 0")
+	}
+
 	srv := serve.New(serve.Config{
-		DataDir:      *dataDir,
-		SessionCap:   *sessions,
-		MaxInflight:  *maxInflight,
-		ShardWorkers: *shardWorkers,
+		DataDir:         *dataDir,
+		SessionCap:      *sessions,
+		MaxInflight:     *maxInflight,
+		ShardWorkers:    *shardWorkers,
+		DurableDir:      *durableDir,
+		FsyncPolicy:     policy,
+		FsyncInterval:   *fsyncInterval,
+		CheckpointEvery: *checkpointEvery,
 	})
+	if *durableDir != "" {
+		start := time.Now()
+		n, err := srv.RestoreSessions()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "serverd: restore: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "serverd: restored %d session(s) from %s in %v (fsync=%s)\n",
+			n, *durableDir, time.Since(start).Round(time.Millisecond), policy)
+	}
 	httpSrv := &http.Server{
 		Addr:              *addr,
 		Handler:           srv.Handler(),
@@ -66,10 +123,12 @@ func main() {
 			os.Exit(1)
 		}
 	case got := <-sig:
-		// Graceful drain: stop accepting, let in-flight requests
-		// finish, then exit. A second signal (or the deadline) cuts
-		// the drain short.
+		// Graceful drain: flip health to draining (load balancers fail
+		// over; shed answers become 503 + Connection: close), stop
+		// accepting, let in-flight requests finish, then exit. A second
+		// signal (or the deadline) cuts the drain short.
 		fmt.Fprintf(os.Stderr, "serverd: %v, draining (deadline %v)\n", got, *drainTimeout)
+		srv.SetDraining()
 		ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 		defer cancel()
 		go func() {
@@ -80,6 +139,7 @@ func main() {
 			fmt.Fprintf(os.Stderr, "serverd: drain incomplete: %v\n", err)
 			os.Exit(1)
 		}
+		srv.Close()
 		fmt.Fprintln(os.Stderr, "serverd: drained cleanly")
 	}
 }

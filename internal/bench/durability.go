@@ -1,0 +1,143 @@
+package bench
+
+import (
+	"fmt"
+	"math"
+	"os"
+	"runtime"
+	"runtime/debug"
+	"time"
+
+	"sampleunion/internal/relation"
+	"sampleunion/internal/wal"
+)
+
+// durabilityBatches sweeps the ack-batch sizes: a Commit per batch is
+// the ack unit, so batch 1 is the worst case (one durability round-trip
+// per row) and 256 is bulk ingest.
+func durabilityBatches(o Options) []int {
+	if o.Quick {
+		return []int{1, 64}
+	}
+	return []int{1, 16, 64, 256}
+}
+
+// Durability measures the cost of durably acked ingest behind
+// BENCH_PR8.json: rows appended and committed in ack batches through a
+// relation with a WAL sink attached, per fsync policy, against the same
+// appends into a memory-only relation. The vs_memory ratio is the
+// headline: group commit ("interval") must stay within 2x of in-memory
+// append throughput at batch >= 64, because its ack path is just the
+// WAL-buffer tee — the background ticker flushes and fsyncs.
+func Durability(o Options) (*Result, error) {
+	o = o.withDefaults()
+	res := &Result{
+		Name:   "durable ingest: acked-append cost per WAL fsync policy vs in-memory append",
+		Figure: "durability",
+		Note:   "one Commit per batch is the ack unit; ns_row is best of 5 rounds; policy always is row-capped (fsync-bound)",
+		Header: []string{"batch", "policy", "rows", "ns_row", "rows_s", "vs_memory"},
+	}
+	total := 1 << 17
+	if o.Quick {
+		total = 1 << 12
+	}
+	schema := relation.NewSchema("K", "A", "B")
+	rows := make([]relation.Tuple, total)
+	for i := range rows {
+		rows[i] = relation.Tuple{relation.Value(i), relation.Value(i * 7 % 997), relation.Value(i % 64)}
+	}
+
+	// run times one ingest of n rows in ack batches; policy "memory"
+	// skips the WAL entirely (the baseline every ratio is against).
+	// Every policy ingests into a relation with the in-memory mutation
+	// log enabled, as every served relation has (index builds enable
+	// it): the comparison is serverd's ack path with and without
+	// durability, not a bare column append no server runs.
+	// GC pauses land in whichever round is unlucky, and at tens of ns
+	// per row they dominate the comparison; collect between rounds
+	// instead of during them.
+	defer debug.SetGCPercent(debug.SetGCPercent(-1))
+
+	run := func(batch, n int, policy string) (float64, error) {
+		best := math.Inf(1)
+		for round := 0; round < 5; round++ {
+			runtime.GC()
+			rel := relation.New("ingest", schema)
+			rel.EnableMutationLog()
+			var rl *wal.RelationLog
+			var dir string
+			if policy != "memory" {
+				p, err := wal.ParseSyncPolicy(policy)
+				if err != nil {
+					return 0, err
+				}
+				dir, err = os.MkdirTemp("", "sudur")
+				if err != nil {
+					return 0, err
+				}
+				rl, err = wal.OpenRelationLog(dir, rel, wal.RelationLogOptions{
+					Options: wal.Options{Policy: p},
+				})
+				if err != nil {
+					os.RemoveAll(dir)
+					return 0, err
+				}
+				rl.Attach()
+			}
+			start := time.Now()
+			for off := 0; off < n; off += batch {
+				end := off + batch
+				if end > n {
+					end = n
+				}
+				rel.AppendRows(rows[off:end])
+				if rl != nil {
+					if err := rl.Commit(); err != nil {
+						return 0, err
+					}
+				}
+			}
+			ns := float64(time.Since(start).Nanoseconds()) / float64(n)
+			if rl != nil {
+				rl.Close()
+				os.RemoveAll(dir)
+			}
+			if ns < best {
+				best = ns
+			}
+		}
+		return best, nil
+	}
+
+	for _, batch := range durabilityBatches(o) {
+		// The memory row doubles as every ratio's denominator, so the
+		// baseline is the same measurement the table reports.
+		baseline := 0.0
+		for _, policy := range []string{"memory", "off", "interval", "always"} {
+			n := total
+			if policy == "always" {
+				// One fsync per ack makes row cost fsync-latency-bound;
+				// fewer rows measure it just as well.
+				if capped := 4096 * batch; capped < n {
+					n = capped
+				}
+			}
+			ns, err := run(batch, n, policy)
+			if err != nil {
+				return nil, err
+			}
+			if policy == "memory" {
+				baseline = ns
+			}
+			res.Add(
+				fmt.Sprintf("%d", batch),
+				policy,
+				fmt.Sprintf("%d", n),
+				fmt.Sprintf("%.0f", ns),
+				fmt.Sprintf("%.0f", 1e9/ns),
+				fmt.Sprintf("%.2fx", ns/baseline),
+			)
+		}
+	}
+	return res, nil
+}

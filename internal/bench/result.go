@@ -156,6 +156,7 @@ func Experiments() []struct {
 		{"batch", Batch},
 		{"shards", Shards},
 		{"storage", Storage},
+		{"durability", Durability},
 	}
 }
 

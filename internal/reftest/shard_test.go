@@ -88,6 +88,67 @@ func TestShardedMatchesReference(t *testing.T) {
 	}
 }
 
+// TestShardedRefreshAfterLostLogTail drives the lost-log-tail rebuild
+// path end to end: a mutation burst larger than the bounded mutation
+// log leaves Partition.Sync nothing to replay (MutationsSince reports
+// ok=false), so Session.Refresh must fall back to a full re-partition
+// — and the rebuilt session must serve exactly the mutated union.
+func TestShardedRefreshAfterLostLogTail(t *testing.T) {
+	sc := buildScenario(t, 0) // chain2x2: acyclic, so only a lost tail forces the full rebuild
+	sc.ensureNonEmpty()
+	sess, err := sc.union.Prepare(su.Options{
+		Seed: 5, Warmup: su.WarmupExact, Method: su.MethodEW, Oracle: true, Shards: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	victim := sc.rels[0]
+	v0 := victim.Version()
+	// Overflow the bounded log: far more appends than it retains. Values
+	// way outside the scenario's 0..5 domain join nothing, so the union
+	// stays small enough for the brute-force reference.
+	filler := make([]relation.Tuple, 0, 5000)
+	for i := 0; i < 5000; i++ {
+		row := make(relation.Tuple, victim.Arity())
+		for j := range row {
+			row[j] = relation.Value(10000 + i*4 + j)
+		}
+		filler = append(filler, row)
+	}
+	victim.AppendRows(filler)
+	// A few in-domain mutations so the refreshed union visibly moved.
+	appendUnique(victim, relation.Tuple{0, 1})
+	appendUnique(victim, relation.Tuple{1, 0})
+	for i := 0; i < victim.Len(); i++ {
+		if victim.Live(i) {
+			victim.Delete(i)
+			break
+		}
+	}
+	sc.ensureNonEmpty()
+	if _, _, ok := victim.MutationsSince(v0); ok {
+		t.Fatal("mutation log tail unexpectedly retained; burst too small to force the rebuild path")
+	}
+	if err := sess.Refresh(); err != nil {
+		t.Fatalf("refresh across lost log tail: %v", err)
+	}
+	union, _ := sc.reference()
+	if len(union) == 0 {
+		t.Fatal("mutated union empty; scenario drifted")
+	}
+	n := drawCount(len(union))
+	batch, _, err := sess.SampleBatchSeeded(n, 71)
+	if err != nil {
+		t.Fatalf("post-rebuild batch: %v", err)
+	}
+	seq, _, err := sess.SampleSeeded(n, 73)
+	if err != nil {
+		t.Fatalf("post-rebuild sequential: %v", err)
+	}
+	checkDraws(t, "lost-tail rebuild batch", batch, UniformWeights(union), true)
+	checkDraws(t, "lost-tail rebuild sequential", seq, UniformWeights(union), true)
+}
+
 // TestShardedDeterministicAcrossWorkers pins the sharded determinism
 // contract: the merged batch stream must be bit-identical no matter how
 // the per-shard sub-batches are scheduled, so two sessions prepared

@@ -52,9 +52,31 @@ type Relation struct {
 	logStart uint64
 	log      []Mutation
 
+	// sink, when set, receives every mutation synchronously as it is
+	// logged — the write-ahead tee for durability (internal/wal).
+	// Guarded by mu like the log itself.
+	sink MutationSink
+
 	// testDegrade, when non-zero, collapses the index hash space so
 	// collision paths are exercised; see SetIndexHashDegradeForTest.
 	testDegrade uint64
+}
+
+// MutationSink observes every mutation of a relation, synchronously,
+// in version order, with version the value Version() reports after the
+// mutation. The relation's mutation lock is held during the call: the
+// sink must not call back into the relation. Unlike the bounded
+// in-memory log, a sink always receives Vals — for appends they are
+// gathered from the just-published snapshot — so it can serialize the
+// mutation without touching storage. Treat m.Vals as read-only.
+type MutationSink interface {
+	LogMutation(version uint64, m Mutation)
+	// LogAppendBatch is the bulk-append tee: rows [start, start+n) were
+	// just appended as one batch, producing versions (version-n,
+	// version]. cols are the just-published column vectors, so the sink
+	// reads the appended values in place — no per-row gather. Treat cols
+	// as read-only.
+	LogAppendBatch(version uint64, start, n int, cols [][]Value)
 }
 
 // snapshot is one immutable view of the row storage: one column vector
@@ -228,9 +250,7 @@ func (r *Relation) AppendRows(rows []Tuple) {
 		cols[a] = col
 	}
 	r.snap.Store(&snapshot{cols: cols, rows: s.rows + len(rows), dead: s.dead, live: s.live + len(rows)})
-	for i := range rows {
-		r.logMutation(Mutation{Kind: MutAppend, Row: first + i})
-	}
+	r.logAppendBatch(first, len(rows))
 }
 
 // AppendRowIDs appends the given rows of src — which must have the
@@ -265,9 +285,7 @@ func (r *Relation) AppendRowIDs(src *Relation, ids []int) {
 		cols[a] = col
 	}
 	r.snap.Store(&snapshot{cols: cols, rows: s.rows + len(ids), dead: s.dead, live: s.live + len(ids)})
-	for i := range ids {
-		r.logMutation(Mutation{Kind: MutAppend, Row: first + i})
-	}
+	r.logAppendBatch(first, len(ids))
 }
 
 // growCap doubles capacity until it covers need (minimum 8), keeping
@@ -319,10 +337,26 @@ func (r *Relation) Delete(i int) bool {
 	return true
 }
 
-// logMutation bumps the version and, when logging is on, appends to the
-// bounded log; callers hold r.mu.
+// logMutation bumps the version, tees into the registered sink, and,
+// when logging is on, appends to the bounded log; callers hold r.mu.
 func (r *Relation) logMutation(m Mutation) {
 	v := r.version.Add(1)
+	if r.sink != nil {
+		sm := m
+		if sm.Vals == nil {
+			// Appends log no values (storage has them); a sink needs
+			// them to serialize the mutation, so gather from the
+			// just-published snapshot. The in-memory log entry below
+			// keeps its lean no-Vals shape.
+			s := r.snap.Load()
+			vals := make(Tuple, len(s.cols))
+			for a, c := range s.cols {
+				vals[a] = c[sm.Row]
+			}
+			sm.Vals = vals
+		}
+		r.sink.LogMutation(v, sm)
+	}
 	if !r.logOn {
 		r.logStart = v
 		return
@@ -335,6 +369,44 @@ func (r *Relation) logMutation(m Mutation) {
 		r.log = kept
 		r.logStart += uint64(drop)
 	}
+}
+
+// logAppendBatch is logMutation for a contiguous batch of appends over
+// the just-published snapshot: the version advances by n in one step,
+// the sink sees one batched record (the WAL tee's amortization — per-row
+// framing would dominate bulk ingest), and the in-memory log gets its
+// usual per-row entries; callers hold r.mu.
+func (r *Relation) logAppendBatch(first, n int) {
+	if n == 0 {
+		return
+	}
+	v := r.version.Add(uint64(n))
+	if r.sink != nil {
+		r.sink.LogAppendBatch(v, first, n, r.snap.Load().cols)
+	}
+	if !r.logOn {
+		r.logStart = v
+		return
+	}
+	for i := 0; i < n; i++ {
+		r.log = append(r.log, Mutation{Kind: MutAppend, Row: first + i})
+	}
+	for len(r.log) > maxLogLen {
+		drop := len(r.log) / 2
+		kept := make([]Mutation, len(r.log)-drop)
+		copy(kept, r.log[drop:])
+		r.log = kept
+		r.logStart += uint64(drop)
+	}
+}
+
+// SetMutationSink registers (or, with nil, removes) the relation's
+// mutation sink. At most one sink is supported; the write-ahead layer
+// owns it.
+func (r *Relation) SetMutationSink(s MutationSink) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.sink = s
 }
 
 // EnableMutationLog starts recording mutations so derived structures

@@ -1,0 +1,310 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"sampleunion/internal/relation"
+	"sampleunion/internal/wal"
+)
+
+// durableStore is the serving layer's durability root: one
+// wal.RelationLog per (registry key, relation) under
+//
+//	root/sessions/<key>/<relation>/{wal,checkpoint}
+//
+// plus root/manifest.json, the registry manifest listing every durable
+// declaration so a rebooted daemon can re-Prepare them and come up
+// warm. Base data is rebuilt deterministically from the declaration on
+// every boot; the WAL and checkpoints carry only wire-level mutations
+// on top of it.
+type durableStore struct {
+	root string
+	opts wal.RelationLogOptions
+
+	mu      sync.Mutex
+	entries map[string]*durableEntry
+
+	commits         atomic.Int64
+	commitErrors    atomic.Int64
+	checkpoints     atomic.Int64
+	checkpointErrs  atomic.Int64
+	recoveredMuts   atomic.Int64
+	restoredEntries atomic.Int64
+}
+
+// durableEntry is one registry entry's durability state.
+type durableEntry struct {
+	store *durableStore
+	key   string
+	rels  map[string]*wal.RelationLog
+	// recovered counts mutations restored at open across the entry's
+	// relations: > 0 means the entry carries wire-level state beyond
+	// its declaration.
+	recovered int
+}
+
+func newDurableStore(root string, opts wal.RelationLogOptions) *durableStore {
+	return &durableStore{root: root, opts: opts, entries: make(map[string]*durableEntry)}
+}
+
+// relDirName maps a relation name to a directory entry. Workload and
+// spec relation names are identifiers, which pass through readably;
+// anything else falls back to a hex encoding so no name can escape its
+// directory.
+func relDirName(name string) string {
+	safe := name != ""
+	for _, r := range name {
+		if r >= 'a' && r <= 'z' || r >= 'A' && r <= 'Z' || r >= '0' && r <= '9' || r == '_' || r == '-' || r == '.' {
+			continue
+		}
+		safe = false
+		break
+	}
+	if safe && name != "." && name != ".." {
+		return name
+	}
+	return fmt.Sprintf("x%x", name)
+}
+
+// recover opens (restoring checkpoint + WAL state into) the durability
+// state for every relation of a freshly built entry. The relations
+// must hold exactly their deterministic base contents. The sinks are
+// NOT attached yet — warm-up runs on the recovered contents first, and
+// attach follows once the session exists (see Registry.prepare).
+func (d *durableStore) recover(key string, rels map[string]*relation.Relation) (*durableEntry, error) {
+	de := &durableEntry{store: d, key: key, rels: make(map[string]*wal.RelationLog, len(rels))}
+	names := make([]string, 0, len(rels))
+	for name := range rels {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		dir := filepath.Join(d.root, "sessions", key, relDirName(name))
+		rl, err := wal.OpenRelationLog(dir, rels[name], d.opts)
+		if err != nil {
+			de.close()
+			return nil, fmt.Errorf("serve: recovering relation %q: %w", name, err)
+		}
+		de.rels[name] = rl
+		de.recovered += rl.Recovered()
+	}
+	d.recoveredMuts.Add(int64(de.recovered))
+	d.mu.Lock()
+	d.entries[key] = de
+	d.mu.Unlock()
+	return de, nil
+}
+
+// attach starts teeing every relation's mutations into its WAL.
+func (de *durableEntry) attach() {
+	for _, rl := range de.rels {
+		rl.Attach()
+	}
+}
+
+func (de *durableEntry) close() {
+	for _, rl := range de.rels {
+		rl.Close()
+	}
+}
+
+// commit makes the named relation's teed mutations durable; an append
+// ack must not be sent unless it succeeds.
+func (de *durableEntry) commit(name string) error {
+	rl, ok := de.rels[name]
+	if !ok {
+		return fmt.Errorf("serve: no durable state for relation %q", name)
+	}
+	err := rl.Commit()
+	if err != nil {
+		de.store.commitErrors.Add(1)
+		return err
+	}
+	de.store.commits.Add(1)
+	return nil
+}
+
+// maybeCheckpoint checkpoints the named relation when due.
+func (de *durableEntry) maybeCheckpoint(name string) {
+	rl, ok := de.rels[name]
+	if !ok {
+		return
+	}
+	did, err := rl.MaybeCheckpoint()
+	if err != nil {
+		de.store.checkpointErrs.Add(1)
+		return
+	}
+	if did {
+		de.store.checkpoints.Add(1)
+	}
+}
+
+// release closes an evicted entry's durability state. Its WAL and
+// checkpoints stay on disk; a later Get for the key recovers them. An
+// append racing the eviction fails its commit (the closed log is
+// sticky) instead of acking undurable work.
+func (d *durableStore) release(key string) {
+	d.mu.Lock()
+	de := d.entries[key]
+	delete(d.entries, key)
+	d.mu.Unlock()
+	if de != nil {
+		de.close()
+	}
+}
+
+// closeAll releases every open entry (clean shutdown): final flush +
+// fsync per WAL, so even SyncNever state is on disk when the process
+// exits on purpose.
+func (d *durableStore) closeAll() {
+	d.mu.Lock()
+	entries := d.entries
+	d.entries = make(map[string]*durableEntry)
+	d.mu.Unlock()
+	for _, de := range entries {
+		de.close()
+	}
+}
+
+// open reports how many entries hold open durability state.
+func (d *durableStore) open() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return len(d.entries)
+}
+
+// manifest is the persisted registry: every declaration holding
+// durable state, re-Prepared on boot so the daemon restarts warm.
+type manifest struct {
+	Entries []manifestEntry `json:"entries"`
+}
+
+type manifestEntry struct {
+	Key  string    `json:"key"`
+	Decl UnionDecl `json:"decl"`
+}
+
+func (d *durableStore) manifestPath() string { return filepath.Join(d.root, "manifest.json") }
+
+func (d *durableStore) loadManifest() ([]manifestEntry, error) {
+	raw, err := os.ReadFile(d.manifestPath())
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("serve: %w", err)
+	}
+	var m manifest
+	if err := json.Unmarshal(raw, &m); err != nil {
+		return nil, fmt.Errorf("serve: parsing %s: %w", d.manifestPath(), err)
+	}
+	return m.Entries, nil
+}
+
+// rememberDecl records a declaration in the manifest (idempotent),
+// atomically: temp file, fsync, rename.
+func (d *durableStore) rememberDecl(key string, decl UnionDecl) error {
+	return d.editManifest(func(m *manifest) {
+		for _, e := range m.Entries {
+			if e.Key == key {
+				return
+			}
+		}
+		m.Entries = append(m.Entries, manifestEntry{Key: key, Decl: decl})
+	})
+}
+
+// forgetDecl drops a declaration from the manifest (eviction: the
+// state stays on disk but is no longer restored at boot).
+func (d *durableStore) forgetDecl(key string) error {
+	return d.editManifest(func(m *manifest) {
+		kept := m.Entries[:0]
+		for _, e := range m.Entries {
+			if e.Key != key {
+				kept = append(kept, e)
+			}
+		}
+		m.Entries = kept
+	})
+}
+
+func (d *durableStore) editManifest(edit func(*manifest)) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	var m manifest
+	if raw, err := os.ReadFile(d.manifestPath()); err == nil {
+		if err := json.Unmarshal(raw, &m); err != nil {
+			// A corrupt manifest costs warm restarts, not data; start a
+			// fresh one rather than wedging ingest.
+			m = manifest{}
+		}
+	}
+	edit(&m)
+	raw, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return fmt.Errorf("serve: %w", err)
+	}
+	if err := os.MkdirAll(d.root, 0o777); err != nil {
+		return fmt.Errorf("serve: %w", err)
+	}
+	tmp, err := os.CreateTemp(d.root, ".manifest-*")
+	if err != nil {
+		return fmt.Errorf("serve: %w", err)
+	}
+	defer os.Remove(tmp.Name())
+	if _, err := tmp.Write(append(raw, '\n')); err != nil {
+		tmp.Close()
+		return fmt.Errorf("serve: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("serve: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("serve: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), d.manifestPath()); err != nil {
+		return fmt.Errorf("serve: %w", err)
+	}
+	return nil
+}
+
+// DurabilitySnapshot is the /metrics durability gauge set.
+type DurabilitySnapshot struct {
+	// Policy is the configured fsync policy.
+	Policy string `json:"policy"`
+	// OpenEntries counts registry entries with open durability state.
+	OpenEntries int `json:"open_entries"`
+	// Commits / CommitErrors count acked-durable append batches and
+	// refused acks.
+	Commits      int64 `json:"commits"`
+	CommitErrors int64 `json:"commit_errors"`
+	// Checkpoints / CheckpointErrors count snapshot checkpoints.
+	Checkpoints      int64 `json:"checkpoints"`
+	CheckpointErrors int64 `json:"checkpoint_errors"`
+	// RecoveredMutations counts mutations restored from checkpoint+WAL
+	// across all opens since boot; RestoredSessions counts sessions
+	// re-prepared from the manifest at boot.
+	RecoveredMutations int64 `json:"recovered_mutations"`
+	RestoredSessions   int64 `json:"restored_sessions"`
+}
+
+func (d *durableStore) snapshot() DurabilitySnapshot {
+	return DurabilitySnapshot{
+		Policy:             d.opts.Policy.String(),
+		OpenEntries:        d.open(),
+		Commits:            d.commits.Load(),
+		CommitErrors:       d.commitErrors.Load(),
+		Checkpoints:        d.checkpoints.Load(),
+		CheckpointErrors:   d.checkpointErrs.Load(),
+		RecoveredMutations: d.recoveredMuts.Load(),
+		RestoredSessions:   d.restoredEntries.Load(),
+	}
+}

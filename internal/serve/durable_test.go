@@ -1,0 +1,295 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"reflect"
+	"testing"
+
+	"sampleunion/internal/wal"
+)
+
+func bytesReader(t *testing.T, body any) *bytes.Reader {
+	t.Helper()
+	b, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return bytes.NewReader(b)
+}
+
+func jsonDecode(r io.Reader, out any) error {
+	return json.NewDecoder(r).Decode(out)
+}
+
+func getJSON(t *testing.T, url string, out any) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if err := jsonDecode(resp.Body, out); err != nil {
+		t.Fatalf("decoding %s: %v", url, err)
+	}
+}
+
+func durableCfg(dir string) Config {
+	return Config{
+		DurableDir:      dir,
+		FsyncPolicy:     wal.SyncNever, // durability across clean close/kill, no fsync latency in tests
+		CheckpointEvery: 7,             // small: exercise checkpoint + WAL-truncate during the test
+	}
+}
+
+// seededDraw pulls an explicitly seeded batch so two servers can be
+// compared draw-for-draw regardless of their auto-stream positions.
+func seededDraw(t *testing.T, url string, decl UnionDecl, n int, seed int64) [][]int64 {
+	t.Helper()
+	var resp sampleResponse
+	if code := post(t, url+"/sample", sampleRequest{Union: decl, N: n, Seed: &seed}, &resp); code != http.StatusOK {
+		t.Fatalf("seeded sample: status %d", code)
+	}
+	return resp.Tuples
+}
+
+// TestDurableWarmRestart is the tentpole acceptance test at the serve
+// layer: appends acked by a durable server survive into a second
+// server booted on the same directory, which comes up warm (no
+// request-triggered warm-up) and produces the same seeded draws as the
+// uninterrupted first server.
+func TestDurableWarmRestart(t *testing.T) {
+	dir := t.TempDir()
+	decl := quickDecl()
+
+	s1, ts1 := newTestServer(t, durableCfg(dir))
+	// Prepare via a draw, then ingest: 20 acked single-row appends so
+	// the CheckpointEvery=7 trigger fires at least twice.
+	seededDraw(t, ts1.URL, decl, 4, 7)
+	for i := 0; i < 20; i++ {
+		var ap appendResponse
+		row := []int64{int64(100 + i), int64(i), int64(i % 5)}
+		code := post(t, ts1.URL+"/relation/nation/append", appendRequest{Union: decl, Rows: [][]int64{row}}, &ap)
+		if code != http.StatusOK {
+			t.Fatalf("append %d: status %d", i, code)
+		}
+		if !ap.Durable || ap.Appended != 1 {
+			t.Fatalf("append %d: %+v, want durable single-row ack", i, ap)
+		}
+	}
+	key, err := decl.Key()
+	if err != nil {
+		t.Fatal(err)
+	}
+	e1, ok := s1.Registry().Lookup(key)
+	if !ok {
+		t.Fatal("entry missing")
+	}
+	wantTuples := e1.Rels["nation"].Tuples()
+	wantVersion := e1.Rels["nation"].Version()
+	wantDraw := seededDraw(t, ts1.URL, decl, 32, 99)
+	if d := s1.reg.durable.snapshot(); d.Commits != 20 || d.Checkpoints < 2 {
+		t.Fatalf("durability counters: %+v, want 20 commits and >= 2 checkpoints", d)
+	}
+	ts1.Close()
+	s1.Close()
+
+	// "Reboot": a fresh server over the same directory restores the
+	// session from the manifest before any request arrives.
+	s2, ts2 := newTestServer(t, durableCfg(dir))
+	defer s2.Close()
+	n, err := s2.RestoreSessions()
+	if err != nil {
+		t.Fatalf("restore: %v", err)
+	}
+	if n != 1 {
+		t.Fatalf("restored %d sessions, want 1", n)
+	}
+	e2, ok := s2.Registry().Lookup(key)
+	if !ok {
+		t.Fatal("restored entry missing from registry")
+	}
+	if got := e2.Rels["nation"].Version(); got != wantVersion {
+		t.Fatalf("restored version %d, want %d", got, wantVersion)
+	}
+	gotTuples := e2.Rels["nation"].Tuples()
+	if len(gotTuples) != len(wantTuples) {
+		t.Fatalf("restored %d tuples, want %d", len(gotTuples), len(wantTuples))
+	}
+	for i := range wantTuples {
+		if !gotTuples[i].Equal(wantTuples[i]) {
+			t.Fatalf("restored tuple %d = %v, want %v", i, gotTuples[i], wantTuples[i])
+		}
+	}
+	// Warm restart: the seeded stream must be byte-identical to the
+	// uninterrupted server's, and serving it must not re-prepare.
+	if got := seededDraw(t, ts2.URL, decl, 32, 99); !reflect.DeepEqual(got, wantDraw) {
+		t.Fatalf("post-restart seeded draw diverged:\n got %v\nwant %v", got, wantDraw)
+	}
+	if st := s2.Registry().Stats(); st.Prepares != 1 {
+		t.Fatalf("prepares after restore+draw = %d, want 1 (warm)", st.Prepares)
+	}
+}
+
+// TestDurableEvictionKeepsMutations pins the durability upgrade to the
+// LRU contract: a memory-only registry loses wire-level appends when a
+// mutated entry is evicted, a durable one recovers them on the next
+// Get for the key.
+func TestDurableEvictionKeepsMutations(t *testing.T) {
+	cfg := durableCfg(t.TempDir())
+	cfg.SessionCap = 1
+	s, ts := newTestServer(t, cfg)
+	defer s.Close()
+
+	declA := quickDecl()
+	declB := quickDecl()
+	declB.Options.Seed = 2 // distinct key, same tiny workload
+
+	var ap appendResponse
+	row := []int64{500, 1, 2}
+	if code := post(t, ts.URL+"/relation/nation/append", appendRequest{Union: declA, Rows: [][]int64{row}}, &ap); code != http.StatusOK || !ap.Durable {
+		t.Fatalf("append: code %d resp %+v", code, ap)
+	}
+	keyA, _ := declA.Key()
+	eA, _ := s.Registry().Lookup(keyA)
+	want := eA.Rels["nation"].Tuples()
+
+	// Cap 1: preparing B must evict A (mutated or not — capacity is a
+	// hard bound) and close its WAL.
+	if _, err := s.Registry().Get(declB); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Registry().Lookup(keyA); ok {
+		t.Fatal("A still resident; eviction did not happen")
+	}
+	if open := s.reg.durable.open(); open != 1 {
+		t.Fatalf("open durable entries = %d, want 1 (A released)", open)
+	}
+
+	// Re-Get A: recovery must bring the appended row back.
+	e2, err := s.Registry().Get(declA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := e2.Rels["nation"].Tuples()
+	if len(got) != len(want) {
+		t.Fatalf("recovered %d tuples, want %d (wire append lost in eviction)", len(got), len(want))
+	}
+	for i := range want {
+		if !got[i].Equal(want[i]) {
+			t.Fatalf("recovered tuple %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+	if !e2.mutated.Load() {
+		t.Fatal("recovered entry not marked mutated")
+	}
+}
+
+// TestDrainModeSheddingAndHealth covers the drain satellite: before
+// SetDraining the shed path answers 429 + Retry-After, after it the
+// same pressure answers 503 + Connection: close and /healthz flips to
+// draining.
+func TestDrainModeSheddingAndHealth(t *testing.T) {
+	s, ts := newTestServer(t, Config{MaxInflight: 1})
+	// Fill the admission semaphore so every draw request sheds.
+	s.sem <- struct{}{}
+	defer func() { <-s.sem }()
+
+	shed := func() *http.Response {
+		t.Helper()
+		resp, err := http.Post(ts.URL+"/sample", "application/json",
+			bytesReader(t, sampleRequest{Union: quickDecl(), N: 1}))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp
+	}
+
+	if resp := shed(); resp.StatusCode != http.StatusTooManyRequests || resp.Header.Get("Retry-After") != "1" {
+		t.Fatalf("pre-drain shed: %d %q, want 429 with Retry-After 1", resp.StatusCode, resp.Header.Get("Retry-After"))
+	}
+
+	s.SetDraining()
+	resp := shed()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("draining shed: %d, want 503", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") != "" {
+		t.Fatal("draining shed still advertises Retry-After")
+	}
+	if !resp.Close {
+		t.Fatal("draining shed did not signal Connection: close")
+	}
+
+	hr, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hr.Body.Close()
+	if hr.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("draining /healthz: %d, want 503", hr.StatusCode)
+	}
+	var h healthzResponse
+	if err := jsonDecode(hr.Body, &h); err != nil || h.Status != "draining" {
+		t.Fatalf("draining /healthz status %q (err %v), want draining", h.Status, err)
+	}
+}
+
+// TestDurableCommitFailureRefusesAck closes an entry's WAL out from
+// under it (the eviction race) and expects the next append to answer
+// 500 rather than ack rows that will not survive.
+func TestDurableCommitFailureRefusesAck(t *testing.T) {
+	s, ts := newTestServer(t, durableCfg(t.TempDir()))
+	defer s.Close()
+	decl := quickDecl()
+	seededDraw(t, ts.URL, decl, 1, 1)
+	key, _ := decl.Key()
+	s.reg.durable.release(key) // closes the WAL; sticky ErrClosed
+
+	var apiErr apiError
+	code := post(t, ts.URL+"/relation/nation/append",
+		appendRequest{Union: decl, Rows: [][]int64{{1, 2, 3}}}, &apiErr)
+	if code != http.StatusInternalServerError {
+		t.Fatalf("append on closed WAL: status %d, want 500", code)
+	}
+	if apiErr.Error == "" {
+		t.Fatal("append on closed WAL: empty error body")
+	}
+	if d := s.reg.durable.snapshot(); d.CommitErrors != 1 {
+		t.Fatalf("commit errors = %d, want 1", d.CommitErrors)
+	}
+}
+
+// TestMetricsDurabilitySection asserts /metrics grows the durability
+// gauge block exactly when durability is on.
+func TestMetricsDurabilitySection(t *testing.T) {
+	sOff, tsOff := newTestServer(t, Config{})
+	_ = sOff
+	var m map[string]any
+	if code := post(t, tsOff.URL+"/sample", sampleRequest{Union: quickDecl(), N: 1}, nil); code != http.StatusOK {
+		t.Fatalf("sample: %d", code)
+	}
+	getJSON(t, tsOff.URL+"/metrics", &m)
+	if _, ok := m["durability"]; ok {
+		t.Fatal("memory-only /metrics reports durability")
+	}
+
+	sOn, tsOn := newTestServer(t, durableCfg(t.TempDir()))
+	defer sOn.Close()
+	if code := post(t, tsOn.URL+"/relation/nation/append",
+		appendRequest{Union: quickDecl(), Rows: [][]int64{{9, 9, 9}}}, nil); code != http.StatusOK {
+		t.Fatalf("append: %d", code)
+	}
+	m = nil
+	getJSON(t, tsOn.URL+"/metrics", &m)
+	dur, ok := m["durability"].(map[string]any)
+	if !ok {
+		t.Fatal("durable /metrics missing durability block")
+	}
+	if dur["policy"] != "off" || dur["commits"].(float64) != 1 {
+		t.Fatalf("durability block: %+v", dur)
+	}
+}

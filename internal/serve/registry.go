@@ -39,6 +39,12 @@ type Entry struct {
 	// appends (draws never take it; they read the session's current
 	// generation lock-free).
 	appendMu sync.Mutex
+
+	// durable is the entry's WAL + checkpoint state (nil when the
+	// server runs memory-only). When set, the append path commits to
+	// it before acking, and the entry's wire-level mutations survive
+	// both eviction and restarts.
+	durable *durableEntry
 }
 
 // Hits reports how many registry lookups this entry has served.
@@ -59,6 +65,11 @@ type flight struct {
 type Registry struct {
 	dataDir string
 	cap     int
+
+	// durable, when non-nil, recovers and persists every entry's
+	// wire-level mutations (see durableStore); set by serve.New when
+	// the server is configured with a durable data directory.
+	durable *durableStore
 
 	mu      sync.Mutex
 	entries map[string]*list.Element // value: *Entry
@@ -147,7 +158,12 @@ func (r *Registry) Get(decl UnionDecl) (*Entry, error) {
 }
 
 // prepare builds the union and pays the warm-up — the expensive part,
-// run outside the registry lock.
+// run outside the registry lock. With durability on, recovery slots in
+// between build and warm-up: the freshly built relations hold their
+// deterministic base contents, checkpoint + WAL replay layers the
+// persisted wire-level mutations on top, and the warm-up then runs
+// over the recovered state. Sinks attach only after the session
+// exists, so warm-up itself writes nothing to the log.
 func (r *Registry) prepare(key string, decl UnionDecl) (*Entry, error) {
 	u, rels, dict, err := decl.build(r.dataDir)
 	if err != nil {
@@ -157,12 +173,33 @@ func (r *Registry) prepare(key string, decl UnionDecl) (*Entry, error) {
 	if err != nil {
 		return nil, err
 	}
+	var de *durableEntry
+	if r.durable != nil {
+		de, err = r.durable.recover(key, rels)
+		if err != nil {
+			return nil, err
+		}
+	}
 	r.prepares.Add(1)
 	sess, err := u.Prepare(opts)
 	if err != nil {
+		if de != nil {
+			r.durable.release(key)
+		}
 		return nil, err
 	}
-	return &Entry{Key: key, Sess: sess, Union: u, Rels: rels, Dict: dict}, nil
+	e := &Entry{Key: key, Sess: sess, Union: u, Rels: rels, Dict: dict, durable: de}
+	if de != nil {
+		de.attach()
+		if de.recovered > 0 {
+			e.mutated.Store(true)
+		}
+		if err := r.durable.rememberDecl(key, decl.normalize()); err != nil {
+			r.durable.release(key)
+			return nil, err
+		}
+	}
+	return e, nil
 }
 
 // insertLocked publishes a fresh entry and evicts past capacity;
@@ -192,6 +229,16 @@ func (r *Registry) insertLocked(key string, e *Entry) {
 		r.lru.Remove(victim)
 		delete(r.entries, old.Key)
 		r.evictions.Add(1)
+		if r.durable != nil && old.durable != nil {
+			// Close the victim's WAL (an in-flight append racing the
+			// eviction fails its commit rather than ack undurable
+			// work) and drop it from the boot manifest; its on-disk
+			// state stays, so a later Get recovers the mutations.
+			r.durable.release(old.Key)
+			// A failed forget means the next boot restores an evicted
+			// session — warm-RAM overshoot, not data loss.
+			_ = r.durable.forgetDecl(old.Key)
+		}
 	}
 }
 

@@ -632,3 +632,53 @@ func TestN0Sample(t *testing.T) {
 		t.Fatalf("n=0: %d tuples, want 0", len(sr.Tuples))
 	}
 }
+
+func TestPredicateDeclCompilation(t *testing.T) {
+	cmp := func(attr, op string, v int64) *PredDecl {
+		return &PredDecl{Cmp: &CmpDecl{Attr: attr, Op: op, Value: v}}
+	}
+	good := []PredDecl{
+		{}, // zero node means true
+		{True: true},
+		*cmp("a", "=", 1),
+		*cmp("a", "==", 1),
+		*cmp("a", "!=", 1),
+		*cmp("a", "<", 1),
+		*cmp("a", "<=", 1),
+		*cmp("a", ">", 1),
+		*cmp("a", ">=", 1),
+		{And: []PredDecl{*cmp("a", "<", 5), *cmp("b", ">", 1)}},
+		{Or: []PredDecl{*cmp("a", "=", 5), {True: true}}},
+		{Not: cmp("a", "=", 5)},
+		{In: &InDecl{Attr: "a", Values: []int64{1, 2, 3}}},
+	}
+	for i, d := range good {
+		if _, err := d.toPredicate(); err != nil {
+			t.Fatalf("decl %d: %v", i, err)
+		}
+	}
+	bad := []PredDecl{
+		{True: true, Cmp: &CmpDecl{Attr: "a", Op: "=", Value: 1}}, // two nodes set
+		*cmp("a", "~", 1),                    // unknown operator
+		{And: []PredDecl{*cmp("a", "~", 1)}}, // error inside and
+		{Or: []PredDecl{*cmp("a", "~", 1)}},  // error inside or
+		{Not: cmp("a", "~", 1)},              // error inside not
+	}
+	for i, d := range bad {
+		if _, err := d.toPredicate(); err == nil {
+			t.Fatalf("bad decl %d compiled", i)
+		}
+	}
+}
+
+func TestDrainingFlag(t *testing.T) {
+	s := New(Config{})
+	defer s.Close()
+	if s.Draining() {
+		t.Fatal("fresh server reports draining")
+	}
+	s.SetDraining()
+	if !s.Draining() {
+		t.Fatal("SetDraining did not stick")
+	}
+}

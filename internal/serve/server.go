@@ -9,10 +9,12 @@ import (
 	"runtime"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"sampleunion"
 	"sampleunion/internal/relation"
+	"sampleunion/internal/wal"
 )
 
 // Config tunes a Server.
@@ -34,17 +36,34 @@ type Config struct {
 	// with a shards option use (the worker-pool width of one batch
 	// draw). It only scales the MaxInflight default; default GOMAXPROCS.
 	ShardWorkers int
+
+	// DurableDir enables durable ingest: per-relation WALs, snapshot
+	// checkpoints, and the boot manifest live under it, and every
+	// append is on disk before it is acked. Empty keeps the server
+	// memory-only (wire-level mutations die with the process).
+	DurableDir string
+	// FsyncPolicy decides what an append ack means; see wal.SyncPolicy.
+	// Default wal.SyncInterval (group commit).
+	FsyncPolicy wal.SyncPolicy
+	// FsyncInterval is the group-commit cadence under wal.SyncInterval.
+	// Default 2ms.
+	FsyncInterval time.Duration
+	// CheckpointEvery checkpoints a relation after that many mutations
+	// accumulate past its last checkpoint. Default 4096; < 0 disables
+	// automatic checkpoints.
+	CheckpointEvery int
 }
 
 // Server is the HTTP serving layer: a session registry behind a JSON
 // request surface, with admission control and per-endpoint metrics.
 // Create with New, mount via Handler.
 type Server struct {
-	reg     *Registry
-	metrics *metricsSet
-	sem     chan struct{}
-	mux     *http.ServeMux
-	started time.Time
+	reg      *Registry
+	metrics  *metricsSet
+	sem      chan struct{}
+	mux      *http.ServeMux
+	started  time.Time
+	draining atomic.Bool
 }
 
 // New builds a Server.
@@ -61,12 +80,21 @@ func New(cfg Config) *Server {
 			cfg.MaxInflight = 1
 		}
 	}
+	if cfg.CheckpointEvery == 0 {
+		cfg.CheckpointEvery = 4096
+	}
 	s := &Server{
 		reg:     NewRegistry(cfg.DataDir, cfg.SessionCap),
 		metrics: newMetricsSet(),
 		sem:     make(chan struct{}, cfg.MaxInflight),
 		mux:     http.NewServeMux(),
 		started: time.Now(),
+	}
+	if cfg.DurableDir != "" {
+		s.reg.durable = newDurableStore(cfg.DurableDir, wal.RelationLogOptions{
+			Options:         wal.Options{Policy: cfg.FsyncPolicy, Interval: cfg.FsyncInterval},
+			CheckpointEvery: cfg.CheckpointEvery,
+		})
 	}
 	s.mux.HandleFunc("POST /sample", s.handle("sample", true, s.handleSample))
 	s.mux.HandleFunc("POST /sample/where", s.handle("sample_where", true, s.handleSampleWhere))
@@ -90,6 +118,50 @@ func (s *Server) Registry() *Registry { return s.reg }
 
 // Inflight reports currently executing draw requests.
 func (s *Server) Inflight() int { return len(s.sem) }
+
+// Close releases the server's durable state, flushing and closing
+// every open WAL; a memory-only server's Close is a no-op. Call it
+// after the HTTP listener has drained.
+func (s *Server) Close() {
+	if s.reg.durable != nil {
+		s.reg.durable.closeAll()
+	}
+}
+
+// SetDraining flips the server into drain mode: /healthz answers 503
+// "draining" and shed requests get 503 + Connection: close instead of
+// 429 + Retry-After, so load balancers fail over instead of retrying a
+// process that is about to exit. Call it before http.Server.Shutdown.
+func (s *Server) SetDraining() { s.draining.Store(true) }
+
+// Draining reports whether SetDraining was called.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// RestoreSessions re-prepares every declaration in the durable boot
+// manifest, so a restarted daemon answers its working set warm: each
+// session's relations come back from checkpoint + WAL replay and its
+// warm-up runs over the recovered contents before any request arrives.
+// It reports how many sessions were restored; a no-durability server
+// restores zero. Call it once, before serving.
+func (s *Server) RestoreSessions() (int, error) {
+	d := s.reg.durable
+	if d == nil {
+		return 0, nil
+	}
+	ents, err := d.loadManifest()
+	if err != nil {
+		return 0, err
+	}
+	n := 0
+	for _, me := range ents {
+		if _, err := s.reg.Get(me.Decl); err != nil {
+			return n, fmt.Errorf("serve: restoring session %s: %w", me.Key, err)
+		}
+		n++
+		d.restoredEntries.Add(1)
+	}
+	return n, nil
+}
 
 // badRequest marks client errors (malformed JSON, unknown workloads,
 // bad predicates) so the envelope answers 400 instead of 500.
@@ -117,6 +189,14 @@ func (s *Server) handle(name string, admit bool, fn func(*http.Request) (any, er
 				defer func() { <-s.sem }()
 			default:
 				s.metrics.rejected.Add(1)
+				if s.draining.Load() {
+					// Retry-After against a draining process invites
+					// the client to re-hit a server that is about to
+					// exit; tell it to go elsewhere instead.
+					w.Header().Set("Connection", "close")
+					writeJSON(w, http.StatusServiceUnavailable, apiError{Error: "serve: draining, connect elsewhere"})
+					return
+				}
 				w.Header().Set("Retry-After", "1")
 				writeJSON(w, http.StatusTooManyRequests, apiError{Error: "serve: overloaded, retry later"})
 				return
@@ -481,6 +561,9 @@ type appendResponse struct {
 	Refreshed    bool    `json:"refreshed"`
 	RefreshError string  `json:"refresh_error,omitempty"`
 	UnionSize    float64 `json:"union_size"`
+	// Durable reports that the rows were committed to the WAL (per the
+	// configured fsync policy) before this ack.
+	Durable bool `json:"durable"`
 }
 
 func (s *Server) handleAppend(r *http.Request) (any, error) {
@@ -516,7 +599,18 @@ func (s *Server) handleAppend(r *http.Request) (any, error) {
 	defer e.appendMu.Unlock()
 	rel.AppendRows(rows)
 	e.mutated.Store(true)
-	resp := appendResponse{Appended: len(rows), Refreshed: true}
+	if e.durable != nil {
+		// WAL-ack before commit: the rows were teed into the log as
+		// AppendRows ran; make them durable before the 200. A commit
+		// failure refuses the ack — the rows sit in memory but the
+		// client must not treat them as accepted (the response says
+		// so explicitly, since a retry after a restart is safe and a
+		// retry against this process would duplicate them).
+		if err := e.durable.commit(name); err != nil {
+			return nil, fmt.Errorf("serve: append of %d rows to %q not durable: %v (rows are in memory only; do not retry against this process)", len(rows), name, err)
+		}
+	}
+	resp := appendResponse{Appended: len(rows), Refreshed: true, Durable: e.durable != nil}
 	if err := e.Sess.Refresh(); err != nil {
 		// The rows are committed; a 500 here would invite a retry that
 		// duplicates them. Report the partial outcome instead.
@@ -524,6 +618,9 @@ func (s *Server) handleAppend(r *http.Request) (any, error) {
 		resp.RefreshError = err.Error()
 	}
 	resp.UnionSize = e.Sess.UnionSize()
+	if e.durable != nil {
+		e.durable.maybeCheckpoint(name)
+	}
 	return resp, nil
 }
 
@@ -537,8 +634,14 @@ type healthzResponse struct {
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, healthzResponse{
-		Status:      "ok",
+	status, code := "ok", http.StatusOK
+	if s.draining.Load() {
+		// Load balancers watching this probe must stop routing here
+		// before the listener actually closes.
+		status, code = "draining", http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, healthzResponse{
+		Status:      status,
 		Sessions:    s.reg.Stats().Sessions,
 		Inflight:    s.Inflight(),
 		MaxInflight: cap(s.sem),
@@ -557,16 +660,24 @@ type metricsResponse struct {
 	Storage  map[string]EntryStorage `json:"storage"`
 	Rejected int64                   `json:"rejected"`
 	Inflight int                     `json:"inflight"`
+	// Durability reports WAL/checkpoint gauges; absent on a
+	// memory-only server.
+	Durability *DurabilitySnapshot `json:"durability,omitempty"`
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, metricsResponse{
+	resp := metricsResponse{
 		Endpoints: s.metrics.snapshot(),
 		Registry:  s.reg.Stats(),
 		Storage:   s.reg.StorageSnapshot(),
 		Rejected:  s.metrics.rejected.Load(),
 		Inflight:  s.Inflight(),
-	})
+	}
+	if s.reg.durable != nil {
+		snap := s.reg.durable.snapshot()
+		resp.Durability = &snap
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // wherePredicate compiles an optional predicate declaration (absent

@@ -1,0 +1,273 @@
+package wal
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+
+	"sampleunion/internal/relation"
+)
+
+// Mutation record payload (inside a WAL frame, little-endian):
+//
+//	[kind u8][row u64][nvals u32][vals nvals × i64]
+//
+// Appends carry the full tuple (nvals = arity); deletes carry none —
+// the tombstoned row's values are already in every checkpointed or
+// rebuilt storage, so replay needs only the row id.
+//
+// A batched append (one record per AppendRows batch, so bulk ingest
+// pays one frame, one CRC, and one log append per ack) uses its own
+// kind byte, disjoint from relation.MutKind values:
+//
+//	[kind=2 u8][start u64][n u32][arity u32][cols arity × n × i64]
+//
+// covering rows [start, start+n), column-major; the frame's seq is the
+// relation version after the batch's LAST row.
+
+// batchKind tags a batched-append payload (relation.MutKind uses 0/1).
+const batchKind = 2
+
+// AppendMutation appends m's wire encoding to buf and returns the
+// extended slice.
+func AppendMutation(buf []byte, m relation.Mutation) []byte {
+	buf = append(buf, byte(m.Kind))
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(m.Row))
+	if m.Kind == relation.MutDelete {
+		return binary.LittleEndian.AppendUint32(buf, 0)
+	}
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(m.Vals)))
+	for _, v := range m.Vals {
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(v))
+	}
+	return buf
+}
+
+// DecodeMutation parses a payload produced by AppendMutation.
+func DecodeMutation(p []byte) (relation.Mutation, error) {
+	var m relation.Mutation
+	if len(p) < 13 {
+		return m, fmt.Errorf("wal: mutation record of %d bytes is too short", len(p))
+	}
+	m.Kind = relation.MutKind(p[0])
+	if m.Kind != relation.MutAppend && m.Kind != relation.MutDelete {
+		return m, fmt.Errorf("wal: unknown mutation kind %d", p[0])
+	}
+	m.Row = int(binary.LittleEndian.Uint64(p[1:9]))
+	nvals := binary.LittleEndian.Uint32(p[9:13])
+	rest := p[13:]
+	if uint64(len(rest)) != uint64(nvals)*8 {
+		return m, fmt.Errorf("wal: mutation record claims %d values, carries %d bytes", nvals, len(rest))
+	}
+	if nvals > 0 {
+		vals := make(relation.Tuple, nvals)
+		for i := range vals {
+			vals[i] = relation.Value(binary.LittleEndian.Uint64(rest[i*8 : i*8+8]))
+		}
+		m.Vals = vals
+	}
+	return m, nil
+}
+
+// batchHeaderLen is the fixed prefix of a batched-append payload.
+const batchHeaderLen = 17
+
+// batchRecordLen is the payload size of a batched append of n rows at
+// the given arity.
+func batchRecordLen(n, arity int) int { return batchHeaderLen + n*arity*8 }
+
+// encodeBatchRecord fills dst — exactly batchRecordLen(n, len(cols))
+// bytes — with the batched append of rows [start, start+n) read from
+// the published column vectors. It encodes with indexed stores into a
+// caller-reserved buffer because it sits on the ack path of every bulk
+// ingest, where a second pass or copy is measurable against the
+// in-memory append cost.
+func encodeBatchRecord(dst []byte, start, n int, cols [][]relation.Value) {
+	dst[0] = batchKind
+	binary.LittleEndian.PutUint64(dst[1:9], uint64(start))
+	binary.LittleEndian.PutUint32(dst[9:13], uint32(n))
+	binary.LittleEndian.PutUint32(dst[13:17], uint32(len(cols)))
+	p := dst[batchHeaderLen:]
+	for _, col := range cols {
+		for i, v := range col[start : start+n] {
+			binary.LittleEndian.PutUint64(p[i*8:i*8+8], uint64(v))
+		}
+		p = p[n*8:]
+	}
+}
+
+// AppendBatchRecord appends the wire encoding of a batched append of
+// rows [start, start+n) to buf and returns the extended slice.
+func AppendBatchRecord(buf []byte, start, n int, cols [][]relation.Value) []byte {
+	head := len(buf)
+	buf = append(buf, make([]byte, batchRecordLen(n, len(cols)))...)
+	encodeBatchRecord(buf[head:], start, n, cols)
+	return buf
+}
+
+// DecodeBatchRecord parses a payload produced by AppendBatchRecord into
+// the starting physical row and the appended tuples, in append order.
+func DecodeBatchRecord(p []byte) (start int, rows []relation.Tuple, err error) {
+	if len(p) < 17 || p[0] != batchKind {
+		return 0, nil, fmt.Errorf("wal: batch record of %d bytes is malformed", len(p))
+	}
+	start = int(binary.LittleEndian.Uint64(p[1:9]))
+	n := binary.LittleEndian.Uint32(p[9:13])
+	arity := binary.LittleEndian.Uint32(p[13:17])
+	rest := p[17:]
+	if n == 0 || uint64(len(rest)) != uint64(n)*uint64(arity)*8 {
+		return 0, nil, fmt.Errorf("wal: batch record claims %d x %d values, carries %d bytes", n, arity, len(rest))
+	}
+	rows = make([]relation.Tuple, n)
+	flat := make(relation.Tuple, int(n)*int(arity))
+	for i := range rows {
+		rows[i] = flat[i*int(arity) : (i+1)*int(arity)]
+	}
+	for a := 0; a < int(arity); a++ {
+		for i := 0; i < int(n); i++ {
+			rows[i][a] = relation.Value(binary.LittleEndian.Uint64(rest[:8]))
+			rest = rest[8:]
+		}
+	}
+	return start, rows, nil
+}
+
+// Checkpoint file layout (little-endian), named %016x.ckpt after the
+// version it covers:
+//
+//	magic "SUCKPT01" | version u64 | rows u64 | live u64 | arity u64 |
+//	ndead u64 | dead ndead × u64 | cols arity × rows × i64 | crc u32
+//
+// crc is CRC-32C over everything before it. The file is written to a
+// temp name, fsynced, renamed into place, and the directory fsynced —
+// a crash mid-checkpoint leaves the previous checkpoint intact.
+
+const ckptMagic = "SUCKPT01"
+
+// WriteCheckpoint atomically persists sd at path.
+func WriteCheckpoint(path string, sd relation.SnapshotData) error {
+	dir := filepath.Dir(path)
+	if err := os.MkdirAll(dir, 0o777); err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	tmp, err := os.CreateTemp(dir, ".ckpt-*")
+	if err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	defer os.Remove(tmp.Name())
+	cw := &crcWriter{w: bufio.NewWriterSize(tmp, 1<<16)}
+	var u64 [8]byte
+	writeU64 := func(v uint64) {
+		binary.LittleEndian.PutUint64(u64[:], v)
+		cw.Write(u64[:])
+	}
+	cw.Write([]byte(ckptMagic))
+	writeU64(sd.Version)
+	writeU64(uint64(sd.Rows))
+	writeU64(uint64(sd.Live))
+	writeU64(uint64(len(sd.Cols)))
+	writeU64(uint64(len(sd.Dead)))
+	for _, w := range sd.Dead {
+		writeU64(w)
+	}
+	for _, col := range sd.Cols {
+		for i := 0; i < sd.Rows; i++ {
+			writeU64(uint64(col[i]))
+		}
+	}
+	var crc [4]byte
+	binary.LittleEndian.PutUint32(crc[:], cw.crc)
+	cw.Write(crc[:])
+	if cw.err != nil {
+		tmp.Close()
+		return fmt.Errorf("wal: writing checkpoint: %w", cw.err)
+	}
+	if err := cw.w.(*bufio.Writer).Flush(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("wal: writing checkpoint: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("wal: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	if err := syncDir(dir); err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	return nil
+}
+
+// crcWriter accumulates a CRC-32C alongside writes. The trailer is
+// written through it too, but only after the checksum value has been
+// taken, so the stored crc covers exactly the body.
+type crcWriter struct {
+	w   io.Writer
+	crc uint32
+	err error
+}
+
+func (c *crcWriter) Write(p []byte) (int, error) {
+	if c.err != nil {
+		return 0, c.err
+	}
+	c.crc = crc32.Update(c.crc, castagnoli, p)
+	_, c.err = c.w.Write(p)
+	return len(p), c.err
+}
+
+// ReadCheckpoint parses a checkpoint for a relation of the given
+// arity, validating magic, shape, and checksum.
+func ReadCheckpoint(path string, arity int) (relation.SnapshotData, error) {
+	var sd relation.SnapshotData
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return sd, fmt.Errorf("wal: %w", err)
+	}
+	if len(raw) < len(ckptMagic)+5*8+4 || string(raw[:len(ckptMagic)]) != ckptMagic {
+		return sd, fmt.Errorf("wal: %s: not a checkpoint", filepath.Base(path))
+	}
+	body, trailer := raw[:len(raw)-4], raw[len(raw)-4:]
+	if crc32.Checksum(body, castagnoli) != binary.LittleEndian.Uint32(trailer) {
+		return sd, fmt.Errorf("wal: %s: checksum mismatch", filepath.Base(path))
+	}
+	p := body[len(ckptMagic):]
+	readU64 := func() uint64 {
+		v := binary.LittleEndian.Uint64(p[:8])
+		p = p[8:]
+		return v
+	}
+	sd.Version = readU64()
+	rows, live, ar, ndead := readU64(), readU64(), readU64(), readU64()
+	if int(ar) != arity {
+		return sd, fmt.Errorf("wal: %s: checkpoint arity %d, want %d", filepath.Base(path), ar, arity)
+	}
+	need := (ndead + ar*rows) * 8
+	if uint64(len(p)) != need {
+		return sd, fmt.Errorf("wal: %s: truncated checkpoint body", filepath.Base(path))
+	}
+	sd.Rows, sd.Live = int(rows), int(live)
+	if ndead > 0 {
+		sd.Dead = make([]uint64, ndead)
+		for i := range sd.Dead {
+			sd.Dead[i] = readU64()
+		}
+	}
+	sd.Cols = make([][]relation.Value, ar)
+	for a := range sd.Cols {
+		col := make([]relation.Value, rows)
+		for i := range col {
+			col[i] = relation.Value(readU64())
+		}
+		sd.Cols[a] = col
+	}
+	return sd, nil
+}

@@ -1,0 +1,295 @@
+package wal
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"sampleunion/internal/relation"
+)
+
+// RelationLogOptions tunes a RelationLog.
+type RelationLogOptions struct {
+	Options
+	// CheckpointEvery checkpoints after that many mutations past the
+	// last checkpoint (0 disables automatic checkpoints).
+	CheckpointEvery int
+}
+
+// RelationLog is one relation's durability state: a WAL the relation's
+// mutations tee into (via relation.MutationSink) plus rolling snapshot
+// checkpoints, laid out as dir/wal/*.wal and dir/checkpoint/*.ckpt.
+//
+// Open recovers: it restores the newest valid checkpoint (falling back
+// to the next-newest on corruption) and replays the WAL tail past it
+// through the relation's ordinary Append/Delete path, then serving
+// code calls Attach to start teeing new mutations. The WAL seq of a
+// record is the relation version it produced, so replay is gap-checked
+// against Version() exactly.
+type RelationLog struct {
+	rel *relation.Relation
+	dir string
+	log *Log
+	opt RelationLogOptions
+
+	mu        sync.Mutex
+	sinkErr   error    // first Append failure, surfaced by Commit
+	ckptVers  []uint64 // retained checkpoint versions, ascending
+	lastCkpt  uint64   // version the newest checkpoint covers (or base)
+	buf       []byte   // encode scratch; LogMutation is serialized by rel.mu
+	recovered int      // mutations replayed or restored at Open
+}
+
+const ckptSuffix = ".ckpt"
+
+// OpenRelationLog opens (recovering if state exists) the durability
+// state for rel under dir. rel must hold its deterministic base
+// contents — the same contents every boot builds — so that restored
+// versions line up.
+func OpenRelationLog(dir string, rel *relation.Relation, opt RelationLogOptions) (*RelationLog, error) {
+	rl := &RelationLog{rel: rel, dir: dir, opt: opt}
+	base := rel.Version()
+	if err := rl.restoreCheckpoint(); err != nil {
+		return nil, err
+	}
+	log, err := Open(filepath.Join(dir, "wal"), opt.Options)
+	if err != nil {
+		return nil, err
+	}
+	rl.log = log
+	if err := rl.replay(); err != nil {
+		log.Close()
+		return nil, err
+	}
+	if rl.lastCkpt == 0 {
+		rl.lastCkpt = rel.Version()
+	}
+	rl.recovered = int(rel.Version() - base)
+	if rl.recovered < 0 {
+		log.Close()
+		return nil, fmt.Errorf("wal: %s: recovered version %d below base %d", rel.Name(), rel.Version(), base)
+	}
+	return rl, nil
+}
+
+// restoreCheckpoint loads the newest checkpoint that validates,
+// removing corrupt newer ones.
+func (rl *RelationLog) restoreCheckpoint() error {
+	dir := filepath.Join(rl.dir, "checkpoint")
+	des, err := os.ReadDir(dir)
+	if os.IsNotExist(err) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	var vers []uint64
+	for _, de := range des {
+		name := de.Name()
+		if de.IsDir() || !strings.HasSuffix(name, ckptSuffix) {
+			continue
+		}
+		v, err := strconv.ParseUint(strings.TrimSuffix(name, ckptSuffix), 16, 64)
+		if err != nil {
+			continue
+		}
+		vers = append(vers, v)
+	}
+	sort.Slice(vers, func(i, j int) bool { return vers[i] < vers[j] })
+	for len(vers) > 0 {
+		v := vers[len(vers)-1]
+		path := filepath.Join(dir, ckptName(v))
+		sd, err := ReadCheckpoint(path, rl.rel.Arity())
+		if err != nil {
+			// A torn or corrupt checkpoint (crash mid-write cannot
+			// produce one, but disks can): discard and fall back to
+			// the previous — the WAL retained past it covers the gap.
+			os.Remove(path)
+			vers = vers[:len(vers)-1]
+			continue
+		}
+		if err := rl.rel.RestoreSnapshot(sd); err != nil {
+			return err
+		}
+		rl.ckptVers = vers
+		rl.lastCkpt = v
+		return nil
+	}
+	return nil
+}
+
+// replay applies every WAL record past the relation's current version,
+// verifying the seq chain is exactly the version chain.
+func (rl *RelationLog) replay() error {
+	rel := rl.rel
+	return rl.log.Replay(rel.Version(), func(seq uint64, payload []byte) error {
+		if len(payload) > 0 && payload[0] == batchKind {
+			start, rows, err := DecodeBatchRecord(payload)
+			if err != nil {
+				return err
+			}
+			if want := rel.Version() + uint64(len(rows)); seq != want {
+				return fmt.Errorf("wal: %s: gap in log: batch record ends at %d, want %d", rel.Name(), seq, want)
+			}
+			if len(rows[0]) != rel.Arity() {
+				return fmt.Errorf("wal: %s: batch record arity %d, want %d", rel.Name(), len(rows[0]), rel.Arity())
+			}
+			if start != rel.Len() {
+				return fmt.Errorf("wal: %s: batch record starts at row %d, storage at %d", rel.Name(), start, rel.Len())
+			}
+			rel.AppendRows(rows)
+			return nil
+		}
+		if want := rel.Version() + 1; seq != want {
+			return fmt.Errorf("wal: %s: gap in log: record %d, want %d", rel.Name(), seq, want)
+		}
+		m, err := DecodeMutation(payload)
+		if err != nil {
+			return err
+		}
+		switch m.Kind {
+		case relation.MutAppend:
+			if len(m.Vals) != rel.Arity() {
+				return fmt.Errorf("wal: %s: append record arity %d, want %d", rel.Name(), len(m.Vals), rel.Arity())
+			}
+			if m.Row != rel.Len() {
+				return fmt.Errorf("wal: %s: append record row %d, storage at %d", rel.Name(), m.Row, rel.Len())
+			}
+			rel.Append(m.Vals)
+		case relation.MutDelete:
+			if !rel.Delete(m.Row) {
+				return fmt.Errorf("wal: %s: delete record for dead or missing row %d", rel.Name(), m.Row)
+			}
+		}
+		return nil
+	})
+}
+
+// Attach registers the log as the relation's mutation sink; every
+// later mutation is teed into the WAL before its ack can be committed.
+func (rl *RelationLog) Attach() { rl.rel.SetMutationSink(rl) }
+
+// Detach stops the tee.
+func (rl *RelationLog) Detach() { rl.rel.SetMutationSink(nil) }
+
+// Recovered reports the number of mutations restored at Open (from
+// checkpoint and WAL together, measured in relation versions).
+func (rl *RelationLog) Recovered() int { return rl.recovered }
+
+// LogMutation implements relation.MutationSink: encode and append. It
+// runs under the relation's mutation lock, so failures are parked and
+// surfaced by the Commit that must precede any ack.
+func (rl *RelationLog) LogMutation(version uint64, m relation.Mutation) {
+	rl.buf = AppendMutation(rl.buf[:0], m)
+	if err := rl.log.Append(version, rl.buf); err != nil {
+		rl.mu.Lock()
+		if rl.sinkErr == nil {
+			rl.sinkErr = err
+		}
+		rl.mu.Unlock()
+	}
+}
+
+// batchChunkRows bounds rows per batched-append record so no record can
+// approach maxRecordLen at any sane arity (2^16 rows × arity × 8 bytes).
+const batchChunkRows = 1 << 16
+
+// LogAppendBatch implements the bulk side of relation.MutationSink: one
+// WAL record per batch (chunked only far beyond any wire-level batch
+// size), encoded in place inside the WAL's write buffer straight from
+// the published column vectors. The frame's seq is the version after
+// the chunk's last row, which replay checks for exact contiguity.
+func (rl *RelationLog) LogAppendBatch(version uint64, start, n int, cols [][]relation.Value) {
+	for off := 0; off < n; off += batchChunkRows {
+		c := n - off
+		if c > batchChunkRows {
+			c = batchChunkRows
+		}
+		s := start + off
+		err := rl.log.AppendReserve(version-uint64(n-off-c), batchRecordLen(c, len(cols)), func(dst []byte) {
+			encodeBatchRecord(dst, s, c, cols)
+		})
+		if err != nil {
+			rl.mu.Lock()
+			if rl.sinkErr == nil {
+				rl.sinkErr = err
+			}
+			rl.mu.Unlock()
+			return
+		}
+	}
+}
+
+// Commit makes every teed mutation durable per the sync policy. Serving
+// code calls it after the in-memory mutation and before acking; a
+// failure here means the ack must not be sent.
+func (rl *RelationLog) Commit() error {
+	rl.mu.Lock()
+	err := rl.sinkErr
+	rl.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	return rl.log.Commit()
+}
+
+func ckptName(version uint64) string {
+	return fmt.Sprintf("%016x%s", version, ckptSuffix)
+}
+
+// Checkpoint persists the relation's published snapshot, retains the
+// two newest checkpoints, and truncates WAL segments the older of the
+// two makes redundant (keeping one generation of slack so a corrupt
+// newest checkpoint still recovers).
+func (rl *RelationLog) Checkpoint() error {
+	sd := rl.rel.CaptureSnapshot()
+	rl.mu.Lock()
+	defer rl.mu.Unlock()
+	if len(rl.ckptVers) > 0 && rl.ckptVers[len(rl.ckptVers)-1] == sd.Version {
+		return nil
+	}
+	dir := filepath.Join(rl.dir, "checkpoint")
+	if err := WriteCheckpoint(filepath.Join(dir, ckptName(sd.Version)), sd); err != nil {
+		return err
+	}
+	rl.ckptVers = append(rl.ckptVers, sd.Version)
+	for len(rl.ckptVers) > 2 {
+		if err := os.Remove(filepath.Join(dir, ckptName(rl.ckptVers[0]))); err != nil && !os.IsNotExist(err) {
+			return fmt.Errorf("wal: %w", err)
+		}
+		rl.ckptVers = rl.ckptVers[1:]
+	}
+	rl.lastCkpt = sd.Version
+	if len(rl.ckptVers) == 2 {
+		return rl.log.TruncateThrough(rl.ckptVers[0])
+	}
+	return nil
+}
+
+// MaybeCheckpoint checkpoints when CheckpointEvery mutations have
+// accumulated past the last checkpoint, reporting whether it did.
+func (rl *RelationLog) MaybeCheckpoint() (bool, error) {
+	if rl.opt.CheckpointEvery <= 0 {
+		return false, nil
+	}
+	rl.mu.Lock()
+	due := rl.rel.Version()-rl.lastCkpt >= uint64(rl.opt.CheckpointEvery)
+	rl.mu.Unlock()
+	if !due {
+		return false, nil
+	}
+	err := rl.Checkpoint()
+	return err == nil, err
+}
+
+// Close detaches the sink and closes the WAL. In-flight mutations that
+// raced the detach fail their Commit (sticky ErrClosed) rather than
+// ack silently undurable work.
+func (rl *RelationLog) Close() error {
+	rl.Detach()
+	return rl.log.Close()
+}

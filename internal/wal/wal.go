@@ -1,0 +1,708 @@
+// Package wal is the durability substrate under live serving: a
+// segmented append-only write-ahead log plus snapshot checkpoints for
+// relations (see RelationLog). Every mutation a server acks is framed,
+// checksummed, and written here before the ack; recovery loads the
+// newest valid checkpoint and replays the log tail past it through the
+// relation's ordinary mutation path, so a restarted daemon comes back
+// with exactly the acked state.
+//
+// Record frame (little-endian):
+//
+//	[len u32][crc u32][seq u64][payload len bytes]
+//
+// crc is CRC-32C (Castagnoli) over seq+payload. seq is caller-assigned
+// and strictly increasing — relations use their mutation version, so a
+// WAL record's seq IS the relation version it produced. Segments are
+// named %016x.wal after their first record's seq; a torn tail (short
+// frame, bad checksum, impossible length) is truncated away on Open,
+// along with any later segments.
+package wal
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// SyncPolicy decides when appended records are fsynced, which is what
+// an ack means to the client. See the README's "Durability" section for
+// the full ladder.
+type SyncPolicy int
+
+const (
+	// SyncAlways fsyncs before every Commit returns: an acked append
+	// survives power loss.
+	SyncAlways SyncPolicy = iota
+	// SyncInterval is group commit: Commit only surfaces prior I/O
+	// failures — no syscall on the ack path — and a background flusher
+	// writes through and fsyncs every Options.Interval. A crash of any
+	// kind (including a killed process) can lose up to one interval of
+	// acked appends; everything older than the last flush survives
+	// power loss.
+	SyncInterval
+	// SyncNever writes through to the OS and never fsyncs: acked
+	// appends survive a killed process but not necessarily a crashed
+	// machine.
+	SyncNever
+)
+
+// ParseSyncPolicy maps the -fsync flag values to a policy.
+func ParseSyncPolicy(s string) (SyncPolicy, error) {
+	switch s {
+	case "always":
+		return SyncAlways, nil
+	case "interval":
+		return SyncInterval, nil
+	case "off":
+		return SyncNever, nil
+	}
+	return 0, fmt.Errorf("wal: unknown fsync policy %q (want always, interval, or off)", s)
+}
+
+func (p SyncPolicy) String() string {
+	switch p {
+	case SyncAlways:
+		return "always"
+	case SyncInterval:
+		return "interval"
+	case SyncNever:
+		return "off"
+	}
+	return fmt.Sprintf("SyncPolicy(%d)", int(p))
+}
+
+// Options tunes a Log.
+type Options struct {
+	// Policy is the fsync policy; default SyncInterval.
+	Policy SyncPolicy
+	// Interval is the group-commit fsync cadence under SyncInterval.
+	// Default 2ms.
+	Interval time.Duration
+	// SegmentBytes caps a segment file before rotation. Default 4 MiB.
+	SegmentBytes int64
+}
+
+func (o Options) withDefaults() Options {
+	if o.Interval <= 0 {
+		o.Interval = 2 * time.Millisecond
+	}
+	if o.SegmentBytes <= 0 {
+		o.SegmentBytes = 4 << 20
+	}
+	return o
+}
+
+// ErrClosed is returned by operations on a closed Log.
+var ErrClosed = errors.New("wal: log is closed")
+
+const (
+	headerSize = 16
+	// maxRecordLen bounds a frame's payload; a length field past it is
+	// torn-tail garbage, not a record.
+	maxRecordLen = 64 << 20
+	segSuffix    = ".wal"
+	// writeBufBytes sizes the segment write buffer. bufio's 4 KiB
+	// default puts a write syscall on the ack path every ~hundred rows
+	// of bulk ingest; 256 KiB keeps appends syscall-free between group
+	// commits.
+	writeBufBytes = 256 << 10
+)
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// segment is one log file; first is the seq of its first record.
+type segment struct {
+	path  string
+	first uint64
+}
+
+// writeBuf is a fixed-size buffered writer over the active segment
+// that can hand out in-place reservations: a whole record frame is
+// encoded directly into the buffer write() drains, so the bulk-ingest
+// ack path copies each byte exactly once in user space.
+type writeBuf struct {
+	f *os.File
+	b []byte
+	n int
+}
+
+func newWriteBuf(f *os.File) *writeBuf {
+	return &writeBuf{f: f, b: make([]byte, writeBufBytes)}
+}
+
+func (w *writeBuf) Flush() error {
+	if w.n == 0 {
+		return nil
+	}
+	n := w.n
+	w.n = 0 // a failure makes the log sticky-failed; nothing retries
+	_, err := w.f.Write(w.b[:n])
+	return err
+}
+
+func (w *writeBuf) Write(p []byte) (int, error) {
+	total := len(p)
+	for w.n+len(p) > len(w.b) {
+		if w.n == 0 { // larger than the whole buffer: write through
+			_, err := w.f.Write(p)
+			return total, err
+		}
+		k := copy(w.b[w.n:], p)
+		w.n += k
+		p = p[k:]
+		if err := w.Flush(); err != nil {
+			return 0, err
+		}
+	}
+	w.n += copy(w.b[w.n:], p)
+	return total, nil
+}
+
+// Reserve returns an in-place window for the next n bytes of the
+// stream, flushing first when the buffer tail is too short. It returns
+// nil when n exceeds the buffer itself; the caller copies instead.
+func (w *writeBuf) Reserve(n int) ([]byte, error) {
+	if n > len(w.b) {
+		return nil, nil
+	}
+	if w.n+n > len(w.b) {
+		if err := w.Flush(); err != nil {
+			return nil, err
+		}
+	}
+	p := w.b[w.n : w.n+n]
+	w.n += n
+	return p, nil
+}
+
+// Log is a segmented write-ahead log. Appends are buffered; Commit
+// makes everything appended so far durable per the sync policy. All
+// methods are safe for concurrent use.
+type Log struct {
+	dir  string
+	opts Options
+
+	mu      sync.Mutex
+	f       *os.File
+	w       *writeBuf
+	scratch []byte // fallback encode buffer for oversized reservations
+	segs    []segment
+	lastSeq uint64 // highest seq ever appended; 0 = empty log
+	size    int64  // bytes in the active segment
+	dirty   bool   // bytes written since the last fsync
+	err     error  // sticky I/O failure; every later call returns it
+	closed  bool
+
+	stop      chan struct{} // closes the interval flusher
+	flushDone chan struct{}
+}
+
+// Open opens (creating if needed) the log in dir, truncating any torn
+// tail so the log ends at its last intact record. The returned log's
+// LastSeq is 0 when no record survives.
+func Open(dir string, opts Options) (*Log, error) {
+	opts = opts.withDefaults()
+	if err := os.MkdirAll(dir, 0o777); err != nil {
+		return nil, fmt.Errorf("wal: %w", err)
+	}
+	l := &Log{dir: dir, opts: opts}
+	if err := l.scanDir(); err != nil {
+		return nil, err
+	}
+	if len(l.segs) > 0 {
+		active := l.segs[len(l.segs)-1]
+		f, err := os.OpenFile(active.path, os.O_WRONLY|os.O_APPEND, 0o666)
+		if err != nil {
+			return nil, fmt.Errorf("wal: %w", err)
+		}
+		st, err := f.Stat()
+		if err != nil {
+			f.Close()
+			return nil, fmt.Errorf("wal: %w", err)
+		}
+		l.f, l.w, l.size = f, newWriteBuf(f), st.Size()
+	}
+	if opts.Policy == SyncInterval {
+		l.stop = make(chan struct{})
+		l.flushDone = make(chan struct{})
+		go l.flushLoop()
+	}
+	return l, nil
+}
+
+// scanDir lists segments, validates each in order, truncates the first
+// torn record found, and drops everything after it.
+func (l *Log) scanDir() error {
+	names, err := os.ReadDir(l.dir)
+	if err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	var segs []segment
+	for _, de := range names {
+		name := de.Name()
+		if de.IsDir() || !strings.HasSuffix(name, segSuffix) {
+			continue
+		}
+		first, err := strconv.ParseUint(strings.TrimSuffix(name, segSuffix), 16, 64)
+		if err != nil {
+			continue // foreign file; leave it alone
+		}
+		segs = append(segs, segment{path: filepath.Join(l.dir, name), first: first})
+	}
+	sort.Slice(segs, func(i, j int) bool { return segs[i].first < segs[j].first })
+	for i, seg := range segs {
+		last, n, goodOff, intact, err := scanSegment(seg.path)
+		if err != nil {
+			return err
+		}
+		if intact && n > 0 {
+			l.segs = append(l.segs, seg)
+			l.lastSeq = last
+			continue
+		}
+		// Torn record: keep the intact prefix of this segment, drop
+		// every later segment (they were written after the tear).
+		if n > 0 {
+			if err := os.Truncate(seg.path, goodOff); err != nil {
+				return fmt.Errorf("wal: truncating torn tail: %w", err)
+			}
+			l.segs = append(l.segs, seg)
+			l.lastSeq = last
+		} else if err := os.Remove(seg.path); err != nil {
+			return fmt.Errorf("wal: removing empty torn segment: %w", err)
+		}
+		for _, later := range segs[i+1:] {
+			if err := os.Remove(later.path); err != nil {
+				return fmt.Errorf("wal: removing post-tear segment: %w", err)
+			}
+		}
+		break
+	}
+	return nil
+}
+
+// scanSegment walks one segment's frames. It returns the last valid
+// seq, the number of valid records, the byte offset past the last valid
+// record, and whether the file ends exactly there.
+func scanSegment(path string) (last uint64, n int, goodOff int64, intact bool, err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, 0, 0, false, fmt.Errorf("wal: %w", err)
+	}
+	defer f.Close()
+	br := bufio.NewReader(f)
+	var hdr [headerSize]byte
+	buf := make([]byte, 4096)
+	for {
+		if _, err := io.ReadFull(br, hdr[:]); err != nil {
+			return last, n, goodOff, err == io.EOF, nil
+		}
+		ln := binary.LittleEndian.Uint32(hdr[0:4])
+		if ln > maxRecordLen {
+			return last, n, goodOff, false, nil
+		}
+		if int(ln) > len(buf) {
+			buf = make([]byte, ln)
+		}
+		payload := buf[:ln]
+		if _, err := io.ReadFull(br, payload); err != nil {
+			return last, n, goodOff, false, nil
+		}
+		crc := crc32.Update(0, castagnoli, hdr[8:16])
+		crc = crc32.Update(crc, castagnoli, payload)
+		if crc != binary.LittleEndian.Uint32(hdr[4:8]) {
+			return last, n, goodOff, false, nil
+		}
+		last = binary.LittleEndian.Uint64(hdr[8:16])
+		n++
+		goodOff += int64(headerSize) + int64(ln)
+	}
+}
+
+// LastSeq reports the highest seq ever appended (0 when empty).
+func (l *Log) LastSeq() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.lastSeq
+}
+
+func segName(first uint64) string {
+	return fmt.Sprintf("%016x%s", first, segSuffix)
+}
+
+// Append frames and buffers one record. seq must exceed every
+// previously appended seq (gaps are fine: a checkpoint can outlive
+// unfsynced WAL records, so the next boot appends past the checkpoint's
+// version while the log still ends earlier). Durability — and write-out
+// of the buffer — comes from Commit.
+func (l *Log) Append(seq uint64, payload []byte) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if err := l.appendCheckLocked(seq, len(payload)); err != nil {
+		return err
+	}
+	return l.writeFrameLocked(seq, payload)
+}
+
+// AppendReserve appends one record whose payload is encoded in place:
+// encode must fill exactly size bytes of the frame reserved inside the
+// segment's write buffer, so bulk records skip the intermediate
+// payload copy. The contract is otherwise Append's.
+func (l *Log) AppendReserve(seq uint64, size int, encode func(dst []byte)) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if err := l.appendCheckLocked(seq, size); err != nil {
+		return err
+	}
+	frame, err := l.w.Reserve(headerSize + size)
+	if err != nil {
+		return l.fail(err)
+	}
+	if frame == nil { // record larger than the write buffer
+		if cap(l.scratch) < size {
+			l.scratch = make([]byte, size)
+		}
+		p := l.scratch[:size]
+		encode(p)
+		return l.writeFrameLocked(seq, p)
+	}
+	binary.LittleEndian.PutUint32(frame[0:4], uint32(size))
+	binary.LittleEndian.PutUint64(frame[8:16], seq)
+	encode(frame[headerSize:])
+	binary.LittleEndian.PutUint32(frame[4:8], crc32.Update(0, castagnoli, frame[8:]))
+	l.size += int64(headerSize) + int64(size)
+	l.lastSeq = seq
+	l.dirty = true
+	return nil
+}
+
+// appendCheckLocked runs Append's preconditions and rotates when the
+// active segment is full (or absent).
+func (l *Log) appendCheckLocked(seq uint64, size int) error {
+	if l.err != nil {
+		return l.err
+	}
+	if l.closed {
+		return ErrClosed
+	}
+	if seq <= l.lastSeq {
+		return l.fail(fmt.Errorf("wal: non-monotone seq %d (last %d)", seq, l.lastSeq))
+	}
+	if size > maxRecordLen {
+		return fmt.Errorf("wal: record of %d bytes exceeds the %d-byte frame limit", size, maxRecordLen)
+	}
+	if l.f == nil || l.size >= l.opts.SegmentBytes {
+		if err := l.rotateLocked(seq); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (l *Log) writeFrameLocked(seq uint64, payload []byte) error {
+	var hdr [headerSize]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint64(hdr[8:16], seq)
+	crc := crc32.Update(0, castagnoli, hdr[8:16])
+	crc = crc32.Update(crc, castagnoli, payload)
+	binary.LittleEndian.PutUint32(hdr[4:8], crc)
+	if _, err := l.w.Write(hdr[:]); err != nil {
+		return l.fail(err)
+	}
+	if _, err := l.w.Write(payload); err != nil {
+		return l.fail(err)
+	}
+	l.size += int64(headerSize) + int64(len(payload))
+	l.lastSeq = seq
+	l.dirty = true
+	return nil
+}
+
+// fail records a sticky error: after an I/O failure the log refuses
+// all further work, so a torn in-memory state can never be acked.
+func (l *Log) fail(err error) error {
+	if l.err == nil {
+		l.err = err
+	}
+	return l.err
+}
+
+// rotateLocked seals the active segment (flushing, and fsyncing unless
+// the policy never syncs) and starts a new one whose first record will
+// be seq. SyncInterval must fsync here too: once the old file closes,
+// the background flusher only ever sees the new one, and an unsynced
+// sealed segment would widen the loss window past one interval.
+func (l *Log) rotateLocked(seq uint64) error {
+	if l.f != nil {
+		if err := l.w.Flush(); err != nil {
+			return l.fail(err)
+		}
+		if l.opts.Policy != SyncNever {
+			if err := l.f.Sync(); err != nil {
+				return l.fail(err)
+			}
+		}
+		if err := l.f.Close(); err != nil {
+			return l.fail(err)
+		}
+		l.f, l.w = nil, nil
+	}
+	path := filepath.Join(l.dir, segName(seq))
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o666)
+	if err != nil {
+		return l.fail(err)
+	}
+	if l.opts.Policy == SyncAlways {
+		if err := syncDir(l.dir); err != nil {
+			f.Close()
+			os.Remove(path)
+			return l.fail(err)
+		}
+	}
+	l.f, l.w, l.size = f, newWriteBuf(f), 0
+	l.segs = append(l.segs, segment{path: path, first: seq})
+	l.dirty = false
+	return nil
+}
+
+// Commit makes every appended record as durable as the sync policy
+// promises before an ack may be sent: under SyncAlways the buffer is
+// flushed and fsynced here; under SyncNever it is written through to
+// the OS; under SyncInterval Commit only surfaces sticky failures —
+// the background flusher owns the write and fsync, and the policy's
+// loss window covers acks younger than the last flush.
+func (l *Log) Commit() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.err != nil {
+		return l.err
+	}
+	if l.closed {
+		return ErrClosed
+	}
+	if l.f == nil {
+		return nil
+	}
+	if l.opts.Policy == SyncInterval {
+		return nil
+	}
+	if err := l.w.Flush(); err != nil {
+		return l.fail(err)
+	}
+	if l.opts.Policy == SyncAlways {
+		if err := l.f.Sync(); err != nil {
+			return l.fail(err)
+		}
+		l.dirty = false
+	}
+	return nil
+}
+
+// Sync flushes and fsyncs regardless of policy.
+func (l *Log) Sync() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.syncLocked()
+}
+
+func (l *Log) syncLocked() error {
+	if l.err != nil {
+		return l.err
+	}
+	if l.closed {
+		return ErrClosed
+	}
+	if l.f == nil {
+		return nil
+	}
+	if err := l.w.Flush(); err != nil {
+		return l.fail(err)
+	}
+	if err := l.f.Sync(); err != nil {
+		return l.fail(err)
+	}
+	l.dirty = false
+	return nil
+}
+
+// flushLoop is the SyncInterval group-commit flusher. The fsync runs
+// outside the log mutex so appends don't stall behind it: the flush
+// under the lock moves every appended byte into the OS, and anything
+// appended while the fsync is in flight re-marks the log dirty for the
+// next tick. A segment rotation can close the file mid-fsync; that
+// error is ignored when the file is no longer current, because the
+// rotation path fsyncs the sealed segment itself before closing it.
+func (l *Log) flushLoop() {
+	defer close(l.flushDone)
+	t := time.NewTicker(l.opts.Interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-l.stop:
+			return
+		case <-t.C:
+			l.mu.Lock()
+			if l.err != nil || l.closed || l.f == nil || !l.dirty {
+				l.mu.Unlock()
+				continue
+			}
+			if err := l.w.Flush(); err != nil {
+				l.fail(err)
+				l.mu.Unlock()
+				continue
+			}
+			f := l.f
+			l.dirty = false
+			l.mu.Unlock()
+			if err := f.Sync(); err != nil {
+				l.mu.Lock()
+				if l.f == f && !l.closed {
+					l.fail(err)
+				}
+				l.mu.Unlock()
+			}
+		}
+	}
+}
+
+// Replay calls fn for every record with seq > after, in order. The
+// write buffer is flushed first so replay sees everything appended.
+func (l *Log) Replay(after uint64, fn func(seq uint64, payload []byte) error) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return ErrClosed
+	}
+	if l.w != nil {
+		if err := l.w.Flush(); err != nil {
+			return l.fail(err)
+		}
+	}
+	for i, seg := range l.segs {
+		// A segment whose successor starts at or before after+1 holds
+		// only records <= after; skip it.
+		if i+1 < len(l.segs) && l.segs[i+1].first <= after+1 {
+			continue
+		}
+		if err := replaySegment(seg.path, after, fn); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func replaySegment(path string, after uint64, fn func(uint64, []byte) error) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	defer f.Close()
+	br := bufio.NewReader(f)
+	var hdr [headerSize]byte
+	for {
+		if _, err := io.ReadFull(br, hdr[:]); err != nil {
+			if err == io.EOF {
+				return nil
+			}
+			return fmt.Errorf("wal: %s: torn frame mid-log", filepath.Base(path))
+		}
+		ln := binary.LittleEndian.Uint32(hdr[0:4])
+		if ln > maxRecordLen {
+			return fmt.Errorf("wal: %s: corrupt frame length %d", filepath.Base(path), ln)
+		}
+		payload := make([]byte, ln)
+		if _, err := io.ReadFull(br, payload); err != nil {
+			return fmt.Errorf("wal: %s: torn record mid-log", filepath.Base(path))
+		}
+		crc := crc32.Update(0, castagnoli, hdr[8:16])
+		crc = crc32.Update(crc, castagnoli, payload)
+		if crc != binary.LittleEndian.Uint32(hdr[4:8]) {
+			return fmt.Errorf("wal: %s: checksum mismatch mid-log", filepath.Base(path))
+		}
+		if seq := binary.LittleEndian.Uint64(hdr[8:16]); seq > after {
+			if err := fn(seq, payload); err != nil {
+				return err
+			}
+		}
+	}
+}
+
+// TruncateThrough removes sealed segments that hold only records with
+// seq <= through — called after a checkpoint makes that prefix
+// redundant. The active segment is never removed.
+func (l *Log) TruncateThrough(through uint64) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return ErrClosed
+	}
+	kept := l.segs[:0]
+	for i, seg := range l.segs {
+		sealed := i+1 < len(l.segs)
+		if sealed && l.segs[i+1].first <= through+1 {
+			if err := os.Remove(seg.path); err != nil {
+				return fmt.Errorf("wal: %w", err)
+			}
+			continue
+		}
+		kept = append(kept, seg)
+	}
+	l.segs = kept
+	return nil
+}
+
+// Segments reports the number of live segment files.
+func (l *Log) Segments() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.segs)
+}
+
+// Close flushes, fsyncs (best-effort durability for a clean shutdown),
+// and closes the log. Further calls return ErrClosed.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return nil
+	}
+	var err error
+	if l.f != nil && l.err == nil {
+		err = l.syncLocked()
+		if cerr := l.f.Close(); err == nil {
+			err = cerr
+		}
+		l.f, l.w = nil, nil
+	}
+	l.closed = true
+	stop := l.stop
+	l.mu.Unlock()
+	if stop != nil {
+		close(stop)
+		<-l.flushDone
+	}
+	return err
+}
+
+// syncDir fsyncs a directory so a rename/create within it is durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
