@@ -10,6 +10,12 @@
 //
 //	sampler -workload UQ1 -n 1000 -warmup random-walk -method EW
 //	sampler -spec union.spec -data ./data -n 1000 -workers 4
+//	sampler -workload UQ2 -n 1000 -warmup auto
+//
+// -warmup auto (equivalently -method auto) enables adaptive tuning:
+// the session plans the warm-up escalation and the per-join subroutine
+// itself. Since the plan owns both decisions, pinning the other knob
+// explicitly alongside auto is an error, not a silent override.
 package main
 
 import (
@@ -31,14 +37,21 @@ func main() {
 	sf := flag.Float64("sf", 1, "scale factor (built-in workloads)")
 	ov := flag.Float64("overlap", 0.2, "overlap scale (built-in workloads)")
 	seed := flag.Int64("seed", 1, "random seed")
-	warmup := flag.String("warmup", "random-walk", "warm-up: histogram, random-walk, or exact")
-	method := flag.String("method", "EW", "join subroutine: EW, EO, or WJ")
+	warmup := flag.String("warmup", "random-walk", "warm-up: histogram, random-walk, exact, or auto (adaptive tuning)")
+	method := flag.String("method", "EW", "join subroutine: EW, EO, WJ, or auto (adaptive tuning)")
 	online := flag.Bool("online", false, "use the online sampler (Algorithm 2)")
 	workers := flag.Int("workers", 1, "parallel sampling workers sharing one warm-up")
 	showStats := flag.Bool("stats", true, "print run statistics to stderr")
 	flag.Parse()
 
-	o, err := options(*warmup, *method, *online, *seed)
+	// Which flags the user actually set, as opposed to flag defaults:
+	// auto-mode conflicts are about explicit pins, so -warmup auto with
+	// -method left at its default is fine, while -warmup auto -method EW
+	// is a contradiction.
+	explicit := map[string]bool{}
+	flag.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
+
+	o, err := options(*warmup, *method, explicit["warmup"], explicit["method"], *online, *seed)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		flag.Usage()
@@ -76,9 +89,23 @@ func loadUnion(specPath, dataDir, workload string, sf, ov float64, seed int64) (
 // options parses the -warmup and -method strings, rejecting anything
 // that is not a documented value: silently coercing a typo (say
 // -warmup=histgram) to a default would sample under the wrong
-// configuration without any sign of it.
-func options(warmup, method string, online bool, seed int64) (sampleunion.Options, error) {
+// configuration without any sign of it. "auto" in either flag enables
+// adaptive tuning; explicitly pinning the other flag alongside it is
+// rejected the same way (adaptive mode owns both decisions — ignoring
+// the pin would sample under a configuration the user did not ask
+// for).
+func options(warmup, method string, warmupSet, methodSet bool, online bool, seed int64) (sampleunion.Options, error) {
 	o := sampleunion.Options{Online: online, Seed: seed}
+	if warmup == "auto" || method == "auto" {
+		if warmup != "auto" && warmupSet {
+			return o, fmt.Errorf("-method auto conflicts with -warmup %s: adaptive mode plans the warm-up (drop -warmup)", warmup)
+		}
+		if method != "auto" && methodSet {
+			return o, fmt.Errorf("-warmup auto conflicts with -method %s: adaptive mode picks the subroutine per join (drop -method)", method)
+		}
+		o.Auto = true
+		return o, nil
+	}
 	var err error
 	if o.Warmup, err = sampleunion.ParseWarmup(warmup); err != nil {
 		return o, fmt.Errorf("-warmup: %w", err)

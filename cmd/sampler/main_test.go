@@ -1,0 +1,71 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"sampleunion"
+)
+
+func TestOptionsParsing(t *testing.T) {
+	cases := []struct {
+		name           string
+		warmup, method string
+		wSet, mSet     bool
+		wantAuto       bool
+		wantErr        string
+	}{
+		{name: "defaults", warmup: "random-walk", method: "EW"},
+		{name: "warmup auto", warmup: "auto", method: "EW", wSet: true, wantAuto: true},
+		{name: "method auto", warmup: "random-walk", method: "auto", mSet: true, wantAuto: true},
+		{name: "both auto", warmup: "auto", method: "auto", wSet: true, mSet: true, wantAuto: true},
+		{name: "auto vs pinned method", warmup: "auto", method: "EO", wSet: true, mSet: true, wantErr: "conflicts with -method EO"},
+		{name: "auto vs pinned warmup", warmup: "exact", method: "auto", wSet: true, mSet: true, wantErr: "conflicts with -warmup exact"},
+		{name: "warmup typo", warmup: "histgram", method: "EW", wSet: true, wantErr: "-warmup"},
+		{name: "method typo", warmup: "random-walk", method: "EX", mSet: true, wantErr: "-method"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			o, err := options(tc.warmup, tc.method, tc.wSet, tc.mSet, false, 7)
+			if tc.wantErr != "" {
+				if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+					t.Fatalf("err = %v, want one containing %q", err, tc.wantErr)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			if o.Auto != tc.wantAuto {
+				t.Fatalf("Auto = %v, want %v", o.Auto, tc.wantAuto)
+			}
+			if o.Seed != 7 {
+				t.Fatalf("Seed = %d, want 7", o.Seed)
+			}
+		})
+	}
+}
+
+func TestLoadUnionWorkloads(t *testing.T) {
+	u, err := loadUnion("", "", "UQ1", 0.05, 0.2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u == nil {
+		t.Fatal("nil union for UQ1")
+	}
+	if _, err := loadUnion("", "", "UQ9", 0.05, 0.2, 1); err == nil {
+		t.Fatal("unknown workload accepted")
+	}
+}
+
+func TestRunDrawsCSV(t *testing.T) {
+	u, err := loadUnion("", "", "UQ1", 0.02, 0.2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := sampleunion.Options{Auto: true, Seed: 1}
+	if err := run(u, 8, 1, o, false); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -147,6 +147,18 @@ var goldenDigests = map[string]string{
 	"shard-online":          "7b614228268e8c32",
 	"shard-cyclic-eo":       "c39c26648a5a66a4",
 	"shard-mutate-cover-ew": "fa1bbeda2cc39cca",
+	// Adaptive-mode streams (adaptive-tuning PR). auto-cover equals
+	// auto-batch-cover because the plan settled on EO for every join of
+	// the golden union (the subroutine consumes the stream identically
+	// sequential or batched); auto-cyclic equals cyclic-eo because the
+	// one-join cyclic union's stream depends only on the chosen
+	// subroutine, and the plan picked EO there too.
+	"auto-cover":       "f39a581be21b967d",
+	"auto-batch-cover": "f39a581be21b967d",
+	"auto-online":      "a07add1e7f90d7bb",
+	"auto-cyclic":      "ba2a8487a19207c5",
+	"auto-shard":       "dbf3367ec3e8a33d",
+	"auto-mutate":      "9eab3b2948c277eb",
 }
 
 func goldenScenarios(t testing.TB) []struct {
@@ -226,6 +238,17 @@ func goldenScenarios(t testing.TB) []struct {
 		{"shard-online", batch(prep(u, Options{Online: true, WarmupWalks: 150, Shards: 2}))},
 		{"shard-cyclic-eo", sample(prep(cu, Options{Warmup: WarmupHistogram, Method: MethodEO, Shards: 2}))},
 		{"shard-mutate-cover-ew", mutateBatchDraw(t, Options{Warmup: WarmupExact, Method: MethodEW, Shards: 3})},
+		// Adaptive-mode streams (adaptive-tuning PR): the plan derives
+		// from the seeded warm-up, so auto streams are deterministic but
+		// differ from every explicit-mode stream under the same seed.
+		// Explicit-mode digests above stay byte-identical — Auto off
+		// keeps the pre-tuning code path exactly.
+		{"auto-cover", sample(prep(u, Options{Auto: true}))},
+		{"auto-batch-cover", batch(prep(u, Options{Auto: true}))},
+		{"auto-online", sample(prep(u, Options{Auto: true, Online: true}))},
+		{"auto-cyclic", sample(prep(cu, Options{Auto: true}))},
+		{"auto-shard", sample(prep(u, Options{Auto: true, Shards: 2}))},
+		{"auto-mutate", mutateDraw(t, Options{Auto: true})},
 	}
 }
 

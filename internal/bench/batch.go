@@ -38,9 +38,10 @@ func Batch(o Options) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	mk := func() (*core.CoverShared, error) {
+	mk := func(aliasThreshold int) (*core.CoverShared, error) {
 		shared, err := core.PrepareCover(w.Joins, core.CoverConfig{
-			Method: core.MethodEW,
+			Method:         core.MethodEW,
+			AliasThreshold: aliasThreshold,
 			Estimator: &core.RandomWalkEstimator{
 				Joins: w.Joins,
 				Opts:  walkest.Options{MaxWalks: 300},
@@ -53,14 +54,11 @@ func Batch(o Options) (*Result, error) {
 		return shared, nil
 	}
 
-	withAlias, err := mk()
+	withAlias, err := mk(0) // engine default threshold
 	if err != nil {
 		return nil, err
 	}
-	oldThreshold := joinsample.AliasThreshold
-	joinsample.AliasThreshold = 1 << 30 // no fan-out qualifies
-	noAlias, err := mk()
-	joinsample.AliasThreshold = oldThreshold
+	noAlias, err := mk(joinsample.NeverAlias) // no fan-out qualifies
 	if err != nil {
 		return nil, err
 	}

@@ -157,6 +157,7 @@ func Experiments() []struct {
 		{"shards", Shards},
 		{"storage", Storage},
 		{"durability", Durability},
+		{"adaptive", Adaptive},
 	}
 }
 

@@ -86,11 +86,14 @@ func (s *CoverSampler) batchDrawOne(g *rng.RNG) error {
 			budget -= tries
 			s.stats.TotalDraws += tries
 			s.stats.JoinRejects += tries - got
+			s.stats.Joins[j].Draws += tries
+			s.stats.Joins[j].Rejected += tries - got
 			if got == 0 {
 				break // budget exhausted or dead join: reselect
 			}
 			if s.acceptDraw(j, s.scratch.out) {
 				s.stats.Accepted++
+				s.stats.Joins[j].Accepted++
 				return nil
 			}
 			// Union-level duplicate: redraw within the same join, as the
@@ -135,7 +138,7 @@ func (s *OnlineSampler) batchDrawOne(g *rng.RNG) error {
 			return fmt.Errorf("core: online sampler made no progress after %d selections", selections)
 		}
 		j := s.alias.Draw(g)
-		for attempt := 0; attempt < s.shared.cfg.MaxDrawsPerSelection; attempt++ {
+		for attempt := 0; attempt < s.shared.maxDraw; attempt++ {
 			t, mult, reuse, ok := s.candidate(j, g)
 			if !ok {
 				continue
@@ -173,6 +176,8 @@ func (s *DisjointSampler) SampleBatch(n int, g *rng.RNG) ([]relation.Tuple, erro
 		got, tries := s.shared.base.samplers[j].SampleManyInto(s.scratch.many, s.scratch.rowOf, batchDisjointChunk, g)
 		s.stats.TotalDraws += tries
 		s.stats.JoinRejects += tries - got
+		s.stats.Joins[j].Draws += tries
+		s.stats.Joins[j].Rejected += tries - got
 		if got == 0 {
 			continue
 		}
@@ -180,6 +185,7 @@ func (s *DisjointSampler) SampleBatch(n int, g *rng.RNG) ([]relation.Tuple, erro
 		flat = s.shared.base.alignedAppend(j, s.scratch.out, flat)
 		out = append(out, relation.Tuple(flat[off:len(flat):len(flat)]))
 		s.stats.Accepted++
+		s.stats.Joins[j].Accepted++
 	}
 	s.stats.bookBatchTime(&before, time.Since(start))
 	return out, nil

@@ -30,7 +30,7 @@ type DisjointShared struct {
 // Disjoint sampling needs no estimator warm-up: selection weights come
 // from the subroutine samplers' own size knowledge.
 func PrepareDisjoint(joins []*join.Join, cfg DisjointConfig) (*DisjointShared, error) {
-	base, err := newUnionBase(joins, cfg.Method)
+	base, err := newUnionBase(joins, uniformJoinConfigs(len(joins), cfg.Method, 0), false)
 	if err != nil {
 		return nil, err
 	}
@@ -66,6 +66,7 @@ func newDisjointShared(base *unionBase, detailed bool) (*DisjointShared, error) 
 func (p *DisjointShared) NewRun() *DisjointSampler {
 	s := &DisjointSampler{shared: p, scratch: p.base.newScratch()}
 	s.stats.TimingSampled = !p.detailed
+	s.stats.initJoins(len(p.base.joins))
 	return s
 }
 
@@ -103,9 +104,11 @@ func (s *DisjointSampler) Sample(n int, g *rng.RNG) ([]relation.Tuple, error) {
 		start, w := s.stats.startDraw()
 		s.stats.TotalDraws++
 		j := s.shared.alias.Draw(g)
+		s.stats.Joins[j].Draws++
 		ok := s.shared.base.samplers[j].SampleInto(s.scratch.out, s.scratch.rowOf, g)
 		if !ok {
 			s.stats.JoinRejects++
+			s.stats.Joins[j].Rejected++
 			s.stats.RejectTime += sinceDraw(start, w)
 			continue
 		}
@@ -113,6 +116,7 @@ func (s *DisjointSampler) Sample(n int, g *rng.RNG) ([]relation.Tuple, error) {
 		flat = s.shared.base.alignedAppend(j, s.scratch.out, flat)
 		out = append(out, relation.Tuple(flat[off:len(flat):len(flat)]))
 		s.stats.Accepted++
+		s.stats.Joins[j].Accepted++
 		d := sinceDraw(start, w)
 		s.stats.AcceptTime += d
 		s.stats.RegularTime += d
@@ -158,12 +162,13 @@ func NewBernoulliSampler(joins []*join.Join, cfg BernoulliConfig) (*BernoulliSam
 	if cfg.Estimator == nil {
 		return nil, fmt.Errorf("core: BernoulliConfig.Estimator is required")
 	}
-	base, err := newUnionBase(joins, cfg.Method)
+	base, err := newUnionBase(joins, uniformJoinConfigs(len(joins), cfg.Method, 0), false)
 	if err != nil {
 		return nil, err
 	}
 	s := &BernoulliSampler{base: base, cfg: cfg, record: base.recordKeys(), scratch: base.newScratch()}
 	s.stats.TimingSampled = !cfg.DetailedTiming
+	s.stats.initJoins(len(joins))
 	return s, nil
 }
 
@@ -212,9 +217,11 @@ func (s *BernoulliSampler) Sample(n int, g *rng.RNG) ([]relation.Tuple, error) {
 			}
 			start, w := s.stats.startDraw()
 			s.stats.TotalDraws++
+			s.stats.Joins[j].Draws++
 			ok := s.base.samplers[j].SampleInto(s.scratch.out, s.scratch.rowOf, g)
 			if !ok {
 				s.stats.JoinRejects++
+				s.stats.Joins[j].Rejected++
 				s.stats.RejectTime += sinceDraw(start, w)
 				continue
 			}
@@ -223,6 +230,7 @@ func (s *BernoulliSampler) Sample(n int, g *rng.RNG) ([]relation.Tuple, error) {
 				flat = s.base.alignedAppend(j, s.scratch.out, flat)
 				out = append(out, relation.Tuple(flat[off:len(flat):len(flat)]))
 				s.stats.Accepted++
+				s.stats.Joins[j].Accepted++
 				d := sinceDraw(start, w)
 				s.stats.AcceptTime += d
 				s.stats.RegularTime += d

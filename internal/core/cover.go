@@ -7,6 +7,7 @@ import (
 	"sampleunion/internal/join"
 	"sampleunion/internal/relation"
 	"sampleunion/internal/rng"
+	"sampleunion/internal/tune"
 )
 
 // CoverConfig configures the non-Bernoulli cover sampler (Algorithm 1).
@@ -28,11 +29,25 @@ type CoverConfig struct {
 	// MaxDrawsPerSelection caps subroutine draws per join selection
 	// before reselecting a join (guards against a join whose cover
 	// region is empty but whose estimated cover size is positive).
-	// Values <= 0 default to 256.
+	// Values <= 0 default to 256 — or, with a Tuner, to the plan's cap.
 	MaxDrawsPerSelection int
+	// AliasThreshold is the minimum weighted-row fan-out at which EW
+	// batch draws build O(1) alias tables (joinsample.NewEWAlias).
+	// <= 0 selects joinsample.DefaultAliasThreshold;
+	// joinsample.NeverAlias disables alias tables. With a Tuner the
+	// plan sets thresholds per join and this field is ignored.
+	AliasThreshold int
 	// DetailedTiming wall-clocks every draw instead of sampling every
 	// TimingStride-th one; see Stats.TimingSampled.
 	DetailedTiming bool
+	// Tuner, when non-nil, re-plans per-join decisions at every warm-up
+	// (Prepare and Refresh): the subroutine per join, alias thresholds,
+	// exact-count escalation for wide tree-join estimates, extra walks
+	// for wide cyclic ones, and the batch slice cap. Method then only
+	// names the starting point; the plan overrides it per join. The
+	// controller also accumulates rejection feedback between warm-ups
+	// (fed by the session layer) and folds it into the next plan.
+	Tuner *tune.Controller
 }
 
 // resultEntry is one buffered sample: the arena offset of the tuple's
@@ -56,6 +71,7 @@ type CoverShared struct {
 	params     *Params
 	alias      *rng.Alias
 	maxDraw    int
+	walkVar    []float64 // per-join relative half-widths after warm-up
 	warmupTime time.Duration
 	warmed     bool
 }
@@ -79,7 +95,10 @@ func newCoverShared(joins []*join.Join, cfg CoverConfig) (*CoverShared, error) {
 	if cfg.Estimator == nil {
 		return nil, fmt.Errorf("core: CoverConfig.Estimator is required")
 	}
-	base, err := newUnionBase(joins, cfg.Method)
+	// With a tuner the subroutine samplers are deferred to warm time:
+	// the plan decides their methods, so building them here would build
+	// a provisional set only to discard it.
+	base, err := newUnionBase(joins, uniformJoinConfigs(len(joins), cfg.Method, cfg.AliasThreshold), cfg.Tuner != nil)
 	if err != nil {
 		return nil, err
 	}
@@ -102,8 +121,19 @@ func (p *CoverShared) warm(g *rng.RNG) error {
 	if err != nil {
 		return err
 	}
+	if p.cfg.Tuner != nil {
+		if params, err = p.retune(params, g); err != nil {
+			return err
+		}
+	}
 	p.params = params
 	p.alias = rng.NewAlias(params.Cover)
+	if w := tuneWalker(p.cfg.Estimator); w != nil {
+		p.walkVar = make([]float64, len(p.base.joins))
+		for i, je := range w.JoinEstimates() {
+			p.walkVar[i] = je.RelHalfWidth(w.Z())
+		}
+	}
 	p.warmupTime = time.Since(start)
 	if p.alias == nil {
 		return ErrEmptyUnion
@@ -112,15 +142,63 @@ func (p *CoverShared) warm(g *rng.RNG) error {
 	return nil
 }
 
+// retune runs the adaptive re-plan at a warm-up boundary: gather the
+// planner inputs from the just-finished estimation, build the plan
+// (folding in any rejection feedback the controller accumulated),
+// apply its estimation escalations, and install its per-join
+// subroutine configs. Deferred or dirty samplers build here, exactly
+// once, under the plan.
+func (p *CoverShared) retune(params *Params, g *rng.RNG) (*Params, error) {
+	walker := tuneWalker(p.cfg.Estimator)
+	_, exact := p.cfg.Estimator.(*ExactEstimator)
+	stats := gatherTuneStats(p.base.joins, params, walker, exact)
+	plan := p.cfg.Tuner.Replan(stats)
+	params, _, err := applyPlanEstimates(p.base, plan, params, walker, g)
+	if err != nil {
+		return nil, err
+	}
+	p.base.applyJoinConfigs(planJoinConfigs(plan))
+	if p.cfg.MaxDrawsPerSelection <= 0 {
+		p.maxDraw = plan.MaxDrawsPerSelection
+	}
+	return params, nil
+}
+
 // Refresh returns a CoverShared reconciled with the current data:
 // dirty joins reconcile their residuals and rebuild their subroutine
 // samplers (clean joins are shared), and the estimator re-runs over the
-// incrementally maintained indexes and membership tables. The receiver
-// is untouched; in-flight runs keep their snapshot.
+// incrementally maintained indexes and membership tables. With a
+// Tuner, a Refresh is also a re-plan boundary: it rebuilds even over
+// clean data when the controller's rejection trigger fired, and dirty
+// joins defer their sampler rebuild to the plan. The receiver is
+// untouched; in-flight runs keep their snapshot.
 func (p *CoverShared) Refresh(g *rng.RNG) (PreparedSampler, bool, error) {
-	nb, _, changed := p.base.refreshed()
+	if p.cfg.Tuner == nil {
+		nb, _, changed := p.base.refreshed()
+		if !changed {
+			return p, false, nil
+		}
+		np := &CoverShared{base: nb, cfg: p.cfg, maxDraw: p.maxDraw}
+		if err := np.warm(g); err != nil {
+			return nil, false, err
+		}
+		return np, true, nil
+	}
+	nb, dirty, changed := p.base.refreshedLazy()
 	if !changed {
-		return p, false, nil
+		if !p.cfg.Tuner.NeedsReplan() {
+			return p, false, nil
+		}
+		nb = p.base.clone()
+	}
+	// Mutated joins' rejection feedback describes pre-mutation data;
+	// drop it so the re-plan reads their fresh size/bound priors. Clean
+	// joins keep theirs — on a rejection-triggered re-plan over clean
+	// data that feedback IS the signal.
+	for j, d := range dirty {
+		if d {
+			p.cfg.Tuner.DropFeedback(j)
+		}
 	}
 	np := &CoverShared{base: nb, cfg: p.cfg, maxDraw: p.maxDraw}
 	if err := np.warm(g); err != nil {
@@ -150,6 +228,10 @@ func newCoverRun(p *CoverShared) *CoverSampler {
 		scratch: p.base.newScratch(),
 	}
 	s.stats.TimingSampled = !p.cfg.DetailedTiming
+	s.stats.initJoins(len(p.base.joins))
+	for i := range p.walkVar {
+		s.stats.Joins[i].WalkVariance = p.walkVar[i]
+	}
 	return s
 }
 
@@ -260,14 +342,17 @@ func (s *CoverSampler) drawOne(g *rng.RNG) error {
 		for attempt := 0; attempt < s.shared.maxDraw; attempt++ {
 			start, w := s.stats.startDraw()
 			s.stats.TotalDraws++
+			s.stats.Joins[j].Draws++
 			ok := s.shared.base.samplers[j].SampleInto(s.scratch.out, s.scratch.rowOf, g)
 			if !ok {
 				s.stats.JoinRejects++
+				s.stats.Joins[j].Rejected++
 				s.stats.RejectTime += sinceDraw(start, w)
 				continue
 			}
 			if s.acceptDraw(j, s.scratch.out) {
 				s.stats.Accepted++
+				s.stats.Joins[j].Accepted++
 				d := sinceDraw(start, w)
 				s.stats.AcceptTime += d
 				s.stats.RegularTime += d

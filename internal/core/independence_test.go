@@ -66,7 +66,7 @@ func TestSampleIndependence(t *testing.T) {
 func TestEOAcceptanceRate(t *testing.T) {
 	joins := fixtureJoins(t)
 	j := joins[0]
-	s := newJoinSampler(j, MethodEO)
+	s := newJoinSampler(j, joinConfig{method: MethodEO})
 	g := rng.New(62)
 	const tries = 200000
 	accepted := 0

@@ -9,6 +9,7 @@ import (
 	"sampleunion/internal/join"
 	"sampleunion/internal/relation"
 	"sampleunion/internal/rng"
+	"sampleunion/internal/tune"
 	"sampleunion/internal/walkest"
 )
 
@@ -35,11 +36,18 @@ type OnlineConfig struct {
 	// Oracle uses exact membership instead of the dynamic record.
 	Oracle bool
 	// MaxDrawsPerSelection caps attempts per join selection; <= 0
-	// defaults to 256.
+	// defaults to 256 — or, with a Tuner, to the plan's cap.
 	MaxDrawsPerSelection int
 	// DetailedTiming wall-clocks every draw instead of sampling every
 	// TimingStride-th one; see Stats.TimingSampled.
 	DetailedTiming bool
+	// Tuner, when non-nil, re-plans at every warm-up (Prepare and
+	// Refresh): per-join walk budgets (wide cyclic estimates get more
+	// walks), exact-count escalation for wide tree-join estimates
+	// (pinned through run-level refinement via the size overrides), and
+	// the batch slice cap. The subroutine stays EO for every join — the
+	// online sampler is walk-based by construction.
+	Tuner *tune.Controller
 }
 
 type onlineEntry struct {
@@ -59,11 +67,16 @@ type onlineEntry struct {
 // sample-reuse optimization remains available on the single-stream
 // path (NewOnlineSampler), where one run owns the pool.
 type OnlineShared struct {
-	base       *unionBase
-	cfg        OnlineConfig
-	walks      *walkest.Estimator
-	params     *Params
-	alias      *rng.Alias
+	base    *unionBase
+	cfg     OnlineConfig
+	walks   *walkest.Estimator
+	params  *Params
+	alias   *rng.Alias
+	maxDraw int
+	// exactSizes pin escalated joins' exact counts (index -1 entries
+	// keep the walk estimate); run-level parameter refinement reads the
+	// overlap table through them so refinement never un-escalates.
+	exactSizes []float64
 	warmupTime time.Duration
 	warmed     bool
 }
@@ -83,7 +96,7 @@ func PrepareOnline(joins []*join.Join, cfg OnlineConfig, g *rng.RNG) (*OnlineSha
 }
 
 func newOnlineShared(joins []*join.Join, cfg OnlineConfig) (*OnlineShared, error) {
-	base, err := newUnionBase(joins, MethodEO)
+	base, err := newUnionBase(joins, uniformJoinConfigs(len(joins), MethodEO, 0), false)
 	if err != nil {
 		return nil, err
 	}
@@ -93,14 +106,15 @@ func newOnlineShared(joins []*join.Join, cfg OnlineConfig) (*OnlineShared, error
 	if cfg.Gamma <= 0 {
 		cfg.Gamma = 0.9
 	}
-	if cfg.MaxDrawsPerSelection <= 0 {
-		cfg.MaxDrawsPerSelection = 256
+	maxDraw := cfg.MaxDrawsPerSelection
+	if maxDraw <= 0 {
+		maxDraw = 256
 	}
 	walks, err := walkest.New(joins, cfg.WalkOpts)
 	if err != nil {
 		return nil, err
 	}
-	return &OnlineShared{base: base, cfg: cfg, walks: walks}, nil
+	return &OnlineShared{base: base, cfg: cfg, walks: walks, maxDraw: maxDraw}, nil
 }
 
 // warm initializes parameters: histogram first (cheap), then the
@@ -123,10 +137,15 @@ func (p *OnlineShared) warm(g *rng.RNG) error {
 				p.walks.StepJoin(j, g)
 			}
 		}
-		if params, ok, err := paramsFromWalks(p.walks); err != nil {
+		if params, ok, err := paramsFromWalks(p.walks, nil); err != nil {
 			return err
 		} else if ok {
 			p.params = params
+		}
+	}
+	if p.cfg.Tuner != nil {
+		if err := p.retune(g); err != nil {
+			return err
 		}
 	}
 	p.alias = rng.NewAlias(p.params.Cover)
@@ -138,16 +157,38 @@ func (p *OnlineShared) warm(g *rng.RNG) error {
 	return nil
 }
 
+// retune runs the adaptive re-plan at an online warm-up boundary:
+// wide cyclic joins walk up to their escalated budgets, wide tree
+// joins escalate to exact counts (pinned via exactSizes so run-level
+// refinement keeps them), and the batch slice cap follows the plan.
+// Join subroutines are not re-planned — the online sampler draws by
+// wander-join walks by construction.
+func (p *OnlineShared) retune(g *rng.RNG) error {
+	stats := gatherTuneStats(p.base.joins, p.params, p.walks, false)
+	plan := p.cfg.Tuner.Replan(stats)
+	params, sizes, err := applyPlanEstimates(p.base, plan, p.params, p.walks, g)
+	if err != nil {
+		return err
+	}
+	p.params = params
+	p.exactSizes = sizes
+	if p.cfg.MaxDrawsPerSelection <= 0 {
+		p.maxDraw = plan.MaxDrawsPerSelection
+	}
+	return nil
+}
+
 // paramsFromWalks rebuilds Params from a walk estimator once every join
 // has observations; ok is false while any join is still unobserved (the
-// caller keeps its current parameters).
-func paramsFromWalks(walks *walkest.Estimator) (*Params, bool, error) {
+// caller keeps its current parameters). Non-nil sizes pin escalated
+// joins' exact counts through the rebuild (walkest.TableWithSizes).
+func paramsFromWalks(walks *walkest.Estimator, sizes []float64) (*Params, bool, error) {
 	for _, je := range walks.JoinEstimates() {
 		if je.Walks() == 0 {
 			return nil, false, nil
 		}
 	}
-	t, err := walks.Table()
+	t, err := walks.TableWithSizes(sizes)
 	if err != nil {
 		return nil, false, err
 	}
@@ -167,12 +208,24 @@ func paramsFromWalks(walks *walkest.Estimator) (*Params, bool, error) {
 func (p *OnlineShared) Refresh(g *rng.RNG) (PreparedSampler, bool, error) {
 	nb, dirty, changed := p.base.refreshed()
 	if !changed {
-		return p, false, nil
+		if p.cfg.Tuner == nil || !p.cfg.Tuner.NeedsReplan() {
+			return p, false, nil
+		}
+		// Rejection feedback requested a re-plan on clean data: rebuild
+		// against a clone so in-flight runs keep their snapshot.
+		nb = p.base.clone()
+		dirty = make([]bool, len(p.base.joins))
 	}
-	np := &OnlineShared{base: nb, cfg: p.cfg, walks: p.walks.Clone()}
+	np := &OnlineShared{base: nb, cfg: p.cfg, walks: p.walks.Clone(), maxDraw: p.maxDraw}
 	for j, d := range dirty {
 		if d {
 			np.walks.Reset(j)
+			if p.cfg.Tuner != nil {
+				// Like the walk estimates, a dirty join's rejection
+				// feedback observed a join that no longer exists; the
+				// re-plan must read its fresh priors instead.
+				p.cfg.Tuner.DropFeedback(j)
+			}
 		}
 	}
 	if err := np.warmRefresh(g, dirty); err != nil {
@@ -201,10 +254,15 @@ func (p *OnlineShared) warmRefresh(g *rng.RNG, dirty []bool) error {
 				p.walks.StepJoin(j, g)
 			}
 		}
-		if params, ok, err := paramsFromWalks(p.walks); err != nil {
+		if params, ok, err := paramsFromWalks(p.walks, nil); err != nil {
 			return err
 		} else if ok {
 			p.params = params
+		}
+	}
+	if p.cfg.Tuner != nil {
+		if err := p.retune(g); err != nil {
+			return err
 		}
 	}
 	p.alias = rng.NewAlias(p.params.Cover)
@@ -238,6 +296,7 @@ func (p *OnlineShared) NewRun() Run {
 func newOnlineRun(p *OnlineShared) *OnlineSampler {
 	s := &OnlineSampler{shared: p, record: p.base.recordKeys()}
 	s.stats.TimingSampled = !p.cfg.DetailedTiming
+	s.stats.initJoins(len(p.base.joins))
 	return s
 }
 
@@ -313,7 +372,7 @@ func (s *OnlineSampler) Warmup(g *rng.RNG) error {
 // refreshParams rebuilds Params from the run's walk estimator when it
 // has observations, keeping the current values otherwise.
 func (s *OnlineSampler) refreshParams() error {
-	params, ok, err := paramsFromWalks(s.walks)
+	params, ok, err := paramsFromWalks(s.walks, s.shared.exactSizes)
 	if err != nil {
 		return err
 	}
@@ -331,8 +390,21 @@ func (s *OnlineSampler) refreshParams() error {
 // Params returns the run's current parameters (nil before Warmup).
 func (s *OnlineSampler) Params() *Params { return s.params }
 
-// Stats returns the run's instrumentation.
-func (s *OnlineSampler) Stats() *Stats { return &s.stats }
+// Stats returns the run's instrumentation. Per-join WalkVariance
+// reflects the run's current walk state at the time of the call (zero
+// for joins whose size is pinned exact by the tuner).
+func (s *OnlineSampler) Stats() *Stats {
+	if s.walks != nil {
+		for j, je := range s.walks.JoinEstimates() {
+			if es := s.shared.exactSizes; es != nil && j < len(es) && es[j] >= 0 {
+				s.stats.Joins[j].WalkVariance = 0
+				continue
+			}
+			s.stats.Joins[j].WalkVariance = je.RelHalfWidth(s.walks.Z())
+		}
+	}
+	return &s.stats
+}
 
 // Confidence returns the walk estimator's current confidence level.
 func (s *OnlineSampler) Confidence() float64 { return s.conf }
@@ -394,7 +466,7 @@ func (s *OnlineSampler) drawOne(g *rng.RNG) error {
 			return fmt.Errorf("core: online sampler made no progress after %d selections", selections)
 		}
 		j := s.alias.Draw(g)
-		for attempt := 0; attempt < s.shared.cfg.MaxDrawsPerSelection; attempt++ {
+		for attempt := 0; attempt < s.shared.maxDraw; attempt++ {
 			start, w := s.stats.startDraw()
 			t, mult, reuse, ok := s.candidate(j, g)
 			if !ok {
@@ -440,6 +512,7 @@ func (s *OnlineSampler) phaseReject(d time.Duration, reuse bool) {
 func (s *OnlineSampler) candidate(j int, g *rng.RNG) (relation.Tuple, int, bool, bool) {
 	je := s.walks.JoinEstimates()[j]
 	size := s.params.JoinSizes[j]
+	s.stats.Joins[j].Draws++
 	if pool := je.Samples(); len(pool) > 0 {
 		sm := je.TakeSample(g.Intn(len(pool))) // without replacement (line 8)
 		// Acceptance ratio: the pool's composition is proportional to
@@ -460,6 +533,7 @@ func (s *OnlineSampler) candidate(j int, g *rng.RNG) (relation.Tuple, int, bool,
 	s.recorded++
 	if !ok {
 		s.stats.JoinRejects++
+		s.stats.Joins[j].Rejected++
 		return nil, 0, false, false
 	}
 	// The walk enters the pool inside Step; consume it immediately so
@@ -468,6 +542,7 @@ func (s *OnlineSampler) candidate(j int, g *rng.RNG) (relation.Tuple, int, bool,
 	mult := s.instances(1/(sm.P*size), g)
 	if mult == 0 {
 		s.stats.JoinRejects++
+		s.stats.Joins[j].Rejected++
 		return nil, 0, false, false
 	}
 	return sm.Tuple, mult, false, true
@@ -539,6 +614,7 @@ func (s *OnlineSampler) commit(k, j int, t relation.Tuple, mult int) {
 		s.result = append(s.result, onlineEntry{key: k, off: off, join: j, prob: prob})
 	}
 	s.stats.Accepted += mult
+	s.stats.Joins[j].Accepted += mult
 }
 
 // inclusionProb is the per-draw probability a value of join j enters

@@ -35,11 +35,36 @@ func (m JoinMethod) String() string {
 	return "EO"
 }
 
+// joinConfig is one join's subroutine configuration inside a union
+// base: the sampling method plus the alias-table threshold EW batch
+// draws build weighted-row alias tables at. Explicitly configured
+// unions use one uniform config per join (uniformJoinConfigs), which
+// reproduces the pre-tuning behavior exactly; an adaptive plan sets
+// them per join.
+type joinConfig struct {
+	method   JoinMethod
+	aliasMin int
+}
+
+// uniformJoinConfigs is the non-adaptive configuration: every join
+// samples with the same method at the same alias threshold (<= 0
+// selects the engine default).
+func uniformJoinConfigs(n int, m JoinMethod, aliasMin int) []joinConfig {
+	if aliasMin <= 0 {
+		aliasMin = joinsample.DefaultAliasThreshold
+	}
+	cfgs := make([]joinConfig, n)
+	for i := range cfgs {
+		cfgs[i] = joinConfig{method: m, aliasMin: aliasMin}
+	}
+	return cfgs
+}
+
 // newJoinSampler builds the subroutine sampler for one join.
-func newJoinSampler(j *join.Join, m JoinMethod) joinsample.Sampler {
-	switch m {
+func newJoinSampler(j *join.Join, c joinConfig) joinsample.Sampler {
+	switch c.method {
 	case MethodEW:
-		return joinsample.NewEW(j)
+		return joinsample.NewEWAlias(j, c.aliasMin)
 	case MethodWJ:
 		return joinsample.NewWJ(j)
 	}
@@ -54,7 +79,7 @@ func newJoinSampler(j *join.Join, m JoinMethod) joinsample.Sampler {
 // per-draw scratch lives in the runs (drawScratch).
 type unionBase struct {
 	joins    []*join.Join
-	method   JoinMethod
+	cfgs     []joinConfig
 	samplers []joinsample.Sampler
 	ref      *relation.Schema
 	perms    [][]int // perms[i][k] = position of ref attr k in join i's schema; nil when equal
@@ -72,13 +97,19 @@ type unionBase struct {
 	maxNodes int // scratch sizing: most tree nodes over all joins
 }
 
-func newUnionBase(joins []*join.Join, m JoinMethod) (*unionBase, error) {
+// newUnionBase builds the shared join machinery with one subroutine
+// sampler per join, per cfgs. deferSamplers leaves the samplers nil —
+// the adaptive warm-up path plans per-join configs from the warm-up
+// statistics first and then builds every sampler once, via
+// applyJoinConfigs, instead of building a provisional set it would
+// immediately discard.
+func newUnionBase(joins []*join.Join, cfgs []joinConfig, deferSamplers bool) (*unionBase, error) {
 	if err := validateUnion(joins); err != nil {
 		return nil, err
 	}
 	b := &unionBase{
 		joins:    joins,
-		method:   m,
+		cfgs:     cfgs,
 		samplers: make([]joinsample.Sampler, len(joins)),
 		ref:      joins[0].OutputSchema(),
 		perms:    make([][]int, len(joins)),
@@ -91,7 +122,9 @@ func newUnionBase(joins []*join.Join, m JoinMethod) (*unionBase, error) {
 		// degrees and link index.
 		j.FreshenResidual()
 		b.vers[i] = j.StateVersions()
-		b.samplers[i] = newJoinSampler(j, m)
+		if !deferSamplers {
+			b.samplers[i] = newJoinSampler(j, cfgs[i])
+		}
 		if !j.OutputSchema().Equal(b.ref) {
 			perm, err := alignPerm(b.ref, j)
 			if err != nil {
@@ -134,27 +167,69 @@ func (b *unionBase) dirtyJoins() ([]bool, bool) {
 	return dirty, any
 }
 
+// clone returns a copy of the base whose per-join slices (samplers,
+// configs, version snapshots) are private, so the copy can rebuild
+// individual joins without touching the original. Schema alignment and
+// membership probes are version-independent and shared as-is.
+func (b *unionBase) clone() *unionBase {
+	nb := *b
+	nb.samplers = append([]joinsample.Sampler(nil), b.samplers...)
+	nb.cfgs = append([]joinConfig(nil), b.cfgs...)
+	nb.vers = append([][]uint64(nil), b.vers...)
+	return &nb
+}
+
 // refreshed returns a copy of the base whose dirty joins have
 // reconciled residuals and freshly built subroutine samplers; clean
-// joins share their samplers with the old base. Schema alignment and
-// membership probes are version-independent and shared as-is.
+// joins share their samplers with the old base.
 func (b *unionBase) refreshed() (*unionBase, []bool, bool) {
 	dirty, any := b.dirtyJoins()
 	if !any {
 		return b, dirty, false
 	}
-	nb := *b
-	nb.samplers = append([]joinsample.Sampler(nil), b.samplers...)
-	nb.vers = append([][]uint64(nil), b.vers...)
+	nb := b.clone()
 	for i, d := range dirty {
 		if !d {
 			continue
 		}
 		nb.joins[i].FreshenResidual()
 		nb.vers[i] = nb.joins[i].StateVersions()
-		nb.samplers[i] = newJoinSampler(nb.joins[i], b.method)
+		nb.samplers[i] = newJoinSampler(nb.joins[i], b.cfgs[i])
 	}
-	return &nb, dirty, true
+	return nb, dirty, true
+}
+
+// refreshedLazy is refreshed for the adaptive path: dirty joins
+// reconcile their residuals and drop their samplers instead of
+// rebuilding them eagerly — the re-plan inside the subsequent warm-up
+// rebuilds them once, under the new plan's configs.
+func (b *unionBase) refreshedLazy() (*unionBase, []bool, bool) {
+	dirty, any := b.dirtyJoins()
+	if !any {
+		return b, dirty, false
+	}
+	nb := b.clone()
+	for i, d := range dirty {
+		if !d {
+			continue
+		}
+		nb.joins[i].FreshenResidual()
+		nb.vers[i] = nb.joins[i].StateVersions()
+		nb.samplers[i] = nil
+	}
+	return nb, dirty, true
+}
+
+// applyJoinConfigs installs a plan's per-join configs, rebuilding
+// exactly the samplers whose config changed (or was never built, on
+// the deferred path). Only safe before the base is published to runs.
+func (b *unionBase) applyJoinConfigs(cfgs []joinConfig) {
+	for i := range b.joins {
+		if b.samplers[i] == nil || b.cfgs[i] != cfgs[i] {
+			b.cfgs[i] = cfgs[i]
+			b.samplers[i] = newJoinSampler(b.joins[i], cfgs[i])
+		}
+	}
 }
 
 func alignPerm(ref *relation.Schema, j *join.Join) ([]int, error) {

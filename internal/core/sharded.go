@@ -540,15 +540,30 @@ func (s *ShardedSampler) SampleBatch(n int, g *rng.RNG) ([]relation.Tuple, error
 
 // Stats merges the per-shard runs' instrumentation by summation (the
 // counters are counts of disjoint work; the sampled durations add the
-// same way). The merge is recomputed on every call, so it reflects all
-// draws so far.
+// same way). Per-join breakdowns sum element-wise — shard join i is a
+// fragment of union join i — except WalkVariance, where the merge
+// keeps the worst (largest) shard's half-width: a join is only as
+// converged as its least-converged fragment. The merge is recomputed
+// on every call, so it reflects all draws so far.
 func (s *ShardedSampler) Stats() *Stats {
 	m := Stats{TimingSampled: true}
+	m.initJoins(len(s.shared.origJoins))
 	for _, r := range s.runs {
 		if r == nil {
 			continue
 		}
 		st := r.Stats()
+		for j, jb := range st.Joins {
+			if j >= len(m.Joins) {
+				break
+			}
+			m.Joins[j].Accepted += jb.Accepted
+			m.Joins[j].Rejected += jb.Rejected
+			m.Joins[j].Draws += jb.Draws
+			if jb.WalkVariance > m.Joins[j].WalkVariance {
+				m.Joins[j].WalkVariance = jb.WalkVariance
+			}
+		}
 		m.Accepted += st.Accepted
 		m.RejectedDup += st.RejectedDup
 		m.Revised += st.Revised

@@ -33,6 +33,17 @@ type Stats struct {
 	// unit of Theorem 2.
 	TotalDraws int
 
+	// Joins breaks the draw-loop counters down per join (indexed like
+	// the union): where the attempts went, which joins' subroutines
+	// rejected them, and how converged each join's size estimate was.
+	// The aggregate fields above remain authoritative; Joins slices the
+	// subroutine-level activity so an adaptive controller (and callers
+	// inspecting skew) can attribute rejection cost to the join causing
+	// it. Union-level duplicate rejections (RejectedDup) are a property
+	// of the overlap, not of a join's subroutine, and are not broken
+	// down.
+	Joins []JoinBreakdown
+
 	// WarmupTime is spent estimating parameters; AcceptTime is spent on
 	// draws that ended accepted; RejectTime on draws that ended
 	// rejected. ReuseTime/RegularTime hold the total time (accepted and
@@ -58,6 +69,34 @@ type Stats struct {
 	// ticks counts timing decisions (one per attempted draw, reuse
 	// included), driving the sampling stride.
 	ticks int
+}
+
+// JoinBreakdown is one join's slice of a run's draw-loop counters.
+type JoinBreakdown struct {
+	// Accepted counts tuples of this join added to the result
+	// (instances, for the online sampler's multiplicity system).
+	Accepted int
+	// Rejected counts this join's subroutine rejections — its slice of
+	// Stats.JoinRejects.
+	Rejected int
+	// Draws counts subroutine attempts routed at this join — its slice
+	// of Stats.TotalDraws, plus reuse-pool draws in online mode.
+	Draws int
+	// WalkVariance is the join's size-estimate relative confidence
+	// half-width (walkest.RelHalfWidth) as of the run's current walk
+	// state: 0 when the estimate is exact or the mode runs no walks,
+	// +Inf before any walk observed the join.
+	WalkVariance float64
+}
+
+// initJoins sizes the per-join breakdown for a union of n joins,
+// preserving any counts already accumulated.
+func (s *Stats) initJoins(n int) {
+	if len(s.Joins) < n {
+		nj := make([]JoinBreakdown, n)
+		copy(nj, s.Joins)
+		s.Joins = nj
+	}
 }
 
 // TimingStride is the wall-clock sampling period of coarse-grained

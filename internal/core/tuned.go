@@ -1,0 +1,175 @@
+package core
+
+import (
+	"sampleunion/internal/join"
+	"sampleunion/internal/joinsample"
+	"sampleunion/internal/rng"
+	"sampleunion/internal/tune"
+	"sampleunion/internal/walkest"
+)
+
+// This file wires the adaptive planner (internal/tune) into the
+// prepared samplers. The division of labor: tune.Build is a pure
+// function from observed statistics to a Plan; this file gathers those
+// statistics from a warm-up (sizes and cover shares from Params,
+// variance trajectories from the walk estimator, structural facts from
+// the joins) and applies the resulting decisions (per-join subroutine
+// configs, exact-count escalation, walk-budget escalation, the batch
+// slice cap).
+//
+// Determinism: every input to the plan derives from the seeded warm-up
+// stream plus draw counters the controller folded in at the previous
+// re-plan boundary, so for a fixed seed, data, and call history the
+// plan — and therefore the sampler behavior — is reproducible. Plans
+// change only at Prepare/Refresh boundaries, never mid-stream.
+
+// gatherTuneStats assembles the planner inputs for a union from a
+// completed warm-up. walker carries per-join walk trajectories when
+// the warm-up was walk-based (nil otherwise); exact marks the sizes as
+// ground truth (the exact estimator), which suppresses escalation.
+func gatherTuneStats(joins []*join.Join, params *Params, walker *walkest.Estimator, exact bool) []tune.JoinStats {
+	stats := make([]tune.JoinStats, len(joins))
+	for i, j := range joins {
+		st := tune.JoinStats{
+			Size:       params.JoinSizes[i],
+			OlkenBound: j.OlkenBound(),
+			Cyclic:     j.IsCyclic(),
+			Exact:      exact,
+		}
+		if params.UnionSize > 0 {
+			st.Share = params.Cover[i] / params.UnionSize
+		}
+		for _, n := range j.Nodes() {
+			st.Rows += int64(n.Rel.Len())
+		}
+		if walker != nil {
+			je := walker.JoinEstimates()[i]
+			st.Walks = je.Walks()
+			st.RelHalfWidth = je.RelHalfWidth(walker.Z())
+		}
+		stats[i] = st
+	}
+	return stats
+}
+
+// planJoinConfigs translates a plan's per-join decisions into the
+// union base's subroutine configs.
+func planJoinConfigs(p *tune.Plan) []joinConfig {
+	cfgs := make([]joinConfig, len(p.Joins))
+	for i, jp := range p.Joins {
+		cfgs[i] = joinConfig{method: JoinMethod(jp.Method), aliasMin: jp.AliasThreshold}
+	}
+	return cfgs
+}
+
+// applyPlanEstimates applies a plan's estimation escalations against a
+// walk-based warm-up and returns the (possibly rebuilt) parameters
+// plus the per-join exact-size overrides that produced them (nil when
+// nothing escalated):
+//
+//   - joins flagged Exact get an exact skeleton count (linear on tree
+//     joins, via the EW weight pass) overriding their HT size
+//     estimate, with their overlap estimates rescaled to match
+//     (walkest.TableWithSizes);
+//   - joins whose walk budget grew walk until the new budget (or
+//     convergence) is reached, refining the estimate in place.
+//
+// With a nil walker (histogram or exact warm-up) there is no walk
+// state to escalate from and params pass through unchanged.
+func applyPlanEstimates(base *unionBase, p *tune.Plan, params *Params, walker *walkest.Estimator, g *rng.RNG) (*Params, []float64, error) {
+	if walker == nil {
+		return params, nil, nil
+	}
+	rebuild := false
+	var sizes []float64
+	for i, jp := range p.Joins {
+		if jp.WalkBudget > walker.JoinEstimates()[i].Walks() {
+			walker.WarmupJoin(i, jp.WalkBudget, g)
+			rebuild = true
+		}
+		if !jp.Exact {
+			continue
+		}
+		if sizes == nil {
+			sizes = make([]float64, len(p.Joins))
+			for k := range sizes {
+				sizes[k] = -1
+			}
+		}
+		// The EW weight pass computes the exact skeleton count as a
+		// byproduct; when the plan also samples this join with EW, the
+		// sampler built here is kept, so escalation costs nothing extra.
+		ew := joinsample.NewEWAlias(base.joins[i], jp.AliasThreshold)
+		sizes[i] = float64(ew.ExactCount())
+		if jp.Method == tune.MethodEW {
+			base.cfgs[i] = joinConfig{method: MethodEW, aliasMin: jp.AliasThreshold}
+			base.samplers[i] = ew
+		}
+		rebuild = true
+	}
+	if !rebuild {
+		return params, sizes, nil
+	}
+	t, err := walker.TableWithSizes(sizes)
+	if err != nil {
+		return nil, nil, err
+	}
+	return ParamsFromTable(t), sizes, nil
+}
+
+// tuneWalker extracts the retained walk estimator from a warm-up
+// estimator, when it has one.
+func tuneWalker(est Estimator) *walkest.Estimator {
+	if rw, ok := est.(*RandomWalkEstimator); ok {
+		return rw.Walker
+	}
+	return nil
+}
+
+// Tuners returns the adaptive controllers driving a prepared sampler:
+// a single controller for the cover and online engines, one per
+// non-empty shard for the sharded engine, nil when the sampler is not
+// adaptive. The session layer uses it to query pending re-plans and to
+// report tuner decisions without holding controller references across
+// refresh-time rebuilds.
+func Tuners(p PreparedSampler) []*tune.Controller {
+	switch v := p.(type) {
+	case *CoverShared:
+		if v.cfg.Tuner != nil {
+			return []*tune.Controller{v.cfg.Tuner}
+		}
+	case *OnlineShared:
+		if v.cfg.Tuner != nil {
+			return []*tune.Controller{v.cfg.Tuner}
+		}
+	case *ShardedShared:
+		var out []*tune.Controller
+		for _, ps := range v.perShard {
+			if ps == nil {
+				continue
+			}
+			out = append(out, Tuners(ps)...)
+		}
+		return out
+	}
+	return nil
+}
+
+// ObserveRun feeds one run's per-join draw counters into a controller
+// as rejection feedback, relative to a previously reported snapshot
+// (so repeated Stats reads do not double-count). It returns the new
+// snapshot to report against next time.
+func ObserveRun(c *tune.Controller, cur, prev []JoinBreakdown) []JoinBreakdown {
+	if c == nil {
+		return prev
+	}
+	for j, jb := range cur {
+		d, r := int64(jb.Draws), int64(jb.Rejected)
+		if j < len(prev) {
+			d -= int64(prev[j].Draws)
+			r -= int64(prev[j].Rejected)
+		}
+		c.ObserveDraws(j, d, r)
+	}
+	return append([]JoinBreakdown(nil), cur...)
+}

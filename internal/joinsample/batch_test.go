@@ -71,14 +71,11 @@ func TestBatchUniformEWCyclic(t *testing.T) { checkUniformBatch(t, NewEW(triangl
 func TestBatchUniformEOCyclic(t *testing.T) { checkUniformBatch(t, NewEO(triangleJoin(t)), 25, 30000) }
 
 // TestBatchAliasForced re-runs the EW batch uniformity check with the
-// alias threshold forced to zero, so every weighted row selection goes
-// through an alias table even on tiny fan-outs.
+// alias threshold at zero, so every weighted row selection goes through
+// an alias table even on tiny fan-outs.
 func TestBatchAliasForced(t *testing.T) {
-	old := AliasThreshold
-	AliasThreshold = 0
-	defer func() { AliasThreshold = old }()
-	checkUniformBatch(t, NewEW(chainJoin(t)), 26, 30000)
-	checkUniformBatch(t, NewEW(triangleJoin(t)), 27, 30000)
+	checkUniformBatch(t, NewEWAlias(chainJoin(t), 0), 26, 30000)
+	checkUniformBatch(t, NewEWAlias(triangleJoin(t), 0), 27, 30000)
 }
 
 // TestBatchRespectsMaxTries: the batch call must consume at most
@@ -184,11 +181,8 @@ func TestBatchInvalidationAfterMutation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	old := AliasThreshold
-	AliasThreshold = 0 // force alias tables so staleness would surface
-	defer func() { AliasThreshold = old }()
-
-	stale := NewEW(j)
+	// Threshold zero forces alias tables so staleness would surface.
+	stale := NewEWAlias(j, 0)
 	node := j.Nodes()[1]
 	idxVerBefore := node.Rel.Index(node.AttrPos).Version()
 	out, rowOf := mkBatch(j, 16)
@@ -226,7 +220,7 @@ func TestBatchInvalidationAfterMutation(t *testing.T) {
 
 	// The rebuilt sampler (what Refresh does for a dirty join) must be
 	// uniform over the new result set.
-	fresh := NewEW(j)
+	fresh := NewEWAlias(j, 0)
 	if !equalVersions(fresh.StateVersions(), j.StateVersions()) {
 		t.Fatal("fresh sampler version snapshot mismatch")
 	}

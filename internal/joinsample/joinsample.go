@@ -111,15 +111,20 @@ func liveRoot(r *relation.Relation, g *rng.RNG) (int, bool) {
 	return 0, false
 }
 
-// AliasThreshold is the fan-out above which the batch draw path selects
-// weighted rows through a lazily built Walker alias table (O(1) per
-// draw) instead of the prefix-sum binary search (O(log fan-out)).
+// DefaultAliasThreshold is the fan-out above which the batch draw path
+// selects weighted rows through a lazily built Walker alias table (O(1)
+// per draw) instead of the prefix-sum binary search (O(log fan-out)).
 // Below it the table's two RNG draws and cache footprint cost more than
-// the search saves. EW samplers capture the value at construction, so
-// changing it mid-session cannot perturb a prepared session's pinned
-// batch streams; it exists as a variable for benchmarks (the `batch`
-// experiment's before/after-alias comparison) and tests.
-var AliasThreshold = 32
+// the search saves. The threshold is per-sampler configuration
+// (NewEWAlias), never mutable package state: each EW captures its value
+// at construction, so a prepared session's pinned batch streams cannot
+// be perturbed after the fact. An adaptive plan supplies per-join
+// thresholds; everything else uses this default.
+const DefaultAliasThreshold = 32
+
+// NeverAlias is a threshold no fan-out reaches: bounded prefix-sum
+// draws only.
+const NeverAlias = 1 << 30
 
 // weightedRows supports weighted row selection: O(log n) via prefix
 // sums on the sequential path, O(1) via a lazily built alias table on
@@ -232,10 +237,11 @@ type EW struct {
 	byValue [][]*weightedRows
 	exact   int64 // skeleton result count (== |J| for tree joins)
 
-	// aliasMin is the AliasThreshold captured at construction: the
+	// aliasMin is the alias threshold captured at construction: the
 	// fan-out at which batch draws switch from prefix sums to alias
 	// tables. Capturing it keeps a prepared session's batch streams
-	// stable even if the package variable is retuned.
+	// stable across re-plans: a new threshold only applies to samplers
+	// built after it was decided.
 	aliasMin int
 	// vers snapshots join.StateVersions() at construction. The
 	// weighted-row tables (and any alias tables lazily built over
@@ -247,15 +253,21 @@ type EW struct {
 	vers []uint64
 }
 
-// NewEW precomputes exact weights for j.
-func NewEW(j *join.Join) *EW {
+// NewEW precomputes exact weights for j with the default alias
+// threshold.
+func NewEW(j *join.Join) *EW { return NewEWAlias(j, DefaultAliasThreshold) }
+
+// NewEWAlias precomputes exact weights for j with an explicit alias
+// threshold: the fan-out at which batch draws build alias tables
+// (0 = always, NeverAlias = never).
+func NewEWAlias(j *join.Join, aliasMin int) *EW {
 	nodes := j.Nodes()
 	w := j.ExactWeights()
 	e := &EW{
 		j: j, weights: w,
 		nodeIdx:  make([]*relation.Index, len(nodes)),
 		byValue:  make([][]*weightedRows, len(nodes)),
-		aliasMin: AliasThreshold,
+		aliasMin: aliasMin,
 		vers:     j.StateVersions(),
 	}
 	// Dead root rows carry weight 0 (ExactWeights) and are filtered by

@@ -1,0 +1,277 @@
+package reftest
+
+import (
+	"testing"
+
+	su "sampleunion"
+	"sampleunion/internal/relation"
+)
+
+// Adversarial-skew differential tests for the adaptive mode
+// (Options.Auto): unions built to punish any fixed configuration —
+// one join orders of magnitude heavier than its sibling, zipfian join
+// degrees that leave walk estimates wide, and mutation bursts that
+// invert the skew under a warm session. The tuner must keep the union
+// stream uniform through all of it.
+//
+// Why strict chi-square is sound here even though auto starts from a
+// walk-based warm-up: the cover sampler is exactly uniform whenever
+// its per-join sizes are exact, and these scenarios force exactness
+// through one of the planner's two paths. Constant-fan-out joins give
+// every walk the same Horvitz-Thompson weight, so the size estimate
+// is exact with zero variance (the "converged, leave it alone" path);
+// zipfian joins leave the estimate wide, which is precisely what
+// trips the planner's escalation to exact counting (the "escalate"
+// path). A planner regression that stops escalating wide joins shows
+// up as a chi-square failure, not just a metrics change.
+
+func mkRel(name string, attrs []string, rows [][]int64) *relation.Relation {
+	r := relation.New(name, relation.NewSchema(attrs...))
+	for _, vals := range rows {
+		row := make(relation.Tuple, len(vals))
+		for i, v := range vals {
+			row[i] = relation.Value(v)
+		}
+		r.Append(row)
+	}
+	return r
+}
+
+// chain2 builds a two-relation chain R(A,B) ⋈_B S(B,C) as one union
+// member.
+func chain2(t *testing.T, tag string, rRows, sRows [][]int64) (*su.Join, []*relation.Relation) {
+	t.Helper()
+	rels := []*relation.Relation{
+		mkRel(tag+"_r", []string{"A", "B"}, rRows),
+		mkRel(tag+"_s", []string{"B", "C"}, sRows),
+	}
+	j, err := su.Chain(tag, rels, []string{"B"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return j, rels
+}
+
+// constChain builds a chain whose every R row joins every S row
+// (single shared B value): |R|×|S| results, constant fan-out, zero
+// walk variance. Value domains are offset so unions of these chains
+// are output-disjoint.
+func constChain(t *testing.T, tag string, nr, ns int, base int64) (*su.Join, []*relation.Relation) {
+	t.Helper()
+	var rRows, sRows [][]int64
+	for i := 0; i < nr; i++ {
+		rRows = append(rRows, []int64{base + int64(i), base})
+	}
+	for i := 0; i < ns; i++ {
+		sRows = append(sRows, []int64{base, base + 100 + int64(i)})
+	}
+	return chain2(t, tag, rRows, sRows)
+}
+
+func unionOf(t *testing.T, joins []*su.Join, relSets [][]*relation.Relation) *scenario {
+	t.Helper()
+	u, err := su.NewUnion(joins...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &scenario{union: u, relSets: relSets, rels: dedup(relSets)}
+}
+
+// checkAuto prepares an adaptive session over the scenario and
+// chi-square-checks its draws against the reference, returning the
+// session for follow-up mutation checks.
+func checkAuto(t *testing.T, sc *scenario, label string, seed int64, draws int) *su.Session {
+	t.Helper()
+	sess, err := sc.union.Prepare(su.Options{Auto: true, Oracle: true, Seed: seed})
+	if err != nil {
+		t.Fatalf("%s: prepare: %v", label, err)
+	}
+	union, _ := sc.reference()
+	got, _, err := sess.SampleSeeded(draws, seed*7+3)
+	if err != nil {
+		t.Fatalf("%s: %v", label, err)
+	}
+	checkDraws(t, label, got, UniformWeights(union), true)
+	return sess
+}
+
+// TestAdaptiveHeavySkew pits a ~1000-result join against a single-
+// result sibling — the 1000x share skew that makes any uniform
+// per-join budget either starve the heavy join or waste the light
+// one. Constant fan-outs keep both size estimates exact, so the auto
+// stream must be exactly uniform across the full union.
+func TestAdaptiveHeavySkew(t *testing.T) {
+	jHeavy, rHeavy := constChain(t, "heavy", 25, 40, 0) // 1000 results
+	jLight, rLight := constChain(t, "light", 1, 1, 500) // 1 result
+	sc := unionOf(t, []*su.Join{jHeavy, jLight}, [][]*relation.Relation{rHeavy, rLight})
+	union, _ := sc.reference()
+	if len(union) != 1001 {
+		t.Fatalf("scenario builds %d reference tuples, want 1001", len(union))
+	}
+	sess := checkAuto(t, sc, "heavy-skew static", 1, 30*len(union))
+
+	// The light join must not have bought an alias table or an exact
+	// escalation — the whole point of per-join decisions is not paying
+	// heavy-join setup on a one-tuple sibling.
+	sn, ok := sess.TuneSnapshot()
+	if !ok {
+		t.Fatal("adaptive session reports no tune snapshot")
+	}
+	if len(sn.Joins) != 2 {
+		t.Fatalf("tune snapshot covers %d joins, want 2", len(sn.Joins))
+	}
+	if sn.Joins[0].Exact || sn.Joins[1].Exact {
+		t.Fatalf("constant-fan-out joins escalated to exact estimation: %+v", sn.Joins)
+	}
+}
+
+// TestAdaptiveZipfEscalation drives zipfian join degrees — one B value
+// with fan-out 64 among fifteen with fan-out 1 — whose walk estimate
+// stays wide at the auto warm-up budget. Uniformity across the union
+// then depends on the planner escalating the wide join to an exact
+// count; the chi-square check fails if it stops doing so.
+func TestAdaptiveZipfEscalation(t *testing.T) {
+	// R has one row per B value; S gives B=0 fan-out 64, B=1..15
+	// fan-out 1: join size 79, walk-weight cv ≈ 3.
+	var rRows, sRows [][]int64
+	for b := 0; b < 16; b++ {
+		rRows = append(rRows, []int64{int64(b), int64(b)})
+	}
+	for c := 0; c < 64; c++ {
+		sRows = append(sRows, []int64{0, 100 + int64(c)})
+	}
+	for b := 1; b < 16; b++ {
+		sRows = append(sRows, []int64{int64(b), 200 + int64(b)})
+	}
+	jZipf, rZipf := chain2(t, "zipf", rRows, sRows)
+	jFlat, rFlat := constChain(t, "flat", 2, 16, 500) // 32 results, flat
+	sc := unionOf(t, []*su.Join{jZipf, jFlat}, [][]*relation.Relation{rZipf, rFlat})
+	union, _ := sc.reference()
+	if len(union) != 79+32 {
+		t.Fatalf("scenario builds %d reference tuples, want 111", len(union))
+	}
+	sess := checkAuto(t, sc, "zipf static", 2, drawCount(len(union)))
+
+	sn, ok := sess.TuneSnapshot()
+	if !ok {
+		t.Fatal("adaptive session reports no tune snapshot")
+	}
+	if !sn.Joins[0].Exact {
+		t.Fatalf("zipfian join's wide estimate did not escalate to exact: %+v", sn.Joins)
+	}
+	if sn.Escalations < 1 {
+		t.Fatalf("controller reports %d escalations, want >= 1", sn.Escalations)
+	}
+
+	// Post-mutation: double the heavy fan-out (64 → 128) and delete the
+	// flat join's second R row, shifting the share balance further. The
+	// warm session must re-plan on Refresh and stay uniform.
+	for c := 64; c < 128; c++ {
+		rZipf[1].Append(relation.Tuple{0, relation.Value(100 + c)})
+	}
+	rFlat[0].Delete(1)
+	if err := sess.Refresh(); err != nil {
+		t.Fatalf("zipf refresh: %v", err)
+	}
+	union, _ = sc.reference()
+	if len(union) != 143+16 {
+		t.Fatalf("mutated scenario builds %d reference tuples, want 159", len(union))
+	}
+	got, _, err := sess.SampleSeeded(drawCount(len(union)), 71)
+	if err != nil {
+		t.Fatalf("zipf post-burst: %v", err)
+	}
+	checkDraws(t, "zipf post-burst", got, UniformWeights(union), true)
+}
+
+// TestAdaptiveSkewInversion starts heavy/light and then inverts the
+// skew under the warm session: a burst deletes most of the heavy
+// join's fan-out while appending fan-out to the light join. The plan
+// that was right at warm-up is wrong afterwards; Refresh must re-plan
+// and the post-burst stream must be uniform over the inverted union.
+func TestAdaptiveSkewInversion(t *testing.T) {
+	jA, rA := constChain(t, "a", 12, 16, 0) // 192 results
+	jB, rB := constChain(t, "b", 2, 1, 500) // 2 results
+	sc := unionOf(t, []*su.Join{jA, jB}, [][]*relation.Relation{rA, rB})
+	union, _ := sc.reference()
+	if len(union) != 194 {
+		t.Fatalf("scenario builds %d reference tuples, want 194", len(union))
+	}
+	sess := checkAuto(t, sc, "skew-inversion static", 3, drawCount(len(union)))
+
+	// Invert: shrink a's S side 16 → 1 (192 → 12 results), grow b's
+	// S side 1 → 48 (2 → 96 results).
+	sA := rA[1]
+	for i := 0; i < sA.Len() && sA.LiveLen() > 1; i++ {
+		if sA.Live(i) {
+			sA.Delete(i)
+		}
+	}
+	for c := 1; c < 48; c++ {
+		rB[1].Append(relation.Tuple{500, relation.Value(600 + c)})
+	}
+	if err := sess.Refresh(); err != nil {
+		t.Fatalf("skew-inversion refresh: %v", err)
+	}
+	union, _ = sc.reference()
+	if len(union) != 12+96 {
+		t.Fatalf("inverted scenario builds %d reference tuples, want 108", len(union))
+	}
+	got, _, err := sess.SampleSeeded(drawCount(len(union)), 73)
+	if err != nil {
+		t.Fatalf("skew-inversion post-burst: %v", err)
+	}
+	checkDraws(t, "skew-inversion post-burst", got, UniformWeights(union), true)
+
+	sn, ok := sess.TuneSnapshot()
+	if !ok {
+		t.Fatal("adaptive session reports no tune snapshot")
+	}
+	if sn.Replans < 2 {
+		t.Fatalf("controller planned %d times across warm-up and refresh, want >= 2", sn.Replans)
+	}
+}
+
+// TestAdaptiveOnlineSkew runs the online (Algorithm 2) adaptive
+// configuration through the heavy-skew shape. Online uniformity is
+// asymptotic, so the check is exact membership plus full coverage,
+// statically and after a skew-inverting burst.
+func TestAdaptiveOnlineSkew(t *testing.T) {
+	jHeavy, rHeavy := constChain(t, "oheavy", 8, 12, 0) // 96 results
+	jLight, rLight := constChain(t, "olight", 1, 2, 500)
+	sc := unionOf(t, []*su.Join{jHeavy, jLight}, [][]*relation.Relation{rHeavy, rLight})
+	sess, err := sc.union.Prepare(su.Options{Auto: true, Online: true, Seed: 4})
+	if err != nil {
+		t.Fatalf("online prepare: %v", err)
+	}
+	union, _ := sc.reference()
+	got, _, err := sess.SampleSeeded(drawCount(len(union)), 79)
+	if err != nil {
+		t.Fatalf("online static: %v", err)
+	}
+	checkDraws(t, "online static", got, UniformWeights(union), false)
+
+	// Invert: heavy loses most fan-out, light gains it.
+	sH := rHeavy[1]
+	for i := 0; i < sH.Len() && sH.LiveLen() > 2; i++ {
+		if sH.Live(i) {
+			sH.Delete(i)
+		}
+	}
+	for c := 2; c < 24; c++ {
+		rLight[1].Append(relation.Tuple{500, relation.Value(600 + c)})
+	}
+	if err := sess.Refresh(); err != nil {
+		t.Fatalf("online refresh: %v", err)
+	}
+	union, _ = sc.reference()
+	got, _, err = sess.SampleSeeded(drawCount(len(union)), 83)
+	if err != nil {
+		t.Fatalf("online post-burst: %v", err)
+	}
+	checkDraws(t, "online post-burst", got, UniformWeights(union), false)
+
+	if sn, ok := sess.TuneSnapshot(); !ok || sn.Replans < 2 {
+		t.Fatalf("online controller snapshot ok=%t replans=%d, want >= 2 plans", ok, sn.Replans)
+	}
+}

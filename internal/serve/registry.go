@@ -306,6 +306,29 @@ func (r *Registry) StorageSnapshot() map[string]EntryStorage {
 	return out
 }
 
+// TuningSnapshot reports the adaptive controller's decisions for every
+// warm entry prepared with an "auto" declaration, keyed by registry
+// key; non-adaptive entries are absent. Each report carries the
+// controller counters (plans built, exact-estimation escalations, a
+// pending rejection-triggered re-plan) and the current per-join
+// decisions — the scrape point for watching what the tuner actually
+// chose in serving.
+func (r *Registry) TuningSnapshot() map[string]sampleunion.TuneSnapshot {
+	r.mu.Lock()
+	entries := make([]*Entry, 0, r.lru.Len())
+	for el := r.lru.Front(); el != nil; el = el.Next() {
+		entries = append(entries, el.Value.(*Entry))
+	}
+	r.mu.Unlock()
+	out := make(map[string]sampleunion.TuneSnapshot, len(entries))
+	for _, e := range entries {
+		if sn, ok := e.Sess.TuneSnapshot(); ok {
+			out[e.Key] = sn
+		}
+	}
+	return out
+}
+
 // Stats snapshots the registry counters.
 func (r *Registry) Stats() RegistryStats {
 	r.mu.Lock()

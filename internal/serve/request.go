@@ -54,8 +54,14 @@ type UnionDecl struct {
 // knobs that shape a warm-up; per-request knobs like n and seed live
 // on the request).
 type OptionsDecl struct {
-	Warmup      string `json:"warmup,omitempty"` // histogram | random-walk | exact
-	Method      string `json:"method,omitempty"` // EW | EO | WJ
+	// Warmup and Method accept the usual enum strings plus "auto":
+	// declaring either as "auto" prepares the session with adaptive
+	// tuning (Options.Auto), where the planner decides both the warm-up
+	// escalation and the per-join subroutine. Declaring one as "auto"
+	// while pinning the other to an explicit value is a conflict and
+	// answers 400 — adaptive mode owns both decisions.
+	Warmup      string `json:"warmup,omitempty"` // histogram | random-walk | exact | auto
+	Method      string `json:"method,omitempty"` // EW | EO | WJ | auto
 	Online      bool   `json:"online,omitempty"`
 	WarmupWalks int    `json:"warmup_walks,omitempty"`
 	Oracle      bool   `json:"oracle,omitempty"`
@@ -66,9 +72,43 @@ type OptionsDecl struct {
 	Shards int `json:"shards,omitempty"`
 }
 
+// auto reports whether the declaration opts into adaptive tuning.
+func (o OptionsDecl) auto() bool {
+	return o.Warmup == "auto" || o.Method == "auto"
+}
+
+// validate rejects combinations normalize would otherwise paper over.
+// It runs on the raw declaration — before defaults fill in — so an
+// explicitly pinned warmup or method alongside "auto" is caught rather
+// than canonicalized away. Mirrors the cmd/sampler flag convention
+// (PR 4): conflicting explicit knobs are an error, not a silent
+// override; the server surfaces it as 400.
+func (o OptionsDecl) validate() error {
+	if !o.auto() {
+		return nil
+	}
+	if o.Warmup != "" && o.Warmup != "auto" {
+		return fmt.Errorf("serve: method=auto conflicts with warmup=%q; adaptive mode plans the warm-up (drop the explicit warmup)", o.Warmup)
+	}
+	if o.Method != "" && o.Method != "auto" {
+		return fmt.Errorf("serve: warmup=auto conflicts with method=%q; adaptive mode picks the subroutine per join (drop the explicit method)", o.Method)
+	}
+	return nil
+}
+
 // normalize fills defaults so equal-by-effect declarations produce
 // equal fingerprints (mirrors Options.withDefaults).
 func (o OptionsDecl) normalize() OptionsDecl {
+	if o.auto() {
+		// Canonicalize both enum fields to "auto" (declaring either one
+		// opts in) and mirror the library's cheaper adaptive walk
+		// default, so {"warmup":"auto"} and {"method":"auto",
+		// "warmup_walks":128} share a session.
+		o.Warmup, o.Method = "auto", "auto"
+		if o.WarmupWalks == 0 {
+			o.WarmupWalks = sampleunion.AutoWarmupWalks
+		}
+	}
 	if o.Warmup == "" {
 		o.Warmup = "random-walk"
 	}
@@ -98,6 +138,9 @@ func (o OptionsDecl) normalize() OptionsDecl {
 
 // toOptions converts to library options, validating the enum strings.
 func (o OptionsDecl) toOptions() (sampleunion.Options, error) {
+	if err := o.validate(); err != nil {
+		return sampleunion.Options{}, err
+	}
 	o = o.normalize()
 	out := sampleunion.Options{
 		Online:      o.Online,
@@ -105,6 +148,10 @@ func (o OptionsDecl) toOptions() (sampleunion.Options, error) {
 		Oracle:      o.Oracle,
 		Seed:        o.Seed,
 		Shards:      o.Shards,
+	}
+	if o.auto() {
+		out.Auto = true
+		return out, nil
 	}
 	var err error
 	if out.Warmup, err = sampleunion.ParseWarmup(o.Warmup); err != nil {
@@ -142,6 +189,13 @@ func (d UnionDecl) normalize() UnionDecl {
 // the workload identity, plus the normalized options. Declarations
 // with equal keys are served by the same warm session.
 func (d UnionDecl) Key() (string, error) {
+	// Validate before normalizing: a conflicting declaration (explicit
+	// warmup alongside method=auto) would otherwise canonicalize to the
+	// same key as a legitimate adaptive declaration and be served from
+	// its warm entry without ever reaching option validation.
+	if err := d.Options.validate(); err != nil {
+		return "", err
+	}
 	d = d.normalize()
 	if d.Spec != "" && d.Workload != "" {
 		return "", fmt.Errorf("serve: declare either workload or spec, not both")

@@ -660,6 +660,12 @@ type metricsResponse struct {
 	Storage  map[string]EntryStorage `json:"storage"`
 	Rejected int64                   `json:"rejected"`
 	Inflight int                     `json:"inflight"`
+	// Tuning reports per-session tuner decisions (adaptive "auto"
+	// sessions only, keyed by registry key): plan and escalation
+	// counters plus the per-join subroutine / exact / walk-budget /
+	// alias-threshold choices in force. Absent when no warm session is
+	// adaptive.
+	Tuning map[string]sampleunion.TuneSnapshot `json:"tuning,omitempty"`
 	// Durability reports WAL/checkpoint gauges; absent on a
 	// memory-only server.
 	Durability *DurabilitySnapshot `json:"durability,omitempty"`
@@ -672,6 +678,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		Storage:   s.reg.StorageSnapshot(),
 		Rejected:  s.metrics.rejected.Load(),
 		Inflight:  s.Inflight(),
+		Tuning:    s.reg.TuningSnapshot(),
 	}
 	if s.reg.durable != nil {
 		snap := s.reg.durable.snapshot()

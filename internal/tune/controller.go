@@ -1,0 +1,158 @@
+package tune
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Controller owns a session's tuning state: the current plan, the
+// cumulative draw-loop feedback that informs the next one, and the
+// counters the serving layer reports. It re-plans at warm-up
+// boundaries only (Prepare and Refresh) — swapping a plan mid-stream
+// would make draws depend on wall-clock draw order — but it watches
+// rejection feedback continuously and raises a pending-replan flag
+// when observed rates blow past the trigger, so callers know a
+// Refresh would help.
+//
+// All methods are safe for concurrent use: draw loops feed counters
+// from many runs at once while the serving layer snapshots.
+type Controller struct {
+	cfg Config
+
+	mu   sync.Mutex
+	plan atomic.Pointer[Plan]
+	// Cumulative per-join feedback since the last re-plan.
+	draws   []int64
+	rejects []int64
+
+	replans     atomic.Int64
+	escalations atomic.Int64
+	needReplan  atomic.Bool
+}
+
+// NewController builds a controller with the given planner bounds.
+func NewController(cfg Config) *Controller {
+	return &Controller{cfg: cfg.withDefaults()}
+}
+
+// Config returns the controller's (defaulted) planner bounds.
+func (c *Controller) Config() Config { return c.cfg }
+
+// Plan returns the current plan, or nil before the first Replan.
+func (c *Controller) Plan() *Plan { return c.plan.Load() }
+
+// Replan folds accumulated draw feedback into the observed statistics,
+// builds a fresh plan, installs it, and resets the feedback window.
+// It returns the installed plan.
+func (c *Controller) Replan(stats []JoinStats) *Plan {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(c.draws) == len(stats) {
+		for i := range stats {
+			stats[i].Draws += c.draws[i]
+			stats[i].Rejected += c.rejects[i]
+		}
+	}
+	p := Build(c.cfg, stats)
+	if prev := c.plan.Load(); prev != nil {
+		for i := range p.Joins {
+			if i < len(prev.Joins) && p.Joins[i].Exact && !prev.Joins[i].Exact {
+				c.escalations.Add(1)
+			}
+		}
+	} else {
+		for _, jp := range p.Joins {
+			if jp.Exact {
+				c.escalations.Add(1)
+			}
+		}
+	}
+	c.draws = make([]int64, len(stats))
+	c.rejects = make([]int64, len(stats))
+	c.plan.Store(&p)
+	c.replans.Add(1)
+	c.needReplan.Store(false)
+	return &p
+}
+
+// ObserveDraws feeds one run's draw-loop counters for join j back into
+// the controller and raises the pending-replan flag when the observed
+// rejection rate crosses the trigger.
+func (c *Controller) ObserveDraws(j int, draws, rejects int64) {
+	if draws <= 0 {
+		return
+	}
+	c.mu.Lock()
+	if j >= 0 && j < len(c.draws) {
+		c.draws[j] += draws
+		c.rejects[j] += rejects
+		d, r := c.draws[j], c.rejects[j]
+		if d >= c.cfg.MinFeedbackDraws && float64(r)/float64(d) > c.cfg.RejectTrigger {
+			c.needReplan.Store(true)
+		}
+	}
+	c.mu.Unlock()
+}
+
+// NeedsReplan reports whether rejection feedback crossed the trigger
+// since the last re-plan: the next Refresh will re-tune.
+func (c *Controller) NeedsReplan() bool { return c.needReplan.Load() }
+
+// DropFeedback discards the accumulated draw feedback for join j.
+// Refresh paths call it for joins whose base data mutated before
+// re-planning: their rejection history describes relations that no
+// longer exist, and folding it in would let a stale observed
+// acceptance rate override the fresh size/bound prior — a join that
+// was flat before a skew-inverting burst would keep its rejection
+// subroutine long after the burst made rejections ruinous.
+func (c *Controller) DropFeedback(j int) {
+	c.mu.Lock()
+	if j >= 0 && j < len(c.draws) {
+		c.draws[j], c.rejects[j] = 0, 0
+	}
+	c.mu.Unlock()
+}
+
+// Snapshot is the serving layer's view of a controller: counters plus
+// the current plan's per-join decisions.
+type Snapshot struct {
+	// Replans counts plans built (the initial plan included); sharded
+	// sessions plan once per shard warm-up.
+	Replans int64 `json:"replans"`
+	// Escalations counts joins newly escalated to exact estimation.
+	Escalations int64 `json:"escalations"`
+	// PendingReplan reports the rejection trigger has fired since the
+	// last plan.
+	PendingReplan bool `json:"pending_replan"`
+	// Joins holds the current plan's decisions, indexed like the union.
+	Joins []JoinDecision `json:"joins"`
+}
+
+// JoinDecision is one join's slice of a Snapshot.
+type JoinDecision struct {
+	Method         string `json:"method"`
+	Exact          bool   `json:"exact"`
+	AliasThreshold int    `json:"alias_threshold"`
+	WalkBudget     int    `json:"walk_budget"`
+}
+
+// Snapshot captures the controller's state for metrics.
+func (c *Controller) Snapshot() Snapshot {
+	s := Snapshot{
+		Replans:       c.replans.Load(),
+		Escalations:   c.escalations.Load(),
+		PendingReplan: c.needReplan.Load(),
+	}
+	if p := c.plan.Load(); p != nil {
+		s.Joins = make([]JoinDecision, len(p.Joins))
+		for i, jp := range p.Joins {
+			s.Joins[i] = JoinDecision{
+				Method:         jp.Method.String(),
+				Exact:          jp.Exact,
+				AliasThreshold: jp.AliasThreshold,
+				WalkBudget:     jp.WalkBudget,
+			}
+		}
+	}
+	return s
+}

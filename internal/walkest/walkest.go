@@ -36,7 +36,30 @@ type JoinEstimate struct {
 	mean    float64
 	m2      float64
 	samples []Sample
+	traj    []TrajectoryPoint
 }
+
+// TrajectoryPoint is one sampled point of a join estimate's
+// convergence, recorded every trajectoryStride observations: the
+// planner reads the trajectory to distinguish an estimate that is
+// converging from one stuck at high variance.
+type TrajectoryPoint struct {
+	Walks    int
+	Size     float64
+	Variance float64
+}
+
+// HalfWidth evaluates the point's z·σ/√n confidence half-width.
+func (p TrajectoryPoint) HalfWidth(z float64) float64 {
+	if p.Walks == 0 {
+		return math.Inf(1)
+	}
+	return z * math.Sqrt(p.Variance) / math.Sqrt(float64(p.Walks))
+}
+
+// trajectoryStride spaces trajectory recording so the hot Observe path
+// pays one modulo per observation and the trajectory stays small.
+const trajectoryStride = 16
 
 // NewJoinEstimate prepares an empty estimate for j.
 func NewJoinEstimate(j *join.Join) *JoinEstimate {
@@ -66,6 +89,23 @@ func (e *JoinEstimate) Observe(invP float64) {
 	d := invP - e.mean
 	e.mean += d / float64(e.n)
 	e.m2 += d * (invP - e.mean)
+	if e.n%trajectoryStride == 0 {
+		e.traj = append(e.traj, TrajectoryPoint{Walks: e.n, Size: e.mean, Variance: e.Variance()})
+	}
+}
+
+// Trajectory returns the recorded convergence points (oldest first).
+// The slice is owned by the estimate; callers must not mutate it.
+func (e *JoinEstimate) Trajectory() []TrajectoryPoint { return e.traj }
+
+// RelHalfWidth is the confidence half-width relative to the size
+// estimate — the planner's convergence signal. It is +Inf before any
+// walk and when the size estimate is zero.
+func (e *JoinEstimate) RelHalfWidth(z float64) float64 {
+	if e.n == 0 || e.mean <= 0 {
+		return math.Inf(1)
+	}
+	return e.HalfWidth(z) / e.mean
 }
 
 // Walks reports the number of observations folded in so far.
@@ -194,6 +234,7 @@ func (e *Estimator) JoinEstimates() []*JoinEstimate { return e.ests }
 func (e *JoinEstimate) clone() *JoinEstimate {
 	c := *e
 	c.samples = append([]Sample(nil), e.samples...)
+	c.traj = append([]TrajectoryPoint(nil), e.traj...)
 	return &c
 }
 
@@ -266,36 +307,64 @@ func (e *Estimator) StepJoin(j int, g *rng.RNG) (Sample, bool) {
 // Warmup walks every join until its size confidence target is met or
 // the walk budget runs out (§6.1's termination rule).
 func (e *Estimator) Warmup(g *rng.RNG) {
-	for j, je := range e.ests {
-		for je.Walks() < e.opts.MaxWalks {
-			e.StepJoin(j, g)
-			if je.Walks() >= e.opts.MinWalks &&
-				je.Size() > 0 &&
-				je.HalfWidth(e.opts.Z) < e.opts.TargetRel*je.Size() {
-				break
-			}
+	for j := range e.ests {
+		e.WarmupJoin(j, e.opts.MaxWalks, g)
+	}
+}
+
+// WarmupJoin walks join j until its size confidence target is met or
+// the given budget runs out — the per-join entry point an adaptive
+// plan uses to spend different budgets on different joins.
+func (e *Estimator) WarmupJoin(j, budget int, g *rng.RNG) {
+	je := e.ests[j]
+	for je.Walks() < budget {
+		e.StepJoin(j, g)
+		if je.Walks() >= e.opts.MinWalks &&
+			je.Size() > 0 &&
+			je.HalfWidth(e.opts.Z) < e.opts.TargetRel*je.Size() {
+			break
 		}
 	}
 }
+
+// Z returns the estimator's (defaulted) confidence multiplier, so
+// callers evaluate half-widths at the same level the warm-up did.
+func (e *Estimator) Z() float64 { return e.opts.Z }
 
 // Table assembles the overlap table from the warm-up state: singleton
 // sizes from the HT estimates, each subset Δ from the §6.2 rule
 // |O_Δ| = |J_j| · (Σ_{t ∈ S_j ∩ all} 1/p(t)) / (Σ_{t ∈ S_j} 1/p(t))
 // anchored at the subset's smallest join index.
 func (e *Estimator) Table() (*overlap.Table, error) {
+	return e.TableWithSizes(nil)
+}
+
+// TableWithSizes is Table with per-join size overrides: sizes[j] >= 0
+// replaces join j's HT singleton estimate (an exact count an adaptive
+// plan escalated to), and the join's overlap estimates rescale with it
+// — the walk samples still supply the contained fractions, the
+// override supplies the scale. Pass nil (or -1 entries) to keep the
+// walk estimates.
+func (e *Estimator) TableWithSizes(sizes []float64) (*overlap.Table, error) {
 	t, err := overlap.NewTable(len(e.joins))
 	if err != nil {
 		return nil, err
 	}
-	for i, je := range e.ests {
-		t.Set(1<<uint(i), je.Size())
+	size := func(j int) float64 {
+		if j < len(sizes) && sizes[j] >= 0 {
+			return sizes[j]
+		}
+		return e.ests[j].Size()
+	}
+	for i := range e.ests {
+		t.Set(1<<uint(i), size(i))
 	}
 	full := uint(1)<<uint(len(e.joins)) - 1
 	for mask := uint(3); mask <= full; mask++ {
 		if mask&(mask-1) == 0 {
 			continue // singleton
 		}
-		t.Set(mask, e.OverlapEstimate(mask))
+		t.Set(mask, e.overlapEstimateSized(mask, size))
 	}
 	t.Normalize()
 	return t, nil
@@ -306,6 +375,12 @@ func (e *Estimator) Table() (*overlap.Table, error) {
 // weighted fraction of the anchor's walk samples contained in every
 // other join of the subset, scaled by the anchor's size estimate.
 func (e *Estimator) OverlapEstimate(mask uint) float64 {
+	return e.overlapEstimateSized(mask, func(j int) float64 { return e.ests[j].Size() })
+}
+
+// overlapEstimateSized is OverlapEstimate with the anchor size read
+// through size, so escalated exact counts rescale overlaps too.
+func (e *Estimator) overlapEstimateSized(mask uint, size func(int) float64) float64 {
 	anchor := -1
 	for i := range e.joins {
 		if mask&(1<<uint(i)) != 0 {
@@ -322,7 +397,7 @@ func (e *Estimator) OverlapEstimate(mask uint) float64 {
 			wIn += w
 		}
 	}
-	return e.ests[anchor].Size() * wIn / e.wAll[anchor]
+	return size(anchor) * wIn / e.wAll[anchor]
 }
 
 // OverlapHalfWidth evaluates the Eq. 3 confidence half-width for the

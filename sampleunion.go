@@ -46,6 +46,7 @@ import (
 	"sampleunion/internal/overlap"
 	"sampleunion/internal/relation"
 	"sampleunion/internal/rng"
+	"sampleunion/internal/tune"
 	"sampleunion/internal/walkest"
 )
 
@@ -217,10 +218,31 @@ func ParseMethod(s string) (Method, error) {
 
 // Options configure Union.Sample.
 type Options struct {
+	// Auto enables adaptive tuning: the session starts from a cheap
+	// random-walk warm-up (AutoWarmupWalks walks per join unless
+	// WarmupWalks overrides it) and an internal/tune controller plans
+	// the rest per join from the observed statistics — the subroutine
+	// (EW for heavy-rejection joins, WJ for heavy-rejection joins too
+	// large for EW setup, EO otherwise), exact-count escalation for
+	// joins whose size estimate stayed wide, extra walks for wide
+	// cyclic joins, alias tables only where a join's draw share
+	// justifies them, and the batch slice cap. The controller re-plans
+	// at every Refresh boundary, folding in rejection feedback from
+	// completed runs; with AutoRefresh a high post-warm-up rejection
+	// rate alone triggers a re-plan, even over clean data.
+	//
+	// With Auto set, Warmup and Method are ignored (the plan decides
+	// both); tools reject the explicit combination instead of silently
+	// ignoring it. Auto streams are deterministic for a fixed seed,
+	// data, and call history, and are pinned by their own golden
+	// digests — but they differ from non-auto streams under the same
+	// seed.
+	Auto bool
 	// Warmup selects the parameter estimation method (default
-	// WarmupRandomWalk).
+	// WarmupRandomWalk). Ignored with Auto.
 	Warmup Warmup
-	// Method selects the join subroutine (default MethodEW).
+	// Method selects the join subroutine (default MethodEW). Ignored
+	// with Auto.
 	Method Method
 	// Online enables Algorithm 2: wander-join draws with sample reuse
 	// and backtracking parameter refinement.
@@ -281,7 +303,21 @@ type Options struct {
 // (runtime.GOMAXPROCS) at Prepare time.
 const ShardsAuto = -1
 
+// AutoWarmupWalks is the walk budget of the adaptive mode's initial
+// cheap warm-up: enough for the planner to tell converged estimates
+// from wide ones, far below the non-adaptive default of 1000 — the
+// plan escalates exactly the joins that need more. Exported so
+// declaration surfaces (the serve layer) can mirror the default when
+// canonicalizing equal-by-effect adaptive declarations.
+const AutoWarmupWalks = 128
+
 func (o Options) withDefaults() Options {
+	if o.Auto {
+		o.Warmup = WarmupRandomWalk
+		if o.WarmupWalks == 0 {
+			o.WarmupWalks = AutoWarmupWalks
+		}
+	}
 	if o.WarmupWalks == 0 {
 		o.WarmupWalks = 1000
 	}
@@ -372,6 +408,15 @@ const minShardWarmupWalks = 32
 // one shard's sampler under the session's options: the same
 // online/cover selection as the single-shard path, with the warm-up
 // walk budget split across shards.
+//
+// Under Auto every shard gets its own fresh controller — a controller
+// shared across parallel shard warm-ups would make its feedback
+// fold-in depend on worker scheduling and the shard streams
+// nondeterministic. The controllers persist per shard across
+// incremental refreshes (the sharded Refresh hands each shard its
+// previous prepared sampler); sharded sessions feed them no draw
+// feedback, so each shard re-plans purely from its own warm-up
+// statistics.
 func shardFactory(o Options) core.ShardFactory {
 	walks := o.WarmupWalks
 	if o.Shards > 1 && walks > 0 {
@@ -381,11 +426,16 @@ func shardFactory(o Options) core.ShardFactory {
 		}
 	}
 	return func(joins []*join.Join, g *rng.RNG) (core.PreparedSampler, error) {
+		var ctrl *tune.Controller
+		if o.Auto {
+			ctrl = tune.NewController(tune.Config{WalkBudget: walks})
+		}
 		if o.Online {
 			return core.PrepareOnline(joins, core.OnlineConfig{
 				WarmupWalks:    walks,
 				Oracle:         o.Oracle,
 				DetailedTiming: o.DetailedTiming,
+				Tuner:          ctrl,
 			}, g)
 		}
 		return core.PrepareCover(joins, core.CoverConfig{
@@ -393,6 +443,7 @@ func shardFactory(o Options) core.ShardFactory {
 			Estimator:      estimatorFor(joins, o, walks),
 			Oracle:         o.Oracle,
 			DetailedTiming: o.DetailedTiming,
+			Tuner:          ctrl,
 		}, g)
 	}
 }

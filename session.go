@@ -9,6 +9,7 @@ import (
 	"sampleunion/internal/aqp"
 	"sampleunion/internal/core"
 	"sampleunion/internal/rng"
+	"sampleunion/internal/tune"
 )
 
 // Session is a prepared sampler over a union of joins: the expensive
@@ -94,6 +95,14 @@ func (u *Union) Prepare(o Options) (*Session, error) {
 func (u *Union) prepare(o Options, prewarm bool) (*Session, error) {
 	o = o.withDefaults()
 	g := rng.New(o.Seed)
+	var tuner *tune.Controller
+	if o.Auto && o.Shards <= 1 {
+		// One controller for the session's lifetime: it persists across
+		// refreshes, accumulating rejection feedback between re-plan
+		// boundaries. Sharded sessions use per-shard controllers created
+		// inside the factory instead (see shardFactory).
+		tuner = tune.NewController(tune.Config{WalkBudget: o.WarmupWalks})
+	}
 	var prepared core.PreparedSampler
 	var err error
 	if o.Shards > 1 {
@@ -106,6 +115,7 @@ func (u *Union) prepare(o Options, prewarm bool) (*Session, error) {
 			WarmupWalks:    o.WarmupWalks,
 			Oracle:         o.Oracle,
 			DetailedTiming: o.DetailedTiming,
+			Tuner:          tuner,
 		}, g)
 	} else {
 		prepared, err = core.PrepareCover(u.joins, core.CoverConfig{
@@ -113,6 +123,7 @@ func (u *Union) prepare(o Options, prewarm bool) (*Session, error) {
 			Estimator:      u.estimator(o),
 			Oracle:         o.Oracle,
 			DetailedTiming: o.DetailedTiming,
+			Tuner:          tuner,
 		}, g)
 	}
 	if err != nil {
@@ -139,17 +150,44 @@ func newSessionState(prepared core.PreparedSampler) *sessionState {
 }
 
 // cur returns the state generation this call samples under, refreshing
-// first when the session was prepared with AutoRefresh and the
-// underlying relations mutated since the last (re)preparation.
+// first when the session was prepared with AutoRefresh and either the
+// underlying relations mutated since the last (re)preparation or, under
+// Auto, the controller's rejection trigger requested a re-plan.
 func (s *Session) cur() (*sessionState, error) {
 	st := s.state.Load()
-	if s.opts.AutoRefresh && core.Stale(st.prepared) {
+	if s.opts.AutoRefresh && (core.Stale(st.prepared) || needsReplan(st)) {
 		if err := s.Refresh(); err != nil {
 			return nil, err
 		}
 		st = s.state.Load()
 	}
 	return st, nil
+}
+
+// needsReplan reports whether any of the state's adaptive controllers
+// raised the rejection trigger since the last re-plan boundary. Always
+// false for non-Auto sessions.
+func needsReplan(st *sessionState) bool {
+	for _, c := range core.Tuners(st.prepared) {
+		if c.NeedsReplan() {
+			return true
+		}
+	}
+	return false
+}
+
+// observe feeds one completed run's per-join draw counters into the
+// session's adaptive controller as rejection feedback. Only the
+// single-shard engines take feedback: a sharded session's per-shard
+// controllers re-plan from warm-up statistics alone (the merged
+// breakdown cannot be attributed back to one shard's controller).
+func (s *Session) observe(st *sessionState, run core.Run) {
+	if !s.opts.Auto || s.opts.Shards > 1 {
+		return
+	}
+	if ts := core.Tuners(st.prepared); len(ts) == 1 {
+		core.ObserveRun(ts[0], run.Stats().Joins, nil)
+	}
 }
 
 // Stale reports whether the underlying relations mutated since the
@@ -175,7 +213,7 @@ func (s *Session) Refresh() error {
 	s.refreshMu.Lock()
 	defer s.refreshMu.Unlock()
 	st := s.state.Load()
-	if !core.Stale(st.prepared) {
+	if !core.Stale(st.prepared) && !needsReplan(st) {
 		return nil
 	}
 	s.refreshes++
@@ -213,6 +251,55 @@ func (s *Session) disjointShared(st *sessionState) (*core.DisjointShared, error)
 		st.disjoint, st.disjointErr = core.PrepareDisjointFrom(st.prepared, s.opts.DetailedTiming)
 	})
 	return st.disjoint, st.disjointErr
+}
+
+// TuneSnapshot is the adaptive controller's decision report: re-plan
+// and escalation counts plus the current per-join plan.
+type TuneSnapshot = tune.Snapshot
+
+// TuneJoinDecision is one join's slice of a TuneSnapshot.
+type TuneJoinDecision = tune.JoinDecision
+
+// TuneSnapshot reports the adaptive controller's current decisions; ok
+// is false for sessions prepared without Options.Auto. A sharded
+// session's report aggregates its per-shard controllers: counts sum,
+// and each join's decision merges to the most escalated shard's
+// (Exact if any shard escalated, the largest walk budget, the lowest
+// alias threshold; Method is shard 0's).
+func (s *Session) TuneSnapshot() (TuneSnapshot, bool) {
+	ts := core.Tuners(s.state.Load().prepared)
+	if len(ts) == 0 {
+		return TuneSnapshot{}, false
+	}
+	if len(ts) == 1 {
+		return ts[0].Snapshot(), true
+	}
+	var agg TuneSnapshot
+	for _, c := range ts {
+		sn := c.Snapshot()
+		agg.Replans += sn.Replans
+		agg.Escalations += sn.Escalations
+		agg.PendingReplan = agg.PendingReplan || sn.PendingReplan
+		if agg.Joins == nil {
+			agg.Joins = sn.Joins
+			continue
+		}
+		for j := range sn.Joins {
+			if j >= len(agg.Joins) {
+				break
+			}
+			if sn.Joins[j].Exact {
+				agg.Joins[j].Exact = true
+			}
+			if sn.Joins[j].WalkBudget > agg.Joins[j].WalkBudget {
+				agg.Joins[j].WalkBudget = sn.Joins[j].WalkBudget
+			}
+			if sn.Joins[j].AliasThreshold < agg.Joins[j].AliasThreshold {
+				agg.Joins[j].AliasThreshold = sn.Joins[j].AliasThreshold
+			}
+		}
+	}
+	return agg, true
 }
 
 // Union returns the union this session samples.
@@ -275,6 +362,7 @@ func (s *Session) SampleSeeded(n int, seed int64) ([]Tuple, *Stats, error) {
 	if err != nil {
 		return nil, nil, err
 	}
+	s.observe(st, run)
 	return out, run.Stats(), nil
 }
 
@@ -316,6 +404,7 @@ func (s *Session) SampleBatchSeeded(n int, seed int64) ([]Tuple, *Stats, error) 
 	if err != nil {
 		return nil, nil, err
 	}
+	s.observe(st, run)
 	return out, run.Stats(), nil
 }
 
@@ -407,6 +496,7 @@ func (s *Session) SampleWhereSeeded(n int, pred Predicate, seed int64) ([]Tuple,
 	if err != nil {
 		return nil, nil, err
 	}
+	s.observe(st, run)
 	return out, run.Stats(), nil
 }
 
@@ -435,6 +525,7 @@ func (s *Session) SampleWhereBatchSeeded(n int, pred Predicate, seed int64) ([]T
 	if err != nil {
 		return nil, nil, err
 	}
+	s.observe(st, run)
 	return out, run.Stats(), nil
 }
 
@@ -562,5 +653,6 @@ func (s *Session) sampleWithSize(n int) ([]Tuple, float64, error) {
 	if err != nil {
 		return nil, 0, err
 	}
+	s.observe(st, run)
 	return out, run.Params().UnionSize, nil
 }
