@@ -18,6 +18,11 @@
 // session from the boot manifest — the daemon comes back warm with no
 // acked row lost.
 //
+// With -follow <primary-url>, the daemon is a read-only replication
+// follower: it streams the primary's WAL frames, serves draws from the
+// replicated state, and answers writes with 307 to the primary. See
+// the README's "Replication" section.
+//
 // Endpoints: POST /sample, /sample/where, /approx/{count,sum,avg,group},
 // /estimate, /refresh, /relation/{name}/append; GET /healthz, /metrics.
 // See the README's "Serving" and "Durability" sections for request
@@ -50,6 +55,10 @@ func main() {
 	fsync := flag.String("fsync", "interval", "WAL fsync policy: always (fsync before every append ack), interval (group commit), off")
 	fsyncInterval := flag.Duration("fsync-interval", 2*time.Millisecond, "group-commit fsync cadence under -fsync interval")
 	checkpointEvery := flag.Int("checkpoint-every", 4096, "mutations per relation between snapshot checkpoints (-1 disables)")
+	follow := flag.String("follow", "", "run as a read-only replication follower of the primary at this base URL (e.g. http://127.0.0.1:8080)")
+	replHeartbeat := flag.Duration("repl-heartbeat", time.Second, "replication heartbeat period (idle-stream liveness frames; followers treat ~4 silent periods as a dead peer)")
+	replPoll := flag.Duration("repl-poll", 30*time.Second, "follower poll period for new sessions on the primary")
+	requestTimeout := flag.Duration("request-timeout", 30*time.Second, "per-request execution deadline on draw endpoints; a draw past it answers 503 (0 disables)")
 	flag.Parse()
 
 	// Nonsense flags exit 2 with usage instead of reaching channel and
@@ -81,6 +90,15 @@ func main() {
 	if *checkpointEvery == 0 {
 		fail("serverd: -checkpoint-every must be >= 1 (or -1 to disable), got 0")
 	}
+	if *replHeartbeat <= 0 {
+		fail("serverd: -repl-heartbeat must be positive, got %v", *replHeartbeat)
+	}
+	if *replPoll <= 0 {
+		fail("serverd: -repl-poll must be positive, got %v", *replPoll)
+	}
+	if *requestTimeout < 0 {
+		fail("serverd: -request-timeout must be >= 0 (0 disables), got %v", *requestTimeout)
+	}
 
 	srv := serve.New(serve.Config{
 		DataDir:         *dataDir,
@@ -91,6 +109,9 @@ func main() {
 		FsyncPolicy:     policy,
 		FsyncInterval:   *fsyncInterval,
 		CheckpointEvery: *checkpointEvery,
+		FollowPrimary:   *follow,
+		ReplHeartbeat:   *replHeartbeat,
+		RequestTimeout:  *requestTimeout,
 	})
 	if *durableDir != "" {
 		start := time.Now()
@@ -102,10 +123,26 @@ func main() {
 		fmt.Fprintf(os.Stderr, "serverd: restored %d session(s) from %s in %v (fsync=%s)\n",
 			n, *durableDir, time.Since(start).Round(time.Millisecond), policy)
 	}
+	if *follow != "" {
+		// Follower mode: replicate the primary's sessions (restored
+		// ones resume immediately, new ones arrive via the poll loop)
+		// and answer writes with 307 to the primary. An unreachable
+		// primary is not fatal — restored state keeps serving reads.
+		if err := srv.StartFollower(*replPoll); err != nil {
+			fmt.Fprintf(os.Stderr, "serverd: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "serverd: following %s (heartbeat %v)\n", *follow, *replHeartbeat)
+	}
 	httpSrv := &http.Server{
 		Addr:              *addr,
 		Handler:           srv.Handler(),
 		ReadHeaderTimeout: 10 * time.Second,
+		// Idle keep-alive connections are bounded so dead clients do
+		// not pin sockets forever; replication streams are exempt by
+		// construction (they are never idle between frames longer than
+		// the heartbeat period).
+		IdleTimeout: 120 * time.Second,
 	}
 
 	errCh := make(chan error, 1)

@@ -15,6 +15,8 @@ import (
 	"log"
 	"net/http"
 	"net/http/httptest"
+	"strconv"
+	"time"
 
 	"sampleunion/internal/serve"
 )
@@ -86,25 +88,58 @@ func main() {
 		metrics.Registry.Sessions, metrics.Registry.Prepares, metrics.Registry.Hits)
 }
 
+// post sends one JSON request with the retry loop a production client
+// should run against serverd: 429 (admission shed) and 503 (drain,
+// request deadline) answers are transient, so the client backs off —
+// honoring the server's Retry-After hint when present, doubling a
+// small base delay when not — and resends. Every other status is
+// final. POST bodies here are idempotent on the server (draws are
+// reads; appends should carry an Idempotency-Key header), so a resend
+// after an ambiguous failure is safe.
 func post(url string, body, out any) {
 	b, err := json.Marshal(body)
 	if err != nil {
 		log.Fatal(err)
 	}
-	resp, err := http.Post(url, "application/json", bytes.NewReader(b))
-	if err != nil {
-		log.Fatal(err)
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		var apiErr struct {
-			Error string `json:"error"`
+	backoff := 50 * time.Millisecond
+	const maxBackoff = 2 * time.Second
+	for attempt := 0; ; attempt++ {
+		resp, err := http.Post(url, "application/json", bytes.NewReader(b))
+		if err != nil {
+			log.Fatal(err)
 		}
-		_ = json.NewDecoder(resp.Body).Decode(&apiErr)
-		log.Fatalf("%s: %d %s", url, resp.StatusCode, apiErr.Error)
-	}
-	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
-		log.Fatal(err)
+		if resp.StatusCode == http.StatusTooManyRequests || resp.StatusCode == http.StatusServiceUnavailable {
+			delay := backoff
+			// Retry-After is authoritative when the server sends it:
+			// it knows its own drain and load state better than a
+			// client-side guess.
+			if ra, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && ra > 0 {
+				delay = time.Duration(ra) * time.Second
+			}
+			resp.Body.Close()
+			if attempt >= 8 {
+				log.Fatalf("%s: still %d after %d attempts", url, resp.StatusCode, attempt+1)
+			}
+			time.Sleep(delay)
+			if backoff *= 2; backoff > maxBackoff {
+				backoff = maxBackoff
+			}
+			continue
+		}
+		if resp.StatusCode != http.StatusOK {
+			var apiErr struct {
+				Error string `json:"error"`
+			}
+			_ = json.NewDecoder(resp.Body).Decode(&apiErr)
+			resp.Body.Close()
+			log.Fatalf("%s: %d %s", url, resp.StatusCode, apiErr.Error)
+		}
+		err = json.NewDecoder(resp.Body).Decode(out)
+		resp.Body.Close()
+		if err != nil {
+			log.Fatal(err)
+		}
+		return
 	}
 }
 

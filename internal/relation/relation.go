@@ -74,9 +74,11 @@ type MutationSink interface {
 	// LogAppendBatch is the bulk-append tee: rows [start, start+n) were
 	// just appended as one batch, producing versions (version-n,
 	// version]. cols are the just-published column vectors, so the sink
-	// reads the appended values in place — no per-row gather. Treat cols
-	// as read-only.
-	LogAppendBatch(version uint64, start, n int, cols [][]Value)
+	// reads the appended values in place — no per-row gather. tag is the
+	// batch's idempotency tag ("" for untagged appends); a durable sink
+	// records it with the batch so retry deduplication survives a
+	// restart. Treat cols as read-only.
+	LogAppendBatch(version uint64, start, n int, cols [][]Value, tag string)
 }
 
 // snapshot is one immutable view of the row storage: one column vector
@@ -222,7 +224,13 @@ func (r *Relation) Append(t Tuple) {
 
 // AppendRows adds a batch of rows under one lock acquisition and one
 // snapshot publish — the fast path for streaming ingest.
-func (r *Relation) AppendRows(rows []Tuple) {
+func (r *Relation) AppendRows(rows []Tuple) { r.AppendRowsTagged(rows, "") }
+
+// AppendRowsTagged is AppendRows carrying an idempotency tag through to
+// the mutation sink: a durable sink persists the tag with the batch
+// record, so the serving layer's retry deduplication survives restarts
+// and replication. The tag does not affect the in-memory append.
+func (r *Relation) AppendRowsTagged(rows []Tuple, tag string) {
 	if len(rows) == 0 {
 		return
 	}
@@ -250,7 +258,7 @@ func (r *Relation) AppendRows(rows []Tuple) {
 		cols[a] = col
 	}
 	r.snap.Store(&snapshot{cols: cols, rows: s.rows + len(rows), dead: s.dead, live: s.live + len(rows)})
-	r.logAppendBatch(first, len(rows))
+	r.logAppendBatch(first, len(rows), tag)
 }
 
 // AppendRowIDs appends the given rows of src — which must have the
@@ -285,7 +293,7 @@ func (r *Relation) AppendRowIDs(src *Relation, ids []int) {
 		cols[a] = col
 	}
 	r.snap.Store(&snapshot{cols: cols, rows: s.rows + len(ids), dead: s.dead, live: s.live + len(ids)})
-	r.logAppendBatch(first, len(ids))
+	r.logAppendBatch(first, len(ids), "")
 }
 
 // growCap doubles capacity until it covers need (minimum 8), keeping
@@ -376,13 +384,13 @@ func (r *Relation) logMutation(m Mutation) {
 // the sink sees one batched record (the WAL tee's amortization — per-row
 // framing would dominate bulk ingest), and the in-memory log gets its
 // usual per-row entries; callers hold r.mu.
-func (r *Relation) logAppendBatch(first, n int) {
+func (r *Relation) logAppendBatch(first, n int, tag string) {
 	if n == 0 {
 		return
 	}
 	v := r.version.Add(uint64(n))
 	if r.sink != nil {
-		r.sink.LogAppendBatch(v, first, n, r.snap.Load().cols)
+		r.sink.LogAppendBatch(v, first, n, r.snap.Load().cols, tag)
 	}
 	if !r.logOn {
 		r.logStart = v

@@ -1,0 +1,213 @@
+package repl
+
+import (
+	"context"
+	"errors"
+	"net"
+	"sync"
+	"time"
+
+	"sampleunion/internal/rng"
+)
+
+// FaultConfig tunes a FaultInjector. Probabilities are per segment of
+// SegmentBytes read off a wrapped connection; zero-valued fields fall
+// back to sane defaults for the sizes and to "never" for the faults.
+type FaultConfig struct {
+	Seed         uint64
+	SegmentBytes int // mangling granularity (default 512)
+	DropProb     float64
+	DupProb      float64
+	ReorderProb  float64 // hold a segment, emit the next one first
+	TruncateProb float64 // emit a prefix, then poison the connection
+	DelayProb    float64
+	MaxDelay     time.Duration // default 10ms
+}
+
+// FaultStats counts injected faults.
+type FaultStats struct {
+	Drops, Dups, Reorders, Truncates, Delays uint64
+}
+
+// errTruncatedConn is what reads on a poisoned connection return: the
+// remainder of the stream is gone, as if the peer died mid-frame.
+var errTruncatedConn = errors.New("fault: connection truncated mid-stream")
+
+// FaultInjector wraps connection dials so every byte read through them
+// can be dropped, duplicated, reordered, truncated, or delayed at
+// segment granularity — a deterministic (seeded) stand-in for a bad
+// network that replication must survive. Mangling applies only to the
+// read side, so requests still reach the server; what the client sees
+// coming back is what gets chewed. Disable (the initial Enable state
+// is set by the caller) passes reads through untouched, letting chaos
+// tests end the storm and assert convergence.
+type FaultInjector struct {
+	cfg FaultConfig
+
+	mu      sync.Mutex
+	rng     *rng.RNG
+	enabled bool
+	stats   FaultStats
+}
+
+// NewFaultInjector returns an injector; call Enable to start mangling.
+func NewFaultInjector(cfg FaultConfig) *FaultInjector {
+	if cfg.SegmentBytes <= 0 {
+		cfg.SegmentBytes = 512
+	}
+	if cfg.MaxDelay <= 0 {
+		cfg.MaxDelay = 10 * time.Millisecond
+	}
+	return &FaultInjector{cfg: cfg, rng: rng.New(int64(cfg.Seed))}
+}
+
+// Enable starts injecting faults on wrapped connections.
+func (fi *FaultInjector) Enable() {
+	fi.mu.Lock()
+	fi.enabled = true
+	fi.mu.Unlock()
+}
+
+// Disable stops injecting; already-poisoned connections stay dead.
+func (fi *FaultInjector) Disable() {
+	fi.mu.Lock()
+	fi.enabled = false
+	fi.mu.Unlock()
+}
+
+// Stats returns the injected-fault counters.
+func (fi *FaultInjector) Stats() FaultStats {
+	fi.mu.Lock()
+	defer fi.mu.Unlock()
+	return fi.stats
+}
+
+// DialContext wraps a base dialer (nil for the default) into one whose
+// connections read through the injector.
+func (fi *FaultInjector) DialContext(base func(ctx context.Context, network, addr string) (net.Conn, error)) func(ctx context.Context, network, addr string) (net.Conn, error) {
+	if base == nil {
+		d := &net.Dialer{}
+		base = d.DialContext
+	}
+	return func(ctx context.Context, network, addr string) (net.Conn, error) {
+		c, err := base(ctx, network, addr)
+		if err != nil {
+			return nil, err
+		}
+		return &faultConn{Conn: c, fi: fi}, nil
+	}
+}
+
+// fault decision per segment.
+type faultKind int
+
+const (
+	faultNone faultKind = iota
+	faultDrop
+	faultDup
+	faultReorder
+	faultTruncate
+	faultDelay
+)
+
+// roll picks the fault for one segment, counting what it picked, and
+// returns the parameters the connection needs (cut point, delay).
+func (fi *FaultInjector) roll(segLen int) (faultKind, int, time.Duration) {
+	fi.mu.Lock()
+	defer fi.mu.Unlock()
+	if !fi.enabled {
+		return faultNone, 0, 0
+	}
+	u := fi.rng.Float64()
+	c := fi.cfg
+	switch {
+	case u < c.DropProb:
+		fi.stats.Drops++
+		return faultDrop, 0, 0
+	case u < c.DropProb+c.DupProb:
+		fi.stats.Dups++
+		return faultDup, 0, 0
+	case u < c.DropProb+c.DupProb+c.ReorderProb:
+		fi.stats.Reorders++
+		return faultReorder, 0, 0
+	case u < c.DropProb+c.DupProb+c.ReorderProb+c.TruncateProb:
+		fi.stats.Truncates++
+		cut := 0
+		if segLen > 1 {
+			cut = fi.rng.Intn(segLen)
+		}
+		return faultTruncate, cut, 0
+	case u < c.DropProb+c.DupProb+c.ReorderProb+c.TruncateProb+c.DelayProb:
+		fi.stats.Delays++
+		d := time.Duration(fi.rng.Int63() % int64(c.MaxDelay))
+		return faultDelay, 0, d
+	}
+	return faultNone, 0, 0
+}
+
+// faultConn mangles the read side of one connection at segment
+// granularity. A single goroutine reads any given connection, so pend
+// and held need no lock.
+type faultConn struct {
+	net.Conn
+	fi       *FaultInjector
+	pend     []byte // mangled bytes ready to hand out
+	held     []byte // segment parked by a reorder
+	poisoned bool
+}
+
+func (c *faultConn) Read(p []byte) (int, error) {
+	for len(c.pend) == 0 {
+		if c.poisoned {
+			return 0, errTruncatedConn
+		}
+		seg := make([]byte, c.fi.cfg.SegmentBytes)
+		n, err := c.Conn.Read(seg)
+		if n > 0 {
+			c.mangle(seg[:n])
+			continue // pend may still be empty (drop, reorder hold)
+		}
+		if err != nil {
+			// Flush a parked reorder segment before surfacing the end
+			// of the stream, so held bytes aren't silently lost.
+			if len(c.held) > 0 {
+				c.pend, c.held = c.held, nil
+				break
+			}
+			return 0, err
+		}
+	}
+	n := copy(p, c.pend)
+	c.pend = c.pend[n:]
+	return n, nil
+}
+
+// mangle applies one fault decision to a freshly read segment,
+// appending whatever should reach the application to c.pend.
+func (c *faultConn) mangle(seg []byte) {
+	if len(c.held) > 0 {
+		// A reorder is pending: this segment goes out first, then the
+		// held one.
+		c.pend = append(c.pend, seg...)
+		c.pend = append(c.pend, c.held...)
+		c.held = nil
+		return
+	}
+	kind, cut, delay := c.fi.roll(len(seg))
+	switch kind {
+	case faultDrop:
+	case faultDup:
+		c.pend = append(c.pend, seg...)
+		c.pend = append(c.pend, seg...)
+	case faultReorder:
+		c.held = append(c.held[:0], seg...)
+	case faultTruncate:
+		c.pend = append(c.pend, seg[:cut]...)
+		c.poisoned = true
+	case faultDelay:
+		time.Sleep(delay)
+		c.pend = append(c.pend, seg...)
+	default:
+		c.pend = append(c.pend, seg...)
+	}
+}

@@ -1,0 +1,384 @@
+package repl
+
+import (
+	"fmt"
+	"net/http"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+
+	"sampleunion/internal/relation"
+	"sampleunion/internal/wal"
+)
+
+// Source is what the hub streams for one (session, relation): the live
+// relation (for head versions and snapshots) and its durability log
+// (for the frames themselves).
+type Source struct {
+	Rel *relation.Relation
+	Log *wal.RelationLog
+}
+
+// HubConfig tunes the primary side of replication.
+type HubConfig struct {
+	// Resolve maps a (session key, relation name) to its Source; an
+	// error turns into a 404 on the stream/snapshot endpoints.
+	Resolve func(session, rel string) (Source, error)
+	// Heartbeat is the idle-stream heartbeat period (default 1s).
+	// Followers treat ~4 missed heartbeats as a dead peer.
+	Heartbeat time.Duration
+	// QueueLen bounds the per-stream send queue in batches (default
+	// 64). A follower too slow to drain it is disconnected rather than
+	// allowed to pin memory; it re-enters through reconnect or resync.
+	QueueLen int
+	// BatchBytes bounds the WAL bytes gathered per send (default
+	// 256KiB).
+	BatchBytes int
+	// WriteTimeout caps a single blocked write to a follower (default
+	// 4x heartbeat).
+	WriteTimeout time.Duration
+	Logf         func(format string, args ...any)
+}
+
+// Hub is the primary's replication fan-out: it serves the long-lived
+// frame streams, snapshot fetches for resync, and follower acks, and
+// isolates each follower behind its own cursor and bounded queue so a
+// slow or dead one never backpressures ingest or its siblings.
+type Hub struct {
+	cfg HubConfig
+
+	mu      sync.Mutex
+	wakers  map[string]*waker
+	acks    map[string]*ackState
+	streams int
+	closed  bool
+	stop    chan struct{}
+
+	connects, disconnects, overflows, snapshots uint64
+}
+
+type ackState struct {
+	follower, session, relation string
+	applied                     uint64
+	reconnects, resyncs         uint64
+	last                        time.Time
+}
+
+// waker lets idle streams block until the next committed mutation on
+// their relation: Wake closes the current channel and installs a fresh
+// one, releasing every waiter at once.
+type waker struct {
+	mu sync.Mutex
+	ch chan struct{}
+}
+
+func (w *waker) wait() <-chan struct{} {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.ch
+}
+
+func (w *waker) wake() {
+	w.mu.Lock()
+	close(w.ch)
+	w.ch = make(chan struct{})
+	w.mu.Unlock()
+}
+
+// NewHub returns a hub ready to serve streams.
+func NewHub(cfg HubConfig) *Hub {
+	if cfg.Heartbeat <= 0 {
+		cfg.Heartbeat = time.Second
+	}
+	if cfg.QueueLen <= 0 {
+		cfg.QueueLen = 64
+	}
+	if cfg.BatchBytes <= 0 {
+		cfg.BatchBytes = 256 << 10
+	}
+	if cfg.WriteTimeout <= 0 {
+		cfg.WriteTimeout = 4 * cfg.Heartbeat
+	}
+	return &Hub{
+		cfg:    cfg,
+		wakers: make(map[string]*waker),
+		acks:   make(map[string]*ackState),
+		stop:   make(chan struct{}),
+	}
+}
+
+func (h *Hub) logf(format string, args ...any) {
+	if h.cfg.Logf != nil {
+		h.cfg.Logf(format, args...)
+	}
+}
+
+// Close wakes and ends every active stream; followers see a clean end
+// and reconnect elsewhere (or to the restarted primary).
+func (h *Hub) Close() {
+	h.mu.Lock()
+	if !h.closed {
+		h.closed = true
+		close(h.stop)
+	}
+	h.mu.Unlock()
+}
+
+func streamKey(session, rel string) string { return session + "\x00" + rel }
+
+// Wake notifies streams of (session, rel) that a mutation committed.
+// Serving code calls it after the durable commit, so a woken stream
+// always finds the frames on disk.
+func (h *Hub) Wake(session, rel string) {
+	h.mu.Lock()
+	w := h.wakers[streamKey(session, rel)]
+	h.mu.Unlock()
+	if w != nil {
+		w.wake()
+	}
+}
+
+func (h *Hub) wakerFor(session, rel string) *waker {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	w := h.wakers[streamKey(session, rel)]
+	if w == nil {
+		w = &waker{ch: make(chan struct{})}
+		h.wakers[streamKey(session, rel)] = w
+	}
+	return w
+}
+
+// ServeStream handles GET /repl/stream?session=K&relation=R&from=N: a
+// long-lived application/octet-stream of WAL frames with seq > from,
+// interleaved with heartbeats while idle. It answers 409 when from is
+// below the WAL's streamable floor (the follower must resync from a
+// snapshot) and ends the stream when the follower falls behind a
+// truncation or overflows its queue.
+func (h *Hub) ServeStream(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	session, relName := q.Get("session"), q.Get("relation")
+	from, err := strconv.ParseUint(q.Get("from"), 10, 64)
+	if session == "" || relName == "" || err != nil {
+		http.Error(w, "repl: stream needs session, relation, and numeric from", http.StatusBadRequest)
+		return
+	}
+	src, rerr := h.cfg.Resolve(session, relName)
+	if rerr != nil {
+		http.Error(w, rerr.Error(), http.StatusNotFound)
+		return
+	}
+	if from < src.Log.StreamFloor() {
+		http.Error(w, fmt.Sprintf("repl: position %d below stream floor %d: resync required", from, src.Log.StreamFloor()), http.StatusConflict)
+		return
+	}
+	h.mu.Lock()
+	if h.closed {
+		h.mu.Unlock()
+		http.Error(w, "repl: hub draining", http.StatusServiceUnavailable)
+		return
+	}
+	h.streams++
+	h.connects++
+	h.mu.Unlock()
+	defer func() {
+		h.mu.Lock()
+		h.streams--
+		h.disconnects++
+		h.mu.Unlock()
+	}()
+
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.WriteHeader(http.StatusOK)
+	rc := http.NewResponseController(w)
+	rc.Flush()
+
+	// The producer tails the WAL cursor into a bounded queue; this
+	// handler goroutine drains it onto the wire under a write deadline.
+	// The queue is the slow-follower bulkhead: the producer never
+	// blocks on it — overflow ends the stream instead.
+	ch := make(chan []byte, h.cfg.QueueLen)
+	done := make(chan struct{})
+	defer close(done)
+	go h.produce(ch, done, r, src, session, relName, from)
+	for batch := range ch {
+		rc.SetWriteDeadline(time.Now().Add(h.cfg.WriteTimeout))
+		if _, err := w.Write(batch); err != nil {
+			return
+		}
+		rc.Flush()
+	}
+}
+
+// produce tails src's WAL from the given position, batching frames
+// into ch until the stream must end: context cancelled, hub closed,
+// handler gone, queue overflow, truncation past the cursor, or the
+// relation's head version becoming unreachable through the WAL.
+func (h *Hub) produce(ch chan<- []byte, done <-chan struct{}, r *http.Request, src Source, session, relName string, from uint64) {
+	defer close(ch)
+	cur := src.Log.StreamFrom(from)
+	defer cur.Close()
+	hb := time.NewTicker(h.cfg.Heartbeat)
+	defer hb.Stop()
+	buf := make([]byte, 0, h.cfg.BatchBytes)
+	send := func(b []byte) bool {
+		select {
+		case ch <- b:
+			return true
+		default:
+			h.mu.Lock()
+			h.overflows++
+			h.mu.Unlock()
+			h.logf("repl: %s/%s: follower queue overflow, disconnecting", session, relName)
+			return false
+		}
+	}
+	for {
+		var err error
+		buf, err = cur.Read(buf[:0], h.cfg.BatchBytes)
+		if err != nil {
+			// Truncated past the cursor (follower slower than
+			// checkpoint retention) or corrupt mid-log: end the stream;
+			// the follower's gap detection resyncs from a snapshot.
+			h.logf("repl: %s/%s: ending stream: %v", session, relName, err)
+			return
+		}
+		if len(buf) > 0 {
+			if !send(append([]byte(nil), buf...)) {
+				return
+			}
+			continue
+		}
+		// Idle. If the relation's head moved but the WAL cannot carry
+		// the stream there (e.g. versions restored from a checkpoint
+		// were never logged), frames will never arrive: force a resync.
+		if v := src.Rel.Version(); v > cur.Seq() && src.Log.WALLastSeq() <= cur.Seq() {
+			h.logf("repl: %s/%s: head %d unreachable from WAL, ending stream", session, relName, v)
+			return
+		}
+		wake := h.wakerFor(session, relName).wait()
+		select {
+		case <-wake:
+		case <-hb.C:
+			if !send(AppendHeartbeat(nil, src.Rel.Version())) {
+				return
+			}
+		case <-done:
+			return
+		case <-h.stop:
+			return
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+// ServeSnapshot handles GET /repl/snapshot?session=K&relation=R by
+// streaming the relation's published snapshot in the checkpoint file
+// format (SUCKPT01), which carries the version and a trailing CRC the
+// follower verifies before restoring.
+func (h *Hub) ServeSnapshot(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	session, relName := q.Get("session"), q.Get("relation")
+	src, err := h.cfg.Resolve(session, relName)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusNotFound)
+		return
+	}
+	h.mu.Lock()
+	h.snapshots++
+	h.mu.Unlock()
+	w.Header().Set("Content-Type", "application/octet-stream")
+	if err := wal.WriteCheckpointTo(w, src.Rel.CaptureSnapshot()); err != nil {
+		h.logf("repl: %s/%s: snapshot send: %v", session, relName, err)
+	}
+}
+
+// RecordAck folds a follower's progress report into the hub's metrics.
+func (h *Hub) RecordAck(follower, session, relName string, applied uint64, reconnects, resyncs uint64) {
+	key := follower + "\x00" + streamKey(session, relName)
+	h.mu.Lock()
+	st := h.acks[key]
+	if st == nil {
+		st = &ackState{follower: follower, session: session, relation: relName}
+		h.acks[key] = st
+	}
+	st.applied = applied
+	st.reconnects = reconnects
+	st.resyncs = resyncs
+	st.last = time.Now()
+	h.mu.Unlock()
+}
+
+// FollowerAck is one follower's progress on one relation, as last
+// acked, with lag measured against the primary's current head.
+type FollowerAck struct {
+	Follower   string  `json:"follower"`
+	Session    string  `json:"session"`
+	Relation   string  `json:"relation"`
+	Applied    uint64  `json:"applied"`
+	Head       uint64  `json:"head"`
+	LagRecords uint64  `json:"lag_records"`
+	LagSeconds float64 `json:"lag_seconds"`
+	Reconnects uint64  `json:"reconnects"`
+	Resyncs    uint64  `json:"resyncs"`
+}
+
+// PrimarySnapshot is the primary-side replication metrics block.
+type PrimarySnapshot struct {
+	ActiveStreams   int           `json:"active_streams"`
+	Connects        uint64        `json:"connects"`
+	Disconnects     uint64        `json:"disconnects"`
+	Overflows       uint64        `json:"overflows"`
+	SnapshotsServed uint64        `json:"snapshots_served"`
+	Followers       []FollowerAck `json:"followers,omitempty"`
+}
+
+// Snapshot returns the hub's metrics, computing per-follower lag
+// against each relation's current head version.
+func (h *Hub) Snapshot() PrimarySnapshot {
+	h.mu.Lock()
+	ps := PrimarySnapshot{
+		ActiveStreams:   h.streams,
+		Connects:        h.connects,
+		Disconnects:     h.disconnects,
+		Overflows:       h.overflows,
+		SnapshotsServed: h.snapshots,
+	}
+	states := make([]*ackState, 0, len(h.acks))
+	for _, st := range h.acks {
+		c := *st
+		states = append(states, &c)
+	}
+	h.mu.Unlock()
+	for _, st := range states {
+		fa := FollowerAck{
+			Follower:   st.follower,
+			Session:    st.session,
+			Relation:   st.relation,
+			Applied:    st.applied,
+			Reconnects: st.reconnects,
+			Resyncs:    st.resyncs,
+			LagSeconds: time.Since(st.last).Seconds(),
+		}
+		if src, err := h.cfg.Resolve(st.session, st.relation); err == nil {
+			fa.Head = src.Rel.Version()
+			if fa.Head > fa.Applied {
+				fa.LagRecords = fa.Head - fa.Applied
+			}
+		}
+		ps.Followers = append(ps.Followers, fa)
+	}
+	sort.Slice(ps.Followers, func(i, j int) bool {
+		a, b := ps.Followers[i], ps.Followers[j]
+		if a.Follower != b.Follower {
+			return a.Follower < b.Follower
+		}
+		if a.Session != b.Session {
+			return a.Session < b.Session
+		}
+		return a.Relation < b.Relation
+	})
+	return ps
+}

@@ -45,6 +45,17 @@ type Entry struct {
 	// it before acking, and the entry's wire-level mutations survive
 	// both eviction and restarts.
 	durable *durableEntry
+
+	// idem dedupes committed append batches by Idempotency-Key; with
+	// durability on it is seeded from tagged WAL records at recovery,
+	// so dedupe survives a restart.
+	idem idemTable
+
+	// pinned exempts the entry from LRU eviction. Replication
+	// followers pin what they replicate: a replicator holds the
+	// entry's relations, and evicting them would split the state it
+	// applies frames to from the state draws read.
+	pinned atomic.Bool
 }
 
 // Hits reports how many registry lookups this entry has served.
@@ -194,6 +205,14 @@ func (r *Registry) prepare(key string, decl UnionDecl) (*Entry, error) {
 		if de.recovered > 0 {
 			e.mutated.Store(true)
 		}
+		// Re-seed the dedupe table from idempotency tags the WAL replay
+		// surfaced, so a client retrying across our restart still
+		// dedupes (within the WAL retention window).
+		for name, rl := range de.rels {
+			for tag, n := range rl.RecoveredTags() {
+				e.idem.record(name, tag, n)
+			}
+		}
 		if err := r.durable.rememberDecl(key, decl.normalize()); err != nil {
 			r.durable.release(key)
 			return nil, err
@@ -216,14 +235,25 @@ func (r *Registry) insertLocked(key string, e *Entry) {
 		// Wire-level appends live only as long as their entry, so
 		// recycle the least-recently-used clean entry first; a mutated
 		// one goes only when every older entry is mutated (capacity is
-		// a hard bound). The just-inserted front entry is never the
-		// victim.
-		victim := r.lru.Back()
-		for el := victim; el != nil && el != r.lru.Front(); el = el.Prev() {
-			if !el.Value.(*Entry).mutated.Load() {
+		// a hard bound for unpinned entries). Pinned entries (targets a
+		// replication follower holds) are never evicted, even past
+		// capacity. The just-inserted front entry is never the victim.
+		var victim *list.Element
+		for el := r.lru.Back(); el != nil && el != r.lru.Front(); el = el.Prev() {
+			en := el.Value.(*Entry)
+			if en.pinned.Load() {
+				continue
+			}
+			if victim == nil {
+				victim = el
+			}
+			if !en.mutated.Load() {
 				victim = el
 				break
 			}
+		}
+		if victim == nil {
+			break
 		}
 		old := victim.Value.(*Entry)
 		r.lru.Remove(victim)

@@ -2,6 +2,7 @@ package serve
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -14,6 +15,7 @@ import (
 
 	"sampleunion"
 	"sampleunion/internal/relation"
+	"sampleunion/internal/repl"
 	"sampleunion/internal/wal"
 )
 
@@ -52,6 +54,26 @@ type Config struct {
 	// accumulate past its last checkpoint. Default 4096; < 0 disables
 	// automatic checkpoints.
 	CheckpointEvery int
+
+	// FollowPrimary makes this server a read-only replication follower
+	// of the primary at that base URL (e.g. "http://127.0.0.1:8080"):
+	// it streams the primary's WAL frames, serves draws from the
+	// replicated state, and answers writes with 307 to the primary.
+	// Empty (the default) makes a normal standalone/primary server.
+	FollowPrimary string
+	// ReplHeartbeat is the replication heartbeat period: how often an
+	// idle primary stream emits a liveness frame, and the unit of the
+	// follower's dead-peer watchdog (~4 silent periods). Default 1s.
+	ReplHeartbeat time.Duration
+	// ReplClient, when set, is the HTTP client a follower dials the
+	// primary with (fault-injection tests swap its transport). Nil uses
+	// http.DefaultClient.
+	ReplClient *http.Client
+	// RequestTimeout bounds one draw request's execution: a draw still
+	// running past it answers 503 while the work is abandoned to finish
+	// in the background (its admission slot stays held until then, so
+	// runaway queries still count against MaxInflight). 0 disables.
+	RequestTimeout time.Duration
 }
 
 // Server is the HTTP serving layer: a session registry behind a JSON
@@ -64,6 +86,19 @@ type Server struct {
 	mux      *http.ServeMux
 	started  time.Time
 	draining atomic.Bool
+
+	timeout time.Duration
+
+	// hub serves WAL frames to followers (primary with durability
+	// only); follower is the replication client (follower mode only).
+	hub        *repl.Hub
+	follower   *repl.Follower
+	primaryURL string
+	replClient *http.Client
+	heartbeat  time.Duration
+
+	stopOnce sync.Once
+	stopCh   chan struct{}
 }
 
 // New builds a Server.
@@ -83,17 +118,31 @@ func New(cfg Config) *Server {
 	if cfg.CheckpointEvery == 0 {
 		cfg.CheckpointEvery = 4096
 	}
+	if cfg.ReplHeartbeat <= 0 {
+		cfg.ReplHeartbeat = time.Second
+	}
 	s := &Server{
-		reg:     NewRegistry(cfg.DataDir, cfg.SessionCap),
-		metrics: newMetricsSet(),
-		sem:     make(chan struct{}, cfg.MaxInflight),
-		mux:     http.NewServeMux(),
-		started: time.Now(),
+		reg:        NewRegistry(cfg.DataDir, cfg.SessionCap),
+		metrics:    newMetricsSet(),
+		sem:        make(chan struct{}, cfg.MaxInflight),
+		mux:        http.NewServeMux(),
+		started:    time.Now(),
+		timeout:    cfg.RequestTimeout,
+		primaryURL: cfg.FollowPrimary,
+		replClient: cfg.ReplClient,
+		heartbeat:  cfg.ReplHeartbeat,
+		stopCh:     make(chan struct{}),
 	}
 	if cfg.DurableDir != "" {
 		s.reg.durable = newDurableStore(cfg.DurableDir, wal.RelationLogOptions{
 			Options:         wal.Options{Policy: cfg.FsyncPolicy, Interval: cfg.FsyncInterval},
 			CheckpointEvery: cfg.CheckpointEvery,
+		})
+	}
+	if s.reg.durable != nil && cfg.FollowPrimary == "" {
+		s.hub = repl.NewHub(repl.HubConfig{
+			Resolve:   s.resolveSource,
+			Heartbeat: cfg.ReplHeartbeat,
 		})
 	}
 	s.mux.HandleFunc("POST /sample", s.handle("sample", true, s.handleSample))
@@ -107,6 +156,13 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("POST /relation/{name}/append", s.handle("append", false, s.handleAppend))
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	// The replication surface is raw byte streams and side-channel
+	// bookkeeping, not JSON draws: it mounts outside handle() so
+	// admission control and the response envelope never touch it.
+	s.mux.HandleFunc("GET /repl/sessions", s.handleReplSessions)
+	s.mux.HandleFunc("GET /repl/stream", s.handleReplStream)
+	s.mux.HandleFunc("GET /repl/snapshot", s.handleReplSnapshot)
+	s.mux.HandleFunc("POST /repl/ack", s.handleReplAck)
 	return s
 }
 
@@ -120,19 +176,38 @@ func (s *Server) Registry() *Registry { return s.reg }
 func (s *Server) Inflight() int { return len(s.sem) }
 
 // Close releases the server's durable state, flushing and closing
-// every open WAL; a memory-only server's Close is a no-op. Call it
-// after the HTTP listener has drained.
+// every open WAL, and stops replication (follower replicators, open
+// primary streams); a memory-only standalone server's Close is a
+// no-op. Call it after the HTTP listener has drained.
 func (s *Server) Close() {
+	s.stop()
+	if s.follower != nil {
+		s.follower.Close()
+	}
 	if s.reg.durable != nil {
 		s.reg.durable.closeAll()
 	}
 }
 
+func (s *Server) stop() {
+	s.stopOnce.Do(func() {
+		close(s.stopCh)
+		if s.hub != nil {
+			s.hub.Close()
+		}
+	})
+}
+
 // SetDraining flips the server into drain mode: /healthz answers 503
 // "draining" and shed requests get 503 + Connection: close instead of
 // 429 + Retry-After, so load balancers fail over instead of retrying a
-// process that is about to exit. Call it before http.Server.Shutdown.
-func (s *Server) SetDraining() { s.draining.Store(true) }
+// process that is about to exit. Replication streams end too —
+// long-lived responses would otherwise hold http.Server.Shutdown open
+// forever. Call it before Shutdown.
+func (s *Server) SetDraining() {
+	s.draining.Store(true)
+	s.stop()
+}
 
 // Draining reports whether SetDraining was called.
 func (s *Server) Draining() bool { return s.draining.Load() }
@@ -173,20 +248,30 @@ func badf(format string, args ...any) error {
 	return badRequest{fmt.Errorf(format, args...)}
 }
 
+// redirectError makes the envelope answer 307 + Location: a follower
+// pointing a write at the primary. 307 preserves the method and body,
+// so a client that follows it replays the append verbatim (including
+// its Idempotency-Key).
+type redirectError struct{ location string }
+
+func (e redirectError) Error() string {
+	return fmt.Sprintf("serve: read-only follower; write to the primary at %s", e.location)
+}
+
 // apiError is the JSON error envelope.
 type apiError struct {
 	Error string `json:"error"`
 }
 
-// handle wraps an endpoint: admission control (draw endpoints only),
-// latency observation, and the JSON response/error envelope.
+// handle wraps an endpoint: admission control and a request deadline
+// (draw endpoints only), latency observation, and the JSON
+// response/error envelope.
 func (s *Server) handle(name string, admit bool, fn func(*http.Request) (any, error)) http.HandlerFunc {
 	m := s.metrics.endpoint(name)
 	return func(w http.ResponseWriter, r *http.Request) {
 		if admit {
 			select {
 			case s.sem <- struct{}{}:
-				defer func() { <-s.sem }()
 			default:
 				s.metrics.rejected.Add(1)
 				if s.draining.Load() {
@@ -202,20 +287,71 @@ func (s *Server) handle(name string, admit bool, fn func(*http.Request) (any, er
 				return
 			}
 		}
-		start := time.Now()
-		payload, err := fn(r)
-		m.observe(time.Since(start), err != nil)
-		if err != nil {
-			code := http.StatusInternalServerError
-			var bad badRequest
-			if errors.As(err, &bad) {
-				code = http.StatusBadRequest
+		release := func() {
+			if admit {
+				<-s.sem
 			}
-			writeJSON(w, code, apiError{Error: err.Error()})
+		}
+		start := time.Now()
+		if !admit || s.timeout <= 0 {
+			payload, err := fn(r)
+			release()
+			m.observe(time.Since(start), err != nil)
+			s.writeResult(w, payload, err)
 			return
 		}
-		writeJSON(w, http.StatusOK, payload)
+		// Deadline watchdog: the draw runs in its own goroutine so a
+		// runaway query cannot pin this response past the timeout. The
+		// abandoned work keeps its admission slot until it actually
+		// finishes — MaxInflight bounds real concurrency, not just
+		// responsive concurrency.
+		ctx, cancel := context.WithTimeout(r.Context(), s.timeout)
+		defer cancel()
+		type result struct {
+			payload any
+			err     error
+		}
+		done := make(chan result, 1)
+		go func() {
+			payload, err := fn(r.WithContext(ctx))
+			done <- result{payload, err}
+		}()
+		select {
+		case res := <-done:
+			release()
+			m.observe(time.Since(start), res.err != nil)
+			s.writeResult(w, res.payload, res.err)
+		case <-ctx.Done():
+			go func() {
+				<-done
+				release()
+			}()
+			s.metrics.rejected.Add(1)
+			m.observe(time.Since(start), true)
+			w.Header().Set("Retry-After", "1")
+			writeJSON(w, http.StatusServiceUnavailable,
+				apiError{Error: fmt.Sprintf("serve: request exceeded the %v deadline", s.timeout)})
+		}
 	}
+}
+
+// writeResult renders an endpoint outcome through the error envelope.
+func (s *Server) writeResult(w http.ResponseWriter, payload any, err error) {
+	if err != nil {
+		code := http.StatusInternalServerError
+		var bad badRequest
+		var redir redirectError
+		switch {
+		case errors.As(err, &redir):
+			code = http.StatusTemporaryRedirect
+			w.Header().Set("Location", redir.location)
+		case errors.As(err, &bad):
+			code = http.StatusBadRequest
+		}
+		writeJSON(w, code, apiError{Error: err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, payload)
 }
 
 // encodePool recycles response-encoding buffers across requests: a
@@ -564,10 +700,26 @@ type appendResponse struct {
 	// Durable reports that the rows were committed to the WAL (per the
 	// configured fsync policy) before this ack.
 	Durable bool `json:"durable"`
+	// Deduped reports that this batch's Idempotency-Key matched an
+	// already-committed batch: nothing was appended now, Appended
+	// echoes the original batch's row count, and the original commit
+	// still stands.
+	Deduped bool `json:"deduped,omitempty"`
 }
 
+// maxIdemHeaderLen bounds the Idempotency-Key header (anything real is
+// a UUID or similar; kilobytes of key is a client bug).
+const maxIdemHeaderLen = 4096
+
 func (s *Server) handleAppend(r *http.Request) (any, error) {
+	if s.primaryURL != "" {
+		return nil, redirectError{location: s.primaryURL + r.URL.Path}
+	}
 	name := r.PathValue("name")
+	idemKey := r.Header.Get("Idempotency-Key")
+	if len(idemKey) > maxIdemHeaderLen {
+		return nil, badf("serve: Idempotency-Key longer than %d bytes", maxIdemHeaderLen)
+	}
 	var req appendRequest
 	if err := decode(r, &req); err != nil {
 		return nil, err
@@ -597,7 +749,20 @@ func (s *Server) handleAppend(r *http.Request) (any, error) {
 	// session generation and flip to the refreshed one atomically.
 	e.appendMu.Lock()
 	defer e.appendMu.Unlock()
-	rel.AppendRows(rows)
+	if idemKey != "" {
+		if n, ok := e.idem.lookup(name, idemKey); ok {
+			// The batch already committed (possibly before a restart:
+			// recovery reloads keys from the WAL). Re-ack it without
+			// touching the relation.
+			return appendResponse{
+				Appended:  n,
+				Durable:   e.durable != nil,
+				Deduped:   true,
+				UnionSize: e.Sess.UnionSize(),
+			}, nil
+		}
+	}
+	rel.AppendRowsTagged(rows, idemKey)
 	e.mutated.Store(true)
 	if e.durable != nil {
 		// WAL-ack before commit: the rows were teed into the log as
@@ -609,6 +774,15 @@ func (s *Server) handleAppend(r *http.Request) (any, error) {
 		if err := e.durable.commit(name); err != nil {
 			return nil, fmt.Errorf("serve: append of %d rows to %q not durable: %v (rows are in memory only; do not retry against this process)", len(rows), name, err)
 		}
+	}
+	if idemKey != "" {
+		// Record only after the commit: a refused ack must leave the
+		// key free so the client's retry is not answered from a batch
+		// that never became durable.
+		e.idem.record(name, idemKey, len(rows))
+	}
+	if s.hub != nil {
+		s.hub.Wake(e.Key, name)
 	}
 	resp := appendResponse{Appended: len(rows), Refreshed: true, Durable: e.durable != nil}
 	if err := e.Sess.Refresh(); err != nil {
@@ -669,6 +843,19 @@ type metricsResponse struct {
 	// Durability reports WAL/checkpoint gauges; absent on a
 	// memory-only server.
 	Durability *DurabilitySnapshot `json:"durability,omitempty"`
+	// Replication reports the node's replication state — primary-side
+	// per-follower lag or follower-side per-relation progress; absent
+	// when the server neither serves nor follows streams.
+	Replication *ReplicationSnapshot `json:"replication,omitempty"`
+}
+
+// ReplicationSnapshot is the /metrics replication block.
+type ReplicationSnapshot struct {
+	// Role is "primary" (durable server able to feed followers) or
+	// "follower".
+	Role     string                 `json:"role"`
+	Primary  *repl.PrimarySnapshot  `json:"primary,omitempty"`
+	Follower *repl.FollowerSnapshot `json:"follower,omitempty"`
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
@@ -683,6 +870,14 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	if s.reg.durable != nil {
 		snap := s.reg.durable.snapshot()
 		resp.Durability = &snap
+	}
+	switch {
+	case s.hub != nil:
+		hs := s.hub.Snapshot()
+		resp.Replication = &ReplicationSnapshot{Role: "primary", Primary: &hs}
+	case s.follower != nil:
+		fs := s.follower.Snapshot()
+		resp.Replication = &ReplicationSnapshot{Role: "follower", Follower: &fs}
 	}
 	writeJSON(w, http.StatusOK, resp)
 }

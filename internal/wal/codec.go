@@ -32,6 +32,18 @@ import (
 // batchKind tags a batched-append payload (relation.MutKind uses 0/1).
 const batchKind = 2
 
+// taggedBatchKind tags a batched append carrying an idempotency key:
+//
+//	[kind=3 u8][klen u16][key klen bytes][start u64][n u32][arity u32][cols]
+//
+// The key is the client-supplied Idempotency-Key of the append that
+// produced the batch; recovery and replication surface it so retry
+// deduplication survives restarts and follower promotion.
+const taggedBatchKind = 3
+
+// maxIdemKeyLen bounds a persisted idempotency key (the u16 klen field).
+const maxIdemKeyLen = 1 << 16
+
 // AppendMutation appends m's wire encoding to buf and returns the
 // extended slice.
 func AppendMutation(buf []byte, m relation.Mutation) []byte {
@@ -112,13 +124,22 @@ func AppendBatchRecord(buf []byte, start, n int, cols [][]relation.Value) []byte
 // DecodeBatchRecord parses a payload produced by AppendBatchRecord into
 // the starting physical row and the appended tuples, in append order.
 func DecodeBatchRecord(p []byte) (start int, rows []relation.Tuple, err error) {
-	if len(p) < 17 || p[0] != batchKind {
+	if len(p) < 1 || p[0] != batchKind {
 		return 0, nil, fmt.Errorf("wal: batch record of %d bytes is malformed", len(p))
 	}
-	start = int(binary.LittleEndian.Uint64(p[1:9]))
-	n := binary.LittleEndian.Uint32(p[9:13])
-	arity := binary.LittleEndian.Uint32(p[13:17])
-	rest := p[17:]
+	return decodeBatchBody(p[1:])
+}
+
+// decodeBatchBody parses [start u64][n u32][arity u32][cols] — the body
+// both batch kinds share past their prefix.
+func decodeBatchBody(p []byte) (start int, rows []relation.Tuple, err error) {
+	if len(p) < 16 {
+		return 0, nil, fmt.Errorf("wal: batch record of %d bytes is malformed", len(p))
+	}
+	start = int(binary.LittleEndian.Uint64(p[0:8]))
+	n := binary.LittleEndian.Uint32(p[8:12])
+	arity := binary.LittleEndian.Uint32(p[12:16])
+	rest := p[16:]
 	if n == 0 || uint64(len(rest)) != uint64(n)*uint64(arity)*8 {
 		return 0, nil, fmt.Errorf("wal: batch record claims %d x %d values, carries %d bytes", n, arity, len(rest))
 	}
@@ -134,6 +155,44 @@ func DecodeBatchRecord(p []byte) (start int, rows []relation.Tuple, err error) {
 		}
 	}
 	return start, rows, nil
+}
+
+// taggedBatchRecordLen is the payload size of a tagged batched append.
+func taggedBatchRecordLen(klen, n, arity int) int {
+	return 3 + klen + 16 + n*arity*8
+}
+
+// encodeTaggedBatchRecord fills dst — exactly taggedBatchRecordLen
+// bytes — with a tagged batched append of rows [start, start+n).
+func encodeTaggedBatchRecord(dst []byte, tag string, start, n int, cols [][]relation.Value) {
+	dst[0] = taggedBatchKind
+	binary.LittleEndian.PutUint16(dst[1:3], uint16(len(tag)))
+	copy(dst[3:], tag)
+	p := dst[3+len(tag):]
+	binary.LittleEndian.PutUint64(p[0:8], uint64(start))
+	binary.LittleEndian.PutUint32(p[8:12], uint32(n))
+	binary.LittleEndian.PutUint32(p[12:16], uint32(len(cols)))
+	p = p[16:]
+	for _, col := range cols {
+		for i, v := range col[start : start+n] {
+			binary.LittleEndian.PutUint64(p[i*8:i*8+8], uint64(v))
+		}
+		p = p[n*8:]
+	}
+}
+
+// DecodeTaggedBatchRecord parses a tagged batched-append payload.
+func DecodeTaggedBatchRecord(p []byte) (tag string, start int, rows []relation.Tuple, err error) {
+	if len(p) < 3 || p[0] != taggedBatchKind {
+		return "", 0, nil, fmt.Errorf("wal: tagged batch record of %d bytes is malformed", len(p))
+	}
+	klen := int(binary.LittleEndian.Uint16(p[1:3]))
+	if len(p) < 3+klen {
+		return "", 0, nil, fmt.Errorf("wal: tagged batch record truncates its %d-byte key", klen)
+	}
+	tag = string(p[3 : 3+klen])
+	start, rows, err = decodeBatchBody(p[3+klen:])
+	return tag, start, rows, err
 }
 
 // Checkpoint file layout (little-endian), named %016x.ckpt after the
@@ -159,34 +218,12 @@ func WriteCheckpoint(path string, sd relation.SnapshotData) error {
 		return fmt.Errorf("wal: %w", err)
 	}
 	defer os.Remove(tmp.Name())
-	cw := &crcWriter{w: bufio.NewWriterSize(tmp, 1<<16)}
-	var u64 [8]byte
-	writeU64 := func(v uint64) {
-		binary.LittleEndian.PutUint64(u64[:], v)
-		cw.Write(u64[:])
-	}
-	cw.Write([]byte(ckptMagic))
-	writeU64(sd.Version)
-	writeU64(uint64(sd.Rows))
-	writeU64(uint64(sd.Live))
-	writeU64(uint64(len(sd.Cols)))
-	writeU64(uint64(len(sd.Dead)))
-	for _, w := range sd.Dead {
-		writeU64(w)
-	}
-	for _, col := range sd.Cols {
-		for i := 0; i < sd.Rows; i++ {
-			writeU64(uint64(col[i]))
-		}
-	}
-	var crc [4]byte
-	binary.LittleEndian.PutUint32(crc[:], cw.crc)
-	cw.Write(crc[:])
-	if cw.err != nil {
+	bw := bufio.NewWriterSize(tmp, 1<<16)
+	if err := WriteCheckpointTo(bw, sd); err != nil {
 		tmp.Close()
-		return fmt.Errorf("wal: writing checkpoint: %w", cw.err)
+		return err
 	}
-	if err := cw.w.(*bufio.Writer).Flush(); err != nil {
+	if err := bw.Flush(); err != nil {
 		tmp.Close()
 		return fmt.Errorf("wal: writing checkpoint: %w", err)
 	}
@@ -202,6 +239,40 @@ func WriteCheckpoint(path string, sd relation.SnapshotData) error {
 	}
 	if err := syncDir(dir); err != nil {
 		return fmt.Errorf("wal: %w", err)
+	}
+	return nil
+}
+
+// WriteCheckpointTo streams sd's SUCKPT01 encoding — the exact bytes a
+// checkpoint file holds — to w. It is the wire side of checkpointing:
+// the replication snapshot endpoint writes a captured snapshot straight
+// into an HTTP response with it, no temp file.
+func WriteCheckpointTo(w io.Writer, sd relation.SnapshotData) error {
+	cw := &crcWriter{w: w}
+	var u64 [8]byte
+	writeU64 := func(v uint64) {
+		binary.LittleEndian.PutUint64(u64[:], v)
+		cw.Write(u64[:])
+	}
+	cw.Write([]byte(ckptMagic))
+	writeU64(sd.Version)
+	writeU64(uint64(sd.Rows))
+	writeU64(uint64(sd.Live))
+	writeU64(uint64(len(sd.Cols)))
+	writeU64(uint64(len(sd.Dead)))
+	for _, d := range sd.Dead {
+		writeU64(d)
+	}
+	for _, col := range sd.Cols {
+		for i := 0; i < sd.Rows; i++ {
+			writeU64(uint64(col[i]))
+		}
+	}
+	var crc [4]byte
+	binary.LittleEndian.PutUint32(crc[:], cw.crc)
+	cw.Write(crc[:])
+	if cw.err != nil {
+		return fmt.Errorf("wal: writing checkpoint: %w", cw.err)
 	}
 	return nil
 }
@@ -227,17 +298,28 @@ func (c *crcWriter) Write(p []byte) (int, error) {
 // ReadCheckpoint parses a checkpoint for a relation of the given
 // arity, validating magic, shape, and checksum.
 func ReadCheckpoint(path string, arity int) (relation.SnapshotData, error) {
-	var sd relation.SnapshotData
 	raw, err := os.ReadFile(path)
 	if err != nil {
-		return sd, fmt.Errorf("wal: %w", err)
+		return relation.SnapshotData{}, fmt.Errorf("wal: %w", err)
 	}
+	sd, err := DecodeCheckpoint(raw, arity)
+	if err != nil {
+		return sd, fmt.Errorf("wal: %s: %w", filepath.Base(path), err)
+	}
+	return sd, nil
+}
+
+// DecodeCheckpoint parses an in-memory SUCKPT01 image (a checkpoint
+// file's bytes, or a replication snapshot response) for a relation of
+// the given arity, validating magic, shape, and checksum.
+func DecodeCheckpoint(raw []byte, arity int) (relation.SnapshotData, error) {
+	var sd relation.SnapshotData
 	if len(raw) < len(ckptMagic)+5*8+4 || string(raw[:len(ckptMagic)]) != ckptMagic {
-		return sd, fmt.Errorf("wal: %s: not a checkpoint", filepath.Base(path))
+		return sd, fmt.Errorf("wal: not a checkpoint")
 	}
 	body, trailer := raw[:len(raw)-4], raw[len(raw)-4:]
 	if crc32.Checksum(body, castagnoli) != binary.LittleEndian.Uint32(trailer) {
-		return sd, fmt.Errorf("wal: %s: checksum mismatch", filepath.Base(path))
+		return sd, fmt.Errorf("wal: checkpoint checksum mismatch")
 	}
 	p := body[len(ckptMagic):]
 	readU64 := func() uint64 {
@@ -248,11 +330,11 @@ func ReadCheckpoint(path string, arity int) (relation.SnapshotData, error) {
 	sd.Version = readU64()
 	rows, live, ar, ndead := readU64(), readU64(), readU64(), readU64()
 	if int(ar) != arity {
-		return sd, fmt.Errorf("wal: %s: checkpoint arity %d, want %d", filepath.Base(path), ar, arity)
+		return sd, fmt.Errorf("wal: checkpoint arity %d, want %d", ar, arity)
 	}
 	need := (ndead + ar*rows) * 8
 	if uint64(len(p)) != need {
-		return sd, fmt.Errorf("wal: %s: truncated checkpoint body", filepath.Base(path))
+		return sd, fmt.Errorf("wal: truncated checkpoint body")
 	}
 	sd.Rows, sd.Live = int(rows), int(live)
 	if ndead > 0 {

@@ -37,11 +37,13 @@ type RelationLog struct {
 	opt RelationLogOptions
 
 	mu        sync.Mutex
-	sinkErr   error    // first Append failure, surfaced by Commit
-	ckptVers  []uint64 // retained checkpoint versions, ascending
-	lastCkpt  uint64   // version the newest checkpoint covers (or base)
-	buf       []byte   // encode scratch; LogMutation is serialized by rel.mu
-	recovered int      // mutations replayed or restored at Open
+	sinkErr   error          // first Append failure, surfaced by Commit
+	ckptVers  []uint64       // retained checkpoint versions, ascending
+	lastCkpt  uint64         // version the newest checkpoint covers (or base)
+	buf       []byte         // encode scratch; LogMutation is serialized by rel.mu
+	recovered int            // mutations replayed or restored at Open
+	floor     uint64         // versions <= floor are not streamable from this WAL
+	tags      map[string]int // idempotency tags recovered from the WAL → rows
 }
 
 const ckptSuffix = ".ckpt"
@@ -61,6 +63,10 @@ func OpenRelationLog(dir string, rel *relation.Relation, opt RelationLogOptions)
 		return nil, err
 	}
 	rl.log = log
+	// Records at or below the restored version were never verified
+	// contiguous by this open; replication streams must not start
+	// below it (resync from a snapshot instead).
+	rl.floor = rel.Version()
 	if err := rl.replay(); err != nil {
 		log.Close()
 		return nil, err
@@ -123,51 +129,36 @@ func (rl *RelationLog) restoreCheckpoint() error {
 }
 
 // replay applies every WAL record past the relation's current version,
-// verifying the seq chain is exactly the version chain.
+// verifying the seq chain is exactly the version chain. Recovery is
+// strict: a record whose versions are already present means duplicated
+// history on disk, which is corruption, not idempotence. Idempotency
+// tags found in tagged batch records are collected for the serving
+// layer's dedupe table.
 func (rl *RelationLog) replay() error {
 	rel := rl.rel
 	return rl.log.Replay(rel.Version(), func(seq uint64, payload []byte) error {
-		if len(payload) > 0 && payload[0] == batchKind {
-			start, rows, err := DecodeBatchRecord(payload)
-			if err != nil {
-				return err
-			}
-			if want := rel.Version() + uint64(len(rows)); seq != want {
-				return fmt.Errorf("wal: %s: gap in log: batch record ends at %d, want %d", rel.Name(), seq, want)
-			}
-			if len(rows[0]) != rel.Arity() {
-				return fmt.Errorf("wal: %s: batch record arity %d, want %d", rel.Name(), len(rows[0]), rel.Arity())
-			}
-			if start != rel.Len() {
-				return fmt.Errorf("wal: %s: batch record starts at row %d, storage at %d", rel.Name(), start, rel.Len())
-			}
-			rel.AppendRows(rows)
-			return nil
-		}
-		if want := rel.Version() + 1; seq != want {
-			return fmt.Errorf("wal: %s: gap in log: record %d, want %d", rel.Name(), seq, want)
-		}
-		m, err := DecodeMutation(payload)
+		out, err := ApplyRecord(rel, seq, payload)
 		if err != nil {
 			return err
 		}
-		switch m.Kind {
-		case relation.MutAppend:
-			if len(m.Vals) != rel.Arity() {
-				return fmt.Errorf("wal: %s: append record arity %d, want %d", rel.Name(), len(m.Vals), rel.Arity())
+		if !out.Applied {
+			return fmt.Errorf("wal: %s: record %d duplicates applied history (version %d)", rel.Name(), seq, rel.Version())
+		}
+		if out.Tag != "" {
+			if rl.tags == nil {
+				rl.tags = make(map[string]int)
 			}
-			if m.Row != rel.Len() {
-				return fmt.Errorf("wal: %s: append record row %d, storage at %d", rel.Name(), m.Row, rel.Len())
-			}
-			rel.Append(m.Vals)
-		case relation.MutDelete:
-			if !rel.Delete(m.Row) {
-				return fmt.Errorf("wal: %s: delete record for dead or missing row %d", rel.Name(), m.Row)
-			}
+			rl.tags[out.Tag] += out.Rows
 		}
 		return nil
 	})
 }
+
+// RecoveredTags returns the idempotency tags found in the replayed WAL
+// tail, mapped to the row count each tag covered. The dedupe window a
+// restart preserves is exactly the WAL retention window: tags whose
+// records were truncated by checkpointing are gone.
+func (rl *RelationLog) RecoveredTags() map[string]int { return rl.tags }
 
 // Attach registers the log as the relation's mutation sink; every
 // later mutation is teed into the WAL before its ack can be committed.
@@ -202,17 +193,30 @@ const batchChunkRows = 1 << 16
 // WAL record per batch (chunked only far beyond any wire-level batch
 // size), encoded in place inside the WAL's write buffer straight from
 // the published column vectors. The frame's seq is the version after
-// the chunk's last row, which replay checks for exact contiguity.
-func (rl *RelationLog) LogAppendBatch(version uint64, start, n int, cols [][]relation.Value) {
+// the chunk's last row, which replay checks for exact contiguity. A
+// non-empty idempotency tag switches the record to the tagged batch
+// kind, so the tag rides the WAL into recovery and replication.
+func (rl *RelationLog) LogAppendBatch(version uint64, start, n int, cols [][]relation.Value, tag string) {
+	if len(tag) >= maxIdemKeyLen {
+		tag = tag[:maxIdemKeyLen-1]
+	}
 	for off := 0; off < n; off += batchChunkRows {
 		c := n - off
 		if c > batchChunkRows {
 			c = batchChunkRows
 		}
 		s := start + off
-		err := rl.log.AppendReserve(version-uint64(n-off-c), batchRecordLen(c, len(cols)), func(dst []byte) {
-			encodeBatchRecord(dst, s, c, cols)
-		})
+		seq := version - uint64(n-off-c)
+		var err error
+		if tag == "" {
+			err = rl.log.AppendReserve(seq, batchRecordLen(c, len(cols)), func(dst []byte) {
+				encodeBatchRecord(dst, s, c, cols)
+			})
+		} else {
+			err = rl.log.AppendReserve(seq, taggedBatchRecordLen(len(tag), c, len(cols)), func(dst []byte) {
+				encodeTaggedBatchRecord(dst, tag, s, c, cols)
+			})
+		}
 		if err != nil {
 			rl.mu.Lock()
 			if rl.sinkErr == nil {
@@ -265,10 +269,32 @@ func (rl *RelationLog) Checkpoint() error {
 	}
 	rl.lastCkpt = sd.Version
 	if len(rl.ckptVers) == 2 {
+		if rl.ckptVers[0] > rl.floor {
+			// Truncation removes records <= the older checkpoint; a
+			// stream can no longer start below it.
+			rl.floor = rl.ckptVers[0]
+		}
 		return rl.log.TruncateThrough(rl.ckptVers[0])
 	}
 	return nil
 }
+
+// StreamFrom opens a streaming cursor over the relation's WAL frames
+// with seq > after (see Log.StreamFrom).
+func (rl *RelationLog) StreamFrom(after uint64) *StreamCursor { return rl.log.StreamFrom(after) }
+
+// StreamFloor is the lowest version a replication stream may start
+// from: records at or below it were either never verified by this open
+// or truncated away by checkpointing, so a follower behind the floor
+// must resync from a snapshot instead.
+func (rl *RelationLog) StreamFloor() uint64 {
+	rl.mu.Lock()
+	defer rl.mu.Unlock()
+	return rl.floor
+}
+
+// WALLastSeq reports the highest seq the WAL holds (see Log.LastSeq).
+func (rl *RelationLog) WALLastSeq() uint64 { return rl.log.LastSeq() }
 
 // MaybeCheckpoint checkpoints when CheckpointEvery mutations have
 // accumulated past the last checkpoint, reporting whether it did.

@@ -14,8 +14,11 @@
 // and strictly increasing — relations use their mutation version, so a
 // WAL record's seq IS the relation version it produced. Segments are
 // named %016x.wal after their first record's seq; a torn tail (short
-// frame, bad checksum, impossible length) is truncated away on Open,
-// along with any later segments.
+// frame, bad checksum, impossible length) is truncated away on Open.
+// Damage anywhere except the tail — a torn record followed by segments
+// that still hold valid records, a duplicated segment file, an
+// overlapping seq range — fails Open loudly instead of silently
+// truncating acked history.
 package wal
 
 import (
@@ -240,8 +243,15 @@ func Open(dir string, opts Options) (*Log, error) {
 	return l, nil
 }
 
-// scanDir lists segments, validates each in order, truncates the first
-// torn record found, and drops everything after it.
+// scanDir lists segments and validates every one of them in order. A
+// torn record is tolerated only at the true tail of the log — the
+// defective segment's intact prefix is kept (or the empty file
+// removed) and only recordless later segments may follow. A defect
+// with valid records after it means history in the middle of the log
+// was damaged: recovery fails loudly instead of silently truncating
+// acked mutations away. Segments must also start at the seq their name
+// claims and must not overlap their predecessor, so a duplicated or
+// renamed segment file is an error, not silently replayed history.
 func (l *Log) scanDir() error {
 	names, err := os.ReadDir(l.dir)
 	if err != nil {
@@ -260,24 +270,46 @@ func (l *Log) scanDir() error {
 		segs = append(segs, segment{path: filepath.Join(l.dir, name), first: first})
 	}
 	sort.Slice(segs, func(i, j int) bool { return segs[i].first < segs[j].first })
+	scans := make([]segScan, len(segs))
 	for i, seg := range segs {
-		last, n, goodOff, intact, err := scanSegment(seg.path)
+		sc, err := scanSegment(seg.path)
 		if err != nil {
 			return err
 		}
-		if intact && n > 0 {
+		scans[i] = sc
+	}
+	for i, seg := range segs {
+		sc := scans[i]
+		if sc.n > 0 {
+			if sc.first != seg.first {
+				return fmt.Errorf("wal: %s: first record seq %d does not match the segment name (duplicated or renamed segment file)",
+					filepath.Base(seg.path), sc.first)
+			}
+			if l.lastSeq >= seg.first {
+				return fmt.Errorf("wal: %s: segment overlaps its predecessor (first seq %d, predecessor ends at %d): duplicated history",
+					filepath.Base(seg.path), seg.first, l.lastSeq)
+			}
+		}
+		if sc.intact && sc.n > 0 {
 			l.segs = append(l.segs, seg)
-			l.lastSeq = last
+			l.lastSeq = sc.last
 			continue
 		}
-		// Torn record: keep the intact prefix of this segment, drop
-		// every later segment (they were written after the tear).
-		if n > 0 {
-			if err := os.Truncate(seg.path, goodOff); err != nil {
+		// Defective (torn record, or no records at all): legal only at
+		// the log's tail. Any valid record in a later segment means the
+		// damage is mid-log.
+		for j := i + 1; j < len(segs); j++ {
+			if scans[j].n > 0 {
+				return fmt.Errorf("wal: %s: torn or empty segment followed by %s holding %d record(s): corrupt mid-log, refusing to truncate history",
+					filepath.Base(seg.path), filepath.Base(segs[j].path), scans[j].n)
+			}
+		}
+		if sc.n > 0 {
+			if err := os.Truncate(seg.path, sc.goodOff); err != nil {
 				return fmt.Errorf("wal: truncating torn tail: %w", err)
 			}
 			l.segs = append(l.segs, seg)
-			l.lastSeq = last
+			l.lastSeq = sc.last
 		} else if err := os.Remove(seg.path); err != nil {
 			return fmt.Errorf("wal: removing empty torn segment: %w", err)
 		}
@@ -291,13 +323,22 @@ func (l *Log) scanDir() error {
 	return nil
 }
 
-// scanSegment walks one segment's frames. It returns the last valid
-// seq, the number of valid records, the byte offset past the last valid
-// record, and whether the file ends exactly there.
-func scanSegment(path string) (last uint64, n int, goodOff int64, intact bool, err error) {
+// segScan is one segment's validation result: the seqs of its first
+// and last valid records, the number of valid records, the byte offset
+// past the last valid record, and whether the file ends exactly there.
+type segScan struct {
+	first, last uint64
+	n           int
+	goodOff     int64
+	intact      bool
+}
+
+// scanSegment walks one segment's frames.
+func scanSegment(path string) (segScan, error) {
+	var sc segScan
 	f, err := os.Open(path)
 	if err != nil {
-		return 0, 0, 0, false, fmt.Errorf("wal: %w", err)
+		return sc, fmt.Errorf("wal: %w", err)
 	}
 	defer f.Close()
 	br := bufio.NewReader(f)
@@ -305,27 +346,32 @@ func scanSegment(path string) (last uint64, n int, goodOff int64, intact bool, e
 	buf := make([]byte, 4096)
 	for {
 		if _, err := io.ReadFull(br, hdr[:]); err != nil {
-			return last, n, goodOff, err == io.EOF, nil
+			sc.intact = err == io.EOF
+			return sc, nil
 		}
 		ln := binary.LittleEndian.Uint32(hdr[0:4])
 		if ln > maxRecordLen {
-			return last, n, goodOff, false, nil
+			return sc, nil
 		}
 		if int(ln) > len(buf) {
 			buf = make([]byte, ln)
 		}
 		payload := buf[:ln]
 		if _, err := io.ReadFull(br, payload); err != nil {
-			return last, n, goodOff, false, nil
+			return sc, nil
 		}
 		crc := crc32.Update(0, castagnoli, hdr[8:16])
 		crc = crc32.Update(crc, castagnoli, payload)
 		if crc != binary.LittleEndian.Uint32(hdr[4:8]) {
-			return last, n, goodOff, false, nil
+			return sc, nil
 		}
-		last = binary.LittleEndian.Uint64(hdr[8:16])
-		n++
-		goodOff += int64(headerSize) + int64(ln)
+		seq := binary.LittleEndian.Uint64(hdr[8:16])
+		if sc.n == 0 {
+			sc.first = seq
+		}
+		sc.last = seq
+		sc.n++
+		sc.goodOff += int64(headerSize) + int64(ln)
 	}
 }
 

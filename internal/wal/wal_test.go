@@ -821,7 +821,7 @@ func TestRelationLogSinkErrorSurfacedByCommit(t *testing.T) {
 		t.Fatal(err)
 	}
 	rel.AppendRows([]relation.Tuple{{1, 2}, {3, 4}})
-	rl2.LogAppendBatch(rel.Version(), 0, 2, [][]relation.Value{{1, 3}, {2, 4}})
+	rl2.LogAppendBatch(rel.Version(), 0, 2, [][]relation.Value{{1, 3}, {2, 4}}, "")
 	if err := rl2.Commit(); err == nil {
 		t.Fatal("Commit after a failed LogAppendBatch tee succeeded")
 	}
